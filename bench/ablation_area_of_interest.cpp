@@ -1,0 +1,61 @@
+// Ablation: the area-of-interest optimization of §II-A. Games that update
+// only each avatar's area of interest reduce O(n^2) to O(n log n) and
+// O(n^3) to O(n^2 log n); this harness quantifies what that buys in
+// provisioning terms (average allocation, events, and the static baseline).
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace mmog;
+using core::UpdateModel;
+using util::ResourceKind;
+
+int main() {
+  bench::banner("Ablation", "Area-of-interest load reduction (SS II-A)");
+
+  const auto workload = bench::paper_workload();
+  const auto neural = bench::neural_factory(workload);
+
+  util::TextTable table({"Update model", "AoI", "Dyn over [%]",
+                         "Dyn under [%]", "Events", "Static over [%]",
+                         "Avg CPU used [units]"});
+
+  for (auto base : {UpdateModel::kQuadratic, UpdateModel::kCubic}) {
+    for (bool aoi : {false, true}) {
+      const auto model = aoi ? core::with_area_of_interest(base) : base;
+      auto cfg = bench::standard_config(workload);
+      cfg.games[0].load.model = model;
+      cfg.predictor = neural.factory;
+      const auto dyn = core::simulate(cfg);
+
+      auto static_cfg = bench::standard_config(workload);
+      static_cfg.games[0].load.model = model;
+      static_cfg.mode = core::AllocationMode::kStatic;
+      const auto sta = core::simulate(static_cfg);
+
+      double used_sum = 0.0;
+      for (const auto& m : dyn.metrics.step_metrics()) {
+        used_sum += m.used.cpu();
+      }
+      table.add_row(
+          {std::string(core::update_model_name(base)), aoi ? "yes" : "no",
+           util::TextTable::num(
+               dyn.metrics.avg_over_allocation_pct(ResourceKind::kCpu), 2),
+           util::TextTable::num(
+               dyn.metrics.avg_under_allocation_pct(ResourceKind::kCpu), 3),
+           std::to_string(dyn.metrics.significant_events()),
+           util::TextTable::num(
+               sta.metrics.avg_over_allocation_pct(ResourceKind::kCpu), 2),
+           util::TextTable::num(
+               used_sum / static_cast<double>(dyn.metrics.steps()), 1)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Area-of-interest filtering lowers the consumed CPU, softens the\n"
+      "load swings (fewer under-allocation events) and shrinks the static\n"
+      "baseline's waste — quantifying why §II-A calls it essential for\n"
+      "large game worlds.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation: the operating-cost angle the paper's introduction motivates
+// (static infrastructures waste money on idle machines). Using the cost
+// model (granted CPU unit-hours x the serving policy's price), compare the
+// renting bill of static provisioning against dynamic provisioning under
+// each predictor, over the standard two-week §V-B setup.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace mmog;
+using util::ResourceKind;
+
+int main() {
+  bench::banner("Ablation", "Renting cost: static vs dynamic provisioning");
+
+  const auto workload = bench::paper_workload();
+
+  auto static_cfg = bench::standard_config(workload);
+  static_cfg.mode = core::AllocationMode::kStatic;
+  const auto sta = core::simulate(static_cfg);
+
+  util::TextTable table({"Strategy", "Cost [unit-hours]", "vs static",
+                         "Over CPU [%]", "|Y|>1% events"});
+  table.add_row({"Static (dedicated)", util::TextTable::num(sta.total_cost, 0),
+                 "1.00x",
+                 util::TextTable::num(
+                     sta.metrics.avg_over_allocation_pct(ResourceKind::kCpu),
+                     1),
+                 std::to_string(sta.metrics.significant_events())});
+
+  for (const auto& nf : bench::tableV_lineup(workload)) {
+    auto cfg = bench::standard_config(workload);
+    cfg.predictor = nf.factory;
+    const auto dyn = core::simulate(cfg);
+    table.add_row(
+        {"Dynamic / " + nf.name, util::TextTable::num(dyn.total_cost, 0),
+         util::TextTable::num(dyn.total_cost / sta.total_cost, 2) + "x",
+         util::TextTable::num(
+             dyn.metrics.avg_over_allocation_pct(ResourceKind::kCpu), 1),
+         std::to_string(dyn.metrics.significant_events())});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Dynamic provisioning cuts the renting bill to roughly the demand's\n"
+      "integral even though fine-grained offers carry a per-unit premium;\n"
+      "the paper's motivation — a large portion of statically-owned\n"
+      "resources are unnecessary — expressed in money.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation: failure injection. A large data center goes dark for two hours
+// during the evening peak; dynamic provisioning re-places the demand within
+// one 2-minute step, while static provisioning (dedicated machines) loses
+// the capacity for good.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace mmog;
+using util::ResourceKind;
+
+int main() {
+  bench::banner("Ablation", "Data-center outage during the evening peak");
+
+  const auto workload = bench::paper_workload();
+  const auto neural = bench::neural_factory(workload);
+
+  // Two-hour outage on day 8, starting 19:00 UTC (European evening peak).
+  const std::size_t from = util::samples_per_days(8) + 19 * 30;
+  const std::size_t to = from + 60;
+
+  // Target the busiest center of a clean dynamic run, so the failure
+  // actually takes live game servers down.
+  std::size_t target = 0;
+  {
+    auto probe = bench::standard_config(workload);
+    probe.predictor = neural.factory;
+    const auto clean = core::simulate(probe);
+    for (std::size_t i = 1; i < clean.datacenters.size(); ++i) {
+      if (clean.datacenters[i].avg_allocated_cpu >
+          clean.datacenters[target].avg_allocated_cpu) {
+        target = i;
+      }
+    }
+    std::printf("Injected outage: %s, day 8 19:00-21:00 UTC\n\n",
+                clean.datacenters[target].name.c_str());
+  }
+
+  util::TextTable table({"Scenario", "Under [%]", "|Y|>1% events",
+                         "Unplaced [unit-steps]"});
+  for (const bool inject : {false, true}) {
+    for (const bool dynamic : {true, false}) {
+      auto cfg = bench::standard_config(workload);
+      if (dynamic) {
+        cfg.predictor = neural.factory;
+      } else {
+        cfg.mode = core::AllocationMode::kStatic;
+      }
+      if (inject) {
+        cfg.outages.push_back(
+            {.dc_index = target, .from_step = from, .to_step = to});
+      }
+      const auto result = core::simulate(cfg);
+      table.add_row(
+          {std::string(inject ? "outage " : "clean  ") +
+               (dynamic ? "/ dynamic" : "/ static"),
+           util::TextTable::num(
+               result.metrics.avg_under_allocation_pct(ResourceKind::kCpu),
+               3),
+           std::to_string(result.metrics.significant_events()),
+           util::TextTable::num(result.unplaced_cpu_unit_steps, 1)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Dynamic provisioning turns a two-hour outage of the largest center\n"
+      "into a one-step blip (the next control cycle re-places the demand on\n"
+      "other hosters); the static dedicated infrastructure never recovers\n"
+      "the lost machines — multi-hoster elasticity is also a reliability\n"
+      "story, not just an efficiency one.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation: zone-to-server partitioning (§II-A: MMOG operators distribute
+// the load of a game world across multiple computational resources). We
+// take hourly snapshots of an emulated day and compare three assignment
+// strategies on servers needed, load balance, and the cross-server
+// interaction traffic they induce.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/partition.hpp"
+#include "emu/datasets.hpp"
+#include "emu/emulator.hpp"
+#include "util/stats.hpp"
+
+using namespace mmog;
+
+int main() {
+  bench::banner("Ablation",
+                "Zone-to-server partitioning strategies (SS II-A)");
+
+  auto sets = emu::table1_datasets(31);
+  emu::Emulator emulator(emu::WorldConfig{}, sets[4]);  // peak-hours mix
+  const auto day = emulator.run();
+  const double capacity = 180.0;  // entities per game server
+
+  const core::PartitionStrategy strategies[] = {
+      core::PartitionStrategy::kRoundRobin,
+      core::PartitionStrategy::kGreedyLoad,
+      core::PartitionStrategy::kAffinity,
+  };
+
+  util::TextTable table({"Strategy", "Avg servers", "Avg max load",
+                         "Avg cut weight", "Overloaded snapshots"});
+  for (auto strategy : strategies) {
+    std::vector<double> servers, max_load, cut;
+    std::size_t overloaded = 0;
+    for (std::size_t t = 0; t < day.samples.size(); t += 30) {  // hourly
+      const auto& sample = day.samples[t];
+      const auto graph = core::ZoneGraph::from_grid(
+          sample.zone_counts, day.world.zones_x, day.world.zones_y);
+      const auto partition =
+          core::partition_zones(graph, capacity, strategy);
+      const auto cost = core::evaluate_partition(graph, partition, capacity);
+      servers.push_back(static_cast<double>(partition.server_count()));
+      max_load.push_back(cost.max_load);
+      cut.push_back(cost.cut_weight);
+      if (cost.overloaded > 0) ++overloaded;
+    }
+    table.add_row({std::string(core::partition_strategy_name(strategy)),
+                   util::TextTable::num(util::mean(servers), 2),
+                   util::TextTable::num(util::mean(max_load), 1),
+                   util::TextTable::num(util::mean(cut), 1),
+                   std::to_string(overloaded)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Greedy packing minimizes the fleet but slices interaction hot-spots\n"
+      "apart; the affinity refinement keeps neighbouring zones together,\n"
+      "cutting the cross-server synchronization traffic at (almost) no\n"
+      "extra servers — why production shards follow world geometry.\n");
+  return 0;
+}

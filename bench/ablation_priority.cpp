@@ -1,0 +1,83 @@
+// Ablation (the paper's §VII future work): prioritizing the resource
+// requests according to the interaction type of the MMOG. Two games — a
+// compute-light O(n log n) title and a compute-heavy O(n^2 log n) title —
+// compete for a deliberately scarce data-center pool; we compare first-come
+// matching against priority-for-the-heavy-game matching.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace mmog;
+using core::UpdateModel;
+using util::ResourceKind;
+
+namespace {
+
+trace::WorldTrace half_world(std::uint64_t seed) {
+  auto cfg = trace::RuneScapeModelConfig::paper_default();
+  cfg.steps = util::samples_per_days(bench::kLeadInDays +
+                                     bench::kExperimentDays);
+  cfg.seed = seed;
+  for (auto& region : cfg.regions) region.server_groups /= 2;
+  return trace::generate(cfg);
+}
+
+core::SimulationConfig competition(bool prioritize,
+                                   const trace::WorldTrace& light,
+                                   const trace::WorldTrace& heavy,
+                                   const predict::PredictorFactory& factory) {
+  core::SimulationConfig cfg;
+  cfg.datacenters = dc::paper_ecosystem();
+  // Scarcity: 40 % of the Table III machines — peak demand exceeds supply.
+  for (auto& dc : cfg.datacenters) {
+    dc.machines = std::max<std::size_t>(1, (dc.machines * 2) / 5);
+  }
+  core::GameSpec a;
+  a.name = "Light (O(n log n))";
+  a.load = core::LoadModel{UpdateModel::kNLogN, 2000.0};
+  a.workload = light;
+  a.priority = 0;
+  core::GameSpec b;
+  b.name = "Heavy (O(n^2 log n))";
+  b.load = core::LoadModel{UpdateModel::kQuadraticLogN, 2000.0};
+  b.workload = heavy;
+  b.priority = 10;
+  cfg.games.push_back(std::move(a));
+  cfg.games.push_back(std::move(b));
+  cfg.predictor = factory;
+  cfg.prioritize_by_interaction = prioritize;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation", "Request prioritization by interaction type");
+
+  const auto light = half_world(41);
+  const auto heavy = half_world(42);
+  const auto neural = bench::neural_factory(light);
+
+  util::TextTable table({"Mode", "Game", "Over [%]", "Under [%]",
+                         "|Y|>1% events"});
+  for (bool prioritize : {false, true}) {
+    const auto result = core::simulate(
+        competition(prioritize, light, heavy, neural.factory));
+    for (const auto& game : result.games) {
+      table.add_row(
+          {prioritize ? "priority" : "first-come", game.name,
+           util::TextTable::num(
+               game.metrics.avg_over_allocation_pct(ResourceKind::kCpu), 2),
+           util::TextTable::num(
+               game.metrics.avg_under_allocation_pct(ResourceKind::kCpu), 3),
+           std::to_string(game.metrics.significant_events())});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Under scarcity, serving the heavy game first shifts shortfalls from\n"
+      "the prioritized title onto the best-effort one — the mechanism the\n"
+      "paper proposes to investigate in its future work (§VII).\n");
+  return 0;
+}

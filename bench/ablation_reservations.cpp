@@ -1,0 +1,122 @@
+// Ablation: the advance-reservation service model (§II-B names both
+// best-effort and advance reservations; the paper's evaluation exercises
+// only on-demand renting). An operator that knows yesterday's diurnal
+// profile books tomorrow in 3-hour blocks at a committed-capacity discount;
+// we compare cost and shortage risk against on-demand (Last value) renting
+// on the same single data center.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "bench/common.hpp"
+#include "dc/reservation.hpp"
+#include "util/stats.hpp"
+
+using namespace mmog;
+using util::ResourceKind;
+using util::ResourceVector;
+
+int main() {
+  bench::banner("Ablation", "Advance reservations vs on-demand renting");
+
+  // One region, 4 observed days: day 1-2 to learn the profile, day 3-4 to
+  // operate.
+  trace::RuneScapeModelConfig tcfg;
+  tcfg.steps = util::samples_per_days(4);
+  tcfg.seed = 616;
+  tcfg.regions = {{.name = "Europe",
+                   .utc_offset_hours = 1,
+                   .server_groups = 20,
+                   .base_players_per_group = 1250.0,
+                   .weekend_multiplier = 1.0,
+                   .always_full_fraction = 0.0}};
+  const auto workload = trace::generate(tcfg);
+  const core::LoadModel load{core::UpdateModel::kQuadratic, 2000.0};
+
+  // Demand series (CPU units) for the whole region.
+  std::vector<double> demand(workload.steps(), 0.0);
+  for (const auto& g : workload.regions[0].groups) {
+    for (std::size_t t = 0; t < g.players.size(); ++t) {
+      demand[t] += load.demand(g.players[t]).cpu();
+    }
+  }
+  const std::size_t day = util::kSamplesPerDay;
+  const std::size_t operate_from = 2 * day;
+
+  // --- Reservation plan: per 3h block, book the p95 of the same block
+  //     over the two learning days, plus 10 % headroom. -------------------
+  constexpr std::size_t kBlock = 90;  // 3 hours
+  constexpr double kReservationDiscount = 0.8;
+  dc::ReservationCalendar calendar(ResourceVector::of(60, 240, 480, 240),
+                                   workload.steps());
+  double reserved_cost = 0.0;
+  for (std::size_t start = operate_from; start < workload.steps();
+       start += kBlock) {
+    std::vector<double> history;
+    for (std::size_t d = 0; d < 2; ++d) {
+      for (std::size_t t = 0; t < kBlock; ++t) {
+        const std::size_t idx = (start % day) + d * day + t;
+        if (idx < demand.size()) history.push_back(demand[idx]);
+      }
+    }
+    const double level = 1.1 * util::quantile(history, 0.95);
+    const auto booked = calendar.book(ResourceVector::of(level, 0, 0, 0),
+                                      start,
+                                      std::min(start + kBlock, demand.size()));
+    if (!booked.has_value()) {
+      std::printf("warning: block at %zu did not fit\n", start);
+    }
+    reserved_cost += level * static_cast<double>(kBlock) *
+                     (util::kSampleStepSeconds / 3600.0) *
+                     kReservationDiscount;
+  }
+
+  // Score the reservation plan on days 3-4.
+  double res_over_sum = 0.0;
+  std::size_t res_events = 0, scored = 0;
+  for (std::size_t t = operate_from; t < demand.size(); ++t) {
+    const double available =
+        calendar.capacity().cpu() - calendar.available_at(t).cpu();
+    res_over_sum += (available / std::max(1e-9, demand[t]) - 1.0) * 100.0;
+    if (demand[t] > available + 0.2) ++res_events;  // ~1% of 20 groups
+    ++scored;
+  }
+
+  // --- On-demand renting (Last value + the standard §V machinery). -------
+  core::SimulationConfig cfg;
+  dc::DataCenterSpec center;
+  center.name = "NL";
+  center.location = {52.37, 4.90};
+  center.machines = 60;
+  center.policy = dc::HostingPolicy::preset(3);
+  cfg.datacenters = {center};
+  core::GameSpec game;
+  game.load = load;
+  game.workload = workload;
+  cfg.games.push_back(std::move(game));
+  cfg.predictor = [] {
+    return std::make_unique<predict::LastValuePredictor>();
+  };
+  const auto on_demand = core::simulate(cfg);
+
+  util::TextTable table({"Model", "Over CPU [%]", "Shortage samples",
+                         "Cost [unit-hours]"});
+  table.add_row({"Advance reservations (3h blocks, 0.8x price)",
+                 util::TextTable::num(res_over_sum / scored, 2),
+                 std::to_string(res_events),
+                 util::TextTable::num(reserved_cost, 0)});
+  table.add_row(
+      {"On-demand (Last value predictor)",
+       util::TextTable::num(
+           on_demand.metrics.avg_over_allocation_pct(ResourceKind::kCpu), 2),
+       std::to_string(on_demand.metrics.significant_events()),
+       util::TextTable::num(on_demand.total_cost / 2.0, 0)});  // 4 days -> 2
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reservations trade flexibility for price: the p95-based daily plan\n"
+      "over-books the off-peak blocks but rides the discount; on-demand\n"
+      "tracks the load tightly and pays the premium. A real operator mixes\n"
+      "both — a reserved base plus on-demand peaks.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Ablation: the §V-C over-provisioning mechanism ("a mechanism that
+// allocates more than the predicted volume of required resources can be
+// used"). Sweep the demand-estimation safety factor and chart the
+// waste-vs-shortage trade-off it buys.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace mmog;
+using util::ResourceKind;
+
+int main() {
+  bench::banner("Ablation",
+                "The over-provisioning knob: safety factor sweep (SS V-C)");
+
+  const auto workload = bench::paper_workload();
+  const auto neural = bench::neural_factory(workload);
+
+  util::TextTable table({"Safety factor", "Over [%]", "Under [%]",
+                         "|Y|>1% events", "Cost [unit-hours]"});
+  for (double safety : {0.0, 0.25, 0.5, 1.0, 2.0, 4.0}) {
+    auto cfg = bench::standard_config(workload);
+    cfg.predictor = neural.factory;
+    cfg.safety_factor = safety;
+    const auto result = core::simulate(cfg);
+    table.add_row(
+        {util::TextTable::num(safety, 2),
+         util::TextTable::num(
+             result.metrics.avg_over_allocation_pct(ResourceKind::kCpu), 2),
+         util::TextTable::num(
+             result.metrics.avg_under_allocation_pct(ResourceKind::kCpu), 3),
+         std::to_string(result.metrics.significant_events()),
+         util::TextTable::num(result.total_cost, 0)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Each extra unit of safety trades over-allocation (and renting cost)\n"
+      "for a steep reduction of significant under-allocation events —\n"
+      "operators pick the point matching their game's tolerance to\n"
+      "shortages (SS V-D draws the same conclusion for bulk granularity).\n");
+  return 0;
+}

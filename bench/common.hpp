@@ -1,0 +1,122 @@
+#pragma once
+
+// Shared helpers for the table/figure reproduction harnesses. Each bench
+// binary regenerates one table or figure of the paper; these helpers build
+// the common experimental setup of §V-A: the two-week RuneScape-like trace
+// (plus two lead-in days used to train the neural predictor) and the
+// standard predictor line-up.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "predict/ar.hpp"
+#include "predict/neural.hpp"
+#include "predict/simple.hpp"
+#include "trace/runescape_model.hpp"
+#include "util/table.hpp"
+
+namespace mmog::bench {
+
+/// Simulation horizon used throughout §V: two weeks of 2-minute samples
+/// plus the two adjacent lead-in days ("over 10,000 metric samples").
+inline constexpr std::size_t kLeadInDays = 2;
+inline constexpr std::size_t kExperimentDays = 14;
+
+/// The §V-A workload: the five-region synthetic RuneScape-like trace.
+inline trace::WorldTrace paper_workload(std::uint64_t seed = 2008,
+                                        std::size_t days = kLeadInDays +
+                                                           kExperimentDays) {
+  auto cfg = trace::RuneScapeModelConfig::paper_default();
+  cfg.steps = util::samples_per_days(static_cast<double>(days));
+  cfg.seed = seed;
+  return trace::generate(cfg);
+}
+
+/// A named predictor factory.
+struct NamedFactory {
+  std::string name;
+  predict::PredictorFactory factory;
+};
+
+/// The neural predictor trained offline on the workload's lead-in days
+/// (§IV-C's data-collection and training phases).
+inline NamedFactory neural_factory(const trace::WorldTrace& workload) {
+  predict::NeuralConfig cfg;
+  cfg.train.max_eras = 40;
+  cfg.train.patience = 8;
+  return {"Neural",
+          core::neural_factory_from_workload(
+              workload, util::samples_per_days(kLeadInDays), cfg, 6)};
+}
+
+/// The six simple predictors of §IV/§V in the paper's order.
+inline std::vector<NamedFactory> simple_factories() {
+  return {
+      {"Average", [] { return std::make_unique<predict::AveragePredictor>(); }},
+      {"Last value",
+       [] { return std::make_unique<predict::LastValuePredictor>(); }},
+      {"Moving average",
+       [] { return std::make_unique<predict::MovingAveragePredictor>(5); }},
+      {"Sliding window",
+       [] {
+         return std::make_unique<predict::SlidingWindowMedianPredictor>(5);
+       }},
+      {"Exp. smoothing",
+       [] {
+         return std::make_unique<predict::ExponentialSmoothingPredictor>(0.5);
+       }},
+  };
+}
+
+/// The Table V line-up: Neural plus the six simple predictors (exponential
+/// smoothing is reported once at alpha = 0.5 in Table V).
+inline std::vector<NamedFactory> tableV_lineup(
+    const trace::WorldTrace& workload) {
+  std::vector<NamedFactory> all;
+  all.push_back(neural_factory(workload));
+  for (auto& f : simple_factories()) all.push_back(std::move(f));
+  return all;
+}
+
+/// The standard §V-B provisioning configuration: Table III world with
+/// HP-1/HP-2 round-robin, one O(n^2) game, no latency restriction.
+inline core::SimulationConfig standard_config(trace::WorldTrace workload) {
+  core::SimulationConfig cfg;
+  cfg.datacenters = dc::paper_ecosystem();
+  core::GameSpec game;
+  game.name = "RuneScape-like";
+  game.load = core::LoadModel{core::UpdateModel::kQuadratic, 2000.0};
+  game.latency_tolerance = dc::DistanceClass::kVeryFar;
+  game.workload = std::move(workload);
+  cfg.games.push_back(std::move(game));
+  return cfg;
+}
+
+/// Prints a time series as rows of (time, value), downsampled to roughly
+/// `points` rows — the textual analogue of one plotted curve.
+inline void print_series(const std::string& label,
+                         const util::TimeSeries& series, std::size_t points,
+                         const std::string& unit = "") {
+  if (series.empty()) return;
+  const std::size_t stride = std::max<std::size_t>(1, series.size() / points);
+  std::printf("# %s%s\n", label.c_str(),
+              unit.empty() ? "" : (" [" + unit + "]").c_str());
+  for (std::size_t i = 0; i < series.size(); i += stride) {
+    std::printf("  t=%7.1fh  %12.2f\n", series.time_at(i) / 3600.0,
+                series[i]);
+  }
+}
+
+/// Banner shared by every harness.
+inline void banner(const std::string& id, const std::string& caption) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), caption.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace mmog::bench

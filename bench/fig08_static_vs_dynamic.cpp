@@ -1,0 +1,51 @@
+// Reproduces Figure 8: the CPU over-allocation over time when using static
+// versus dynamic resource allocation for the same workload (§V-B). The
+// static practice provisions a dedicated full server per group; the dynamic
+// allocation follows the Neural predictor.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace mmog;
+using util::ResourceKind;
+
+int main() {
+  bench::banner("Figure 8", "Over-allocation: static vs dynamic allocation");
+
+  const auto workload = bench::paper_workload();
+
+  auto dynamic_cfg = bench::standard_config(workload);
+  dynamic_cfg.predictor = bench::neural_factory(workload).factory;
+  const auto dynamic_result = core::simulate(dynamic_cfg);
+
+  auto static_cfg = bench::standard_config(workload);
+  static_cfg.mode = core::AllocationMode::kStatic;
+  const auto static_result = core::simulate(static_cfg);
+
+  std::printf("# CPU over-allocation [%%] (sampled every 8 hours)\n");
+  std::printf("  %-8s %14s %14s\n", "day", "Static", "Dynamic");
+  const auto& sm = static_result.metrics.step_metrics();
+  const auto& dm = dynamic_result.metrics.step_metrics();
+  for (std::size_t t = 0; t < sm.size(); t += 240) {
+    std::printf("  %-8.1f %13.1f%% %13.1f%%\n",
+                static_cast<double>(t) / 720.0,
+                sm[t].over_allocation_pct(ResourceKind::kCpu),
+                dm[t].over_allocation_pct(ResourceKind::kCpu));
+  }
+
+  const double static_avg =
+      static_result.metrics.avg_over_allocation_pct(ResourceKind::kCpu);
+  const double dynamic_avg =
+      dynamic_result.metrics.avg_over_allocation_pct(ResourceKind::kCpu);
+  std::printf("\nAverage over-allocation: static %.1f%%, dynamic %.1f%%\n",
+              static_avg, dynamic_avg);
+  std::printf("Static / dynamic inefficiency ratio: %.1fx\n",
+              static_avg / dynamic_avg);
+  std::printf(
+      "\nPaper reference: dynamic averages ~25%% against ~250%% for static\n"
+      "(a 5-10x gap); the static curve swings with the diurnal load while\n"
+      "the dynamic one stays low. Our dynamic allocator carries the §V-C\n"
+      "safety margin, so its absolute level sits slightly higher.\n");
+  return 0;
+}

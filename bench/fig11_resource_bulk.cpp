@@ -1,0 +1,46 @@
+// Reproduces Figure 11: the impact of the CPU resource bulk on the dynamic
+// allocation performance (§V-D). The data centers all use one of the HP-3
+// to HP-7 policies (CPU bulks 0.22 -> 1.11, everything else constant):
+// coarser bulks raise over-allocation, finer bulks raise the risk of
+// under-allocation events.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace mmog;
+using util::ResourceKind;
+
+int main() {
+  bench::banner("Figure 11",
+                "Impact of the CPU resource bulk on dynamic allocation");
+
+  const auto workload = bench::paper_workload();
+  const auto neural = bench::neural_factory(workload);
+
+  util::TextTable table({"Policy", "CPU bulk [unit]", "Over [%]", "Under [%]",
+                         "|Y|>1% events"});
+  for (int policy = 3; policy <= 7; ++policy) {
+    auto cfg = bench::standard_config(workload);
+    for (auto& dc : cfg.datacenters) {
+      dc.policy = dc::HostingPolicy::preset(policy);
+    }
+    cfg.predictor = neural.factory;
+    const auto result = core::simulate(cfg);
+    table.add_row(
+        {"HP-" + std::to_string(policy),
+         util::TextTable::num(dc::HostingPolicy::preset(policy).bulk.cpu(), 2),
+         util::TextTable::num(
+             result.metrics.avg_over_allocation_pct(ResourceKind::kCpu), 2),
+         util::TextTable::num(
+             result.metrics.avg_under_allocation_pct(ResourceKind::kCpu), 3),
+         std::to_string(result.metrics.significant_events())});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Paper reference (Fig 11): a visible tendency of higher\n"
+      "over-allocation for bigger resource bulks, and more significant\n"
+      "under-allocation events as the offer becomes finer grained. The\n"
+      "optimal granularity depends on the game's tolerance to shortages.\n");
+  return 0;
+}

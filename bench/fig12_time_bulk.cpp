@@ -1,0 +1,44 @@
+// Reproduces Figure 12: the impact of the time bulk on the dynamic
+// allocation performance (§V-D). The data centers use HP-5 and HP-8 to
+// HP-11 (same resource bulks, time bulks from 3 hours to 2 days): shorter
+// reservation periods make the allocation much more efficient.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace mmog;
+using util::ResourceKind;
+
+int main() {
+  bench::banner("Figure 12", "Impact of the time bulk on dynamic allocation");
+
+  const auto workload = bench::paper_workload();
+  const auto neural = bench::neural_factory(workload);
+
+  util::TextTable table({"Policy", "Time bulk [h]", "Over [%]", "Under [%]",
+                         "|Y|>1% events"});
+  for (int policy : {5, 8, 9, 10, 11}) {
+    auto cfg = bench::standard_config(workload);
+    for (auto& dc : cfg.datacenters) {
+      dc.policy = dc::HostingPolicy::preset(policy);
+    }
+    cfg.predictor = neural.factory;
+    const auto result = core::simulate(cfg);
+    table.add_row(
+        {"HP-" + std::to_string(policy),
+         util::TextTable::num(
+             dc::HostingPolicy::preset(policy).time_bulk_minutes / 60.0, 1),
+         util::TextTable::num(
+             result.metrics.avg_over_allocation_pct(ResourceKind::kCpu), 2),
+         util::TextTable::num(
+             result.metrics.avg_under_allocation_pct(ResourceKind::kCpu), 3),
+         std::to_string(result.metrics.significant_events())});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Paper reference (Fig 12): allocation efficiency improves sharply\n"
+      "with shorter time bulks; the increase of the average\n"
+      "under-allocation stays low for realistic time bulks (>= 1 hour).\n");
+  return 0;
+}

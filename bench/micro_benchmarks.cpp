@@ -1,0 +1,92 @@
+// Micro-benchmarks of the library's hot paths: trace generation, emulator
+// stepping, session packet emulation, matching, neural training, and the
+// end-to-end provisioning step rate.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+#include "emu/datasets.hpp"
+#include "net/session.hpp"
+#include "predict/evaluate.hpp"
+
+using namespace mmog;
+
+namespace {
+
+void BM_TraceGenerationPerDay(benchmark::State& state) {
+  auto cfg = trace::RuneScapeModelConfig::paper_default();
+  cfg.steps = util::samples_per_days(1);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cfg.seed = seed++;
+    benchmark::DoNotOptimize(trace::generate(cfg));
+  }
+}
+BENCHMARK(BM_TraceGenerationPerDay)->Unit(benchmark::kMillisecond);
+
+void BM_EmulatorSample(benchmark::State& state) {
+  auto sets = emu::table1_datasets();
+  emu::Emulator emulator(emu::WorldConfig{}, sets[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(emulator.step_sample());
+  }
+}
+BENCHMARK(BM_EmulatorSample)->Unit(benchmark::kMicrosecond);
+
+void BM_SessionEmulation(benchmark::State& state) {
+  net::SessionConfig cfg;
+  cfg.interaction = net::InteractionClass::kFastPaced;
+  cfg.duration_seconds = 60.0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cfg.seed = seed++;
+    benchmark::DoNotOptimize(net::emulate_session(cfg));
+  }
+}
+BENCHMARK(BM_SessionEmulation)->Unit(benchmark::kMicrosecond);
+
+void BM_MatcherCandidates(benchmark::State& state) {
+  const auto dcs = dc::paper_ecosystem();
+  const core::Matcher matcher(dcs);
+  const auto site = dc::region_site("Europe");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        matcher.candidates(site.location, dc::DistanceClass::kVeryFar));
+  }
+}
+BENCHMARK(BM_MatcherCandidates);
+
+void BM_NeuralTrainingEra(benchmark::State& state) {
+  auto cfg = trace::RuneScapeModelConfig::paper_default();
+  cfg.steps = util::samples_per_days(1);
+  cfg.seed = 11;
+  const auto world = trace::generate(cfg);
+  std::vector<util::TimeSeries> histories = {
+      world.regions[0].groups[0].players};
+  for (auto _ : state) {
+    predict::NeuralConfig ncfg;
+    ncfg.train.max_eras = 1;
+    ncfg.train.patience = 0;
+    benchmark::DoNotOptimize(predict::NeuralModel::fit(ncfg, histories));
+  }
+}
+BENCHMARK(BM_NeuralTrainingEra)->Unit(benchmark::kMillisecond);
+
+void BM_ProvisioningDay(benchmark::State& state) {
+  auto cfg = trace::RuneScapeModelConfig::paper_default();
+  cfg.steps = util::samples_per_days(1);
+  cfg.seed = 21;
+  auto world = trace::generate(cfg);
+  for (auto _ : state) {
+    auto sim = bench::standard_config(world);
+    sim.predictor = [] {
+      return std::make_unique<predict::LastValuePredictor>();
+    };
+    benchmark::DoNotOptimize(core::simulate(sim));
+  }
+}
+BENCHMARK(BM_ProvisioningDay)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

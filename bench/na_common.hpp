@@ -1,0 +1,58 @@
+#pragma once
+
+// Shared setup for the §V-E latency-tolerance experiments (Figs 13-14):
+// the North American sub-world of Table III with the East-coarse /
+// West-fine hosting-policy gradient, under the combined workload of all
+// North American game operators.
+
+#include "bench/common.hpp"
+
+namespace mmog::bench {
+
+/// The combined North American workload: the three US regions of the trace
+/// model, scaled so the continent's demand approaches its data-center
+/// capacity (the paper's "busy system" with resource contention).
+inline trace::WorldTrace north_america_workload(std::uint64_t seed = 513) {
+  trace::RuneScapeModelConfig cfg;
+  cfg.steps = util::samples_per_days(kLeadInDays + kExperimentDays);
+  cfg.seed = seed;
+  cfg.regions = {
+      {.name = "US East Coast",
+       .utc_offset_hours = -5,
+       .server_groups = 40,
+       .base_players_per_group = 1450.0,
+       .weekend_multiplier = 1.10,
+       .always_full_fraction = 0.03},
+      {.name = "US West Coast",
+       .utc_offset_hours = -8,
+       .server_groups = 30,
+       .base_players_per_group = 1400.0,
+       .weekend_multiplier = 1.10,
+       .always_full_fraction = 0.03},
+      {.name = "US Central",
+       .utc_offset_hours = -6,
+       .server_groups = 20,
+       .base_players_per_group = 1350.0,
+       .weekend_multiplier = 1.10,
+       .always_full_fraction = 0.03},
+  };
+  return trace::generate(cfg);
+}
+
+/// Runs the §V-E provisioning simulation at the given latency tolerance.
+inline core::SimulationResult run_north_america(
+    const trace::WorldTrace& workload, dc::DistanceClass tolerance,
+    const predict::PredictorFactory& predictor) {
+  core::SimulationConfig cfg;
+  cfg.datacenters = dc::north_america_ecosystem();
+  core::GameSpec game;
+  game.name = "NA-MMOG";
+  game.load = core::LoadModel{core::UpdateModel::kQuadratic, 2000.0};
+  game.latency_tolerance = tolerance;
+  game.workload = workload;
+  cfg.games.push_back(std::move(game));
+  cfg.predictor = predictor;
+  return core::simulate(cfg);
+}
+
+}  // namespace mmog::bench

@@ -1,0 +1,63 @@
+// Reproduces Table V: the average provisioning performance of the dynamic
+// resource allocation under six different prediction algorithms — CPU and
+// external-network over-allocation, under-allocation, and the number of
+// significant under-allocation events (|Y| > 1 %). Setup of §V-B: Table III
+// data centers with HP-1/HP-2 assigned round-robin, one O(n^2) MMOG, two
+// weeks of the RuneScape-like trace.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace mmog;
+using util::ResourceKind;
+
+int main() {
+  bench::banner("Table V",
+                "Dynamic resource allocation under six prediction algorithms");
+
+  const auto workload = bench::paper_workload();
+  const auto lineup = bench::tableV_lineup(workload);
+
+  util::TextTable table({"Predictor", "Over CPU [%]", "Over ExtNet[in] [%]",
+                         "Over ExtNet[out] [%]", "Under CPU [%]",
+                         "Under ExtNet[out] [%]", "|Y|>1% events"});
+
+  std::string best_name;
+  std::size_t best_events = ~0ull;
+  for (const auto& nf : lineup) {
+    auto cfg = bench::standard_config(workload);
+    cfg.predictor = nf.factory;
+    const auto result = core::simulate(cfg);
+    const auto& m = result.metrics;
+    const auto events = m.significant_events();
+    table.add_row({
+        nf.name,
+        util::TextTable::num(m.avg_over_allocation_pct(ResourceKind::kCpu), 2),
+        util::TextTable::num(m.avg_over_allocation_pct(ResourceKind::kNetIn),
+                             2),
+        util::TextTable::num(m.avg_over_allocation_pct(ResourceKind::kNetOut),
+                             2),
+        util::TextTable::num(m.avg_under_allocation_pct(ResourceKind::kCpu),
+                             2),
+        util::TextTable::num(
+            m.avg_under_allocation_pct(ResourceKind::kNetOut), 2),
+        std::to_string(events),
+    });
+    if (events < best_events) {
+      best_events = events;
+      best_name = nf.name;
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Fewest significant under-allocation events: %s (%zu)\n\n", best_name.c_str(),
+      best_events);
+  std::printf(
+      "Paper reference (Table V): the Average predictor forms its own poor\n"
+      "class (deep CPU under-allocation, thousands of events); Neural and\n"
+      "Last value lead, with Neural producing roughly half the events of\n"
+      "Last value. ExtNet[in] over-allocation is ~10x the demand because\n"
+      "HP-1/HP-2 rent inbound bandwidth in 4-6 unit bulks.\n");
+  return 0;
+}

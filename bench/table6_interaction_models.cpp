@@ -1,0 +1,60 @@
+// Reproduces Table VI: the average performance of the static and of the
+// dynamic allocation mechanisms for the five interaction (update) models
+// (§V-C). Static over-allocation grows from ~56 % at O(n) to ~242 % at
+// O(n^3) in the paper while staying free of under-allocation; dynamic
+// allocation is 5-7x more efficient at the cost of a few hundred events.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace mmog;
+using core::UpdateModel;
+using util::ResourceKind;
+
+int main() {
+  bench::banner("Table VI",
+                "Static vs dynamic allocation for five interaction types");
+
+  const auto workload = bench::paper_workload();
+  const auto neural = bench::neural_factory(workload);
+
+  util::TextTable table({"Interaction type", "Static over [%]",
+                         "Dyn over [%]", "Dyn under [%]", "|Y|>1% events",
+                         "Static/dyn ratio"});
+
+  const UpdateModel models[] = {
+      UpdateModel::kLinear, UpdateModel::kNLogN, UpdateModel::kQuadratic,
+      UpdateModel::kQuadraticLogN, UpdateModel::kCubic};
+  for (auto model : models) {
+    auto dynamic_cfg = bench::standard_config(workload);
+    dynamic_cfg.games[0].load.model = model;
+    dynamic_cfg.predictor = neural.factory;
+    const auto dyn = core::simulate(dynamic_cfg);
+
+    auto static_cfg = bench::standard_config(workload);
+    static_cfg.games[0].load.model = model;
+    static_cfg.mode = core::AllocationMode::kStatic;
+    const auto sta = core::simulate(static_cfg);
+
+    const double sta_over =
+        sta.metrics.avg_over_allocation_pct(ResourceKind::kCpu);
+    const double dyn_over =
+        dyn.metrics.avg_over_allocation_pct(ResourceKind::kCpu);
+    table.add_row({std::string(core::update_model_name(model)),
+                   util::TextTable::num(sta_over, 2),
+                   util::TextTable::num(dyn_over, 2),
+                   util::TextTable::num(dyn.metrics.avg_under_allocation_pct(
+                                            ResourceKind::kCpu),
+                                        3),
+                   std::to_string(dyn.metrics.significant_events()),
+                   util::TextTable::num(sta_over / dyn_over, 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Paper reference (Table VI): static over-allocation 55.7%% ->\n"
+      "242.0%% and dynamic 8.5%% -> 54.6%% from O(n) to O(n^3); the static\n"
+      "mechanism never under-allocates, the dynamic one stays below 3%% of\n"
+      "the samples in events (at most 304 of >10,000).\n");
+  return 0;
+}

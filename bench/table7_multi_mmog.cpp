@@ -1,0 +1,102 @@
+// Reproduces Table VII: over- and under-allocation averages while the
+// ecosystem concurrently services different MMOG types (§V-F) —
+// MMOG A with O(n log n), MMOG B with O(n^2) and MMOG C with
+// O(n^2 log n) update models, mixed in seven workload structures.
+// The efficiency of the provisioning system is determined by its biggest
+// consumer.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace mmog;
+using core::UpdateModel;
+using util::ResourceKind;
+
+namespace {
+
+// Builds a workload whose group counts scale with `share` of the standard
+// five-region world (shares in percent).
+trace::WorldTrace scaled_workload(double share_pct, std::uint64_t seed) {
+  if (share_pct <= 0.0) return {};
+  auto cfg = trace::RuneScapeModelConfig::paper_default();
+  cfg.steps = util::samples_per_days(bench::kLeadInDays +
+                                     bench::kExperimentDays);
+  cfg.seed = seed;
+  for (auto& region : cfg.regions) {
+    region.server_groups = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::llround(static_cast<double>(region.server_groups) *
+                            share_pct / 100.0)));
+  }
+  return trace::generate(cfg);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table VII", "Concurrently servicing multiple MMOG types");
+
+  struct Scenario {
+    double a, b, c;  // percent of the workload per MMOG type
+  };
+  const Scenario scenarios[] = {
+      {0, 0, 100}, {5, 5, 90},   {10, 10, 80}, {25, 25, 50},
+      {33, 33, 33}, {0, 100, 0}, {100, 0, 0},
+  };
+
+  util::TextTable table({"MMOG A [%]", "MMOG B [%]", "MMOG C [%]",
+                         "Over [%]", "Under [%]", "|Y|>1% events"});
+
+  for (const auto& s : scenarios) {
+    core::SimulationConfig cfg;
+    cfg.datacenters = dc::paper_ecosystem();
+
+    struct TypeSpec {
+      const char* name;
+      UpdateModel model;
+      double share;
+    };
+    const TypeSpec types[] = {
+        {"MMOG A", UpdateModel::kNLogN, s.a},
+        {"MMOG B", UpdateModel::kQuadratic, s.b},
+        {"MMOG C", UpdateModel::kQuadraticLogN, s.c},
+    };
+    std::uint64_t seed = 900;
+    trace::WorldTrace predictor_source;
+    for (const auto& t : types) {
+      if (t.share <= 0.0) continue;
+      core::GameSpec game;
+      game.name = t.name;
+      game.load = core::LoadModel{t.model, 2000.0};
+      game.workload = scaled_workload(t.share, seed++);
+      if (predictor_source.regions.empty()) {
+        predictor_source = game.workload;
+      }
+      cfg.games.push_back(std::move(game));
+    }
+    predict::NeuralConfig ncfg;
+    ncfg.train.max_eras = 40;
+    ncfg.train.patience = 8;
+    cfg.predictor = core::neural_factory_from_workload(
+        predictor_source, util::samples_per_days(bench::kLeadInDays), ncfg, 6);
+
+    const auto result = core::simulate(cfg);
+    table.add_row(
+        {util::TextTable::num(s.a, 0), util::TextTable::num(s.b, 0),
+         util::TextTable::num(s.c, 0),
+         util::TextTable::num(
+             result.metrics.avg_over_allocation_pct(ResourceKind::kCpu), 2),
+         util::TextTable::num(
+             result.metrics.avg_under_allocation_pct(ResourceKind::kCpu), 3),
+         std::to_string(result.metrics.significant_events())});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Paper reference (Table VII): while the workload is dominated by the\n"
+      "compute-intensive B or C types the performance is stable (within a\n"
+      "few percent); a pure A (O(n log n)) workload is served markedly\n"
+      "better — the provisioning efficiency is set by the biggest consumer.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Capacity planner: which hosting policy should a data center offer to win
+// MMOG business, and which should a game operator seek? Sweep the eleven
+// Table IV policies for three game genres (different interaction models
+// and latency tolerances) and report cost-of-waste vs risk-of-shortage.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/simulation.hpp"
+#include "dc/ecosystem.hpp"
+#include "predict/simple.hpp"
+#include "trace/runescape_model.hpp"
+#include "util/table.hpp"
+
+using namespace mmog;
+using util::ResourceKind;
+
+namespace {
+
+trace::WorldTrace make_workload(std::uint64_t seed) {
+  trace::RuneScapeModelConfig cfg;
+  cfg.steps = util::samples_per_days(4);
+  cfg.seed = seed;
+  cfg.regions = {{.name = "Europe",
+                  .utc_offset_hours = 1,
+                  .server_groups = 12,
+                  .base_players_per_group = 1250.0,
+                  .weekend_multiplier = 1.0,
+                  .always_full_fraction = 0.0}};
+  return trace::generate(cfg);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Capacity planning sweep: 11 hosting policies x 3 genres\n\n");
+
+  struct Genre {
+    const char* name;
+    core::UpdateModel model;
+  };
+  const Genre genres[] = {
+      {"RPG (O(n log n))", core::UpdateModel::kNLogN},
+      {"MMORPG (O(n^2))", core::UpdateModel::kQuadratic},
+      {"FPS-like (O(n^2 log n))", core::UpdateModel::kQuadraticLogN},
+  };
+
+  const auto workload = make_workload(31);
+
+  for (const auto& genre : genres) {
+    util::TextTable table({"Policy", "CPU bulk", "Time bulk [h]", "Over [%]",
+                           "Under [%]", "Events"});
+    int best_policy = 1;
+    double best_score = 1e18;
+    for (int p = 1; p <= 11; ++p) {
+      core::SimulationConfig cfg;
+      dc::DataCenterSpec center;
+      center.name = "Planner DC";
+      center.location = {52.37, 4.90};
+      center.machines = 20;
+      center.policy = dc::HostingPolicy::preset(p);
+      cfg.datacenters = {center};
+      core::GameSpec game;
+      game.name = genre.name;
+      game.load = core::LoadModel{genre.model, 2000.0};
+      game.workload = workload;
+      cfg.games.push_back(std::move(game));
+      cfg.predictor = [] {
+        return std::make_unique<predict::LastValuePredictor>();
+      };
+      const auto result = core::simulate(cfg);
+      const double over =
+          result.metrics.avg_over_allocation_pct(ResourceKind::kCpu);
+      const auto events = result.metrics.significant_events();
+      // A crude planner's utility: waste plus a stiff penalty per shortage.
+      const double score =
+          over + 5.0 * static_cast<double>(events) /
+                     static_cast<double>(result.steps) * 100.0;
+      if (score < best_score) {
+        best_score = score;
+        best_policy = p;
+      }
+      const auto policy = dc::HostingPolicy::preset(p);
+      table.add_row({policy.name, util::TextTable::num(policy.bulk.cpu(), 2),
+                     util::TextTable::num(policy.time_bulk_minutes / 60.0, 1),
+                     util::TextTable::num(over, 1),
+                     util::TextTable::num(result.metrics.avg_under_allocation_pct(
+                                              ResourceKind::kCpu),
+                                          3),
+                     std::to_string(events)});
+    }
+    std::printf("== %s\n%s   -> recommended policy: HP-%d\n\n", genre.name,
+                table.to_string().c_str(), best_policy);
+  }
+  std::printf(
+      "Reading the sweep: finer CPU bulks and shorter time bulks cut waste\n"
+      "(SS V-D); heavier interaction models shift the optimum because their\n"
+      "load swings are amplified and shortages get more expensive.\n");
+  return 0;
+}

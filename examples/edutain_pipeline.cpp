@@ -1,0 +1,135 @@
+// The edutain@grid pipeline (SS VII): the full loop the paper's project
+// builds — an emulated game world produces per-sub-zone entity counts via
+// in-game monitoring, a trained neural predictor forecasts them, and the
+// provisioner rents data-center resources for the predicted load.
+//
+// Unlike the trace-driven benches, the workload here comes straight out of
+// the game emulator, exercising emu -> predict -> core in one program.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "core/simulation.hpp"
+#include "emu/datasets.hpp"
+#include "emu/emulator.hpp"
+#include "predict/neural.hpp"
+
+using namespace mmog;
+using util::ResourceKind;
+
+namespace {
+
+// Wraps the emulator's zone series as a workload: each cluster of sub-zones
+// becomes one "server group" (a game server simulating that part of the
+// world), with the reference capacity scaled to the cluster's peak.
+trace::WorldTrace world_from_emulator(const emu::EmulatorTrace& trace,
+                                      std::size_t zones_per_server) {
+  const auto zones = trace.zone_series();
+  trace::WorldTrace world;
+  trace::RegionalTrace region;
+  region.name = "Europe";  // where this game world is operated from
+  for (std::size_t z0 = 0; z0 < zones.size(); z0 += zones_per_server) {
+    trace::ServerGroupTrace group;
+    group.name = "zones-" + std::to_string(z0);
+    group.players = util::TimeSeries(util::kSampleStepSeconds);
+    for (std::size_t t = 0; t < trace.samples.size(); ++t) {
+      double sum = 0.0;
+      for (std::size_t z = z0; z < std::min(zones.size(), z0 + zones_per_server);
+           ++z) {
+        sum += zones[z][t];
+      }
+      group.players.push_back(sum);
+    }
+    region.groups.push_back(std::move(group));
+  }
+  world.regions.push_back(std::move(region));
+  return world;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("edutain@grid pipeline: emulate -> monitor -> predict -> rent\n\n");
+
+  // 1. Run the game emulator for one day (Table I set 5: mixed behaviour
+  //    with peak hours — a typical MMORPG day).
+  auto sets = emu::table1_datasets(2024);
+  emu::Emulator emulator(emu::WorldConfig{}, sets[4]);
+  const auto game_day = emulator.run();
+  std::printf("Emulated %zu samples of a %zux%zu-zone world, peak %0.f "
+              "entities\n",
+              game_day.samples.size(), game_day.world.zones_x,
+              game_day.world.zones_y, game_day.total_series().max());
+
+  // 2. In-game monitoring: aggregate sub-zones into per-server entity
+  //    counts. 16 zones -> one game server process.
+  auto workload = world_from_emulator(game_day, 16);
+  std::printf("Monitoring feeds %zu game servers\n",
+              workload.regions[0].groups.size());
+
+  // The emulated servers are small (hundreds of entities), so the load
+  // model's reference is a typical fully loaded zone-cluster server (the
+  // median per-server peak; hot clusters may exceed 1 unit).
+  std::vector<double> peaks;
+  for (const auto& g : workload.regions[0].groups) {
+    peaks.push_back(std::max(1.0, g.players.max()));
+  }
+  std::sort(peaks.begin(), peaks.end());
+  const double peak_per_server = peaks[peaks.size() / 2];
+
+  // 3. Offline phases of SS IV-C: train the (6,3,1) predictor on the first
+  //    half of the day.
+  predict::NeuralConfig ncfg;
+  ncfg.train.max_eras = 60;
+  ncfg.train.patience = 10;
+  auto predictor = core::neural_factory_from_workload(
+      workload, game_day.samples.size() / 2, ncfg, 9);
+  std::printf("Neural predictor trained on the first half-day\n");
+
+  // 4. Rent resources from two European hosters for the second half.
+  core::SimulationConfig cfg;
+  dc::DataCenterSpec fine;
+  fine.name = "Amsterdam (fine)";
+  fine.location = {52.37, 4.90};
+  fine.machines = 12;
+  fine.policy = dc::HostingPolicy::preset(3);
+  dc::DataCenterSpec coarse;
+  coarse.name = "London (coarse)";
+  coarse.location = {51.51, -0.13};
+  coarse.machines = 12;
+  coarse.policy = dc::HostingPolicy::preset(7);
+  cfg.datacenters = {fine, coarse};
+
+  core::GameSpec game;
+  game.name = "Emulated MMOG";
+  game.load = core::LoadModel{core::UpdateModel::kQuadratic, peak_per_server};
+  game.latency_tolerance =
+      dc::tolerance_class_for_genre(dc::GameGenre::kRolePlaying);
+  game.workload = std::move(workload);
+  cfg.games.push_back(std::move(game));
+  cfg.predictor = std::move(predictor);
+
+  const auto result = core::simulate(cfg);
+
+  std::printf("\nProvisioning results over the emulated day:\n");
+  std::printf("  CPU over-allocation  %6.1f %%\n",
+              result.metrics.avg_over_allocation_pct(ResourceKind::kCpu));
+  std::printf("  CPU under-allocation %6.2f %%\n",
+              result.metrics.avg_under_allocation_pct(ResourceKind::kCpu));
+  std::printf("  |Y|>1%% events        %6zu\n",
+              result.metrics.significant_events());
+  std::printf("  renting cost         %6.1f unit-hours\n", result.total_cost);
+  for (const auto& usage : result.datacenters) {
+    std::printf("  %-18s %5.2f / %2.0f CPU units on average\n",
+                usage.name.c_str(), usage.avg_allocated_cpu,
+                usage.capacity_cpu);
+  }
+  std::printf(
+      "\nThe whole loop ran without a real testbed: the emulator stands in\n"
+      "for the game, the matcher rents from the fine-grained hoster first,\n"
+      "and the predictor sizes the requests every two minutes. Note how a\n"
+      "small game pays the granularity tax — its demand is a fraction of\n"
+      "even the finest CPU bulk, the SS V-D effect at the small end.\n");
+  return 0;
+}

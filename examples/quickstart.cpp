@@ -1,0 +1,92 @@
+// Quickstart: provision a small MMOG on two data centers for one simulated
+// day and print the headline efficiency numbers.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+#include <memory>
+
+#include "core/simulation.hpp"
+#include "predict/simple.hpp"
+#include "trace/runescape_model.hpp"
+
+using namespace mmog;
+
+int main() {
+  // 1. A workload: one European region with 10 server groups, one day of
+  //    2-minute player-count samples from the synthetic RuneScape-like
+  //    generator.
+  trace::RuneScapeModelConfig trace_cfg;
+  trace_cfg.steps = util::samples_per_days(1);
+  trace_cfg.seed = 7;
+  trace_cfg.regions = {{.name = "Europe",
+                        .utc_offset_hours = 1,
+                        .server_groups = 10,
+                        .base_players_per_group = 1200.0,
+                        .weekend_multiplier = 1.0,
+                        .always_full_fraction = 0.0}};
+  auto workload = trace::generate(trace_cfg);
+  std::printf("Workload: %zu groups, %zu samples, peak %0.f players\n",
+              workload.regions[0].groups.size(), workload.steps(),
+              workload.global().max());
+
+  // 2. Two hosters: a fine-grained one in Amsterdam and a coarse one in
+  //    London (Table IV policies HP-3 and HP-7).
+  dc::DataCenterSpec amsterdam;
+  amsterdam.name = "Amsterdam";
+  amsterdam.location = {52.37, 4.90};
+  amsterdam.machines = 8;
+  amsterdam.policy = dc::HostingPolicy::preset(3);
+  dc::DataCenterSpec london;
+  london.name = "London";
+  london.location = {51.51, -0.13};
+  london.machines = 8;
+  london.policy = dc::HostingPolicy::preset(7);
+
+  // 3. The game: an O(n^2)-interaction MMOG that tolerates any latency.
+  core::GameSpec game;
+  game.name = "Demo MMOG";
+  game.load = core::LoadModel{core::UpdateModel::kQuadratic, 2000.0};
+  game.latency_tolerance = dc::DistanceClass::kVeryFar;
+  game.workload = std::move(workload);
+
+  // 4. Dynamic provisioning with the zero-cost Last-value predictor.
+  core::SimulationConfig cfg;
+  cfg.datacenters = {amsterdam, london};
+  cfg.games.push_back(std::move(game));
+  cfg.predictor = [] {
+    return std::make_unique<predict::LastValuePredictor>();
+  };
+  const auto dynamic_run = core::simulate(cfg);
+
+  // 5. The static baseline: a dedicated machine per server group.
+  cfg.mode = core::AllocationMode::kStatic;
+  const auto static_run = core::simulate(cfg);
+
+  using util::ResourceKind;
+  std::printf("\n%-22s %12s %12s\n", "", "dynamic", "static");
+  std::printf("%-22s %11.1f%% %11.1f%%\n", "CPU over-allocation",
+              dynamic_run.metrics.avg_over_allocation_pct(ResourceKind::kCpu),
+              static_run.metrics.avg_over_allocation_pct(ResourceKind::kCpu));
+  std::printf("%-22s %11.2f%% %11.2f%%\n", "CPU under-allocation",
+              dynamic_run.metrics.avg_under_allocation_pct(ResourceKind::kCpu),
+              static_run.metrics.avg_under_allocation_pct(ResourceKind::kCpu));
+  std::printf("%-22s %12zu %12zu\n", "|Y|>1% events",
+              dynamic_run.metrics.significant_events(),
+              static_run.metrics.significant_events());
+
+  std::printf("\nPer data center (average CPU units granted):\n");
+  for (const auto& usage : dynamic_run.datacenters) {
+    std::printf("  %-12s %6.2f / %4.0f units (%s policy)\n",
+                usage.name.c_str(), usage.avg_allocated_cpu,
+                usage.capacity_cpu,
+                usage.name == "Amsterdam" ? "fine HP-3" : "coarse HP-7");
+  }
+  std::printf(
+      "\nThe matcher prefers the finer-grained Amsterdam offer; London only\n"
+      "sees overflow — exactly how the paper's operators penalize hosters\n"
+      "with unsuitable policies (SS V-E).\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string_view>
+
+#include "util/units.hpp"
+
+namespace mmog::core {
+
+/// The paper's entity-update cost models (§II-A): how the per-step world
+/// update cost scales with the number n of interacting entities. The model
+/// is a property of the game's design (interaction type and count).
+enum class UpdateModel {
+  kLinear,         ///< O(n): mostly solitary players
+  kNLogN,          ///< O(n log n): pairwise interaction + area of interest
+  kQuadratic,      ///< O(n^2): many individually interacting players
+  kQuadraticLogN,  ///< O(n^2 log n): group interaction + area of interest
+  kCubic,          ///< O(n^3): many interacting groups
+};
+
+inline constexpr std::size_t kUpdateModelCount = 5;
+
+std::string_view update_model_name(UpdateModel m) noexcept;
+
+/// Raw (unnormalized) update cost g(n) of the model.
+double update_cost(UpdateModel m, double n) noexcept;
+
+/// The area-of-interest optimization (§II-A): games that only update each
+/// avatar's area of interest reduce O(n^2) to O(n log n) and O(n^3) to
+/// O(n^2 log n). Models without a cheaper form are returned unchanged.
+UpdateModel with_area_of_interest(UpdateModel m) noexcept;
+
+/// Converts a server group's concurrent player count into a resource demand
+/// in abstract units (§V-A: 1 unit of each resource = the requirement of a
+/// fully loaded reference game server of `reference_players` clients).
+///
+/// CPU scales with the update model, normalized so that a full group needs
+/// exactly 1.0 CPU units; memory and network scale linearly with players.
+struct LoadModel {
+  UpdateModel model = UpdateModel::kQuadratic;
+  double reference_players = 2000.0;
+
+  /// Demand vector for `players` concurrent players (clamped at >= 0).
+  util::ResourceVector demand(double players) const noexcept;
+
+  /// The CPU component alone (normalized update cost).
+  double cpu_demand(double players) const noexcept;
+};
+
+}  // namespace mmog::core

@@ -1,0 +1,39 @@
+#include "core/matcher.hpp"
+
+#include <algorithm>
+
+namespace mmog::core {
+
+Matcher::Matcher(std::span<const dc::DataCenterSpec> datacenters)
+    : specs_(datacenters.begin(), datacenters.end()) {}
+
+double Matcher::distance_km(const dc::GeoPoint& origin,
+                            std::size_t dc_index) const {
+  return dc::haversine_km(origin, specs_[dc_index].location);
+}
+
+std::vector<std::size_t> Matcher::candidates(
+    const dc::GeoPoint& origin, dc::DistanceClass tolerance) const {
+  struct Entry {
+    std::size_t index;
+    double grain;
+    double distance;
+  };
+  std::vector<Entry> eligible;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const double d = distance_km(origin, i);
+    if (!dc::within_tolerance(d, tolerance)) continue;
+    eligible.push_back({i, specs_[i].policy.granularity_score(), d});
+  }
+  std::sort(eligible.begin(), eligible.end(), [](const Entry& a, const Entry& b) {
+    if (a.grain != b.grain) return a.grain < b.grain;
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.index < b.index;
+  });
+  std::vector<std::size_t> out;
+  out.reserve(eligible.size());
+  for (const auto& e : eligible) out.push_back(e.index);
+  return out;
+}
+
+}  // namespace mmog::core

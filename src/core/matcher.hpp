@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dc/datacenter.hpp"
+#include "dc/ecosystem.hpp"
+#include "dc/geo.hpp"
+
+namespace mmog::core {
+
+/// The request-offer matching mechanism of §II-C. Given a demand origin and
+/// the game's latency tolerance it produces the ordered list of candidate
+/// data centers:
+///   1. only data centers within the tolerance distance are eligible;
+///   2. eligible centers are ranked finer-grained-first and
+///      shorter-time-bulk-first (the criteria that let game operators
+///      penalize unsuitable hosting policies, §V-D/§V-E);
+///   3. distance breaks remaining ties (closest first).
+class Matcher {
+ public:
+  explicit Matcher(std::span<const dc::DataCenterSpec> datacenters);
+
+  /// Ordered candidate data-center indices for a request originating at
+  /// `origin` under the given latency tolerance. Deterministic.
+  std::vector<std::size_t> candidates(const dc::GeoPoint& origin,
+                                      dc::DistanceClass tolerance) const;
+
+  /// Distance in km between an origin and data center `dc_index`.
+  double distance_km(const dc::GeoPoint& origin, std::size_t dc_index) const;
+
+  std::size_t datacenter_count() const noexcept { return specs_.size(); }
+  const dc::DataCenterSpec& spec(std::size_t i) const { return specs_[i]; }
+
+ private:
+  std::vector<dc::DataCenterSpec> specs_;
+};
+
+}  // namespace mmog::core

@@ -1,0 +1,62 @@
+#include "core/metrics.hpp"
+
+namespace mmog::core {
+
+double StepMetrics::over_allocation_pct(util::ResourceKind k) const noexcept {
+  const double lambda = used[k];
+  if (lambda <= 0.0) return 0.0;
+  return (allocated[k] / lambda - 1.0) * 100.0;
+}
+
+double StepMetrics::under_allocation_pct(util::ResourceKind k) const noexcept {
+  if (machines == 0) return 0.0;
+  return shortfall[k] / static_cast<double>(machines) * 100.0;
+}
+
+bool StepMetrics::significant_under_allocation(
+    double threshold_pct) const noexcept {
+  return under_allocation_pct(util::ResourceKind::kCpu) < -threshold_pct;
+}
+
+void MetricsAccumulator::add(const StepMetrics& step) {
+  steps_.push_back(step);
+}
+
+double MetricsAccumulator::avg_over_allocation_pct(
+    util::ResourceKind k) const noexcept {
+  if (steps_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& m : steps_) s += m.over_allocation_pct(k);
+  return s / static_cast<double>(steps_.size());
+}
+
+double MetricsAccumulator::avg_under_allocation_pct(
+    util::ResourceKind k) const noexcept {
+  if (steps_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& m : steps_) s += m.under_allocation_pct(k);
+  return s / static_cast<double>(steps_.size());
+}
+
+std::size_t MetricsAccumulator::significant_events(
+    double threshold_pct) const noexcept {
+  std::size_t n = 0;
+  for (const auto& m : steps_) {
+    if (m.significant_under_allocation(threshold_pct)) ++n;
+  }
+  return n;
+}
+
+std::vector<std::size_t> MetricsAccumulator::cumulative_events(
+    double threshold_pct) const {
+  std::vector<std::size_t> out;
+  out.reserve(steps_.size());
+  std::size_t n = 0;
+  for (const auto& m : steps_) {
+    if (m.significant_under_allocation(threshold_pct)) ++n;
+    out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace mmog::core

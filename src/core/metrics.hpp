@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace mmog::core {
+
+/// Resource-allocation quality at one 2-minute sample (§V, Eqs. 1-2).
+///
+/// Over-allocation reports the *excess* percentage: Eq. 1 computes
+/// Σα/Σλ·100, which is 100 % at a perfect fit; the paper's tables and plots
+/// report the surplus above that (dynamic allocation averages ≈ 25 %, not
+/// 125 %), so over_allocation_pct() returns (Σα/Σλ − 1)·100.
+///
+/// Under-allocation (Eq. 2) is Σ min(α_m − λ_m, 0) / M · 100: the average
+/// per-machine shortfall, at most 0. Over-allocation on one machine never
+/// offsets under-allocation on another, so the two metrics are not
+/// correlated by construction.
+struct StepMetrics {
+  util::ResourceVector allocated{};  ///< Σ α_m(t)
+  util::ResourceVector used{};       ///< Σ λ_m(t)
+  util::ResourceVector shortfall{};  ///< Σ min(α_m − λ_m, 0)  (<= 0)
+  std::size_t machines = 0;          ///< M
+
+  /// Excess allocation percentage for one resource (0 when unused).
+  double over_allocation_pct(util::ResourceKind k) const noexcept;
+
+  /// Under-allocation percentage (<= 0) for one resource.
+  double under_allocation_pct(util::ResourceKind k) const noexcept;
+
+  /// A *significant under-allocation event* (§V): |Υ| exceeds `threshold`
+  /// percent on the CPU resource at this (2-minute) sample — long enough to
+  /// frustrate players.
+  bool significant_under_allocation(double threshold_pct = 1.0) const noexcept;
+};
+
+/// Aggregates step metrics over a simulation run.
+class MetricsAccumulator {
+ public:
+  void add(const StepMetrics& step);
+
+  std::size_t steps() const noexcept { return steps_.size(); }
+  const std::vector<StepMetrics>& step_metrics() const noexcept {
+    return steps_;
+  }
+
+  /// Mean of the per-step over-allocation percentages.
+  double avg_over_allocation_pct(util::ResourceKind k) const noexcept;
+
+  /// Mean of the per-step under-allocation percentages (<= 0).
+  double avg_under_allocation_pct(util::ResourceKind k) const noexcept;
+
+  /// Total significant under-allocation events (|Υ| > threshold on CPU).
+  std::size_t significant_events(double threshold_pct = 1.0) const noexcept;
+
+  /// Cumulative significant-event count after each step (Figs 7 and 10).
+  std::vector<std::size_t> cumulative_events(
+      double threshold_pct = 1.0) const;
+
+ private:
+  std::vector<StepMetrics> steps_;
+};
+
+}  // namespace mmog::core

@@ -1,0 +1,207 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace mmog::core {
+
+ZoneGraph ZoneGraph::from_grid(std::span<const double> zone_loads,
+                               std::size_t width, std::size_t height) {
+  if (zone_loads.size() != width * height) {
+    throw std::invalid_argument("ZoneGraph::from_grid: size mismatch");
+  }
+  ZoneGraph g;
+  g.load.assign(zone_loads.begin(), zone_loads.end());
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const std::size_t z = y * width + x;
+      if (x + 1 < width) {
+        const std::size_t r = z + 1;
+        const double w = std::sqrt(std::max(0.0, g.load[z] * g.load[r]));
+        if (w > 0.0) g.edges.push_back({z, r, w});
+      }
+      if (y + 1 < height) {
+        const std::size_t d = z + width;
+        const double w = std::sqrt(std::max(0.0, g.load[z] * g.load[d]));
+        if (w > 0.0) g.edges.push_back({z, d, w});
+      }
+    }
+  }
+  return g;
+}
+
+std::size_t Partition::server_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : servers) {
+    if (!s.empty()) ++n;
+  }
+  return n;
+}
+
+PartitionCost evaluate_partition(const ZoneGraph& graph,
+                                 const Partition& partition,
+                                 double server_capacity) {
+  std::vector<std::size_t> owner(graph.zone_count(), SIZE_MAX);
+  for (std::size_t s = 0; s < partition.servers.size(); ++s) {
+    for (std::size_t z : partition.servers[s]) {
+      if (z >= graph.zone_count() || owner[z] != SIZE_MAX) {
+        throw std::invalid_argument(
+            "evaluate_partition: duplicate or out-of-range zone");
+      }
+      owner[z] = s;
+    }
+  }
+  for (std::size_t z = 0; z < owner.size(); ++z) {
+    if (owner[z] == SIZE_MAX) {
+      throw std::invalid_argument("evaluate_partition: unassigned zone");
+    }
+  }
+  PartitionCost cost;
+  for (const auto& server : partition.servers) {
+    double load = 0.0;
+    for (std::size_t z : server) load += graph.load[z];
+    cost.max_load = std::max(cost.max_load, load);
+    if (load > server_capacity + 1e-9) ++cost.overloaded;
+  }
+  for (const auto& e : graph.edges) {
+    if (owner[e.a] != owner[e.b]) cost.cut_weight += e.weight;
+  }
+  return cost;
+}
+
+std::string_view partition_strategy_name(PartitionStrategy s) noexcept {
+  switch (s) {
+    case PartitionStrategy::kRoundRobin: return "round-robin";
+    case PartitionStrategy::kGreedyLoad: return "greedy-load";
+    case PartitionStrategy::kAffinity: return "affinity";
+  }
+  return "?";
+}
+
+namespace {
+
+Partition round_robin(const ZoneGraph& graph, double capacity) {
+  // Estimate the server count from the total load, then stripe.
+  const double total =
+      std::accumulate(graph.load.begin(), graph.load.end(), 0.0);
+  const auto servers = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(total / capacity)));
+  Partition p;
+  p.servers.resize(servers);
+  for (std::size_t z = 0; z < graph.zone_count(); ++z) {
+    p.servers[z % servers].push_back(z);
+  }
+  return p;
+}
+
+Partition greedy_load(const ZoneGraph& graph, double capacity) {
+  std::vector<std::size_t> order(graph.zone_count());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return graph.load[a] > graph.load[b];
+  });
+  Partition p;
+  std::vector<double> loads;
+  for (std::size_t z : order) {
+    // First fit: the first server with room; a fresh one otherwise.
+    std::size_t target = p.servers.size();
+    for (std::size_t s = 0; s < p.servers.size(); ++s) {
+      if (loads[s] + graph.load[z] <= capacity + 1e-9) {
+        target = s;
+        break;
+      }
+    }
+    if (target == p.servers.size()) {
+      p.servers.emplace_back();
+      loads.push_back(0.0);
+    }
+    p.servers[target].push_back(z);
+    loads[target] += graph.load[z];
+  }
+  return p;
+}
+
+void affinity_local_search(const ZoneGraph& graph, double capacity,
+                           Partition& p) {
+  std::vector<std::size_t> owner(graph.zone_count(), 0);
+  std::vector<double> loads(p.servers.size(), 0.0);
+  for (std::size_t s = 0; s < p.servers.size(); ++s) {
+    for (std::size_t z : p.servers[s]) {
+      owner[z] = s;
+      loads[s] += graph.load[z];
+    }
+  }
+  // Adjacency with weights per zone.
+  std::vector<std::vector<ZoneGraph::Edge>> adj(graph.zone_count());
+  for (const auto& e : graph.edges) {
+    adj[e.a].push_back(e);
+    adj[e.b].push_back({e.b, e.a, e.weight});
+  }
+
+  bool improved = true;
+  for (int pass = 0; pass < 8 && improved; ++pass) {
+    improved = false;
+    for (std::size_t z = 0; z < graph.zone_count(); ++z) {
+      // Gain of moving z to each neighbouring server.
+      std::vector<double> gain(p.servers.size(), 0.0);
+      double here = 0.0;
+      for (const auto& e : adj[z]) {
+        const std::size_t other = owner[e.b];
+        if (other == owner[z]) {
+          here += e.weight;  // weight lost if z leaves
+        } else {
+          gain[other] += e.weight;  // weight recovered if z joins
+        }
+      }
+      std::size_t best = owner[z];
+      double best_gain = 0.0;
+      for (std::size_t s = 0; s < p.servers.size(); ++s) {
+        if (s == owner[z]) continue;
+        if (loads[s] + graph.load[z] > capacity + 1e-9) continue;
+        const double g = gain[s] - here;
+        if (g > best_gain + 1e-12) {
+          best_gain = g;
+          best = s;
+        }
+      }
+      if (best != owner[z]) {
+        loads[owner[z]] -= graph.load[z];
+        loads[best] += graph.load[z];
+        owner[z] = best;
+        improved = true;
+      }
+    }
+  }
+  for (auto& s : p.servers) s.clear();
+  for (std::size_t z = 0; z < graph.zone_count(); ++z) {
+    p.servers[owner[z]].push_back(z);
+  }
+}
+
+}  // namespace
+
+Partition partition_zones(const ZoneGraph& graph, double server_capacity,
+                          PartitionStrategy strategy) {
+  if (graph.zone_count() == 0) {
+    throw std::invalid_argument("partition_zones: empty graph");
+  }
+  if (server_capacity <= 0.0) {
+    throw std::invalid_argument("partition_zones: non-positive capacity");
+  }
+  switch (strategy) {
+    case PartitionStrategy::kRoundRobin:
+      return round_robin(graph, server_capacity);
+    case PartitionStrategy::kGreedyLoad:
+      return greedy_load(graph, server_capacity);
+    case PartitionStrategy::kAffinity: {
+      auto p = greedy_load(graph, server_capacity);
+      affinity_local_search(graph, server_capacity, p);
+      return p;
+    }
+  }
+  return greedy_load(graph, server_capacity);
+}
+
+}  // namespace mmog::core

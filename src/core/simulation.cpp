@@ -1,0 +1,362 @@
+#include "core/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+namespace mmog::core {
+namespace {
+
+/// One predicted sub-stream: a server group's player counts plus its online
+/// predictor (§IV-B: prediction happens per sub-zone; the region estimate is
+/// the sum of the per-zone predictions).
+struct GroupStream {
+  const util::TimeSeries* players = nullptr;
+  std::unique_ptr<predict::Predictor> predictor;
+  double last_prediction = 0.0;
+  double abs_error_ewma = 0.0;  ///< recent one-step |error| of the predictor
+};
+
+/// The unit at which a game operator requests resources: one game in one
+/// geographic region (§II-C: operators submit aggregate requests to data
+/// centers; §V-E routes them by the region's location).
+struct DemandUnit {
+  std::size_t game_id = 0;
+  std::string region_name;
+  std::vector<GroupStream> groups;
+  std::vector<dc::Allocation> allocations;
+  util::ResourceVector allocated{};
+  std::vector<std::size_t> candidates;  ///< matcher-ordered DC indices
+  int priority = 0;
+};
+
+/// The resources one offer grants against `need` under `policy`, capped by
+/// the data center's remaining capacity: whole bundles for the policy's
+/// bulk-constrained resources (the hoster's quantum, §II-B) plus exact
+/// amounts for the unconstrained ones.
+util::ResourceVector offer_amount(const util::ResourceVector& need,
+                                  const util::ResourceVector& free,
+                                  const dc::HostingPolicy& policy) noexcept {
+  util::ResourceVector out{};
+  if (policy.has_bundles()) {
+    const std::size_t k = std::min(policy.bundles_needed(need),
+                                   policy.bundles_fitting(free));
+    out = policy.bundle_amount(k);
+  }
+  for (std::size_t i = 0; i < util::kResourceKinds; ++i) {
+    if (policy.bulk.v[i] > 0.0) continue;  // covered by bundles
+    out.v[i] = std::min(std::max(0.0, need.v[i]), std::max(0.0, free.v[i]));
+  }
+  return out;
+}
+
+}  // namespace
+
+SimulationResult simulate(const SimulationConfig& config) {
+  if (config.games.empty()) {
+    throw std::invalid_argument("simulate: no games configured");
+  }
+  if (config.mode == AllocationMode::kDynamic && !config.predictor) {
+    throw std::invalid_argument("simulate: dynamic mode needs a predictor");
+  }
+  if (config.datacenters.empty()) {
+    throw std::invalid_argument("simulate: no data centers configured");
+  }
+
+  const Matcher matcher(config.datacenters);
+  std::vector<dc::DataCenterLedger> ledgers;
+  ledgers.reserve(config.datacenters.size());
+  for (const auto& spec : config.datacenters) ledgers.emplace_back(spec);
+
+  // Build one demand unit per (game, region) and resolve each unit's
+  // candidate data centers (matching criteria of §II-C).
+  std::vector<DemandUnit> units;
+  std::size_t total_groups = 0;
+  std::size_t horizon = std::numeric_limits<std::size_t>::max();
+  for (std::size_t g = 0; g < config.games.size(); ++g) {
+    const auto& game = config.games[g];
+    for (const auto& region : game.workload.regions) {
+      if (region.groups.empty()) continue;
+      const auto site = dc::region_site(region.name);
+      DemandUnit unit;
+      unit.game_id = g;
+      unit.region_name = region.name;
+      unit.candidates =
+          matcher.candidates(site.location, game.latency_tolerance);
+      unit.priority = game.priority;
+      for (const auto& sg : region.groups) {
+        GroupStream stream;
+        stream.players = &sg.players;
+        if (config.mode == AllocationMode::kDynamic) {
+          stream.predictor = config.predictor();
+        }
+        horizon = std::min(horizon, sg.players.size());
+        unit.groups.push_back(std::move(stream));
+        ++total_groups;
+      }
+      units.push_back(std::move(unit));
+    }
+  }
+  if (units.empty() || horizon == 0 ||
+      horizon == std::numeric_limits<std::size_t>::max()) {
+    throw std::invalid_argument("simulate: empty workload");
+  }
+  const std::size_t steps =
+      config.steps == 0 ? horizon : std::min(config.steps, horizon);
+
+  // Service order: stable by priority when the extension is enabled,
+  // otherwise first-come (flattening order).
+  std::vector<std::size_t> order(units.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (config.prioritize_by_interaction) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return units[a].priority > units[b].priority;
+                     });
+  }
+
+  std::size_t next_allocation_id = 1;
+  SimulationResult result;
+  result.steps = steps;
+
+  // Per-DC usage accumulators.
+  std::vector<double> dc_cpu_sum(ledgers.size(), 0.0);
+  std::vector<double> dc_cpu_peak(ledgers.size(), 0.0);
+  std::vector<std::map<std::string, double>> dc_origin_sum(ledgers.size());
+
+  auto dc_down = [&](std::size_t dc_index, std::size_t step) {
+    for (const auto& outage : config.outages) {
+      if (outage.dc_index == dc_index && outage.active_at(step)) return true;
+    }
+    return false;
+  };
+
+  auto try_allocate = [&](DemandUnit& unit, const util::ResourceVector& need_in,
+                          std::size_t step, std::size_t hold_steps) {
+    util::ResourceVector need = need_in.clamped_non_negative();
+    for (std::size_t cand : unit.candidates) {
+      if (dc_down(cand, step)) continue;
+      double outstanding = 0.0;
+      for (double v : need.v) outstanding += v;
+      if (outstanding <= 1e-9) break;
+      auto& ledger = ledgers[cand];
+      const auto& policy = ledger.spec().policy;
+      const auto amount = offer_amount(need, ledger.free(), policy);
+      // CPU drives placement: when CPU is needed, a grant without CPU only
+      // wastes bandwidth; and an empty offer is no offer.
+      if (need.cpu() > 1e-9 && amount.cpu() <= 1e-9) continue;
+      double total = 0.0;
+      for (double v : amount.v) total += v;
+      if (total <= 1e-9) continue;
+      if (!ledger.grant(amount)) continue;
+      dc::Allocation alloc;
+      alloc.id = next_allocation_id++;
+      alloc.dc_index = cand;
+      alloc.game_id = unit.game_id;
+      alloc.amount = amount;
+      alloc.start_step = step;
+      alloc.usable_step = step + config.provisioning_delay_steps;
+      alloc.earliest_release_step =
+          hold_steps == std::numeric_limits<std::size_t>::max()
+              ? hold_steps
+              : step + std::max<std::size_t>(hold_steps,
+                                             policy.time_bulk_steps());
+      unit.allocations.push_back(alloc);
+      unit.allocated += amount;
+      need = (need - amount).clamped_non_negative();
+    }
+    return need;  // unmet demand
+  };
+
+  // Static mode: the industry practice the paper compares against — every
+  // server group gets a dedicated machine sized for a full game server
+  // (capacity for `reference_players`), provisioned once and held forever.
+  if (config.mode == AllocationMode::kStatic) {
+    for (std::size_t idx : order) {
+      DemandUnit& unit = units[idx];
+      const auto& load = config.games[unit.game_id].load;
+      const auto full_servers = load.demand(load.reference_players) *
+                                static_cast<double>(unit.groups.size());
+      const auto unmet =
+          try_allocate(unit, full_servers, 0,
+                       std::numeric_limits<std::size_t>::max());
+      result.unplaced_cpu_unit_steps +=
+          unmet.cpu() * static_cast<double>(steps);
+    }
+  }
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    if (config.mode == AllocationMode::kDynamic) {
+      for (std::size_t idx : order) {
+        DemandUnit& unit = units[idx];
+        const auto& load = config.games[unit.game_id].load;
+        // Region demand = sum of per-group predictions through the
+        // (nonlinear) load model, each padded by the predictor's own recent
+        // error (the §V-C over-allocation mechanism).
+        util::ResourceVector demand{};
+        for (auto& stream : unit.groups) {
+          stream.last_prediction = stream.predictor->predict();
+          const double padded =
+              stream.last_prediction +
+              config.safety_factor * stream.abs_error_ewma;
+          demand += load.demand(padded);
+        }
+
+        // Release expired allocations no longer needed (largest first so
+        // coarse chunks go back to the pool as soon as possible).
+        bool released = true;
+        while (released) {
+          released = false;
+          std::size_t best = unit.allocations.size();
+          double best_cpu = 0.0;
+          for (std::size_t a = 0; a < unit.allocations.size(); ++a) {
+            const auto& alloc = unit.allocations[a];
+            if (!alloc.releasable_at(t)) continue;
+            const auto rest = unit.allocated - alloc.amount;
+            if (!rest.clamped_non_negative().covers(demand)) continue;
+            if (rest.cpu() + 1e-9 < demand.cpu()) continue;
+            if (alloc.amount.cpu() > best_cpu) {
+              best_cpu = alloc.amount.cpu();
+              best = a;
+            }
+          }
+          if (best < unit.allocations.size()) {
+            const auto amount = unit.allocations[best].amount;
+            ledgers[unit.allocations[best].dc_index].release(amount);
+            unit.allocated -= amount;
+            unit.allocated = unit.allocated.clamped_non_negative();
+            unit.allocations.erase(unit.allocations.begin() +
+                                   static_cast<std::ptrdiff_t>(best));
+            released = true;
+          }
+        }
+
+        // Acquire what the prediction says is missing.
+        if (!unit.allocated.covers(demand)) {
+          const auto need = demand - unit.allocated;
+          const auto unmet = try_allocate(unit, need, t, 1);
+          result.unplaced_cpu_unit_steps += unmet.cpu();
+        }
+      }
+    }
+
+    // Failure injection: a center going down mid-interval takes its
+    // allocations with it; the operator can only re-place the demand at the
+    // next 2-minute step, which is the shortfall the metrics observe.
+    for (auto& unit : units) {
+      for (std::size_t a = unit.allocations.size(); a-- > 0;) {
+        const auto& alloc = unit.allocations[a];
+        if (!dc_down(alloc.dc_index, t)) continue;
+        ledgers[alloc.dc_index].release(alloc.amount);
+        unit.allocated -= alloc.amount;
+        unit.allocated = unit.allocated.clamped_non_negative();
+        unit.allocations.erase(unit.allocations.begin() +
+                               static_cast<std::ptrdiff_t>(a));
+      }
+    }
+
+    // The actual load materializes; score the step (globally and per game).
+    StepMetrics step_metrics;
+    step_metrics.machines = total_groups;
+    std::vector<StepMetrics> per_game(config.games.size());
+    for (auto& unit : units) {
+      const auto& load = config.games[unit.game_id].load;
+      util::ResourceVector lambda{};
+      for (auto& stream : unit.groups) {
+        const double actual = (*stream.players)[t];
+        lambda += load.demand(actual);
+        if (stream.predictor) {
+          constexpr double kErrorEwmaAlpha = 0.05;
+          stream.abs_error_ewma =
+              (1.0 - kErrorEwmaAlpha) * stream.abs_error_ewma +
+              kErrorEwmaAlpha * std::abs(actual - stream.last_prediction);
+          stream.predictor->observe(actual);
+        }
+      }
+      // Only allocations past their setup delay serve load.
+      util::ResourceVector usable = unit.allocated;
+      if (config.provisioning_delay_steps > 0) {
+        usable = {};
+        for (const auto& alloc : unit.allocations) {
+          if (alloc.usable_at(t)) usable += alloc.amount;
+        }
+      }
+      step_metrics.allocated += usable;
+      step_metrics.used += lambda;
+      auto& game_step = per_game[unit.game_id];
+      game_step.allocated += usable;
+      game_step.used += lambda;
+      game_step.machines += unit.groups.size();
+      for (std::size_t i = 0; i < util::kResourceKinds; ++i) {
+        const double short_i = std::min(usable.v[i] - lambda.v[i], 0.0);
+        step_metrics.shortfall.v[i] += short_i;
+        game_step.shortfall.v[i] += short_i;
+      }
+    }
+    result.metrics.add(step_metrics);
+    if (result.games.empty()) {
+      result.games.resize(config.games.size());
+      for (std::size_t g = 0; g < config.games.size(); ++g) {
+        result.games[g].name = config.games[g].name;
+      }
+    }
+    for (std::size_t g = 0; g < config.games.size(); ++g) {
+      result.games[g].metrics.add(per_game[g]);
+    }
+
+    for (std::size_t d = 0; d < ledgers.size(); ++d) {
+      const double cpu = ledgers[d].in_use().cpu();
+      dc_cpu_sum[d] += cpu;
+      dc_cpu_peak[d] = std::max(dc_cpu_peak[d], cpu);
+      result.total_cost += cpu *
+                           ledgers[d].spec().policy.cpu_unit_price_per_hour *
+                           (util::kSampleStepSeconds / 3600.0);
+    }
+    for (const auto& unit : units) {
+      for (const auto& alloc : unit.allocations) {
+        dc_origin_sum[alloc.dc_index][unit.region_name] += alloc.amount.cpu();
+      }
+    }
+  }
+
+  result.datacenters.reserve(ledgers.size());
+  for (std::size_t d = 0; d < ledgers.size(); ++d) {
+    DataCenterUsage usage;
+    usage.name = ledgers[d].spec().name;
+    usage.capacity_cpu = ledgers[d].spec().total_capacity().cpu();
+    usage.avg_allocated_cpu = dc_cpu_sum[d] / static_cast<double>(steps);
+    usage.peak_allocated_cpu = dc_cpu_peak[d];
+    for (const auto& [origin, sum] : dc_origin_sum[d]) {
+      usage.avg_allocated_by_origin[origin] =
+          sum / static_cast<double>(steps);
+    }
+    result.datacenters.push_back(std::move(usage));
+  }
+  return result;
+}
+
+predict::PredictorFactory neural_factory_from_workload(
+    const trace::WorldTrace& workload, std::size_t lead_in_steps,
+    predict::NeuralConfig config, std::size_t max_training_groups) {
+  std::vector<util::TimeSeries> histories;
+  for (const auto& region : workload.regions) {
+    for (const auto& group : region.groups) {
+      if (histories.size() >= max_training_groups) break;
+      histories.push_back(group.players.slice(0, lead_in_steps));
+    }
+    if (histories.size() >= max_training_groups) break;
+  }
+  if (histories.empty()) {
+    throw std::invalid_argument(
+        "neural_factory_from_workload: empty workload");
+  }
+  auto model = std::make_shared<const predict::NeuralModel>(
+      predict::NeuralModel::fit(config, histories));
+  return [model] {
+    return std::make_unique<predict::NeuralPredictor>(model);
+  };
+}
+
+}  // namespace mmog::core

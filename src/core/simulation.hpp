@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/load_model.hpp"
+#include "core/matcher.hpp"
+#include "core/metrics.hpp"
+#include "dc/datacenter.hpp"
+#include "dc/ecosystem.hpp"
+#include "predict/neural.hpp"
+#include "predict/predictor.hpp"
+#include "trace/trace.hpp"
+
+namespace mmog::core {
+
+/// Whether resources are provisioned once for the peak (the industry's
+/// static practice) or adjusted every two minutes from predictions (§V).
+enum class AllocationMode { kStatic, kDynamic };
+
+/// One operated MMOG: its interaction/update model, latency tolerance and
+/// player-count workload. Region names inside the workload must be known to
+/// dc::region_site() so demand can be placed geographically.
+struct GameSpec {
+  std::string name = "MMOG";
+  LoadModel load{};
+  dc::DistanceClass latency_tolerance = dc::DistanceClass::kVeryFar;
+  trace::WorldTrace workload;
+  int priority = 0;  ///< larger = served first (the §VII future-work knob)
+};
+
+/// A data-center outage window for failure injection: during
+/// [from_step, to_step) the center grants nothing and every allocation it
+/// hosts is force-released (the operator must re-place that demand
+/// elsewhere, within latency tolerance).
+struct DataCenterOutage {
+  std::size_t dc_index = 0;
+  std::size_t from_step = 0;
+  std::size_t to_step = 0;
+
+  bool active_at(std::size_t step) const noexcept {
+    return step >= from_step && step < to_step;
+  }
+};
+
+/// Full experiment description for the trace-driven simulator.
+struct SimulationConfig {
+  std::vector<dc::DataCenterSpec> datacenters;
+  std::vector<GameSpec> games;
+  std::vector<DataCenterOutage> outages;  ///< failure injection (optional)
+  AllocationMode mode = AllocationMode::kDynamic;
+  /// Creates a fresh predictor per server group (dynamic mode only).
+  predict::PredictorFactory predictor;
+  /// Steps to simulate; 0 = the full workload length.
+  std::size_t steps = 0;
+  /// Serve games in priority order within each step (extension; off
+  /// reproduces the paper's first-come matching).
+  bool prioritize_by_interaction = false;
+  /// |Y| threshold (percent) counting a significant under-allocation event.
+  double event_threshold_pct = 1.0;
+  /// Demand-estimation safety factor (§V-C: a mechanism that allocates more
+  /// than the predicted volume). Each group's requested player count is its
+  /// prediction plus `safety_factor` times an exponential moving average of
+  /// that predictor's own absolute one-step error — so an accurate predictor
+  /// earns a small cushion and a noisy one pays with over-allocation.
+  double safety_factor = 0.5;
+  /// Steps between granting an allocation and the resources serving load
+  /// (game-server deployment, world-state transfer). The paper assumes zero
+  /// overhead (§V); the setup-delay ablation quantifies that assumption.
+  std::size_t provisioning_delay_steps = 0;
+};
+
+/// Aggregated per-data-center outcome.
+struct DataCenterUsage {
+  std::string name;
+  double capacity_cpu = 0.0;
+  double avg_allocated_cpu = 0.0;   ///< mean granted CPU units over the run
+  double peak_allocated_cpu = 0.0;
+  /// Mean granted CPU units split by the demand's origin region (Fig 14).
+  std::map<std::string, double> avg_allocated_by_origin;
+};
+
+/// Per-game aggregated outcome (multi-MMOG runs, §V-F).
+struct GameUsage {
+  std::string name;
+  MetricsAccumulator metrics;  ///< Ω/Υ restricted to this game's groups
+};
+
+/// Result of one simulation run.
+struct SimulationResult {
+  MetricsAccumulator metrics;
+  std::vector<DataCenterUsage> datacenters;
+  std::vector<GameUsage> games;
+  std::size_t steps = 0;
+  /// Demand (CPU unit-steps) that could not be placed anywhere in
+  /// tolerance; contributes to under-allocation.
+  double unplaced_cpu_unit_steps = 0.0;
+  /// Total renting cost over the run: granted CPU units x hours x the
+  /// serving policy's cpu_unit_price_per_hour.
+  double total_cost = 0.0;
+};
+
+/// Runs the trace-driven provisioning simulation (§V). Deterministic.
+/// Throws std::invalid_argument for inconsistent configurations (no games,
+/// missing predictor in dynamic mode, unknown region names).
+SimulationResult simulate(const SimulationConfig& config);
+
+/// Builds the paper's dynamic-provisioning predictor: fits a NeuralModel on
+/// the first `lead_in_steps` of (a subsample of) the workload's group
+/// series — the offline data-collection + training phases of §IV-C — and
+/// returns a factory producing per-group online predictors sharing it.
+predict::PredictorFactory neural_factory_from_workload(
+    const trace::WorldTrace& workload, std::size_t lead_in_steps,
+    predict::NeuralConfig config = {}, std::size_t max_training_groups = 8);
+
+}  // namespace mmog::core

@@ -1,0 +1,35 @@
+#include "dc/datacenter.hpp"
+
+#include <algorithm>
+
+namespace mmog::dc {
+
+DataCenterLedger::DataCenterLedger(DataCenterSpec spec)
+    : spec_(std::move(spec)) {}
+
+bool DataCenterLedger::fits(const util::ResourceVector& amount) const noexcept {
+  const auto cap = spec_.total_capacity();
+  for (std::size_t i = 0; i < util::kResourceKinds; ++i) {
+    if (in_use_.v[i] + amount.v[i] > cap.v[i] + 1e-9) return false;
+  }
+  return true;
+}
+
+bool DataCenterLedger::grant(const util::ResourceVector& amount) noexcept {
+  if (!fits(amount)) return false;
+  in_use_ += amount;
+  return true;
+}
+
+void DataCenterLedger::release(const util::ResourceVector& amount) noexcept {
+  in_use_ -= amount;
+  in_use_ = in_use_.clamped_non_negative();
+}
+
+double DataCenterLedger::cpu_utilization() const noexcept {
+  const double cap = spec_.total_capacity().cpu();
+  if (cap <= 0.0) return 0.0;
+  return std::clamp(in_use_.cpu() / cap, 0.0, 1.0);
+}
+
+}  // namespace mmog::dc

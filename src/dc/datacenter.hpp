@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dc/geo.hpp"
+#include "dc/hosting_policy.hpp"
+#include "util/units.hpp"
+
+namespace mmog::dc {
+
+/// Per-machine capacity of the simulated clusters: each machine can host at
+/// least one fully loaded reference game server (1 CPU unit, §V-A). Memory
+/// and network capacities are generous relative to one server's needs —
+/// especially inbound bandwidth, whose absolute volume (client commands) is
+/// tiny, so even the 6-unit inbound bulks of HP-1 fit comfortably.
+inline constexpr util::ResourceVector kMachineCapacity =
+    util::ResourceVector{{1.0, 8.0, 64.0, 8.0}};
+
+/// A hoster: one data center consisting of a single cluster of `machines`
+/// identical machines at a geographic location, renting resources under a
+/// space-time hosting policy (§II-B).
+struct DataCenterSpec {
+  std::string name;
+  std::string country;
+  std::string continent;
+  GeoPoint location{};
+  std::size_t machines = 0;
+  HostingPolicy policy{};
+
+  util::ResourceVector total_capacity() const noexcept {
+    return kMachineCapacity * static_cast<double>(machines);
+  }
+};
+
+/// One granted resource allocation: quantized amounts, pinned from
+/// `start_step` until at least `earliest_release_step` (the time bulk). The
+/// system supports no preemption or migration (§II-B), so an allocation is
+/// released in full or not at all.
+struct Allocation {
+  std::size_t id = 0;
+  std::size_t dc_index = 0;
+  std::size_t game_id = 0;
+  std::size_t group_id = 0;   ///< demand origin (server group / zone cluster)
+  std::size_t region_id = 0;  ///< geographic origin of the players
+  util::ResourceVector amount{};
+  std::size_t start_step = 0;
+  /// First step at which the rented resources actually serve load (equals
+  /// start_step when provisioning is instantaneous, the paper's §V
+  /// assumption; later when a setup delay is modelled).
+  std::size_t usable_step = 0;
+  std::size_t earliest_release_step = 0;
+
+  bool releasable_at(std::size_t step) const noexcept {
+    return step >= earliest_release_step;
+  }
+
+  bool usable_at(std::size_t step) const noexcept {
+    return step >= usable_step;
+  }
+};
+
+/// Capacity ledger of one data center. Tracks granted allocations and
+/// answers feasibility queries for the matcher.
+class DataCenterLedger {
+ public:
+  explicit DataCenterLedger(DataCenterSpec spec);
+
+  const DataCenterSpec& spec() const noexcept { return spec_; }
+
+  /// Resources currently granted.
+  const util::ResourceVector& in_use() const noexcept { return in_use_; }
+
+  /// Resources still available.
+  util::ResourceVector free() const noexcept {
+    return (spec_.total_capacity() - in_use_).clamped_non_negative();
+  }
+
+  /// True when an allocation of `amount` fits in the remaining capacity.
+  bool fits(const util::ResourceVector& amount) const noexcept;
+
+  /// Grants an allocation of exactly `amount` (already quantized by the
+  /// caller). Returns false without side effects when it does not fit.
+  bool grant(const util::ResourceVector& amount) noexcept;
+
+  /// Returns previously granted resources to the pool.
+  void release(const util::ResourceVector& amount) noexcept;
+
+  /// Fraction of CPU capacity in use, in [0,1].
+  double cpu_utilization() const noexcept;
+
+ private:
+  DataCenterSpec spec_;
+  util::ResourceVector in_use_{};
+};
+
+}  // namespace mmog::dc

@@ -1,0 +1,106 @@
+#include "dc/ecosystem.hpp"
+
+#include <stdexcept>
+
+namespace mmog::dc {
+namespace {
+
+// Representative metro coordinates for the Table III locations.
+constexpr GeoPoint kHelsinki{60.17, 24.94};
+constexpr GeoPoint kStockholm{59.33, 18.07};
+constexpr GeoPoint kLondon{51.51, -0.13};
+constexpr GeoPoint kAmsterdam{52.37, 4.90};
+constexpr GeoPoint kSanJose{37.34, -121.89};
+constexpr GeoPoint kVancouver{49.28, -123.12};
+constexpr GeoPoint kDallas{32.78, -96.80};
+constexpr GeoPoint kAshburn{39.04, -77.49};
+constexpr GeoPoint kToronto{43.65, -79.38};
+constexpr GeoPoint kSydney{-33.87, 151.21};
+constexpr GeoPoint kNewYork{40.71, -74.01};
+
+DataCenterSpec make_dc(std::string name, std::string country,
+                       std::string continent, GeoPoint loc,
+                       std::size_t machines, int policy_index) {
+  DataCenterSpec d;
+  d.name = std::move(name);
+  d.country = std::move(country);
+  d.continent = std::move(continent);
+  d.location = loc;
+  d.machines = machines;
+  d.policy = HostingPolicy::preset(policy_index);
+  return d;
+}
+
+}  // namespace
+
+RegionSite region_site(std::string_view region_name) {
+  if (region_name == "Europe") return {"Europe", kAmsterdam};
+  if (region_name == "US East Coast") return {"US East Coast", kNewYork};
+  if (region_name == "US West Coast") return {"US West Coast", kSanJose};
+  if (region_name == "US Central") return {"US Central", kDallas};
+  if (region_name == "Australia") return {"Australia", kSydney};
+  if (region_name == "Canada East") return {"Canada East", kToronto};
+  if (region_name == "Canada West") return {"Canada West", kVancouver};
+  throw std::out_of_range("region_site: unknown region " +
+                          std::string(region_name));
+}
+
+std::vector<DataCenterSpec> paper_ecosystem() {
+  // Table III; at two-data-center locations the machines split in half and
+  // the policies alternate HP-1/HP-2 (§V-B).
+  std::vector<DataCenterSpec> dcs;
+  dcs.push_back(make_dc("Finland (1)", "Finland", "Europe", kHelsinki, 4, 1));
+  dcs.push_back(make_dc("Finland (2)", "Finland", "Europe", kHelsinki, 4, 2));
+  dcs.push_back(make_dc("Sweden (1)", "Sweden", "Europe", kStockholm, 4, 1));
+  dcs.push_back(make_dc("Sweden (2)", "Sweden", "Europe", kStockholm, 4, 2));
+  dcs.push_back(make_dc("U.K. (1)", "U.K.", "Europe", kLondon, 10, 1));
+  dcs.push_back(make_dc("U.K. (2)", "U.K.", "Europe", kLondon, 10, 2));
+  dcs.push_back(
+      make_dc("Netherlands (1)", "Netherlands", "Europe", kAmsterdam, 8, 1));
+  dcs.push_back(
+      make_dc("Netherlands (2)", "Netherlands", "Europe", kAmsterdam, 7, 2));
+  dcs.push_back(make_dc("US West (1)", "U.S. (West)", "North America",
+                        kSanJose, 18, 1));
+  dcs.push_back(make_dc("US West (2)", "U.S. (West)", "North America",
+                        kSanJose, 17, 2));
+  dcs.push_back(make_dc("Canada West", "Canada (West)", "North America",
+                        kVancouver, 15, 1));
+  dcs.push_back(make_dc("US Central", "U.S. (Central)", "North America",
+                        kDallas, 15, 2));
+  dcs.push_back(make_dc("US East (1)", "U.S. (East)", "North America",
+                        kAshburn, 16, 1));
+  dcs.push_back(make_dc("US East (2)", "U.S. (East)", "North America",
+                        kNewYork, 16, 2));
+  dcs.push_back(make_dc("Canada East", "Canada (East)", "North America",
+                        kToronto, 10, 1));
+  dcs.push_back(
+      make_dc("Australia (1)", "Australia", "Australia", kSydney, 4, 1));
+  dcs.push_back(
+      make_dc("Australia (2)", "Australia", "Australia", kSydney, 4, 2));
+  return dcs;
+}
+
+std::vector<DataCenterSpec> north_america_ecosystem() {
+  // §V-E: East Coast policies are coarse (large bulks), Central finer, West
+  // finest. Machine counts follow the North American rows of Table III.
+  std::vector<DataCenterSpec> dcs;
+  dcs.push_back(make_dc("US West (1)", "U.S. (West)", "North America",
+                        kSanJose, 18, 3));  // finest CPU grain
+  dcs.push_back(make_dc("US West (2)", "U.S. (West)", "North America",
+                        kSanJose, 17, 3));
+  dcs.push_back(make_dc("Canada West", "Canada (West)", "North America",
+                        kVancouver, 15, 4));
+  dcs.push_back(make_dc("US Cent. (1)", "U.S. (Central)", "North America",
+                        kDallas, 8, 4));
+  dcs.push_back(make_dc("US Cent. (2)", "U.S. (Central)", "North America",
+                        kDallas, 7, 5));
+  dcs.push_back(make_dc("US East (1)", "U.S. (East)", "North America",
+                        kAshburn, 16, 7));  // coarsest CPU grain
+  dcs.push_back(make_dc("US East (2)", "U.S. (East)", "North America",
+                        kNewYork, 16, 7));
+  dcs.push_back(make_dc("Canada East", "Canada (East)", "North America",
+                        kToronto, 10, 6));
+  return dcs;
+}
+
+}  // namespace mmog::dc

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "dc/datacenter.hpp"
+
+namespace mmog::dc {
+
+/// A player-population site: where a region's demand originates. Latency
+/// tolerance is evaluated between these sites and the data centers.
+struct RegionSite {
+  std::string name;
+  GeoPoint location{};
+};
+
+/// Geographic site of a workload region by name ("Europe", "US East Coast",
+/// "US West Coast", "US Central", "Australia", and the North American
+/// sub-region names). Throws std::out_of_range for unknown names.
+RegionSite region_site(std::string_view region_name);
+
+/// The Table III experimental environment: 15 data centers in 7 countries
+/// on 4 continents, 166 machines total. Hosting policies are assigned
+/// HP-1/HP-2 round-robin; where a location hosts two data centers, one gets
+/// HP-1 and the other HP-2 with half the machines each (§V-B).
+std::vector<DataCenterSpec> paper_ecosystem();
+
+/// The §V-E North American sub-world used for the latency-tolerance
+/// experiments (Figs 13-14): eight data centers whose hosting policies are
+/// coarse-grained on the East Coast and become gradually finer towards the
+/// Central and West Coast locations.
+std::vector<DataCenterSpec> north_america_ecosystem();
+
+}  // namespace mmog::dc

@@ -1,0 +1,99 @@
+#include "dc/geo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace mmog::dc {
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kCoLocationRadiusKm = 100.0;
+
+double deg2rad(double d) noexcept { return d * std::numbers::pi / 180.0; }
+}  // namespace
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) noexcept {
+  const double dlat = deg2rad(b.lat - a.lat);
+  const double dlon = deg2rad(b.lon - a.lon);
+  const double h =
+      std::sin(dlat / 2) * std::sin(dlat / 2) +
+      std::cos(deg2rad(a.lat)) * std::cos(deg2rad(b.lat)) *
+          std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double max_distance_km(DistanceClass c) noexcept {
+  switch (c) {
+    case DistanceClass::kSameLocation: return kCoLocationRadiusKm;
+    case DistanceClass::kVeryClose: return 1000.0;
+    case DistanceClass::kClose: return 2000.0;
+    case DistanceClass::kFar: return 4000.0;
+    case DistanceClass::kVeryFar: return 1e9;
+  }
+  return 0.0;
+}
+
+DistanceClass classify_distance(double km) noexcept {
+  if (km <= kCoLocationRadiusKm) return DistanceClass::kSameLocation;
+  if (km < 1000.0) return DistanceClass::kVeryClose;
+  if (km < 2000.0) return DistanceClass::kClose;
+  if (km < 4000.0) return DistanceClass::kFar;
+  return DistanceClass::kVeryFar;
+}
+
+std::string_view distance_class_name(DistanceClass c) noexcept {
+  switch (c) {
+    case DistanceClass::kSameLocation: return "Same location";
+    case DistanceClass::kVeryClose: return "Very close (d<1000km)";
+    case DistanceClass::kClose: return "Close (d<2000km)";
+    case DistanceClass::kFar: return "Far (d<4000km)";
+    case DistanceClass::kVeryFar: return "Very far (d>4000km)";
+  }
+  return "?";
+}
+
+bool within_tolerance(double km, DistanceClass tolerance) noexcept {
+  return km <= max_distance_km(tolerance);
+}
+
+double estimate_rtt_ms(double distance_km) noexcept {
+  constexpr double kAccessOverheadMs = 20.0;
+  constexpr double kKmPerRttMs = 50.0;  // fiber + routing inflation
+  return kAccessOverheadMs + std::max(0.0, distance_km) / kKmPerRttMs;
+}
+
+double latency_tolerance_ms(GameGenre genre) noexcept {
+  switch (genre) {
+    case GameGenre::kRacing: return 50.0;
+    case GameGenre::kFirstPersonShooter: return 100.0;
+    case GameGenre::kRolePlaying: return 500.0;
+    case GameGenre::kRealTimeStrategy: return 1000.0;
+  }
+  return 100.0;
+}
+
+std::string_view genre_name(GameGenre genre) noexcept {
+  switch (genre) {
+    case GameGenre::kRacing: return "Racing";
+    case GameGenre::kFirstPersonShooter: return "FPS";
+    case GameGenre::kRolePlaying: return "RPG";
+    case GameGenre::kRealTimeStrategy: return "RTS";
+  }
+  return "?";
+}
+
+DistanceClass tolerance_class_for_genre(GameGenre genre) noexcept {
+  const double budget = latency_tolerance_ms(genre);
+  DistanceClass best = DistanceClass::kSameLocation;
+  for (auto c : {DistanceClass::kVeryClose, DistanceClass::kClose,
+                 DistanceClass::kFar, DistanceClass::kVeryFar}) {
+    // kVeryFar has no bound; require a generous but finite planet-scale
+    // distance to qualify.
+    const double worst =
+        c == DistanceClass::kVeryFar ? 20000.0 : max_distance_km(c);
+    if (estimate_rtt_ms(worst) <= budget) best = c;
+  }
+  return best;
+}
+
+}  // namespace mmog::dc

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace mmog::dc {
+
+/// A point on the globe (degrees).
+struct GeoPoint {
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+/// Great-circle distance in kilometres (haversine).
+double haversine_km(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// The paper's five maximal player-server distance classes (§V-E). They
+/// encode a game's latency tolerance: an ideal network is assumed, so
+/// latency is determined exclusively by physical distance.
+enum class DistanceClass {
+  kSameLocation = 0,  ///< d ~ 0 km (servers co-located with the users)
+  kVeryClose = 1,     ///< d < 1000 km
+  kClose = 2,         ///< d < 2000 km
+  kFar = 3,           ///< d < 4000 km
+  kVeryFar = 4,       ///< any server can serve any user
+};
+
+inline constexpr std::size_t kDistanceClassCount = 5;
+
+/// Upper bound of a class in km (kSameLocation uses a 100 km co-location
+/// radius; kVeryFar is unbounded).
+double max_distance_km(DistanceClass c) noexcept;
+
+/// Class containing the given distance.
+DistanceClass classify_distance(double km) noexcept;
+
+std::string_view distance_class_name(DistanceClass c) noexcept;
+
+/// True when a data center at distance `km` may serve a game whose latency
+/// tolerance is `tolerance`.
+bool within_tolerance(double km, DistanceClass tolerance) noexcept;
+
+/// Round-trip network latency estimate for a great-circle distance:
+/// ~20 ms of fixed access/processing overhead plus propagation through
+/// fiber with typical routing inflation (about 1 ms of RTT per 50 km).
+double estimate_rtt_ms(double distance_km) noexcept;
+
+/// Game genres with the latency tolerances reported by the studies the
+/// paper cites (Claypool et al. [17], [18]): the playability threshold
+/// depends on the dominant in-game action.
+enum class GameGenre {
+  kRacing,             ///< twitch steering: ~50 ms RTT
+  kFirstPersonShooter, ///< aiming/dodging: ~100 ms RTT
+  kRolePlaying,        ///< point-and-click combat: ~500 ms RTT
+  kRealTimeStrategy,   ///< command latency hidden by animation: ~1000 ms
+};
+
+/// Playability RTT threshold of a genre, in milliseconds.
+double latency_tolerance_ms(GameGenre genre) noexcept;
+
+std::string_view genre_name(GameGenre genre) noexcept;
+
+/// The widest §V-E distance class whose worst-case distance still meets the
+/// genre's RTT threshold under estimate_rtt_ms — how an operator would pick
+/// the matcher's tolerance from the game design.
+DistanceClass tolerance_class_for_genre(GameGenre genre) noexcept;
+
+}  // namespace mmog::dc

@@ -1,0 +1,125 @@
+#include "dc/hosting_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/timeseries.hpp"
+
+namespace mmog::dc {
+
+util::ResourceVector HostingPolicy::quantize(
+    const util::ResourceVector& demand) const noexcept {
+  util::ResourceVector out;
+  for (std::size_t i = 0; i < util::kResourceKinds; ++i) {
+    const double d = demand.v[i];
+    const double b = bulk.v[i];
+    if (d <= 0.0) {
+      out.v[i] = 0.0;
+    } else if (b <= 0.0) {
+      out.v[i] = d;  // no bulk constraint: exact allocation
+    } else {
+      out.v[i] = std::ceil(d / b - 1e-9) * b;
+    }
+  }
+  return out;
+}
+
+bool HostingPolicy::has_bundles() const noexcept {
+  for (double b : bulk.v) {
+    if (b > 0.0) return true;
+  }
+  return false;
+}
+
+std::size_t HostingPolicy::bundles_needed(
+    const util::ResourceVector& need) const noexcept {
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < util::kResourceKinds; ++i) {
+    if (bulk.v[i] <= 0.0 || need.v[i] <= 0.0) continue;
+    const auto r = static_cast<std::size_t>(
+        std::ceil(need.v[i] / bulk.v[i] - 1e-9));
+    k = std::max(k, r);
+  }
+  return k;
+}
+
+std::size_t HostingPolicy::bundles_fitting(
+    const util::ResourceVector& free) const noexcept {
+  std::size_t k = std::numeric_limits<std::size_t>::max();
+  bool constrained = false;
+  for (std::size_t i = 0; i < util::kResourceKinds; ++i) {
+    if (bulk.v[i] <= 0.0) continue;
+    constrained = true;
+    const double fit = std::floor((free.v[i] + 1e-9) / bulk.v[i]);
+    k = std::min(k, fit <= 0.0 ? 0 : static_cast<std::size_t>(fit));
+  }
+  return constrained ? k : 0;
+}
+
+util::ResourceVector HostingPolicy::bundle_amount(
+    std::size_t count) const noexcept {
+  util::ResourceVector out{};
+  for (std::size_t i = 0; i < util::kResourceKinds; ++i) {
+    if (bulk.v[i] > 0.0) out.v[i] = bulk.v[i] * static_cast<double>(count);
+  }
+  return out;
+}
+
+std::size_t HostingPolicy::time_bulk_steps() const noexcept {
+  const double steps = time_bulk_minutes * 60.0 / util::kSampleStepSeconds;
+  return static_cast<std::size_t>(std::ceil(steps - 1e-9));
+}
+
+double HostingPolicy::granularity_score() const noexcept {
+  // CPU grain dominates (it is the binding resource); the other bulks and
+  // the time bulk break ties.
+  double score = bulk.cpu() * 1e6;
+  score += time_bulk_minutes;
+  score += bulk.memory() + bulk.net_in() + bulk.net_out();
+  return score;
+}
+
+HostingPolicy HostingPolicy::preset(int index) {
+  // Table IV. Columns: CPU, Memory, ExtNet[in], ExtNet[out], Time[min];
+  // 0 encodes the table's "n/a".
+  struct Row {
+    double cpu, mem, net_in, net_out, minutes;
+  };
+  static constexpr Row kRows[] = {
+      {0.25, 0.0, 6.0, 0.33, 360.0},   // HP-1
+      {0.25, 0.0, 4.0, 0.50, 360.0},   // HP-2
+      {0.22, 2.0, 0.0, 0.0, 180.0},    // HP-3
+      {0.28, 2.0, 0.0, 0.0, 180.0},    // HP-4
+      {0.37, 2.0, 0.0, 0.0, 180.0},    // HP-5
+      {0.56, 2.0, 0.0, 0.0, 180.0},    // HP-6
+      {1.11, 2.0, 0.0, 0.0, 180.0},    // HP-7
+      {0.37, 2.0, 0.0, 0.0, 360.0},    // HP-8
+      {0.37, 2.0, 0.0, 0.0, 720.0},    // HP-9
+      {0.37, 2.0, 0.0, 0.0, 1440.0},   // HP-10
+      {0.37, 2.0, 0.0, 0.0, 2880.0},   // HP-11
+  };
+  if (index < 1 || index > 11) {
+    throw std::out_of_range("HostingPolicy::preset: index must be 1..11");
+  }
+  const Row& r = kRows[index - 1];
+  HostingPolicy p;
+  p.name = "HP-" + std::to_string(index);
+  p.bulk = util::ResourceVector::of(r.cpu, r.mem, r.net_in, r.net_out);
+  p.time_bulk_minutes = r.minutes;
+  // Mild premium for flexibility: finer CPU grain and shorter commitments
+  // cost more per unit-hour (anchored so HP-5 at 3 h = 1.0).
+  p.cpu_unit_price_per_hour =
+      1.0 + 0.25 * (0.37 - r.cpu) / 0.37 + 0.05 * (180.0 / r.minutes - 1.0);
+  return p;
+}
+
+std::vector<HostingPolicy> HostingPolicy::all_presets() {
+  std::vector<HostingPolicy> all;
+  all.reserve(11);
+  for (int i = 1; i <= 11; ++i) all.push_back(preset(i));
+  return all;
+}
+
+}  // namespace mmog::dc

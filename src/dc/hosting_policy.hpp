@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace mmog::dc {
+
+/// A hoster's space-time policy (§II-B): the *resource bulk* — the minimum
+/// allocatable quantity of each resource type, as a multiple of the abstract
+/// resource unit — and the *time bulk* — the minimum duration of an
+/// allocation. A bulk of 0 means that resource is not offered in bulk
+/// (Table IV "n/a"): any exact amount may be allocated.
+struct HostingPolicy {
+  std::string name = "HP";
+  util::ResourceVector bulk{};      ///< per-resource minimum quantum (0 = exact)
+  double time_bulk_minutes = 360.0; ///< minimum allocation duration
+  /// Price of one granted CPU unit per hour, in abstract currency. Finer
+  /// grained, shorter-committed offers command a premium in practice; the
+  /// Table IV presets encode a mild one. Used by the cost accounting.
+  double cpu_unit_price_per_hour = 1.0;
+
+  /// Rounds a demand up to bulk multiples, per resource type. Components
+  /// with zero demand stay zero (nothing is requested for them); components
+  /// with positive demand and a positive bulk round up to the next multiple.
+  util::ResourceVector quantize(const util::ResourceVector& demand) const noexcept;
+
+  /// True when at least one resource type is offered in bulk.
+  bool has_bundles() const noexcept;
+
+  /// Bulk-constrained resources are rented as *bundles* in the policy's
+  /// fixed ratio (one bundle = one bulk of every constrained resource — the
+  /// quantum a hoster actually offers, like a VM size). A policy "not well
+  /// fitted to the workload" therefore forces the operator to over-rent the
+  /// resources the bundle is rich in (§V-B: ExtNet[in] ~10x over-allocated
+  /// under HP-1/HP-2). Returns the bundles needed to cover `need` — the max
+  /// over the constrained resources of ceil(need/bulk); 0 when the policy
+  /// has no bundles or nothing constrained is needed.
+  std::size_t bundles_needed(const util::ResourceVector& need) const noexcept;
+
+  /// Largest bundle count whose resources all fit into `free`.
+  std::size_t bundles_fitting(const util::ResourceVector& free) const noexcept;
+
+  /// Resource content of `count` bundles (constrained resources only; the
+  /// unconstrained components are 0).
+  util::ResourceVector bundle_amount(std::size_t count) const noexcept;
+
+  /// Time bulk expressed in 2-minute simulation steps (rounded up).
+  std::size_t time_bulk_steps() const noexcept;
+
+  /// The matching mechanism's "finer grained" criterion (§II-C): policies
+  /// with a smaller CPU bulk are finer; ties break on total bulk volume.
+  /// Smaller score = finer grain = preferred.
+  double granularity_score() const noexcept;
+
+  /// Table IV policy HP-`index` (1-based, 1..11).
+  /// Throws std::out_of_range for other indices.
+  static HostingPolicy preset(int index);
+
+  /// All eleven Table IV presets, in order HP-1..HP-11.
+  static std::vector<HostingPolicy> all_presets();
+};
+
+}  // namespace mmog::dc

@@ -1,0 +1,76 @@
+#include "dc/reservation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mmog::dc {
+
+ReservationCalendar::ReservationCalendar(util::ResourceVector capacity,
+                                         std::size_t horizon_steps)
+    : capacity_(capacity), usage_(horizon_steps) {
+  if (horizon_steps == 0) {
+    throw std::invalid_argument("ReservationCalendar: zero horizon");
+  }
+}
+
+util::ResourceVector ReservationCalendar::available_at(
+    std::size_t step) const {
+  if (step >= usage_.size()) {
+    throw std::out_of_range("ReservationCalendar: step past horizon");
+  }
+  return (capacity_ - usage_[step]).clamped_non_negative();
+}
+
+bool ReservationCalendar::fits(const util::ResourceVector& amount,
+                               std::size_t from, std::size_t to) const noexcept {
+  if (from >= to) return true;
+  if (to > usage_.size()) return false;
+  for (std::size_t t = from; t < to; ++t) {
+    for (std::size_t r = 0; r < util::kResourceKinds; ++r) {
+      if (usage_[t].v[r] + amount.v[r] > capacity_.v[r] + 1e-9) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::size_t> ReservationCalendar::book(
+    const util::ResourceVector& amount, std::size_t from, std::size_t to) {
+  if (!fits(amount, from, to)) return std::nullopt;
+  for (std::size_t t = from; t < std::min(to, usage_.size()); ++t) {
+    usage_[t] += amount;
+  }
+  bookings_.push_back({amount, from, to, true});
+  return bookings_.size() - 1;
+}
+
+bool ReservationCalendar::cancel(std::size_t id) {
+  if (id >= bookings_.size() || !bookings_[id].active) return false;
+  auto& b = bookings_[id];
+  for (std::size_t t = b.from; t < std::min(b.to, usage_.size()); ++t) {
+    usage_[t] -= b.amount;
+    usage_[t] = usage_[t].clamped_non_negative();
+  }
+  b.active = false;
+  return true;
+}
+
+std::optional<std::size_t> ReservationCalendar::earliest_fit(
+    const util::ResourceVector& amount, std::size_t from,
+    std::size_t duration) const {
+  if (duration == 0) return from;
+  if (from + duration > usage_.size()) return std::nullopt;
+  for (std::size_t start = from; start + duration <= usage_.size(); ++start) {
+    if (fits(amount, start, start + duration)) return start;
+  }
+  return std::nullopt;
+}
+
+std::size_t ReservationCalendar::active_bookings() const noexcept {
+  std::size_t n = 0;
+  for (const auto& b : bookings_) {
+    if (b.active) ++n;
+  }
+  return n;
+}
+
+}  // namespace mmog::dc

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace mmog::dc {
+
+/// Advance-reservation calendar of one data center (§II-B: under the
+/// reservation service model, requests are immediately fitted in the
+/// schedule rather than queued). Capacity is tracked per 2-minute step over
+/// a fixed horizon; bookings are all-or-nothing over their interval and can
+/// be cancelled before they are consumed.
+class ReservationCalendar {
+ public:
+  /// A calendar over [0, horizon_steps) with per-step `capacity`.
+  /// Throws std::invalid_argument on a zero horizon.
+  ReservationCalendar(util::ResourceVector capacity,
+                      std::size_t horizon_steps);
+
+  std::size_t horizon() const noexcept { return usage_.size(); }
+  const util::ResourceVector& capacity() const noexcept { return capacity_; }
+
+  /// Free capacity at one step. Throws std::out_of_range past the horizon.
+  util::ResourceVector available_at(std::size_t step) const;
+
+  /// True when `amount` fits at every step of [from, to). Empty intervals
+  /// fit trivially; intervals past the horizon do not fit.
+  bool fits(const util::ResourceVector& amount, std::size_t from,
+            std::size_t to) const noexcept;
+
+  /// Books `amount` over [from, to); returns the reservation id, or
+  /// std::nullopt (without side effects) when it does not fit.
+  std::optional<std::size_t> book(const util::ResourceVector& amount,
+                                  std::size_t from, std::size_t to);
+
+  /// Cancels a booking; false when the id is unknown or already cancelled.
+  bool cancel(std::size_t id);
+
+  /// Earliest start >= `from` such that [start, start+duration) fits;
+  /// std::nullopt when the schedule has no such window.
+  std::optional<std::size_t> earliest_fit(const util::ResourceVector& amount,
+                                          std::size_t from,
+                                          std::size_t duration) const;
+
+  std::size_t active_bookings() const noexcept;
+
+ private:
+  struct Booking {
+    util::ResourceVector amount{};
+    std::size_t from = 0;
+    std::size_t to = 0;
+    bool active = false;
+  };
+
+  util::ResourceVector capacity_{};
+  std::vector<util::ResourceVector> usage_;  ///< booked per step
+  std::vector<Booking> bookings_;
+};
+
+}  // namespace mmog::dc

@@ -1,0 +1,49 @@
+#include "emu/datasets.hpp"
+
+namespace mmog::emu {
+
+std::array<DatasetConfig, 8> table1_datasets(std::uint64_t base_seed) {
+  // Table I behaviour percentages: Aggr / Scout / Team / Camp.
+  struct Row {
+    double aggr, scout, team, camp;
+    bool peak_hours;
+  };
+  constexpr std::array<Row, 8> rows = {{
+      {0.80, 0.10, 0.00, 0.10, false},  // Set 1
+      {0.60, 0.10, 0.00, 0.20, false},  // Set 2
+      {0.70, 0.20, 0.00, 0.10, false},  // Set 3
+      {0.70, 0.30, 0.00, 0.00, false},  // Set 4
+      {0.30, 0.40, 0.30, 0.00, true},   // Set 5
+      {0.10, 0.80, 0.10, 0.00, true},   // Set 6
+      {0.20, 0.40, 0.40, 0.00, true},   // Set 7
+      {0.20, 0.80, 0.00, 0.00, true},   // Set 8
+  }};
+
+  std::array<DatasetConfig, 8> out;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    DatasetConfig c;
+    c.name = "Set " + std::to_string(i + 1);
+    c.mix = {rows[i].aggr, rows[i].scout, rows[i].team, rows[i].camp};
+    c.peak_hours = rows[i].peak_hours;
+    c.peak_load = 1000.0;
+    switch (signal_type(i)) {
+      case SignalType::kTypeI:  // high instantaneous, medium overall
+        c.instantaneous_dynamics = 0.9;
+        c.overall_dynamics = 0.5;
+        break;
+      case SignalType::kTypeII:  // low instantaneous
+        c.instantaneous_dynamics = 0.1;
+        c.overall_dynamics = 0.6;
+        break;
+      case SignalType::kTypeIII:  // medium instantaneous
+        c.instantaneous_dynamics = 0.5;
+        c.overall_dynamics = 0.5;
+        break;
+    }
+    c.seed = base_seed + i;
+    out[i] = c;
+  }
+  return out;
+}
+
+}  // namespace mmog::emu

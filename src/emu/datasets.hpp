@@ -1,0 +1,44 @@
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "emu/emulator.hpp"
+
+namespace mmog::emu {
+
+/// The three signal types of §IV-D1: Type I — high instantaneous dynamics,
+/// medium overall dynamics (sets 2, 3, 4); Type II — low instantaneous
+/// dynamics (sets 6, 7, 8); Type III — medium instantaneous dynamics
+/// (sets 1 and 5).
+enum class SignalType { kTypeI, kTypeII, kTypeIII };
+
+/// Signal type of data set `index` (0-based; set 1 of the paper = index 0).
+constexpr SignalType signal_type(std::size_t index) noexcept {
+  switch (index) {
+    case 1:
+    case 2:
+    case 3: return SignalType::kTypeI;
+    case 5:
+    case 6:
+    case 7: return SignalType::kTypeII;
+    default: return SignalType::kTypeIII;  // sets 1 and 5 (indices 0, 4)
+  }
+}
+
+constexpr std::string_view signal_type_name(SignalType t) noexcept {
+  switch (t) {
+    case SignalType::kTypeI: return "Type I";
+    case SignalType::kTypeII: return "Type II";
+    case SignalType::kTypeIII: return "Type III";
+  }
+  return "?";
+}
+
+/// The eight Table I emulator configurations. Player-behaviour percentages
+/// are the paper's exactly; the peak-hours column follows the table; the
+/// dynamics knobs encode the signal-type classification of §IV-D1 (the
+/// magnitude columns are illegible in the archived copy).
+std::array<DatasetConfig, 8> table1_datasets(std::uint64_t base_seed = 1000);
+
+}  // namespace mmog::emu

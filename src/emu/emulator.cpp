@@ -1,0 +1,258 @@
+#include "emu/emulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace mmog::emu {
+namespace {
+
+Profile draw_profile(const ProfileMix& mix, util::Rng& rng) {
+  const std::array<double, kProfileCount> weights = {
+      mix.aggressive, mix.scout, mix.team, mix.camper};
+  return static_cast<Profile>(rng.weighted_choice(weights));
+}
+
+}  // namespace
+
+util::TimeSeries EmulatorTrace::total_series() const {
+  util::TimeSeries out(util::kSampleStepSeconds);
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(s.total);
+  return out;
+}
+
+std::vector<util::TimeSeries> EmulatorTrace::zone_series() const {
+  std::vector<util::TimeSeries> out(world.zone_count(),
+                                    util::TimeSeries(util::kSampleStepSeconds));
+  for (auto& series : out) series.reserve(samples.size());
+  for (const auto& s : samples) {
+    for (std::size_t z = 0; z < world.zone_count(); ++z) {
+      out[z].push_back(z < s.zone_counts.size() ? s.zone_counts[z] : 0.0);
+    }
+  }
+  return out;
+}
+
+util::TimeSeries EmulatorTrace::interaction_series() const {
+  util::TimeSeries out(util::kSampleStepSeconds);
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(s.interactions);
+  return out;
+}
+
+Emulator::Emulator(const WorldConfig& world, const DatasetConfig& config)
+    : world_(world), config_(config), rng_(config.seed) {
+  zone_visits_.assign(world_.zone_count(), 0.0);
+  team_cx_.assign(kTeams, 0.0);
+  team_cy_.assign(kTeams, 0.0);
+  // Hot-spot count scales with the world; they churn faster under high
+  // instantaneous dynamics.
+  const std::size_t n_hotspots =
+      std::max<std::size_t>(2, world_.zone_count() / 32);
+  hotspots_.resize(n_hotspots);
+  for (auto& h : hotspots_) {
+    h.x = rng_.uniform(0.0, world_.width());
+    h.y = rng_.uniform(0.0, world_.height());
+    h.ttl = static_cast<std::size_t>(rng_.uniform_int(100, 600));
+  }
+  const auto initial =
+      static_cast<std::size_t>(std::max(1.0, target_population()));
+  entities_.reserve(static_cast<std::size_t>(config_.peak_load) + 16);
+  for (std::size_t i = 0; i < initial; ++i) spawn_entity();
+}
+
+double Emulator::target_population() const {
+  const double t_hours = static_cast<double>(sample_index_) *
+                         util::kSampleStepSeconds / 3600.0;
+  double shape = 1.0;
+  if (config_.peak_hours) {
+    // Diurnal shape peaking in the late afternoon (§IV-D1), trough at night.
+    const double phase =
+        2.0 * std::numbers::pi * (t_hours - 18.0) / 24.0;
+    shape = 0.55 + 0.45 * std::cos(phase);
+  }
+  // Slow modulation: the overall-dynamics knob.
+  const double slow =
+      1.0 + 0.35 * config_.overall_dynamics *
+                std::sin(2.0 * std::numbers::pi * t_hours / 6.0);
+  return std::max(8.0, config_.peak_load * shape * slow);
+}
+
+void Emulator::spawn_entity() {
+  Entity e;
+  e.x = rng_.uniform(0.0, world_.width());
+  e.y = rng_.uniform(0.0, world_.height());
+  e.preferred = draw_profile(config_.mix, rng_);
+  e.current = e.preferred;
+  e.team = static_cast<std::size_t>(rng_.uniform_int(0, kTeams - 1));
+  e.camp_x = rng_.uniform(0.0, world_.width());
+  e.camp_y = rng_.uniform(0.0, world_.height());
+  entities_.push_back(e);
+}
+
+void Emulator::adjust_population() {
+  const auto target = static_cast<std::size_t>(target_population());
+  // Churn at most a few percent of the population per sample so joins and
+  // quits look like sessions, not teleports.
+  const std::size_t max_churn =
+      std::max<std::size_t>(4, entities_.size() / 20);
+  if (entities_.size() < target) {
+    const std::size_t add = std::min(max_churn, target - entities_.size());
+    for (std::size_t i = 0; i < add; ++i) spawn_entity();
+  } else if (entities_.size() > target) {
+    std::size_t drop = std::min(max_churn, entities_.size() - target);
+    while (drop-- > 0 && !entities_.empty()) {
+      const auto victim = static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(entities_.size()) - 1));
+      entities_[victim] = entities_.back();
+      entities_.pop_back();
+    }
+  }
+}
+
+std::size_t Emulator::zone_of(double x, double y) const noexcept {
+  auto zx = static_cast<std::size_t>(
+      std::clamp(x / world_.zone_size, 0.0,
+                 static_cast<double>(world_.zones_x) - 1e-9));
+  auto zy = static_cast<std::size_t>(
+      std::clamp(y / world_.zone_size, 0.0,
+                 static_cast<double>(world_.zones_y) - 1e-9));
+  return zy * world_.zones_x + zx;
+}
+
+void Emulator::move_entity(Entity& e) {
+  // Dynamic profile switching (§IV-D1: entities prefer a profile but can
+  // change dynamically).
+  if (e.switch_cooldown > 0) {
+    --e.switch_cooldown;
+    if (e.switch_cooldown == 0) e.current = e.preferred;
+  } else if (rng_.bernoulli(0.001 + 0.004 * config_.instantaneous_dynamics)) {
+    e.current = draw_profile(config_.mix, rng_);
+    e.switch_cooldown = static_cast<std::size_t>(rng_.uniform_int(20, 120));
+  }
+
+  // Base speed in world units per tick; fast-paced play moves faster.
+  // Calibrated so a zone crossing takes a few 2-minute samples even under
+  // high instantaneous dynamics — zone occupancy stays a signal rather
+  // than white noise at the sampling interval.
+  const double speed =
+      (0.8 + 2.5 * config_.instantaneous_dynamics) *
+      (0.75 + 0.5 * rng_.uniform());
+  double tx = e.x, ty = e.y;
+  switch (e.current) {
+    case Profile::kAggressive: {
+      // Seek the nearest interaction hot-spot (where opponents gather).
+      double best = 1e18;
+      for (const auto& h : hotspots_) {
+        const double d = (h.x - e.x) * (h.x - e.x) + (h.y - e.y) * (h.y - e.y);
+        if (d < best) {
+          best = d;
+          tx = h.x;
+          ty = h.y;
+        }
+      }
+      break;
+    }
+    case Profile::kScout: {
+      // Head towards the least-visited zone in a random sample of zones.
+      std::size_t best_zone = 0;
+      double best_visits = 1e18;
+      for (int trial = 0; trial < 4; ++trial) {
+        const auto z = static_cast<std::size_t>(rng_.uniform_int(
+            0, static_cast<std::int64_t>(world_.zone_count()) - 1));
+        if (zone_visits_[z] < best_visits) {
+          best_visits = zone_visits_[z];
+          best_zone = z;
+        }
+      }
+      const std::size_t zx = best_zone % world_.zones_x;
+      const std::size_t zy = best_zone / world_.zones_x;
+      tx = (static_cast<double>(zx) + 0.5) * world_.zone_size;
+      ty = (static_cast<double>(zy) + 0.5) * world_.zone_size;
+      break;
+    }
+    case Profile::kTeamPlayer: {
+      tx = team_cx_[e.team];
+      ty = team_cy_[e.team];
+      break;
+    }
+    case Profile::kCamper: {
+      tx = e.camp_x;
+      ty = e.camp_y;
+      break;
+    }
+  }
+  const double dx = tx - e.x;
+  const double dy = ty - e.y;
+  const double dist = std::sqrt(dx * dx + dy * dy);
+  if (dist > 1e-6) {
+    const double step = std::min(speed, dist);
+    e.x += dx / dist * step;
+    e.y += dy / dist * step;
+  }
+  // Random jitter keeps zones from collapsing to points.
+  e.x = std::clamp(e.x + rng_.normal(0.0, 1.5), 0.0, world_.width() - 1e-6);
+  e.y = std::clamp(e.y + rng_.normal(0.0, 1.5), 0.0, world_.height() - 1e-6);
+  zone_visits_[zone_of(e.x, e.y)] += 1.0;
+}
+
+void Emulator::tick() {
+  // Update team centroids once per tick.
+  std::vector<double> sx(kTeams, 0.0), sy(kTeams, 0.0);
+  std::vector<std::size_t> n(kTeams, 0);
+  for (const auto& e : entities_) {
+    sx[e.team] += e.x;
+    sy[e.team] += e.y;
+    ++n[e.team];
+  }
+  for (std::size_t t = 0; t < kTeams; ++t) {
+    if (n[t] > 0) {
+      team_cx_[t] = sx[t] / static_cast<double>(n[t]);
+      team_cy_[t] = sy[t] / static_cast<double>(n[t]);
+    }
+  }
+  // Hot-spot churn: high instantaneous dynamics relocates them often.
+  for (auto& h : hotspots_) {
+    if (h.ttl == 0 ||
+        rng_.bernoulli(0.0005 + 0.002 * config_.instantaneous_dynamics)) {
+      h.x = rng_.uniform(0.0, world_.width());
+      h.y = rng_.uniform(0.0, world_.height());
+      h.ttl = static_cast<std::size_t>(rng_.uniform_int(100, 600));
+    } else {
+      --h.ttl;
+    }
+  }
+  for (auto& e : entities_) move_entity(e);
+  ++tick_index_;
+}
+
+ZoneSample Emulator::step_sample() {
+  adjust_population();
+  for (std::size_t t = 0; t < config_.ticks_per_sample; ++t) tick();
+  ZoneSample sample;
+  sample.zone_counts.assign(world_.zone_count(), 0.0);
+  for (const auto& e : entities_) {
+    sample.zone_counts[zone_of(e.x, e.y)] += 1.0;
+  }
+  sample.total = static_cast<double>(entities_.size());
+  // Interaction intensity: pairwise encounters within each sub-zone.
+  for (double c : sample.zone_counts) {
+    sample.interactions += c * (c - 1.0) / 2.0;
+  }
+  ++sample_index_;
+  return sample;
+}
+
+EmulatorTrace Emulator::run() {
+  EmulatorTrace trace;
+  trace.world = world_;
+  trace.name = config_.name;
+  trace.samples.reserve(config_.samples);
+  for (std::size_t s = 0; s < config_.samples; ++s) {
+    trace.samples.push_back(step_sample());
+  }
+  return trace;
+}
+
+}  // namespace mmog::emu

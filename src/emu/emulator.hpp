@@ -1,0 +1,155 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/timeseries.hpp"
+
+namespace mmog::emu {
+
+/// The four AI behaviour profiles of the paper's game emulator (§IV-D1),
+/// matching Bartle's player types: achiever, explorer, socializer, killer.
+enum class Profile : std::size_t {
+  kAggressive = 0,  ///< seeks and interacts with opponents (killer)
+  kScout = 1,       ///< explores uncharted zones, little interaction (explorer)
+  kTeamPlayer = 2,  ///< acts in a group with teammates (socializer)
+  kCamper = 3,      ///< hides and waits for opponents (achiever tactic)
+};
+
+inline constexpr std::size_t kProfileCount = 4;
+
+/// Fractions of the entity population preferring each profile; they need not
+/// sum to 1 (they are normalized internally).
+struct ProfileMix {
+  double aggressive = 0.25;
+  double scout = 0.25;
+  double team = 0.25;
+  double camper = 0.25;
+
+  double at(Profile p) const noexcept {
+    switch (p) {
+      case Profile::kAggressive: return aggressive;
+      case Profile::kScout: return scout;
+      case Profile::kTeamPlayer: return team;
+      case Profile::kCamper: return camper;
+    }
+    return 0.0;
+  }
+};
+
+/// Configuration of one emulated trace data set (one row of Table I).
+struct DatasetConfig {
+  std::string name = "Set";
+  ProfileMix mix;
+  bool peak_hours = false;     ///< diurnal population shape
+  double peak_load = 1000.0;   ///< maximum entity count
+  /// Variability of the entity interaction over a day, in [0,1].
+  double overall_dynamics = 0.5;
+  /// Variability of the entity interaction over two minutes, in [0,1]
+  /// (typical of fast-paced FPS play).
+  double instantaneous_dynamics = 0.5;
+  std::uint64_t seed = 42;
+
+  /// Simulated duration and sampling (paper: one day, 2-minute samples).
+  std::size_t samples = util::kSamplesPerDay;
+  std::size_t ticks_per_sample = 24;  ///< 5-second movement ticks
+};
+
+/// World geometry: a rectangular grid of square sub-zones (§IV-B: the game
+/// world is partitioned into sub-zones small enough that entity count alone
+/// characterizes each sub-zone's load).
+struct WorldConfig {
+  std::size_t zones_x = 12;
+  std::size_t zones_y = 12;
+  double zone_size = 60.0;  ///< world units per zone edge
+
+  std::size_t zone_count() const noexcept { return zones_x * zones_y; }
+  double width() const noexcept {
+    return static_cast<double>(zones_x) * zone_size;
+  }
+  double height() const noexcept {
+    return static_cast<double>(zones_y) * zone_size;
+  }
+};
+
+/// One 2-minute sample of the emulated world.
+struct ZoneSample {
+  std::vector<double> zone_counts;  ///< entities per sub-zone
+  double total = 0.0;               ///< entities in the world
+  double interactions = 0.0;        ///< pairwise interaction intensity
+};
+
+/// A complete emulated trace: per-zone entity counts at every sample.
+struct EmulatorTrace {
+  WorldConfig world;
+  std::string name;
+  std::vector<ZoneSample> samples;
+
+  /// Total entity count over time.
+  util::TimeSeries total_series() const;
+
+  /// Per-zone entity-count series (zone index = y * zones_x + x).
+  std::vector<util::TimeSeries> zone_series() const;
+
+  /// Interaction intensity over time.
+  util::TimeSeries interaction_series() const;
+};
+
+/// The distributed-game emulator (§IV-D1). Entities are driven by the four
+/// AI profiles with dynamic switching, attracted by moving interaction
+/// hot-spots; population follows peak-hours shapes; the *overall* and
+/// *instantaneous dynamics* knobs control slow and fast variability.
+class Emulator {
+ public:
+  Emulator(const WorldConfig& world, const DatasetConfig& config);
+
+  /// Runs the configured number of samples and returns the trace.
+  EmulatorTrace run();
+
+  /// Advances one 2-minute sample (ticks_per_sample movement ticks) and
+  /// returns it. Exposed for incremental use and testing.
+  ZoneSample step_sample();
+
+  /// Current number of live entities.
+  std::size_t entity_count() const noexcept { return entities_.size(); }
+
+  const WorldConfig& world() const noexcept { return world_; }
+
+ private:
+  struct Entity {
+    double x = 0.0, y = 0.0;
+    Profile preferred = Profile::kScout;
+    Profile current = Profile::kScout;
+    std::size_t team = 0;
+    double camp_x = 0.0, camp_y = 0.0;
+    std::size_t switch_cooldown = 0;
+  };
+
+  struct Hotspot {
+    double x = 0.0, y = 0.0;
+    std::size_t ttl = 0;  ///< ticks until it moves elsewhere
+  };
+
+  void spawn_entity();
+  void adjust_population();
+  void tick();
+  void move_entity(Entity& e);
+  std::size_t zone_of(double x, double y) const noexcept;
+  double target_population() const;
+
+  WorldConfig world_;
+  DatasetConfig config_;
+  util::Rng rng_;
+  std::vector<Entity> entities_;
+  std::vector<Hotspot> hotspots_;
+  std::vector<double> zone_visits_;  ///< scout exploration memory
+  std::vector<double> team_cx_, team_cy_;
+  std::size_t tick_index_ = 0;
+  std::size_t sample_index_ = 0;
+  static constexpr std::size_t kTeams = 8;
+};
+
+}  // namespace mmog::emu

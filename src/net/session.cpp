@@ -1,0 +1,176 @@
+#include "net/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmog::net {
+namespace {
+
+/// A mixture component: lognormal with clamping to [min, max].
+struct Component {
+  double weight = 1.0;
+  double mu = 0.0;     ///< log-scale location
+  double sigma = 0.3;  ///< log-scale spread
+  double min = 0.0;
+  double max = 1e9;
+};
+
+struct ClassModel {
+  std::vector<Component> length_bytes;
+  std::vector<Component> iat_ms;
+};
+
+double draw(const std::vector<Component>& mix, util::Rng& rng) {
+  // Inline weighted choice: this runs twice per emulated packet, so avoid
+  // materializing a weights vector on every call.
+  double total = 0.0;
+  for (const auto& c : mix) total += c.weight;
+  double r = rng.uniform() * total;
+  const Component* chosen = &mix.back();
+  for (const auto& c : mix) {
+    if (r < c.weight) {
+      chosen = &c;
+      break;
+    }
+    r -= c.weight;
+  }
+  return std::clamp(rng.lognormal(chosen->mu, chosen->sigma), chosen->min,
+                    chosen->max);
+}
+
+/// Distribution parameters per interaction class, shaped to reproduce the
+/// qualitative orderings of Fig 4:
+///  - fast-paced play: small IAT (packets as often as possible), sizes
+///    moderate-to-large, independent of crowding;
+///  - p2p market: long think-time IAT component; p2p crowded: same sizes,
+///    clearly shorter IATs;
+///  - group interaction: the lowest IATs *and* the largest packets (more
+///    objects per update);
+///  - new-content traces: intermediate, with the crowded variant larger.
+const ClassModel& model_for(InteractionClass cls) {
+  static const ClassModel creating = {
+      {{0.5, std::log(70.0), 0.35, 40, 500}, {0.5, std::log(160.0), 0.5, 40, 500}},
+      {{0.7, std::log(120.0), 0.6, 5, 600}, {0.3, std::log(320.0), 0.5, 5, 600}}};
+  static const ClassModel fast = {
+      {{0.3, std::log(90.0), 0.3, 40, 500}, {0.7, std::log(200.0), 0.45, 40, 500}},
+      {{0.9, std::log(45.0), 0.35, 5, 600}, {0.1, std::log(110.0), 0.4, 5, 600}}};
+  static const ClassModel market = {
+      {{0.6, std::log(80.0), 0.4, 40, 500}, {0.4, std::log(150.0), 0.5, 40, 500}},
+      {{0.45, std::log(150.0), 0.5, 5, 600}, {0.55, std::log(420.0), 0.35, 5, 600}}};
+  static const ClassModel p2p_crowded = {
+      {{0.6, std::log(85.0), 0.4, 40, 500}, {0.4, std::log(155.0), 0.5, 40, 500}},
+      {{0.7, std::log(110.0), 0.5, 5, 600}, {0.3, std::log(260.0), 0.4, 5, 600}}};
+  static const ClassModel group = {
+      {{0.25, std::log(110.0), 0.3, 40, 500}, {0.75, std::log(280.0), 0.4, 40, 500}},
+      {{0.95, std::log(38.0), 0.35, 5, 600}, {0.05, std::log(90.0), 0.4, 5, 600}}};
+  static const ClassModel nc_noncrowded = {
+      {{0.55, std::log(75.0), 0.35, 40, 500}, {0.45, std::log(170.0), 0.5, 40, 500}},
+      {{0.7, std::log(130.0), 0.55, 5, 600}, {0.3, std::log(300.0), 0.45, 5, 600}}};
+  static const ClassModel nc_crowded = {
+      {{0.4, std::log(90.0), 0.35, 40, 500}, {0.6, std::log(210.0), 0.45, 40, 500}},
+      {{0.8, std::log(80.0), 0.5, 5, 600}, {0.2, std::log(200.0), 0.4, 5, 600}}};
+  static const ClassModel nc_locks = {
+      {{0.45, std::log(85.0), 0.35, 40, 500}, {0.55, std::log(180.0), 0.45, 40, 500}},
+      {{0.85, std::log(55.0), 0.4, 5, 600}, {0.15, std::log(130.0), 0.4, 5, 600}}};
+  switch (cls) {
+    case InteractionClass::kCreatingContent: return creating;
+    case InteractionClass::kFastPaced: return fast;
+    case InteractionClass::kP2PMarket: return market;
+    case InteractionClass::kP2PCrowded: return p2p_crowded;
+    case InteractionClass::kGroupInteraction: return group;
+    case InteractionClass::kNewContentNonCrowded: return nc_noncrowded;
+    case InteractionClass::kNewContentCrowded: return nc_crowded;
+    case InteractionClass::kNewContentLocks: return nc_locks;
+  }
+  return creating;
+}
+
+}  // namespace
+
+std::vector<double> SessionTrace::lengths() const {
+  std::vector<double> out;
+  out.reserve(packets.size());
+  for (const auto& p : packets) {
+    out.push_back(static_cast<double>(p.length_bytes));
+  }
+  return out;
+}
+
+std::vector<double> SessionTrace::inter_arrival_ms() const {
+  std::vector<double> out;
+  if (packets.size() < 2) return out;
+  out.reserve(packets.size() - 1);
+  for (std::size_t i = 1; i < packets.size(); ++i) {
+    out.push_back((packets[i].timestamp_s - packets[i - 1].timestamp_s) * 1e3);
+  }
+  return out;
+}
+
+double SessionTrace::mean_bandwidth_bps() const {
+  if (packets.size() < 2) return 0.0;
+  const double span = packets.back().timestamp_s - packets.front().timestamp_s;
+  if (span <= 0.0) return 0.0;
+  double bytes = 0.0;
+  for (const auto& p : packets) bytes += static_cast<double>(p.length_bytes);
+  return bytes / span;
+}
+
+SessionTrace emulate_session(const SessionConfig& config) {
+  util::Rng rng(config.seed);
+  const ClassModel& model = model_for(config.interaction);
+  SessionTrace trace;
+  trace.name = config.name;
+  trace.interaction = config.interaction;
+  double t = 0.0;
+  while (t < config.duration_seconds) {
+    PacketRecord p;
+    p.timestamp_s = t;
+    p.length_bytes = static_cast<std::size_t>(draw(model.length_bytes, rng));
+    trace.packets.push_back(p);
+    t += draw(model.iat_ms, rng) / 1e3;
+  }
+  return trace;
+}
+
+std::vector<SessionConfig> fig4_sessions(std::uint64_t base_seed) {
+  return {
+      {"Trace 0: non-crowded+creating content",
+       InteractionClass::kCreatingContent, 1200.0, base_seed + 0},
+      {"Trace 1: non-crowded+fast paced", InteractionClass::kFastPaced, 900.0,
+       base_seed + 1},
+      {"Trace 2: semi-crowded+p2p interaction", InteractionClass::kP2PMarket,
+       1800.0, base_seed + 2},
+      {"Trace 3: crowded+p2p interaction", InteractionClass::kP2PCrowded,
+       1800.0, base_seed + 3},
+      {"Trace 4: group interaction", InteractionClass::kGroupInteraction,
+       900.0, base_seed + 4},
+      {"Trace 5a: new content+crowded", InteractionClass::kNewContentCrowded,
+       1500.0, base_seed + 5},
+      {"Trace 5b: new content+crowded", InteractionClass::kNewContentCrowded,
+       1500.0, base_seed + 6},
+      {"Trace 6: crowded+fast paced", InteractionClass::kFastPaced, 900.0,
+       base_seed + 7},
+      {"Trace 7: new content+locks", InteractionClass::kNewContentLocks,
+       1200.0, base_seed + 8},
+  };
+}
+
+double expected_packet_length(InteractionClass c) {
+  util::Rng rng(12345);
+  const auto& model = model_for(c);
+  double s = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) s += draw(model.length_bytes, rng);
+  return s / kSamples;
+}
+
+double expected_iat_ms(InteractionClass c) {
+  util::Rng rng(54321);
+  const auto& model = model_for(c);
+  double s = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) s += draw(model.iat_ms, rng);
+  return s / kSamples;
+}
+
+}  // namespace mmog::net

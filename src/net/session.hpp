@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace mmog::net {
+
+/// Interaction classes observed in the paper's eight tcpdump session traces
+/// (§III-D / Fig 4). The class determines the packet-size and
+/// inter-arrival-time distributions of the server's downstream stream.
+enum class InteractionClass {
+  kCreatingContent,      ///< T0: non-crowded, player creating content
+  kFastPaced,            ///< T1/T6: fast-paced minigame — small IAT always
+  kP2PMarket,            ///< T2: market trading — long think-time IATs
+  kP2PCrowded,           ///< T3: crowded p2p — T2-like sizes, shorter IAT
+  kGroupInteraction,     ///< T4: groups interacting — low IAT, large packets
+  kNewContentNonCrowded, ///< new content, few players around
+  kNewContentCrowded,    ///< T5a/T5b: new content, crowded
+  kNewContentLocks,      ///< T7: new content with update locks — T1-like IAT
+};
+
+/// Configuration of one emulated game session capture.
+struct SessionConfig {
+  std::string name = "Trace";
+  InteractionClass interaction = InteractionClass::kCreatingContent;
+  double duration_seconds = 600.0;  ///< paper: 5 minutes to 1 hour
+  std::uint64_t seed = 7;
+};
+
+/// One captured packet: arrival time and wire length.
+struct PacketRecord {
+  double timestamp_s = 0.0;
+  std::size_t length_bytes = 0;
+};
+
+/// An emulated session capture, the analogue of one tcpdump trace.
+struct SessionTrace {
+  std::string name;
+  InteractionClass interaction = InteractionClass::kCreatingContent;
+  std::vector<PacketRecord> packets;
+
+  /// Packet lengths in bytes.
+  std::vector<double> lengths() const;
+
+  /// Inter-arrival times between consecutive packets, in milliseconds.
+  std::vector<double> inter_arrival_ms() const;
+
+  /// Mean downstream bandwidth over the capture, bytes/second.
+  double mean_bandwidth_bps() const;
+};
+
+/// Emulates one session capture of the given class.
+SessionTrace emulate_session(const SessionConfig& config);
+
+/// The Fig 4 session set: T0-T7 plus the consecutive T5a/T5b pair collected
+/// from the same environment (the paper's validation of measurement
+/// stability).
+std::vector<SessionConfig> fig4_sessions(std::uint64_t base_seed = 7000);
+
+/// Mean packet length (bytes) implied by a class's distribution, estimated
+/// by Monte-Carlo; exposed so load models can derive bandwidth per player.
+double expected_packet_length(InteractionClass c);
+
+/// Mean packet inter-arrival (ms) implied by a class's distribution.
+double expected_iat_ms(InteractionClass c);
+
+}  // namespace mmog::net

@@ -1,0 +1,118 @@
+#include "nn/preprocess.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mmog::nn {
+
+std::vector<double> polyfit(std::span<const double> xs,
+                            std::span<const double> ys, std::size_t degree) {
+  if (xs.empty() || xs.size() != ys.size()) {
+    throw std::invalid_argument("polyfit: empty or mismatched input");
+  }
+  if (degree >= xs.size()) {
+    throw std::invalid_argument("polyfit: degree >= number of points");
+  }
+  const std::size_t m = degree + 1;
+  // Normal equations A c = b with A[i][j] = sum x^(i+j), b[i] = sum y x^i.
+  std::vector<double> powersums(2 * m - 1, 0.0);
+  std::vector<double> b(m, 0.0);
+  for (std::size_t s = 0; s < xs.size(); ++s) {
+    double xp = 1.0;
+    for (std::size_t p = 0; p < powersums.size(); ++p) {
+      powersums[p] += xp;
+      if (p < m) b[p] += ys[s] * xp;
+      xp *= xs[s];
+    }
+  }
+  std::vector<std::vector<double>> a(m, std::vector<double>(m, 0.0));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) a[i][j] = powersums[i + j];
+  }
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < m; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < m; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    const double diag = a[col][col];
+    if (std::abs(diag) < 1e-12) {
+      throw std::invalid_argument("polyfit: singular system");
+    }
+    for (std::size_t r = col + 1; r < m; ++r) {
+      const double f = a[r][col] / diag;
+      for (std::size_t c = col; c < m; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> coeffs(m, 0.0);
+  for (std::size_t i = m; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t j = i + 1; j < m; ++j) s -= a[i][j] * coeffs[j];
+    coeffs[i] = s / a[i][i];
+  }
+  return coeffs;
+}
+
+double polyval(std::span<const double> coeffs, double x) noexcept {
+  double y = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) y = y * x + coeffs[i];
+  return y;
+}
+
+PolynomialSmoother::PolynomialSmoother(std::size_t degree, std::size_t window)
+    : degree_(degree), window_(window) {
+  if (window_ <= degree_) {
+    throw std::invalid_argument("PolynomialSmoother: window must exceed degree");
+  }
+}
+
+double PolynomialSmoother::smooth_last(std::span<const double> recent) const {
+  if (recent.empty()) return 0.0;
+  if (recent.size() <= degree_) return recent.back();
+  const std::size_t n = std::min(window_, recent.size());
+  const auto tail = recent.subspan(recent.size() - n, n);
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) xs[i] = static_cast<double>(i);
+  const auto coeffs = polyfit(xs, tail, degree_);
+  return polyval(coeffs, static_cast<double>(n - 1));
+}
+
+std::vector<double> PolynomialSmoother::smooth_series(
+    std::span<const double> xs) const {
+  std::vector<double> out(xs.size(), 0.0);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out[i] = smooth_last(xs.subspan(0, i + 1));
+  }
+  return out;
+}
+
+void MinMaxNormalizer::fit(std::span<const double> xs) noexcept {
+  if (xs.empty()) {
+    lo_ = 0.0;
+    hi_ = 1.0;
+    return;
+  }
+  lo_ = *std::min_element(xs.begin(), xs.end());
+  hi_ = *std::max_element(xs.begin(), xs.end());
+  if (hi_ <= lo_) hi_ = lo_ + 1.0;
+}
+
+void MinMaxNormalizer::update(double x) noexcept {
+  lo_ = std::min(lo_, x);
+  hi_ = std::max(hi_, x);
+  if (hi_ <= lo_) hi_ = lo_ + 1.0;
+}
+
+double MinMaxNormalizer::transform(double x) const noexcept {
+  return (x - lo_) / (hi_ - lo_);
+}
+
+double MinMaxNormalizer::inverse(double y) const noexcept {
+  return lo_ + y * (hi_ - lo_);
+}
+
+}  // namespace mmog::nn

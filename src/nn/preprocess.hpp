@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mmog::nn {
+
+/// Least-squares polynomial smoother (Savitzky-Golay style): fits a
+/// polynomial of `degree` to a sliding window and evaluates it at the last
+/// point. The paper's neural predictor feeds its MLP through "several
+/// polynomial functions which ... remove the unwanted noise" (§IV-C); this
+/// is that preprocessor.
+class PolynomialSmoother {
+ public:
+  /// Window length must exceed the polynomial degree.
+  /// Throws std::invalid_argument otherwise.
+  PolynomialSmoother(std::size_t degree, std::size_t window);
+
+  std::size_t degree() const noexcept { return degree_; }
+  std::size_t window() const noexcept { return window_; }
+
+  /// Smooths the last point of `recent` (the most recent `window` samples
+  /// are used; shorter inputs are passed through unchanged).
+  double smooth_last(std::span<const double> recent) const;
+
+  /// Smooths an entire series causally (each output uses only samples up to
+  /// and including its own index).
+  std::vector<double> smooth_series(std::span<const double> xs) const;
+
+ private:
+  std::size_t degree_;
+  std::size_t window_;
+};
+
+/// Min-max normalizer mapping an observed range onto [0, 1]; values outside
+/// the fitted range extrapolate linearly. Inverse transform restores the
+/// original scale. Used to feed bounded activations of the MLP.
+class MinMaxNormalizer {
+ public:
+  MinMaxNormalizer() = default;
+
+  /// Fits the range to the data; a constant (or empty) sample yields an
+  /// identity-like transform centred on the constant.
+  void fit(std::span<const double> xs) noexcept;
+
+  /// Widens the fitted range to include x (for streaming use).
+  void update(double x) noexcept;
+
+  double transform(double x) const noexcept;
+  double inverse(double y) const noexcept;
+
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+
+ private:
+  double lo_ = 0.0;
+  double hi_ = 1.0;
+};
+
+/// Fits a least-squares polynomial of `degree` to points (xs, ys) and
+/// returns the coefficients c0..c_degree (y = sum c_k x^k). Solved by normal
+/// equations with Gaussian elimination; throws std::invalid_argument on
+/// empty input or degree >= number of points.
+std::vector<double> polyfit(std::span<const double> xs,
+                            std::span<const double> ys, std::size_t degree);
+
+/// Evaluates a polynomial given by coefficients c0..cn at x (Horner).
+double polyval(std::span<const double> coeffs, double x) noexcept;
+
+}  // namespace mmog::nn

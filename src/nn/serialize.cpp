@@ -1,0 +1,61 @@
+#include "nn/serialize.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace mmog::nn {
+
+namespace {
+constexpr const char* kMagic = "mmog-mlp-v1";
+}
+
+void save_mlp(std::ostream& out, const Mlp& net) {
+  out << kMagic << '\n';
+  const auto& sizes = net.layer_sizes();
+  out << sizes.size();
+  for (std::size_t s : sizes) out << ' ' << s;
+  out << '\n';
+  const auto params = net.parameters();
+  out << params.size() << '\n';
+  out << std::setprecision(17);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    out << params[i] << (i + 1 == params.size() ? '\n' : ' ');
+  }
+}
+
+Mlp load_mlp(std::istream& in) {
+  std::string magic;
+  if (!(in >> magic) || magic != kMagic) {
+    throw std::runtime_error("load_mlp: bad magic");
+  }
+  std::size_t n_layers = 0;
+  if (!(in >> n_layers) || n_layers < 2 || n_layers > 64) {
+    throw std::runtime_error("load_mlp: bad layer count");
+  }
+  std::vector<std::size_t> sizes(n_layers);
+  for (auto& s : sizes) {
+    if (!(in >> s) || s == 0) {
+      throw std::runtime_error("load_mlp: bad layer size");
+    }
+  }
+  std::size_t n_params = 0;
+  if (!(in >> n_params)) throw std::runtime_error("load_mlp: bad param count");
+  std::vector<double> params(n_params);
+  for (auto& p : params) {
+    if (!(in >> p)) throw std::runtime_error("load_mlp: truncated parameters");
+  }
+  util::Rng rng(0);  // weights overwritten below
+  Mlp net(std::move(sizes), rng);
+  if (net.parameter_count() != n_params) {
+    throw std::runtime_error("load_mlp: parameter count mismatch");
+  }
+  net.set_parameters(params);
+  return net;
+}
+
+}  // namespace mmog::nn

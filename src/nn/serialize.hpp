@@ -1,0 +1,19 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "nn/mlp.hpp"
+
+namespace mmog::nn {
+
+/// Writes a trained network as a small text format: a magic line, the layer
+/// sizes, then all parameters (weights and biases) in full precision.
+/// Enables the §IV-C workflow of training offline and shipping the model to
+/// the online predictors.
+void save_mlp(std::ostream& out, const Mlp& net);
+
+/// Reads a network written by save_mlp. Throws std::runtime_error on a
+/// malformed stream (bad magic, wrong counts, non-numeric data).
+Mlp load_mlp(std::istream& in);
+
+}  // namespace mmog::nn

@@ -1,0 +1,85 @@
+#include "nn/train.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace mmog::nn {
+
+std::pair<Dataset, Dataset> Dataset::split(double fraction) const {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("Dataset::split: fraction not in [0,1]");
+  }
+  const auto cut = static_cast<std::size_t>(
+      std::round(fraction * static_cast<double>(inputs.size())));
+  Dataset a, b;
+  a.inputs.assign(inputs.begin(), inputs.begin() + static_cast<std::ptrdiff_t>(cut));
+  a.targets.assign(targets.begin(),
+                   targets.begin() + static_cast<std::ptrdiff_t>(cut));
+  b.inputs.assign(inputs.begin() + static_cast<std::ptrdiff_t>(cut), inputs.end());
+  b.targets.assign(targets.begin() + static_cast<std::ptrdiff_t>(cut),
+                   targets.end());
+  return {std::move(a), std::move(b)};
+}
+
+TrainResult train(Mlp& net, const Dataset& train_set, const Dataset& test_set,
+                  const TrainConfig& config) {
+  if (train_set.inputs.size() != train_set.targets.size() ||
+      test_set.inputs.size() != test_set.targets.size()) {
+    throw std::invalid_argument("train: mismatched inputs/targets");
+  }
+  TrainResult result;
+  if (train_set.empty()) return result;
+
+  double best_test = std::numeric_limits<double>::infinity();
+  std::vector<double> best_params = net.parameters();
+  std::size_t since_best = 0;
+
+  std::vector<std::size_t> order(train_set.size());
+  for (std::size_t s = 0; s < order.size(); ++s) order[s] = s;
+  util::Rng shuffle_rng(config.shuffle_seed);
+
+  for (std::size_t era = 0; era < config.max_eras; ++era) {
+    ++result.eras;
+    // (1)+(2) present every training sample and adjust the weights.
+    if (config.shuffle) util::shuffle(order, shuffle_rng);
+    for (std::size_t s : order) {
+      net.train_step(train_set.inputs[s], train_set.targets[s],
+                     config.learning_rate, config.momentum);
+    }
+    // (3) test the prediction capability.
+    const double test_mse =
+        test_set.empty()
+            ? net.evaluate_mse(train_set.inputs, train_set.targets)
+            : net.evaluate_mse(test_set.inputs, test_set.targets);
+    const double test_rmse = std::sqrt(test_mse);
+    // Only a materially better RMSE resets patience; numerical jitter at the
+    // 1e-9 scale must not keep a stalled run alive.
+    if (test_rmse < best_test - 1e-9) {
+      best_test = test_rmse;
+      best_params = net.parameters();
+      since_best = 0;
+    } else {
+      ++since_best;
+    }
+    if (test_rmse <= config.target_rmse ||
+        (config.patience > 0 && since_best >= config.patience)) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  net.set_parameters(best_params);
+  result.train_rmse =
+      std::sqrt(net.evaluate_mse(train_set.inputs, train_set.targets));
+  result.test_rmse =
+      test_set.empty()
+          ? result.train_rmse
+          : std::sqrt(net.evaluate_mse(test_set.inputs, test_set.targets));
+  return result;
+}
+
+}  // namespace mmog::nn

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/mlp.hpp"
+
+namespace mmog::nn {
+
+/// A supervised data set of (input, target) pairs.
+struct Dataset {
+  std::vector<std::vector<double>> inputs;
+  std::vector<std::vector<double>> targets;
+
+  std::size_t size() const noexcept { return inputs.size(); }
+  bool empty() const noexcept { return inputs.empty(); }
+
+  /// Splits off the first `fraction` of the samples as the training set and
+  /// the remainder as the test set (the paper trains on "most of the
+  /// previously collected samples" and tests on the rest, §IV-C).
+  std::pair<Dataset, Dataset> split(double fraction) const;
+};
+
+/// Configuration of the era-based trainer (§IV-C: a training era presents
+/// every training sample, adjusts the weights, then tests).
+struct TrainConfig {
+  std::size_t max_eras = 200;       ///< hard cap on training eras
+  double learning_rate = 0.05;      ///< SGD step size
+  double momentum = 0.5;            ///< classical momentum
+  double target_rmse = 0.0;         ///< stop early when test RMSE <= this
+  std::size_t patience = 20;        ///< stop when test RMSE has not improved
+                                    ///< for this many eras (0 = disabled)
+  /// Present the training samples in a fresh random order each era.
+  /// Time-series windows are strongly autocorrelated; sequential
+  /// presentation makes SGD chase the local signal level instead of the
+  /// mapping. Disable only for tests that need strict ordering.
+  bool shuffle = true;
+  std::uint64_t shuffle_seed = 7;
+};
+
+/// Outcome of a training run.
+struct TrainResult {
+  std::size_t eras = 0;         ///< eras actually run
+  double train_rmse = 0.0;      ///< RMSE on the training split after the run
+  double test_rmse = 0.0;       ///< RMSE on the test split after the run
+  bool converged = false;       ///< true if stopped by target/patience
+};
+
+/// Trains `net` on `train` with per-era testing on `test` until convergence
+/// or the era cap. Restores the best-on-test parameters seen during the run.
+TrainResult train(Mlp& net, const Dataset& train, const Dataset& test,
+                  const TrainConfig& config);
+
+}  // namespace mmog::nn

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "predict/predictor.hpp"
+#include "util/timeseries.hpp"
+
+namespace mmog::predict {
+
+/// Autoregressive AR(p) model fitted by the Yule-Walker equations.
+///
+/// This is an *extension* beyond the paper's evaluation: §IV-A names the
+/// AR/ARMA family as "more elaborated" but "ill suited for MMOGs" because of
+/// fitting cost, and does not benchmark it. We fit offline (like the neural
+/// predictor's training phase) so the online cost stays O(p) per prediction,
+/// which lets the claim be tested empirically (see bench/ablation_ar).
+class ArModel {
+ public:
+  /// Fits AR(p) coefficients to the pooled histories. Throws
+  /// std::invalid_argument when the data cannot support the order.
+  static ArModel fit(std::size_t order,
+                     std::span<const util::TimeSeries> histories);
+
+  /// Predicts the next value from the most recent raw samples.
+  double predict_next(std::span<const double> recent) const;
+
+  std::size_t order() const noexcept { return coeffs_.size(); }
+  std::span<const double> coefficients() const noexcept { return coeffs_; }
+  double mean() const noexcept { return mean_; }
+
+ private:
+  ArModel(std::vector<double> coeffs, double mean);
+
+  std::vector<double> coeffs_;  ///< phi_1 .. phi_p
+  double mean_ = 0.0;
+};
+
+/// Online per-zone wrapper sharing a fitted ArModel.
+class ArPredictor final : public Predictor {
+ public:
+  explicit ArPredictor(std::shared_ptr<const ArModel> model);
+
+  std::string_view name() const noexcept override { return "AR"; }
+  void observe(double value) override;
+  double predict() const override;
+  std::unique_ptr<Predictor> make_fresh() const override;
+
+ private:
+  std::shared_ptr<const ArModel> model_;
+  std::deque<double> history_;
+};
+
+}  // namespace mmog::predict

@@ -1,0 +1,79 @@
+#include "predict/evaluate.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+namespace mmog::predict {
+
+double series_prediction_error(Predictor& p, std::span<const double> series,
+                               std::size_t start) {
+  if (series.size() < 2 || start == 0 || start >= series.size()) {
+    throw std::invalid_argument("series_prediction_error: bad range");
+  }
+  for (std::size_t t = 0; t < start; ++t) p.observe(series[t]);
+  double abs_err = 0.0;
+  double total = 0.0;
+  for (std::size_t t = start; t < series.size(); ++t) {
+    const double pred = p.predict();
+    abs_err += std::abs(series[t] - pred);
+    total += series[t];
+    p.observe(series[t]);
+  }
+  if (total <= 0.0) return 0.0;
+  return abs_err / total * 100.0;
+}
+
+double zones_prediction_error(const PredictorFactory& factory,
+                              std::span<const util::TimeSeries> zones,
+                              std::size_t start) {
+  if (zones.empty()) {
+    throw std::invalid_argument("zones_prediction_error: no zones");
+  }
+  const std::size_t steps = zones.front().size();
+  if (steps < 2 || start == 0 || start >= steps) {
+    throw std::invalid_argument("zones_prediction_error: bad range");
+  }
+  std::vector<std::unique_ptr<Predictor>> preds;
+  preds.reserve(zones.size());
+  for (std::size_t z = 0; z < zones.size(); ++z) {
+    preds.push_back(factory());
+    for (std::size_t t = 0; t < start; ++t) preds[z]->observe(zones[z][t]);
+  }
+  double abs_err = 0.0;
+  double total = 0.0;
+  for (std::size_t t = start; t < steps; ++t) {
+    for (std::size_t z = 0; z < zones.size(); ++z) {
+      // One (zone, step) pair is one sample of the paper's metric: the
+      // un-normalized error is |actual - predicted| per sub-zone.
+      abs_err += std::abs(zones[z][t] - preds[z]->predict());
+      total += zones[z][t];
+      preds[z]->observe(zones[z][t]);
+    }
+  }
+  if (total <= 0.0) return 0.0;
+  return abs_err / total * 100.0;
+}
+
+std::vector<double> time_predictions(Predictor& p,
+                                     std::span<const double> series,
+                                     std::size_t repetitions) {
+  std::vector<double> micros;
+  micros.reserve(series.size() * repetitions);
+  volatile double sink = 0.0;  // keep the calls observable
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    for (double v : series) {
+      p.observe(v);
+      const auto t0 = std::chrono::steady_clock::now();
+      sink = p.predict();
+      const auto t1 = std::chrono::steady_clock::now();
+      micros.push_back(
+          std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
+  }
+  (void)sink;
+  return micros;
+}
+
+}  // namespace mmog::predict

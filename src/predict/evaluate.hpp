@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "predict/predictor.hpp"
+#include "util/timeseries.hpp"
+
+namespace mmog::predict {
+
+/// The paper's prediction-error metric (§IV-D2): the ratio between the sum
+/// of absolute sample prediction errors and the sum of all samples,
+/// expressed as a percentage. Evaluated over samples [start, size); the
+/// predictor observes (but is not scored on) the samples before `start`.
+double series_prediction_error(Predictor& p, std::span<const double> series,
+                               std::size_t start = 1);
+
+/// Per-sub-zone evaluation (§IV-B/§IV-D2): one fresh predictor per zone
+/// series, each step predicting its zone's next entity count. Every
+/// (zone, step) pair is one sample; the error is the sum of per-sample
+/// absolute errors over the sum of all samples, as a percentage.
+double zones_prediction_error(const PredictorFactory& factory,
+                              std::span<const util::TimeSeries> zones,
+                              std::size_t start);
+
+/// Times individual predict() calls (after observing `series` progressively)
+/// and returns the per-call durations in microseconds; used by the Fig 6
+/// harness to report min/quartiles/median/max.
+std::vector<double> time_predictions(Predictor& p,
+                                     std::span<const double> series,
+                                     std::size_t repetitions = 1);
+
+/// Name/error pair for reporting.
+struct NamedError {
+  std::string name;
+  double error_pct = 0.0;
+};
+
+}  // namespace mmog::predict

@@ -1,0 +1,116 @@
+#include "predict/holt_winters.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace mmog::predict {
+
+HoltPredictor::HoltPredictor(double alpha, double beta)
+    : alpha_(alpha), beta_(beta) {
+  if (alpha <= 0.0 || alpha > 1.0 || beta <= 0.0 || beta > 1.0) {
+    throw std::invalid_argument("HoltPredictor: parameters not in (0,1]");
+  }
+}
+
+void HoltPredictor::observe(double value) {
+  if (observed_ == 0) {
+    level_ = value;
+    trend_ = 0.0;
+  } else {
+    const double prev_level = level_;
+    level_ = alpha_ * value + (1.0 - alpha_) * (level_ + trend_);
+    trend_ = beta_ * (level_ - prev_level) + (1.0 - beta_) * trend_;
+  }
+  ++observed_;
+}
+
+double HoltPredictor::predict() const {
+  if (observed_ == 0) return 0.0;
+  return std::max(0.0, level_ + trend_);
+}
+
+std::unique_ptr<Predictor> HoltPredictor::make_fresh() const {
+  return std::make_unique<HoltPredictor>(alpha_, beta_);
+}
+
+HoltWintersPredictor::HoltWintersPredictor(std::size_t season_length,
+                                           double alpha, double beta,
+                                           double gamma)
+    : season_(season_length), alpha_(alpha), beta_(beta), gamma_(gamma) {
+  if (season_ == 0) {
+    throw std::invalid_argument("HoltWintersPredictor: season_length == 0");
+  }
+  if (alpha <= 0.0 || alpha > 1.0 || beta <= 0.0 || beta > 1.0 ||
+      gamma <= 0.0 || gamma > 1.0) {
+    throw std::invalid_argument(
+        "HoltWintersPredictor: parameters not in (0,1]");
+  }
+}
+
+void HoltWintersPredictor::observe(double value) {
+  if (!seasonal_ready_) {
+    first_season_.push_back(value);
+    // Run Holt's update so predictions are sensible during the first day.
+    if (observed_ == 0) {
+      level_ = value;
+      trend_ = 0.0;
+    } else {
+      const double prev_level = level_;
+      level_ = alpha_ * value + (1.0 - alpha_) * (level_ + trend_);
+      trend_ = beta_ * (level_ - prev_level) + (1.0 - beta_) * trend_;
+    }
+    ++observed_;
+    if (first_season_.size() == season_) {
+      // Initialize: level = season mean, additive seasonal offsets.
+      const double mean =
+          std::accumulate(first_season_.begin(), first_season_.end(), 0.0) /
+          static_cast<double>(season_);
+      seasonal_.assign(season_, 0.0);
+      for (std::size_t i = 0; i < season_; ++i) {
+        seasonal_[i] = first_season_[i] - mean;
+      }
+      level_ = mean;
+      seasonal_ready_ = true;
+      first_season_.clear();
+    }
+    return;
+  }
+  const std::size_t s = observed_ % season_;
+  const double prev_level = level_;
+  level_ = alpha_ * (value - seasonal_[s]) +
+           (1.0 - alpha_) * (level_ + trend_);
+  trend_ = beta_ * (level_ - prev_level) + (1.0 - beta_) * trend_;
+  seasonal_[s] = gamma_ * (value - level_) + (1.0 - gamma_) * seasonal_[s];
+  ++observed_;
+}
+
+double HoltWintersPredictor::predict() const {
+  if (observed_ == 0) return 0.0;
+  double forecast = level_ + trend_;
+  if (seasonal_ready_) {
+    forecast += seasonal_[observed_ % season_];
+  }
+  return std::max(0.0, forecast);
+}
+
+std::unique_ptr<Predictor> HoltWintersPredictor::make_fresh() const {
+  return std::make_unique<HoltWintersPredictor>(season_, alpha_, beta_,
+                                                gamma_);
+}
+
+void DriftPredictor::observe(double value) {
+  if (observed_ == 0) first_ = value;
+  last_ = value;
+  ++observed_;
+}
+
+double DriftPredictor::predict() const {
+  if (observed_ == 0) return 0.0;
+  if (observed_ == 1) return last_;
+  const double slope =
+      (last_ - first_) / static_cast<double>(observed_ - 1);
+  return std::max(0.0, last_ + slope);
+}
+
+}  // namespace mmog::predict

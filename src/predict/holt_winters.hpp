@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "predict/predictor.hpp"
+
+namespace mmog::predict {
+
+/// Holt's double exponential smoothing: level + trend. An extension beyond
+/// the paper's line-up that directly addresses where simple smoothing loses
+/// (§V-B): it extrapolates sustained ramps instead of lagging them.
+class HoltPredictor final : public Predictor {
+ public:
+  /// alpha = level smoothing, beta = trend smoothing; both in (0, 1].
+  /// Throws std::invalid_argument otherwise.
+  explicit HoltPredictor(double alpha = 0.5, double beta = 0.2);
+
+  std::string_view name() const noexcept override { return "Holt"; }
+  void observe(double value) override;
+  double predict() const override;
+  std::unique_ptr<Predictor> make_fresh() const override;
+
+  double level() const noexcept { return level_; }
+  double trend() const noexcept { return trend_; }
+
+ private:
+  double alpha_;
+  double beta_;
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  std::size_t observed_ = 0;
+};
+
+/// Holt-Winters additive triple exponential smoothing: level + trend +
+/// season. MMOG load is strongly diurnal (§III-C: a 24 h autocorrelation
+/// peak), which makes the seasonal term a natural fit: with 2-minute
+/// samples, season_length = 720 tracks the daily cycle.
+class HoltWintersPredictor final : public Predictor {
+ public:
+  /// gamma = seasonal smoothing. The seasonal terms initialize from the
+  /// first full season of observations; until then the predictor behaves
+  /// like Holt's method. Throws std::invalid_argument on bad parameters or
+  /// season_length == 0.
+  explicit HoltWintersPredictor(std::size_t season_length = 720,
+                                double alpha = 0.4, double beta = 0.05,
+                                double gamma = 0.3);
+
+  std::string_view name() const noexcept override { return "Holt-Winters"; }
+  void observe(double value) override;
+  double predict() const override;
+  std::unique_ptr<Predictor> make_fresh() const override;
+
+  bool seasonal_ready() const noexcept { return seasonal_ready_; }
+  std::size_t season_length() const noexcept { return season_; }
+
+ private:
+  std::size_t season_;
+  double alpha_;
+  double beta_;
+  double gamma_;
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  std::vector<double> seasonal_;
+  std::deque<double> first_season_;  ///< buffer until initialization
+  std::size_t observed_ = 0;
+  bool seasonal_ready_ = false;
+};
+
+/// The drift method: last value plus the average historical slope — the
+/// canonical baseline between Last value and full trend models.
+class DriftPredictor final : public Predictor {
+ public:
+  std::string_view name() const noexcept override { return "Drift"; }
+  void observe(double value) override;
+  double predict() const override;
+  std::unique_ptr<Predictor> make_fresh() const override {
+    return std::make_unique<DriftPredictor>();
+  }
+
+ private:
+  double first_ = 0.0;
+  double last_ = 0.0;
+  std::size_t observed_ = 0;
+};
+
+}  // namespace mmog::predict

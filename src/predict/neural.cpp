@@ -1,0 +1,146 @@
+#include "predict/neural.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace mmog::predict {
+
+NeuralModel::NeuralModel(NeuralConfig config, nn::Mlp net,
+                         nn::MinMaxNormalizer normalizer, double delta_scale,
+                         nn::TrainResult result)
+    : config_(config),
+      net_(std::move(net)),
+      normalizer_(normalizer),
+      delta_scale_(delta_scale),
+      smoother_(config.smoother_degree, config.smoother_window),
+      result_(result) {}
+
+NeuralModel NeuralModel::fit(const NeuralConfig& config,
+                             std::span<const util::TimeSeries> histories) {
+  if (config.input_window == 0) {
+    throw std::invalid_argument("NeuralModel: input_window == 0");
+  }
+  // Global normalization range over all collected samples.
+  nn::MinMaxNormalizer normalizer;
+  std::vector<double> all;
+  for (const auto& h : histories) {
+    all.insert(all.end(), h.values().begin(), h.values().end());
+  }
+  if (all.empty()) throw std::invalid_argument("NeuralModel: empty history");
+  normalizer.fit(all);
+  // Leave headroom above the observed maximum: tanh units compress the top
+  // of the fitted range, and systematic under-prediction exactly at the
+  // daily peaks is what causes under-allocation events downstream.
+  normalizer.update(normalizer.hi() + 0.25 * (normalizer.hi() - normalizer.lo()));
+
+  const nn::PolynomialSmoother smoother(config.smoother_degree,
+                                        config.smoother_window);
+
+  // In delta mode the targets are per-step changes normalized by the
+  // largest observed change, so the network output lives in [-1, 1].
+  double delta_scale = 1.0;
+  if (config.predict_delta) {
+    double max_delta = 0.0;
+    for (const auto& h : histories) {
+      for (std::size_t t = 1; t < h.size(); ++t) {
+        max_delta = std::max(max_delta, std::abs(h[t] - h[t - 1]));
+      }
+    }
+    if (max_delta > 0.0) delta_scale = max_delta;
+  }
+
+  nn::Dataset data;
+  for (const auto& h : histories) {
+    if (h.size() <= config.input_window) continue;
+    // Causal polynomial smoothing removes noise before windowing (§IV-C).
+    const auto smoothed = smoother.smooth_series(h.values());
+    for (std::size_t t = config.input_window; t < h.size(); ++t) {
+      std::vector<double> in(config.input_window);
+      for (std::size_t k = 0; k < config.input_window; ++k) {
+        in[k] = normalizer.transform(smoothed[t - config.input_window + k]);
+      }
+      if (config.include_raw_input) {
+        in.back() = normalizer.transform(h[t - 1]);
+      }
+      data.inputs.push_back(std::move(in));
+      if (config.predict_delta) {
+        data.targets.push_back({(h[t] - h[t - 1]) / delta_scale});
+      } else {
+        data.targets.push_back({normalizer.transform(h[t])});
+      }
+    }
+  }
+  if (data.empty()) {
+    throw std::invalid_argument("NeuralModel: histories too short");
+  }
+  auto [train_set, test_set] = data.split(config.train_fraction);
+  if (train_set.empty()) {
+    train_set = std::move(test_set);
+    test_set = {};
+  }
+
+  util::Rng rng(config.seed);
+  nn::Mlp net({config.input_window, config.hidden_units, 1}, rng);
+  const auto result = nn::train(net, train_set, test_set, config.train);
+  return NeuralModel(config, std::move(net), normalizer, delta_scale, result);
+}
+
+NeuralModel NeuralModel::fit(const NeuralConfig& config,
+                             const util::TimeSeries& history) {
+  return fit(config, std::span<const util::TimeSeries>(&history, 1));
+}
+
+double NeuralModel::predict_next(std::span<const double> recent) const {
+  if (recent.empty()) return 0.0;
+  // Reproduce the training-time features exactly: each of the input_window
+  // samples is smoothed over its own trailing smoother window. Left-pad with
+  // the earliest available value when the history is short.
+  const std::size_t context = config_.input_window + config_.smoother_window;
+  std::vector<double> padded(context, recent.front());
+  const std::size_t n = std::min(recent.size(), context);
+  for (std::size_t k = 0; k < n; ++k) {
+    padded[context - n + k] = recent[recent.size() - n + k];
+  }
+  std::vector<double> in(config_.input_window);
+  for (std::size_t k = 0; k < config_.input_window; ++k) {
+    const std::size_t end = context - config_.input_window + k + 1;
+    const double smoothed = smoother_.smooth_last(
+        std::span<const double>(padded.data(), end));
+    in[k] = normalizer_.transform(smoothed);
+  }
+  if (config_.include_raw_input) {
+    in.back() = normalizer_.transform(recent.back());
+  }
+  const auto out = net_.forward(in);
+  // Entity counts are non-negative.
+  if (config_.predict_delta) {
+    return std::max(0.0, recent.back() + out[0] * delta_scale_);
+  }
+  return std::max(0.0, normalizer_.inverse(out[0]));
+}
+
+NeuralPredictor::NeuralPredictor(std::shared_ptr<const NeuralModel> model)
+    : model_(std::move(model)) {
+  if (!model_) throw std::invalid_argument("NeuralPredictor: null model");
+}
+
+void NeuralPredictor::observe(double value) {
+  history_.push_back(value);
+  const std::size_t keep =
+      model_->config().input_window + model_->config().smoother_window;
+  while (history_.size() > keep) history_.pop_front();
+}
+
+double NeuralPredictor::predict() const {
+  if (history_.empty()) return 0.0;
+  const std::vector<double> recent(history_.begin(), history_.end());
+  return model_->predict_next(recent);
+}
+
+std::unique_ptr<Predictor> NeuralPredictor::make_fresh() const {
+  return std::make_unique<NeuralPredictor>(model_);
+}
+
+}  // namespace mmog::predict

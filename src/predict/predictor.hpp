@@ -1,0 +1,38 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace mmog::predict {
+
+/// Interface of an online one-step-ahead load predictor (§IV). The caller
+/// feeds each new sample with observe(); predict() returns the estimate for
+/// the next sampling step (two minutes ahead in the paper's setup).
+///
+/// Predictors are cheap, single-zone objects; the provisioner instantiates
+/// one per sub-zone (or per server group) via a PredictorFactory.
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Human-readable algorithm name ("Neural", "Last value", ...).
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Records a newly measured sample.
+  virtual void observe(double value) = 0;
+
+  /// Predicts the value of the next sample. Implementations must return a
+  /// finite value even before any observation (0 by convention).
+  virtual double predict() const = 0;
+
+  /// Fresh instance of the same algorithm with empty history. Trained
+  /// models (the neural predictor) share their immutable trained state.
+  virtual std::unique_ptr<Predictor> make_fresh() const = 0;
+};
+
+/// Creates fresh predictor instances; used to spawn one per sub-zone.
+using PredictorFactory = std::function<std::unique_ptr<Predictor>()>;
+
+}  // namespace mmog::predict

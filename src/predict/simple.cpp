@@ -1,0 +1,70 @@
+#include "predict/simple.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace mmog::predict {
+
+MovingAveragePredictor::MovingAveragePredictor(std::size_t window)
+    : window_(window) {
+  if (window_ == 0) {
+    throw std::invalid_argument("MovingAveragePredictor: window == 0");
+  }
+}
+
+void MovingAveragePredictor::observe(double value) {
+  values_.push_back(value);
+  sum_ += value;
+  if (values_.size() > window_) {
+    sum_ -= values_.front();
+    values_.pop_front();
+  }
+}
+
+double MovingAveragePredictor::predict() const {
+  if (values_.empty()) return 0.0;
+  return sum_ / static_cast<double>(values_.size());
+}
+
+SlidingWindowMedianPredictor::SlidingWindowMedianPredictor(std::size_t window)
+    : window_(window) {
+  if (window_ == 0) {
+    throw std::invalid_argument("SlidingWindowMedianPredictor: window == 0");
+  }
+}
+
+void SlidingWindowMedianPredictor::observe(double value) {
+  values_.push_back(value);
+  if (values_.size() > window_) values_.pop_front();
+}
+
+double SlidingWindowMedianPredictor::predict() const {
+  if (values_.empty()) return 0.0;
+  std::vector<double> sorted(values_.begin(), values_.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  return n % 2 == 1 ? sorted[n / 2]
+                    : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+ExponentialSmoothingPredictor::ExponentialSmoothingPredictor(double alpha)
+    : alpha_(alpha) {
+  if (alpha_ <= 0.0 || alpha_ > 1.0) {
+    throw std::invalid_argument(
+        "ExponentialSmoothingPredictor: alpha not in (0,1]");
+  }
+  name_ = "Exp. smoothing " +
+          std::to_string(static_cast<int>(alpha_ * 100.0 + 0.5)) + "%";
+}
+
+void ExponentialSmoothingPredictor::observe(double value) {
+  if (!primed_) {
+    state_ = value;
+    primed_ = true;
+  } else {
+    state_ = alpha_ * value + (1.0 - alpha_) * state_;
+  }
+}
+
+}  // namespace mmog::predict

@@ -1,0 +1,100 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace mmog::trace {
+
+std::vector<StepAggregate> aggregate_over_groups(const RegionalTrace& region) {
+  std::vector<StepAggregate> out;
+  if (region.groups.empty()) return out;
+  const std::size_t steps = region.groups.front().players.size();
+  out.resize(steps);
+  std::vector<double> column(region.groups.size());
+  for (std::size_t t = 0; t < steps; ++t) {
+    for (std::size_t g = 0; g < region.groups.size(); ++g) {
+      column[g] = region.groups[g].players[t];
+    }
+    out[t].min = *std::min_element(column.begin(), column.end());
+    out[t].max = *std::max_element(column.begin(), column.end());
+    out[t].median = util::median(column);
+  }
+  return out;
+}
+
+std::vector<double> iqr_over_time(const RegionalTrace& region) {
+  std::vector<double> out;
+  if (region.groups.empty()) return out;
+  const std::size_t steps = region.groups.front().players.size();
+  out.resize(steps);
+  std::vector<double> column(region.groups.size());
+  for (std::size_t t = 0; t < steps; ++t) {
+    for (std::size_t g = 0; g < region.groups.size(); ++g) {
+      column[g] = region.groups[g].players[t];
+    }
+    out[t] = util::interquartile_range(column);
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> group_autocorrelations(
+    const RegionalTrace& region, std::size_t max_lag) {
+  std::vector<std::vector<double>> out;
+  out.reserve(region.groups.size());
+  for (const auto& g : region.groups) {
+    out.push_back(util::autocorrelation(g.players.values(), max_lag));
+  }
+  return out;
+}
+
+std::size_t count_always_full(const RegionalTrace& region, double fraction,
+                              double min_time_fraction) {
+  std::size_t count = 0;
+  for (const auto& g : region.groups) {
+    if (g.players.empty()) continue;
+    const double threshold = fraction * static_cast<double>(g.capacity);
+    std::size_t above = 0;
+    for (double v : g.players.values()) {
+      if (v >= threshold) ++above;
+    }
+    const double time_fraction =
+        static_cast<double>(above) / static_cast<double>(g.players.size());
+    if (time_fraction >= min_time_fraction) ++count;
+  }
+  return count;
+}
+
+std::vector<DetectedEvent> detect_events(const util::TimeSeries& global,
+                                         std::size_t window, double threshold) {
+  std::vector<DetectedEvent> events;
+  const std::size_t n = global.size();
+  if (n < 2 * window + 1) return events;
+  for (std::size_t t = window; t + window < n; ++t) {
+    double before = 0.0, after = 0.0;
+    for (std::size_t i = t - window; i < t; ++i) before += global[i];
+    for (std::size_t i = t; i < t + window; ++i) after += global[i];
+    before /= static_cast<double>(window);
+    after /= static_cast<double>(window);
+    if (before <= 0.0) continue;
+    const double rel = (after - before) / before;
+    if (std::abs(rel) < threshold) continue;
+    DetectedEvent ev;
+    ev.kind = rel < 0.0 ? DetectedEvent::Kind::kDrop
+                        : DetectedEvent::Kind::kSurge;
+    ev.step = t;
+    ev.relative_change = rel;
+    if (!events.empty() && events.back().kind == ev.kind &&
+        t - events.back().step < window) {
+      if (std::abs(rel) > std::abs(events.back().relative_change)) {
+        events.back() = ev;  // keep the strongest sample of the episode
+      }
+    } else {
+      events.push_back(ev);
+    }
+  }
+  return events;
+}
+
+}  // namespace mmog::trace

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace mmog::trace {
+
+/// Per-step aggregate across a region's server groups (top sub-plot of the
+/// paper's Fig 3: minimum, median and maximum load at every time step).
+struct StepAggregate {
+  double min = 0.0;
+  double median = 0.0;
+  double max = 0.0;
+};
+
+/// Computes min/median/max of the group loads at each step.
+std::vector<StepAggregate> aggregate_over_groups(const RegionalTrace& region);
+
+/// Interquartile range of the group loads at each step (middle sub-plot of
+/// Fig 3).
+std::vector<double> iqr_over_time(const RegionalTrace& region);
+
+/// Autocorrelation function of each group's load up to `max_lag` (bottom
+/// sub-plot of Fig 3; with 2-minute samples a 24 h cycle peaks at lag 720).
+std::vector<std::vector<double>> group_autocorrelations(
+    const RegionalTrace& region, std::size_t max_lag);
+
+/// Counts the groups whose load stays at or above `fraction` of capacity for
+/// at least `min_time_fraction` of the samples (§III-C: 2-5 % of servers are
+/// always at 95 %).
+std::size_t count_always_full(const RegionalTrace& region, double fraction,
+                              double min_time_fraction = 0.95);
+
+/// A detected population shock in a global player-count series.
+struct DetectedEvent {
+  enum class Kind { kDrop, kSurge };
+  Kind kind = Kind::kDrop;
+  std::size_t step = 0;       ///< where the change completes
+  double relative_change = 0; ///< e.g. -0.25 for a quarter drop
+};
+
+/// Scans a global series with a trailing/leading window of `window` samples
+/// and reports changes whose magnitude exceeds `threshold` (relative).
+/// Events closer than `window` samples apart are merged (strongest kept).
+std::vector<DetectedEvent> detect_events(const util::TimeSeries& global,
+                                         std::size_t window = 720,
+                                         double threshold = 0.18);
+
+}  // namespace mmog::trace

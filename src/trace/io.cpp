@@ -1,0 +1,110 @@
+#include "trace/io.hpp"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace mmog::trace {
+
+void write_world_csv(std::ostream& out, const WorldTrace& world) {
+  util::write_csv_row(out, {"region", "utc_offset_hours", "group", "capacity",
+                            "step", "players"});
+  for (const auto& region : world.regions) {
+    for (const auto& group : region.groups) {
+      for (std::size_t t = 0; t < group.players.size(); ++t) {
+        util::write_csv_row(
+            out, {region.name, std::to_string(region.utc_offset_hours),
+                  group.name, std::to_string(group.capacity),
+                  std::to_string(t), std::to_string(group.players[t])});
+      }
+    }
+  }
+}
+
+void write_world_csv_file(const std::string& path, const WorldTrace& world) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_world_csv_file: cannot open " + path);
+  }
+  write_world_csv(out, world);
+}
+
+WorldTrace read_world_csv(std::istream& in) {
+  const auto doc = util::read_csv(in);
+  const auto c_region = doc.column("region");
+  const auto c_offset = doc.column("utc_offset_hours");
+  const auto c_group = doc.column("group");
+  const auto c_capacity = doc.column("capacity");
+  const auto c_step = doc.column("step");
+  const auto c_players = doc.column("players");
+
+  WorldTrace world;
+  std::map<std::string, std::size_t> region_index;
+  std::map<std::pair<std::string, std::string>, std::size_t> group_index;
+
+  auto to_number = [](const std::string& s, const char* what) -> double {
+    try {
+      std::size_t pos = 0;
+      const double v = std::stod(s, &pos);
+      if (pos != s.size()) throw std::invalid_argument(s);
+      return v;
+    } catch (const std::exception&) {
+      throw std::runtime_error(std::string("read_world_csv: bad ") + what +
+                               " value '" + s + "'");
+    }
+  };
+
+  for (const auto& row : doc.rows) {
+    if (row.size() < doc.header.size()) {
+      throw std::runtime_error("read_world_csv: short row");
+    }
+    const auto& region_name = row[c_region];
+    auto [rit, region_new] =
+        region_index.try_emplace(region_name, world.regions.size());
+    if (region_new) {
+      RegionalTrace region;
+      region.name = region_name;
+      region.utc_offset_hours = static_cast<int>(
+          to_number(row[c_offset], "utc_offset_hours"));
+      world.regions.push_back(std::move(region));
+    }
+    auto& region = world.regions[rit->second];
+
+    const auto key = std::make_pair(region_name, row[c_group]);
+    auto [git, group_new] = group_index.try_emplace(key, region.groups.size());
+    if (group_new) {
+      ServerGroupTrace group;
+      group.name = row[c_group];
+      group.capacity = static_cast<std::size_t>(
+          to_number(row[c_capacity], "capacity"));
+      group.players = util::TimeSeries(util::kSampleStepSeconds);
+      region.groups.push_back(std::move(group));
+    }
+    auto& group = region.groups[git->second];
+
+    const auto step =
+        static_cast<std::size_t>(to_number(row[c_step], "step"));
+    if (step != group.players.size()) {
+      std::ostringstream msg;
+      msg << "read_world_csv: non-contiguous step " << step << " for group "
+          << group.name << " (expected " << group.players.size() << ")";
+      throw std::runtime_error(msg.str());
+    }
+    group.players.push_back(to_number(row[c_players], "players"));
+  }
+  return world;
+}
+
+WorldTrace read_world_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("read_world_csv_file: cannot open " + path);
+  }
+  return read_world_csv(in);
+}
+
+}  // namespace mmog::trace

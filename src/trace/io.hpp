@@ -1,0 +1,24 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace mmog::trace {
+
+/// Serializes a world trace as long-format CSV with the columns
+/// `region,utc_offset_hours,group,capacity,step,players` — the same shape a
+/// scrape of a live status page (the paper's RuneScape collector) would
+/// produce, so real traces can be dropped in for the synthetic ones.
+void write_world_csv(std::ostream& out, const WorldTrace& world);
+void write_world_csv_file(const std::string& path, const WorldTrace& world);
+
+/// Parses a world trace written by write_world_csv (or hand-assembled in
+/// the same format). Regions and groups appear in first-seen order; steps
+/// must be contiguous from 0 per group. Throws std::runtime_error on
+/// malformed input (missing columns, non-numeric cells, gaps).
+WorldTrace read_world_csv(std::istream& in);
+WorldTrace read_world_csv_file(const std::string& path);
+
+}  // namespace mmog::trace

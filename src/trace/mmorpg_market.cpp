@@ -1,0 +1,90 @@
+#include "trace/mmorpg_market.hpp"
+
+#include <cmath>
+
+namespace mmog::trace {
+
+double title_players_at(const TitleSpec& title, double year) {
+  if (year < title.launch_year) return 0.0;
+  // Logistic ramp centred ~1.5 years after launch.
+  const double x = year - title.launch_year - 1.5;
+  double players =
+      title.plateau_players / (1.0 + std::exp(-title.growth_rate * x));
+  if (title.decline_start_year > 0.0 && year > title.decline_start_year) {
+    players *= std::exp(-title.decline_rate * (year - title.decline_start_year));
+  }
+  return players;
+}
+
+std::vector<MarketPoint> market_series(const std::vector<TitleSpec>& titles,
+                                       double from_year, double to_year,
+                                       double step_years) {
+  std::vector<MarketPoint> out;
+  if (step_years <= 0.0 || to_year < from_year) return out;
+  for (double y = from_year; y <= to_year + 1e-9; y += step_years) {
+    MarketPoint p;
+    p.year = y;
+    p.per_title.reserve(titles.size());
+    for (const auto& t : titles) {
+      const double v = title_players_at(t, y);
+      p.per_title.push_back(v);
+      p.total += v;
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<TitleSpec> paper_title_catalog() {
+  // Plateaus in players; the six >500k titles of 2008 are WoW, RuneScape,
+  // Lineage, Lineage II, Final Fantasy XI and Dofus.
+  return {
+      {"The Realm Online", 1996.8, 25e3, 2.0, 2000.0, 0.4},
+      {"Ultima Online", 1997.7, 250e3, 2.0, 2004.0, 0.25},
+      {"Lineage", 1998.7, 3.2e6, 1.6, 2006.0, 0.25},
+      {"EverQuest", 1999.2, 480e3, 2.0, 2005.0, 0.35},
+      {"Asheron's Call", 1999.9, 120e3, 2.0, 2003.0, 0.4},
+      {"Anarchy Online", 2001.5, 120e3, 2.0, 2004.0, 0.35},
+      {"World War II Online", 2001.4, 40e3, 2.5, 2003.0, 0.3},
+      {"Majestic", 2001.6, 15e3, 3.0, 2002.2, 2.0},
+      {"Dark Age of Camelot", 2001.8, 250e3, 2.2, 2005.0, 0.35},
+      {"Motor City Online", 2001.8, 30e3, 3.0, 2003.0, 1.5},
+      {"Tibia", 2001.0, 300e3, 1.2},
+      {"RuneScape", 2001.0, 5.0e6, 0.9},
+      {"Final Fantasy XI", 2002.4, 550e3, 1.8},
+      {"Earth & Beyond", 2002.7, 40e3, 3.0, 2004.0, 1.0},
+      {"Asheron's Call 2", 2002.9, 50e3, 2.5, 2004.0, 1.2},
+      {"The Sims Online", 2002.9, 100e3, 2.5, 2004.0, 0.8},
+      {"There", 2003.0, 30e3, 2.0},
+      {"A Tale in the Desert", 2003.1, 5e3, 2.0},
+      {"EverQuest Online Adventures", 2003.1, 60e3, 2.5, 2005.0, 0.6},
+      {"Shadowbane", 2003.2, 80e3, 3.0, 2004.5, 0.8},
+      {"Eve Online", 2003.4, 240e3, 1.0},
+      {"PlanetSide", 2003.4, 60e3, 3.0, 2004.5, 0.6},
+      {"Toontown Online", 2003.4, 120e3, 1.5},
+      {"Second Life", 2003.5, 450e3, 1.2},
+      {"Star Wars Galaxies", 2003.5, 300e3, 2.8, 2005.8, 0.5},
+      {"Lineage II", 2003.8, 2.2e6, 1.8, 2007.0, 0.15},
+      {"Puzzle Pirates", 2003.9, 40e3, 2.0},
+      {"Horizons", 2003.9, 30e3, 3.0, 2004.8, 0.8},
+      {"City of Heroes / Villains", 2004.3, 180e3, 2.5, 2006.0, 0.3},
+      {"Dofus", 2004.7, 1.5e6, 1.4},
+      {"EverQuest II", 2004.8, 300e3, 2.2, 2006.5, 0.2},
+      {"World of Warcraft", 2004.9, 10.5e6, 1.3},
+      {"The Matrix Online", 2005.2, 50e3, 3.0, 2005.8, 0.8},
+      {"Guild Wars", 2005.3, 480e3, 1.5, 2007.5, 0.2},
+      {"Dungeons & Dragons Online", 2006.1, 120e3, 2.5, 2007.0, 0.4},
+      {"Auto Assault", 2006.3, 15e3, 3.0, 2006.8, 2.5},
+  };
+}
+
+std::vector<std::string> titles_above(const std::vector<TitleSpec>& titles,
+                                      double year, double threshold) {
+  std::vector<std::string> names;
+  for (const auto& t : titles) {
+    if (title_players_at(t, year) >= threshold) names.push_back(t.name);
+  }
+  return names;
+}
+
+}  // namespace mmog::trace

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mmog::trace {
+
+/// Logistic subscription-growth model of one MMORPG title (the paper's
+/// Fig 1, after Woodcock's survey). Each title ramps towards a plateau and
+/// optionally declines after its prime.
+struct TitleSpec {
+  std::string name;
+  double launch_year = 2000.0;
+  double plateau_players = 100e3;  ///< subscriber plateau
+  double growth_rate = 2.0;        ///< logistic steepness, 1/years
+  double decline_start_year = 0.0; ///< 0 = no decline
+  double decline_rate = 0.0;       ///< exponential decline, 1/years
+};
+
+/// Player count of one title at a (fractional) calendar year.
+double title_players_at(const TitleSpec& title, double year);
+
+/// One sampled point in the market series.
+struct MarketPoint {
+  double year = 0.0;
+  std::vector<double> per_title;  ///< same order as the title catalog
+  double total = 0.0;
+};
+
+/// Samples the market between [from_year, to_year] every `step_years`.
+std::vector<MarketPoint> market_series(const std::vector<TitleSpec>& titles,
+                                       double from_year, double to_year,
+                                       double step_years = 0.25);
+
+/// The Fig 1 catalog: the MMORPG titles the paper plots, parameterized from
+/// the numbers it quotes (six titles above 500 k players in 2008, World of
+/// Warcraft ≈ 10 M, RuneScape ≈ 5 M active, ≈ 25 M total by 2008; the same
+/// growth extrapolates to > 60 M by 2011).
+std::vector<TitleSpec> paper_title_catalog();
+
+/// Titles with at least `threshold` players at `year`.
+std::vector<std::string> titles_above(const std::vector<TitleSpec>& titles,
+                                      double year, double threshold);
+
+}  // namespace mmog::trace

@@ -1,0 +1,29 @@
+#include "trace/trace.hpp"
+
+namespace mmog::trace {
+
+util::TimeSeries RegionalTrace::total() const {
+  if (groups.empty()) return util::TimeSeries();
+  std::vector<util::TimeSeries> all;
+  all.reserve(groups.size());
+  for (const auto& g : groups) all.push_back(g.players);
+  return util::TimeSeries::sum(all);
+}
+
+util::TimeSeries WorldTrace::global() const {
+  std::vector<util::TimeSeries> all;
+  for (const auto& r : regions) {
+    if (!r.groups.empty()) all.push_back(r.total());
+  }
+  if (all.empty()) return util::TimeSeries();
+  return util::TimeSeries::sum(all);
+}
+
+std::size_t WorldTrace::steps() const {
+  for (const auto& r : regions) {
+    for (const auto& g : r.groups) return g.players.size();
+  }
+  return 0;
+}
+
+}  // namespace mmog::trace

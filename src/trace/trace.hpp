@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/timeseries.hpp"
+
+namespace mmog::trace {
+
+/// Player-count time series of one server group (the unit the RuneScape
+/// status page reports: a named server cluster with a player capacity).
+struct ServerGroupTrace {
+  std::string name;
+  std::size_t capacity = 2000;  ///< max concurrent players (RuneScape: 2000)
+  util::TimeSeries players;     ///< concurrent players every 2 minutes
+};
+
+/// All server groups of one geographic region.
+struct RegionalTrace {
+  std::string name;            ///< e.g. "Europe", "US East Coast"
+  int utc_offset_hours = 0;    ///< local-time offset used by diurnal patterns
+  std::vector<ServerGroupTrace> groups;
+
+  /// Sum of player counts across the region's groups.
+  util::TimeSeries total() const;
+};
+
+/// A full multi-region workload trace.
+struct WorldTrace {
+  double step_seconds = util::kSampleStepSeconds;
+  std::vector<RegionalTrace> regions;
+
+  /// Sum of player counts across all regions (the paper's Fig 2 view).
+  util::TimeSeries global() const;
+
+  /// Number of samples per group (0 when empty).
+  std::size_t steps() const;
+};
+
+}  // namespace mmog::trace

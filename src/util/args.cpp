@@ -1,0 +1,64 @@
+#include "util/args.hpp"
+
+#include <stdexcept>
+
+namespace mmog::util {
+
+Args::Args(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0 && token.size() > 2) {
+      const std::string name = token.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        options_[name] = argv[++i];
+      } else {
+        options_[name] = "";  // boolean flag
+      }
+    } else {
+      positional_.push_back(token);
+    }
+  }
+}
+
+bool Args::has(const std::string& name) const {
+  return options_.find(name) != options_.end();
+}
+
+std::string Args::get(const std::string& name,
+                      const std::string& fallback) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument(it->second);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Args: --" + name +
+                                " expects a number, got '" + it->second +
+                                "'");
+  }
+}
+
+long Args::get_long(const std::string& name, long fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const long v = std::stol(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument(it->second);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Args: --" + name +
+                                " expects an integer, got '" + it->second +
+                                "'");
+  }
+}
+
+}  // namespace mmog::util

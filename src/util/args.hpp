@@ -1,0 +1,39 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mmog::util {
+
+/// Minimal command-line parser for the repo's CLI tools: long options of
+/// the form `--name value` or `--flag`, collected positionals, and typed
+/// accessors with defaults.
+class Args {
+ public:
+  /// Parses argv. An option token starts with "--"; a token following an
+  /// option that itself starts with "--" makes the former a boolean flag.
+  Args(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  /// String option or `fallback` when absent.
+  std::string get(const std::string& name, const std::string& fallback) const;
+
+  /// Numeric options; throw std::invalid_argument on non-numeric values.
+  double get_double(const std::string& name, double fallback) const;
+  long get_long(const std::string& name, long fallback) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+  const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mmog::util

@@ -1,0 +1,146 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mmog::util {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) noexcept {
+  if (xs.size() < 1) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q not in [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double interquartile_range(std::span<const double> xs) {
+  return quantile(xs, 0.75) - quantile(xs, 0.25);
+}
+
+namespace {
+
+/// Quantile of an already-sorted sample (linear interpolation).
+double quantile_sorted(std::span<const double> sorted, double q) noexcept {
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.mean = mean(xs);
+  s.stddev = std::sqrt(variance(xs));
+  s.median = quantile_sorted(sorted, 0.5);
+  s.q1 = quantile_sorted(sorted, 0.25);
+  s.q3 = quantile_sorted(sorted, 0.75);
+  return s;
+}
+
+std::vector<double> autocorrelation(std::span<const double> xs,
+                                    std::size_t max_lag) {
+  std::vector<double> acf(max_lag + 1, 0.0);
+  const std::size_t n = xs.size();
+  if (n == 0) return acf;
+  const double m = mean(xs);
+  double denom = 0.0;
+  for (double x : xs) denom += (x - m) * (x - m);
+  if (denom <= 0.0) return acf;  // constant series
+  for (std::size_t lag = 0; lag <= max_lag && lag < n; ++lag) {
+    double num = 0.0;
+    for (std::size_t t = lag; t < n; ++t) {
+      num += (xs[t] - m) * (xs[t - lag] - m);
+    }
+    acf[lag] = num / denom;
+  }
+  return acf;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> xs) {
+  std::vector<CdfPoint> cdf;
+  if (xs.empty()) return cdf;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (!cdf.empty() && cdf.back().value == sorted[i]) {
+      cdf.back().fraction = static_cast<double>(i + 1) / n;
+    } else {
+      cdf.push_back({sorted[i], static_cast<double>(i + 1) / n});
+    }
+  }
+  return cdf;
+}
+
+double cdf_at(std::span<const CdfPoint> cdf, double value) noexcept {
+  double frac = 0.0;
+  for (const auto& p : cdf) {
+    if (p.value <= value) {
+      frac = p.fraction;
+    } else {
+      break;
+    }
+  }
+  return frac;
+}
+
+std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
+                                   double hi, std::size_t bins) {
+  std::vector<std::size_t> h(bins, 0);
+  if (bins == 0 || hi <= lo) return h;
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double x : xs) {
+    auto idx = static_cast<std::ptrdiff_t>((x - lo) / width);
+    idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                     static_cast<std::ptrdiff_t>(bins) - 1);
+    ++h[static_cast<std::size_t>(idx)];
+  }
+  return h;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) noexcept {
+  if (xs.size() != ys.size() || xs.empty()) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace mmog::util

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mmog::util {
+
+/// Descriptive summary of a sample: count, extremes, moments and quartiles.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  double median = 0.0;
+  double q1 = 0.0;  ///< first quartile (25th percentile)
+  double q3 = 0.0;  ///< third quartile (75th percentile)
+
+  /// Interquartile range q3 - q1.
+  double iqr() const noexcept { return q3 - q1; }
+};
+
+/// Computes the full summary of `xs`. Returns a zeroed summary when empty.
+Summary summarize(std::span<const double> xs);
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs) noexcept;
+
+/// Population variance; 0 for spans shorter than 1.
+double variance(std::span<const double> xs) noexcept;
+
+/// Linear-interpolation quantile, q in [0,1]. Throws std::invalid_argument
+/// for an empty span or q outside [0,1].
+double quantile(std::span<const double> xs, double q);
+
+/// Median (quantile 0.5).
+double median(std::span<const double> xs);
+
+/// Interquartile range (q3 - q1).
+double interquartile_range(std::span<const double> xs);
+
+/// Sample autocorrelation function up to `max_lag` (inclusive); result[0] is
+/// always 1 for a non-constant series. A constant series yields all-zero
+/// coefficients beyond lag 0 (its ACF is undefined; zero is a safe sentinel).
+std::vector<double> autocorrelation(std::span<const double> xs,
+                                    std::size_t max_lag);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;
+  double fraction = 0.0;  ///< P(X <= value), in [0,1]
+};
+
+/// Empirical CDF of `xs`, one point per distinct value.
+std::vector<CdfPoint> empirical_cdf(std::span<const double> xs);
+
+/// Evaluates an empirical CDF at `value` (fraction of samples <= value).
+double cdf_at(std::span<const CdfPoint> cdf, double value) noexcept;
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; values outside
+/// the range are clamped into the first/last bucket.
+std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
+                                   double hi, std::size_t bins);
+
+/// Pearson correlation coefficient of two equal-length series; 0 when either
+/// is constant or the spans are empty/mismatched.
+double pearson(std::span<const double> xs, std::span<const double> ys) noexcept;
+
+}  // namespace mmog::util

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mmog::util {
+
+/// Plain-text table builder used by the benchmark harnesses to print
+/// paper-style rows. Columns are right-aligned except the first, which is
+/// left-aligned (row label).
+class TextTable {
+ public:
+  /// Starts a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends one row; missing cells are rendered empty, extra cells dropped.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with `precision` decimals.
+  static std::string num(double v, int precision = 2);
+
+  /// Renders the table with a header separator line.
+  std::string to_string() const;
+
+  /// Renders as CSV (no alignment, comma-separated, quoted when needed).
+  std::string to_csv() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+}  // namespace mmog::util

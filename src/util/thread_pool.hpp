@@ -1,0 +1,67 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mmog::util {
+
+/// A fixed-size thread pool. Workers pull tasks from a shared queue; the
+/// pool joins all workers on destruction after draining outstanding work.
+///
+/// Thread-safety: submit() may be called concurrently from any thread.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Blocks until all queued tasks finish, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` and returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) across the pool and blocks until all complete.
+/// Work is split into contiguous chunks, one per worker. Exceptions from any
+/// chunk are rethrown (the first one encountered).
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Convenience overload using a process-wide shared pool.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// The process-wide shared pool (lazily constructed).
+ThreadPool& shared_pool();
+
+}  // namespace mmog::util

@@ -1,0 +1,66 @@
+#include "util/timeseries.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mmog::util {
+
+TimeSeries::TimeSeries(double step_seconds, std::vector<double> values)
+    : step_seconds_(step_seconds), values_(std::move(values)) {
+  if (step_seconds <= 0.0) {
+    throw std::invalid_argument("TimeSeries: step must be positive");
+  }
+}
+
+TimeSeries TimeSeries::slice(std::size_t first, std::size_t count) const {
+  TimeSeries out(step_seconds_);
+  if (first >= values_.size()) return out;
+  const std::size_t last = std::min(values_.size(), first + count);
+  out.values_.assign(values_.begin() + static_cast<std::ptrdiff_t>(first),
+                     values_.begin() + static_cast<std::ptrdiff_t>(last));
+  return out;
+}
+
+TimeSeries TimeSeries::downsample_mean(std::size_t factor) const {
+  if (factor == 0) throw std::invalid_argument("downsample_mean: factor == 0");
+  TimeSeries out(step_seconds_ * static_cast<double>(factor));
+  for (std::size_t i = 0; i < values_.size(); i += factor) {
+    const std::size_t end = std::min(values_.size(), i + factor);
+    double s = 0.0;
+    for (std::size_t j = i; j < end; ++j) s += values_[j];
+    out.push_back(s / static_cast<double>(end - i));
+  }
+  return out;
+}
+
+TimeSeries TimeSeries::sum(std::span<const TimeSeries> series) {
+  if (series.empty()) return TimeSeries();
+  TimeSeries out(series.front().step_seconds(),
+                 std::vector<double>(series.front().size(), 0.0));
+  for (const auto& s : series) {
+    if (s.size() != out.size() || s.step_seconds() != out.step_seconds()) {
+      throw std::invalid_argument("TimeSeries::sum: mismatched series");
+    }
+    for (std::size_t i = 0; i < s.size(); ++i) out[i] += s[i];
+  }
+  return out;
+}
+
+double TimeSeries::max() const noexcept {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double TimeSeries::min() const noexcept {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double TimeSeries::mean() const noexcept {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+}  // namespace mmog::util

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mmog::util {
+
+/// A fixed-step time series: samples taken every `step_seconds` starting at
+/// t = 0. This is the common currency between the trace generators, the
+/// predictors and the provisioning simulator (the paper samples every
+/// 2 minutes, i.e. step_seconds = 120).
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  /// Creates a series with the given sampling step (> 0) and optional
+  /// initial values. Throws std::invalid_argument on a non-positive step.
+  explicit TimeSeries(double step_seconds, std::vector<double> values = {});
+
+  double step_seconds() const noexcept { return step_seconds_; }
+  std::size_t size() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return values_.empty(); }
+
+  /// Wall-clock time of sample i.
+  double time_at(std::size_t i) const noexcept {
+    return static_cast<double>(i) * step_seconds_;
+  }
+
+  double operator[](std::size_t i) const noexcept { return values_[i]; }
+  double& operator[](std::size_t i) noexcept { return values_[i]; }
+
+  /// Bounds-checked access; throws std::out_of_range.
+  double at(std::size_t i) const { return values_.at(i); }
+
+  void push_back(double v) { values_.push_back(v); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  std::span<const double> values() const noexcept { return values_; }
+  std::vector<double>& mutable_values() noexcept { return values_; }
+
+  /// Sub-series [first, first+count); clamps to the available range.
+  TimeSeries slice(std::size_t first, std::size_t count) const;
+
+  /// Downsamples by averaging `factor` consecutive samples (factor >= 1).
+  /// The resulting step is factor * step_seconds. A trailing partial window
+  /// is averaged over however many samples it holds.
+  TimeSeries downsample_mean(std::size_t factor) const;
+
+  /// Element-wise sum of series with identical step and length.
+  /// Throws std::invalid_argument on mismatch.
+  static TimeSeries sum(std::span<const TimeSeries> series);
+
+  /// Largest value (0 for an empty series).
+  double max() const noexcept;
+
+  /// Smallest value (0 for an empty series).
+  double min() const noexcept;
+
+  /// Arithmetic mean (0 for an empty series).
+  double mean() const noexcept;
+
+ private:
+  double step_seconds_ = 1.0;
+  std::vector<double> values_;
+};
+
+/// Number of 2-minute samples in `days` simulated days.
+constexpr std::size_t samples_per_days(double days) noexcept {
+  return static_cast<std::size_t>(days * 24.0 * 30.0);  // 30 samples/hour
+}
+
+/// The paper's sampling interval: two minutes.
+inline constexpr double kSampleStepSeconds = 120.0;
+
+/// Samples per simulated day at the 2-minute interval.
+inline constexpr std::size_t kSamplesPerDay = 720;
+
+}  // namespace mmog::util

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace mmog::util {
+
+/// The four resource types of the paper's data-center model (§II-B):
+/// CPU time, memory, inbound external network, outbound external network.
+enum class ResourceKind : std::size_t {
+  kCpu = 0,
+  kMemory = 1,
+  kNetIn = 2,
+  kNetOut = 3,
+};
+
+inline constexpr std::size_t kResourceKinds = 4;
+
+/// Short printable name of a resource kind.
+constexpr std::string_view resource_name(ResourceKind k) noexcept {
+  switch (k) {
+    case ResourceKind::kCpu: return "CPU";
+    case ResourceKind::kMemory: return "Memory";
+    case ResourceKind::kNetIn: return "ExtNet[in]";
+    case ResourceKind::kNetOut: return "ExtNet[out]";
+  }
+  return "?";
+}
+
+/// A quantity of each resource type, in abstract "units" (one unit = the
+/// requirement of one fully loaded reference game server, per §V-A).
+/// Supports element-wise arithmetic; used for demand, offers and ledgers.
+struct ResourceVector {
+  std::array<double, kResourceKinds> v{};
+
+  constexpr double& operator[](ResourceKind k) noexcept {
+    return v[static_cast<std::size_t>(k)];
+  }
+  constexpr double operator[](ResourceKind k) const noexcept {
+    return v[static_cast<std::size_t>(k)];
+  }
+
+  constexpr double cpu() const noexcept { return (*this)[ResourceKind::kCpu]; }
+  constexpr double memory() const noexcept {
+    return (*this)[ResourceKind::kMemory];
+  }
+  constexpr double net_in() const noexcept {
+    return (*this)[ResourceKind::kNetIn];
+  }
+  constexpr double net_out() const noexcept {
+    return (*this)[ResourceKind::kNetOut];
+  }
+
+  constexpr ResourceVector& operator+=(const ResourceVector& o) noexcept {
+    for (std::size_t i = 0; i < kResourceKinds; ++i) v[i] += o.v[i];
+    return *this;
+  }
+  constexpr ResourceVector& operator-=(const ResourceVector& o) noexcept {
+    for (std::size_t i = 0; i < kResourceKinds; ++i) v[i] -= o.v[i];
+    return *this;
+  }
+  constexpr ResourceVector& operator*=(double s) noexcept {
+    for (auto& x : v) x *= s;
+    return *this;
+  }
+
+  friend constexpr ResourceVector operator+(ResourceVector a,
+                                            const ResourceVector& b) noexcept {
+    return a += b;
+  }
+  friend constexpr ResourceVector operator-(ResourceVector a,
+                                            const ResourceVector& b) noexcept {
+    return a -= b;
+  }
+  friend constexpr ResourceVector operator*(ResourceVector a,
+                                            double s) noexcept {
+    return a *= s;
+  }
+  friend constexpr ResourceVector operator*(double s,
+                                            ResourceVector a) noexcept {
+    return a *= s;
+  }
+  friend constexpr bool operator==(const ResourceVector&,
+                                   const ResourceVector&) noexcept = default;
+
+  /// True when every component of this vector is >= the other's.
+  constexpr bool covers(const ResourceVector& need) const noexcept {
+    for (std::size_t i = 0; i < kResourceKinds; ++i) {
+      if (v[i] < need.v[i]) return false;
+    }
+    return true;
+  }
+
+  /// True when every component is (numerically) non-negative.
+  constexpr bool non_negative() const noexcept {
+    for (double x : v) {
+      if (x < 0.0) return false;
+    }
+    return true;
+  }
+
+  /// Element-wise max with zero (clips negatives).
+  constexpr ResourceVector clamped_non_negative() const noexcept {
+    ResourceVector r = *this;
+    for (auto& x : r.v) {
+      if (x < 0.0) x = 0.0;
+    }
+    return r;
+  }
+
+  /// Builds a vector from the four components in enum order.
+  static constexpr ResourceVector of(double cpu, double memory, double net_in,
+                                     double net_out) noexcept {
+    ResourceVector r;
+    r.v = {cpu, memory, net_in, net_out};
+    return r;
+  }
+};
+
+}  // namespace mmog::util

@@ -1,0 +1,119 @@
+#include "core/load_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mmog::core {
+namespace {
+
+TEST(UpdateCostTest, ZeroAndNegativeEntitiesCostNothing) {
+  for (auto m : {UpdateModel::kLinear, UpdateModel::kQuadratic,
+                 UpdateModel::kCubic}) {
+    EXPECT_DOUBLE_EQ(update_cost(m, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(update_cost(m, -5.0), 0.0);
+  }
+}
+
+TEST(UpdateCostTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(update_cost(UpdateModel::kLinear, 8.0), 8.0);
+  EXPECT_DOUBLE_EQ(update_cost(UpdateModel::kQuadratic, 8.0), 64.0);
+  EXPECT_DOUBLE_EQ(update_cost(UpdateModel::kCubic, 8.0), 512.0);
+  EXPECT_NEAR(update_cost(UpdateModel::kNLogN, 8.0), 8.0 * std::log2(9.0),
+              1e-12);
+  EXPECT_NEAR(update_cost(UpdateModel::kQuadraticLogN, 8.0),
+              64.0 * std::log2(9.0), 1e-12);
+}
+
+TEST(UpdateCostTest, ComplexityOrderingHolds) {
+  // For n > 2 the models order strictly by asymptotic complexity.
+  const double n = 100.0;
+  EXPECT_LT(update_cost(UpdateModel::kLinear, n),
+            update_cost(UpdateModel::kNLogN, n));
+  EXPECT_LT(update_cost(UpdateModel::kNLogN, n),
+            update_cost(UpdateModel::kQuadratic, n));
+  EXPECT_LT(update_cost(UpdateModel::kQuadratic, n),
+            update_cost(UpdateModel::kQuadraticLogN, n));
+  EXPECT_LT(update_cost(UpdateModel::kQuadraticLogN, n),
+            update_cost(UpdateModel::kCubic, n));
+}
+
+TEST(UpdateModelTest, NamesMatchPaperNotation) {
+  EXPECT_EQ(update_model_name(UpdateModel::kLinear), "O(n)");
+  EXPECT_EQ(update_model_name(UpdateModel::kQuadratic), "O(n^2)");
+  EXPECT_EQ(update_model_name(UpdateModel::kCubic), "O(n^3)");
+}
+
+TEST(UpdateModelTest, AreaOfInterestReducesComplexity) {
+  // §II-A: O(n^2) -> O(n log n) and O(n^3) -> O(n^2 log n).
+  EXPECT_EQ(with_area_of_interest(UpdateModel::kQuadratic),
+            UpdateModel::kNLogN);
+  EXPECT_EQ(with_area_of_interest(UpdateModel::kCubic),
+            UpdateModel::kQuadraticLogN);
+  EXPECT_EQ(with_area_of_interest(UpdateModel::kLinear), UpdateModel::kLinear);
+  EXPECT_EQ(with_area_of_interest(UpdateModel::kNLogN), UpdateModel::kNLogN);
+}
+
+TEST(LoadModelTest, FullServerNeedsExactlyOneUnitOfEverything) {
+  for (auto m : {UpdateModel::kLinear, UpdateModel::kNLogN,
+                 UpdateModel::kQuadratic, UpdateModel::kQuadraticLogN,
+                 UpdateModel::kCubic}) {
+    LoadModel load{m, 2000.0};
+    const auto d = load.demand(2000.0);
+    EXPECT_NEAR(d.cpu(), 1.0, 1e-12) << update_model_name(m);
+    EXPECT_NEAR(d.memory(), 1.0, 1e-12);
+    EXPECT_NEAR(d.net_in(), 1.0, 1e-12);
+    EXPECT_NEAR(d.net_out(), 1.0, 1e-12);
+  }
+}
+
+TEST(LoadModelTest, HalfLoadCpuDependsOnModel) {
+  LoadModel linear{UpdateModel::kLinear, 2000.0};
+  LoadModel quad{UpdateModel::kQuadratic, 2000.0};
+  LoadModel cubic{UpdateModel::kCubic, 2000.0};
+  EXPECT_NEAR(linear.demand(1000.0).cpu(), 0.5, 1e-12);
+  EXPECT_NEAR(quad.demand(1000.0).cpu(), 0.25, 1e-12);
+  EXPECT_NEAR(cubic.demand(1000.0).cpu(), 0.125, 1e-12);
+}
+
+TEST(LoadModelTest, LinearResourcesAreModelIndependent) {
+  LoadModel quad{UpdateModel::kQuadratic, 2000.0};
+  const auto d = quad.demand(500.0);
+  EXPECT_NEAR(d.memory(), 0.25, 1e-12);
+  EXPECT_NEAR(d.net_in(), 0.25, 1e-12);
+  EXPECT_NEAR(d.net_out(), 0.25, 1e-12);
+}
+
+TEST(LoadModelTest, HigherComplexityAmplifiesLoadSwings) {
+  // The key driver of §V-C: between half and full load the O(n^3) CPU demand
+  // swings 8x while O(n) swings only 2x.
+  LoadModel linear{UpdateModel::kLinear, 2000.0};
+  LoadModel cubic{UpdateModel::kCubic, 2000.0};
+  const double lin_ratio = linear.demand(2000.0).cpu() / linear.demand(1000.0).cpu();
+  const double cub_ratio = cubic.demand(2000.0).cpu() / cubic.demand(1000.0).cpu();
+  EXPECT_NEAR(lin_ratio, 2.0, 1e-9);
+  EXPECT_NEAR(cub_ratio, 8.0, 1e-9);
+}
+
+TEST(LoadModelTest, NegativePlayersClampToZero) {
+  LoadModel load{UpdateModel::kQuadratic, 2000.0};
+  EXPECT_EQ(load.demand(-10.0), util::ResourceVector{});
+}
+
+TEST(LoadModelTest, DemandIsMonotonicInPlayers) {
+  LoadModel load{UpdateModel::kQuadraticLogN, 2000.0};
+  double prev = -1.0;
+  for (double p = 0.0; p <= 2000.0; p += 100.0) {
+    const double cpu = load.demand(p).cpu();
+    EXPECT_GE(cpu, prev);
+    prev = cpu;
+  }
+}
+
+TEST(LoadModelTest, DegenerateReferenceYieldsZeroDemand) {
+  LoadModel load{UpdateModel::kQuadratic, 0.0};
+  EXPECT_DOUBLE_EQ(load.demand(100.0).cpu(), 0.0);
+}
+
+}  // namespace
+}  // namespace mmog::core

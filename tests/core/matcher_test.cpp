@@ -1,0 +1,113 @@
+#include "core/matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mmog::core {
+namespace {
+
+dc::DataCenterSpec make_dc(std::string name, dc::GeoPoint loc, int policy,
+                           std::size_t machines = 10) {
+  dc::DataCenterSpec d;
+  d.name = std::move(name);
+  d.location = loc;
+  d.machines = machines;
+  d.policy = dc::HostingPolicy::preset(policy);
+  return d;
+}
+
+// A simple line of data centers: local, ~900 km away, ~3000 km away.
+std::vector<dc::DataCenterSpec> line_world() {
+  return {
+      make_dc("Local", {52.37, 4.90}, 5),       // Amsterdam
+      make_dc("Near", {48.86, 2.35}, 5),        // Paris (~430 km)
+      make_dc("Far", {40.41, -3.70}, 5),        // Madrid (~1480 km)
+      make_dc("VeryFar", {40.71, -74.01}, 5),   // New York (~5860 km)
+  };
+}
+
+TEST(MatcherTest, FiltersByTolerance) {
+  const auto world = line_world();
+  const Matcher matcher(world);
+  const dc::GeoPoint amsterdam{52.37, 4.90};
+  EXPECT_EQ(matcher.candidates(amsterdam, dc::DistanceClass::kSameLocation)
+                .size(),
+            1u);
+  EXPECT_EQ(matcher.candidates(amsterdam, dc::DistanceClass::kVeryClose)
+                .size(),
+            2u);
+  EXPECT_EQ(matcher.candidates(amsterdam, dc::DistanceClass::kClose).size(),
+            3u);
+  EXPECT_EQ(matcher.candidates(amsterdam, dc::DistanceClass::kVeryFar).size(),
+            4u);
+}
+
+TEST(MatcherTest, EqualPoliciesSortByDistance) {
+  const auto world = line_world();
+  const Matcher matcher(world);
+  const dc::GeoPoint amsterdam{52.37, 4.90};
+  const auto order =
+      matcher.candidates(amsterdam, dc::DistanceClass::kVeryFar);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(matcher.spec(order[0]).name, "Local");
+  EXPECT_EQ(matcher.spec(order[1]).name, "Near");
+  EXPECT_EQ(matcher.spec(order[2]).name, "Far");
+  EXPECT_EQ(matcher.spec(order[3]).name, "VeryFar");
+}
+
+TEST(MatcherTest, FinerGrainBeatsProximity) {
+  // §V-E: a coarse-policy local center loses to a finer remote one within
+  // tolerance.
+  auto world = line_world();
+  world[0].policy = dc::HostingPolicy::preset(7);  // local becomes coarse
+  world[2].policy = dc::HostingPolicy::preset(3);  // far becomes finest
+  const Matcher matcher(world);
+  const dc::GeoPoint amsterdam{52.37, 4.90};
+  const auto order = matcher.candidates(amsterdam, dc::DistanceClass::kClose);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(matcher.spec(order[0]).name, "Far");   // finest grain first
+  EXPECT_EQ(matcher.spec(order[1]).name, "Near");
+  EXPECT_EQ(matcher.spec(order[2]).name, "Local");  // coarse goes last
+}
+
+TEST(MatcherTest, ShorterTimeBulkBreaksTies) {
+  auto world = line_world();
+  world[0].policy = dc::HostingPolicy::preset(9);  // 0.37 CPU, 720 min
+  world[1].policy = dc::HostingPolicy::preset(5);  // 0.37 CPU, 180 min
+  const Matcher matcher(world);
+  const dc::GeoPoint amsterdam{52.37, 4.90};
+  const auto order =
+      matcher.candidates(amsterdam, dc::DistanceClass::kVeryClose);
+  ASSERT_EQ(order.size(), 2u);
+  // Same CPU bulk: the shorter reservation period wins despite distance.
+  EXPECT_EQ(matcher.spec(order[0]).name, "Near");
+}
+
+TEST(MatcherTest, NoCandidatesOutsideTolerance) {
+  const auto world = line_world();
+  const Matcher matcher(world);
+  const dc::GeoPoint sydney{-33.87, 151.21};
+  EXPECT_TRUE(
+      matcher.candidates(sydney, dc::DistanceClass::kClose).empty());
+}
+
+TEST(MatcherTest, DistanceKmMatchesHaversine) {
+  const auto world = line_world();
+  const Matcher matcher(world);
+  const dc::GeoPoint amsterdam{52.37, 4.90};
+  EXPECT_NEAR(matcher.distance_km(amsterdam, 0), 0.0, 1.0);
+  EXPECT_NEAR(matcher.distance_km(amsterdam, 1), 430.0, 30.0);
+}
+
+TEST(MatcherTest, DeterministicOrdering) {
+  const auto world = line_world();
+  const Matcher matcher(world);
+  const dc::GeoPoint amsterdam{52.37, 4.90};
+  const auto a = matcher.candidates(amsterdam, dc::DistanceClass::kVeryFar);
+  const auto b = matcher.candidates(amsterdam, dc::DistanceClass::kVeryFar);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace mmog::core

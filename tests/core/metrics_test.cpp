@@ -1,0 +1,112 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmog::core {
+namespace {
+
+using util::ResourceKind;
+using util::ResourceVector;
+
+TEST(StepMetricsTest, OverAllocationIsExcessPercent) {
+  StepMetrics m;
+  m.allocated = ResourceVector::of(12.5, 0, 0, 0);
+  m.used = ResourceVector::of(10.0, 0, 0, 0);
+  m.machines = 10;
+  // Eq. 1 gives 125 %; we report the surplus above a perfect fit: 25 %.
+  EXPECT_NEAR(m.over_allocation_pct(ResourceKind::kCpu), 25.0, 1e-12);
+}
+
+TEST(StepMetricsTest, OverAllocationWithNoUsageIsZero) {
+  StepMetrics m;
+  m.allocated = ResourceVector::of(5, 0, 0, 0);
+  EXPECT_DOUBLE_EQ(m.over_allocation_pct(ResourceKind::kCpu), 0.0);
+}
+
+TEST(StepMetricsTest, UnderAllocationAveragesShortfallPerMachine) {
+  StepMetrics m;
+  m.machines = 100;
+  m.shortfall[ResourceKind::kCpu] = -2.0;  // sum of min(a-l, 0)
+  // Eq. 2: -2 / 100 * 100 = -2 %.
+  EXPECT_NEAR(m.under_allocation_pct(ResourceKind::kCpu), -2.0, 1e-12);
+}
+
+TEST(StepMetricsTest, UnderAllocationWithNoMachinesIsZero) {
+  StepMetrics m;
+  m.shortfall[ResourceKind::kCpu] = -5.0;
+  EXPECT_DOUBLE_EQ(m.under_allocation_pct(ResourceKind::kCpu), 0.0);
+}
+
+TEST(StepMetricsTest, SignificantEventRequiresOverOnePercent) {
+  StepMetrics m;
+  m.machines = 100;
+  m.shortfall[ResourceKind::kCpu] = -0.9;
+  EXPECT_FALSE(m.significant_under_allocation());  // -0.9 %
+  m.shortfall[ResourceKind::kCpu] = -1.1;
+  EXPECT_TRUE(m.significant_under_allocation());  // -1.1 %
+}
+
+TEST(StepMetricsTest, ThresholdIsConfigurable) {
+  StepMetrics m;
+  m.machines = 10;
+  m.shortfall[ResourceKind::kCpu] = -0.3;  // -3 %
+  EXPECT_TRUE(m.significant_under_allocation(1.0));
+  EXPECT_FALSE(m.significant_under_allocation(5.0));
+}
+
+StepMetrics step_with(double alloc, double used, double shortfall,
+                      std::size_t machines = 10) {
+  StepMetrics m;
+  m.allocated[ResourceKind::kCpu] = alloc;
+  m.used[ResourceKind::kCpu] = used;
+  m.shortfall[ResourceKind::kCpu] = shortfall;
+  m.machines = machines;
+  return m;
+}
+
+TEST(AccumulatorTest, AveragesPerStepPercentages) {
+  MetricsAccumulator acc;
+  acc.add(step_with(15, 10, 0));  // +50 %
+  acc.add(step_with(10, 10, 0));  // +0 %
+  EXPECT_EQ(acc.steps(), 2u);
+  EXPECT_NEAR(acc.avg_over_allocation_pct(ResourceKind::kCpu), 25.0, 1e-12);
+}
+
+TEST(AccumulatorTest, AveragesUnderAllocation) {
+  MetricsAccumulator acc;
+  acc.add(step_with(10, 10, -1.0));  // -10 %
+  acc.add(step_with(10, 10, 0.0));   // 0 %
+  EXPECT_NEAR(acc.avg_under_allocation_pct(ResourceKind::kCpu), -5.0, 1e-12);
+}
+
+TEST(AccumulatorTest, CountsSignificantEvents) {
+  MetricsAccumulator acc;
+  acc.add(step_with(10, 10, -0.05));  // -0.5 %: not significant
+  acc.add(step_with(10, 10, -0.2));   // -2 %: significant
+  acc.add(step_with(10, 10, -0.3));   // -3 %: significant
+  EXPECT_EQ(acc.significant_events(), 2u);
+  EXPECT_EQ(acc.significant_events(2.5), 1u);
+}
+
+TEST(AccumulatorTest, CumulativeEventsIsMonotonic) {
+  MetricsAccumulator acc;
+  acc.add(step_with(10, 10, -0.2));
+  acc.add(step_with(10, 10, 0.0));
+  acc.add(step_with(10, 10, -0.2));
+  const auto cum = acc.cumulative_events();
+  ASSERT_EQ(cum.size(), 3u);
+  EXPECT_EQ(cum[0], 1u);
+  EXPECT_EQ(cum[1], 1u);
+  EXPECT_EQ(cum[2], 2u);
+}
+
+TEST(AccumulatorTest, EmptyAccumulatorIsZero) {
+  MetricsAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.avg_over_allocation_pct(ResourceKind::kCpu), 0.0);
+  EXPECT_DOUBLE_EQ(acc.avg_under_allocation_pct(ResourceKind::kCpu), 0.0);
+  EXPECT_EQ(acc.significant_events(), 0u);
+  EXPECT_TRUE(acc.cumulative_events().empty());
+}
+
+}  // namespace
+}  // namespace mmog::core

@@ -1,0 +1,95 @@
+#include "dc/datacenter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmog::dc {
+namespace {
+
+DataCenterSpec small_spec() {
+  DataCenterSpec spec;
+  spec.name = "Test DC";
+  spec.machines = 4;
+  spec.policy = HostingPolicy::preset(1);
+  return spec;
+}
+
+TEST(DataCenterSpecTest, TotalCapacityScalesWithMachines) {
+  const auto spec = small_spec();
+  const auto cap = spec.total_capacity();
+  EXPECT_DOUBLE_EQ(cap.cpu(), 4.0 * kMachineCapacity.cpu());
+  EXPECT_DOUBLE_EQ(cap.net_out(), 4.0 * kMachineCapacity.net_out());
+}
+
+TEST(DataCenterSpecTest, MachineHostsAtLeastOneFullServer) {
+  // §V-A: each machine handles at least one game server at full load, i.e.
+  // one unit of every resource.
+  EXPECT_TRUE(kMachineCapacity.covers(util::ResourceVector::of(1, 1, 1, 1)));
+}
+
+TEST(LedgerTest, StartsEmpty) {
+  DataCenterLedger ledger(small_spec());
+  EXPECT_EQ(ledger.in_use(), util::ResourceVector{});
+  EXPECT_DOUBLE_EQ(ledger.cpu_utilization(), 0.0);
+  EXPECT_EQ(ledger.free(), small_spec().total_capacity());
+}
+
+TEST(LedgerTest, GrantConsumesCapacity) {
+  DataCenterLedger ledger(small_spec());
+  const auto amount = util::ResourceVector::of(1.0, 2.0, 6.0, 0.66);
+  ASSERT_TRUE(ledger.grant(amount));
+  EXPECT_EQ(ledger.in_use(), amount);
+  EXPECT_DOUBLE_EQ(ledger.cpu_utilization(), 0.25);
+}
+
+TEST(LedgerTest, GrantFailsWhenFull) {
+  DataCenterLedger ledger(small_spec());
+  // CPU capacity is 4 units.
+  ASSERT_TRUE(ledger.grant(util::ResourceVector::of(4.0, 0, 0, 0)));
+  EXPECT_FALSE(ledger.grant(util::ResourceVector::of(0.25, 0, 0, 0)));
+  // Failure leaves the ledger untouched.
+  EXPECT_DOUBLE_EQ(ledger.in_use().cpu(), 4.0);
+}
+
+TEST(LedgerTest, FitsChecksEveryResource) {
+  DataCenterLedger ledger(small_spec());
+  const auto cap = ledger.spec().total_capacity();
+  EXPECT_TRUE(ledger.fits(cap));
+  auto too_much_memory = util::ResourceVector::of(0.1, cap.memory() + 1, 0, 0);
+  EXPECT_FALSE(ledger.fits(too_much_memory));
+}
+
+TEST(LedgerTest, ReleaseReturnsCapacity) {
+  DataCenterLedger ledger(small_spec());
+  const auto amount = util::ResourceVector::of(2.0, 1.0, 6.0, 1.0);
+  ASSERT_TRUE(ledger.grant(amount));
+  ledger.release(amount);
+  EXPECT_EQ(ledger.in_use(), util::ResourceVector{});
+  // Full capacity available again.
+  EXPECT_TRUE(ledger.fits(ledger.spec().total_capacity()));
+}
+
+TEST(LedgerTest, ReleaseClampsAtZero) {
+  DataCenterLedger ledger(small_spec());
+  ledger.release(util::ResourceVector::of(5, 5, 5, 5));
+  EXPECT_TRUE(ledger.in_use().non_negative());
+}
+
+TEST(LedgerTest, CpuUtilizationIsClamped) {
+  DataCenterSpec zero = small_spec();
+  zero.machines = 0;
+  DataCenterLedger ledger(zero);
+  EXPECT_DOUBLE_EQ(ledger.cpu_utilization(), 0.0);
+}
+
+TEST(AllocationTest, ReleasableAfterTimeBulk) {
+  Allocation a;
+  a.start_step = 10;
+  a.earliest_release_step = 190;
+  EXPECT_FALSE(a.releasable_at(10));
+  EXPECT_FALSE(a.releasable_at(189));
+  EXPECT_TRUE(a.releasable_at(190));
+  EXPECT_TRUE(a.releasable_at(1000));
+}
+
+}  // namespace
+}  // namespace mmog::dc

@@ -1,0 +1,111 @@
+#include "dc/ecosystem.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace mmog::dc {
+namespace {
+
+TEST(EcosystemTest, PaperWorldHasTableThreeShape) {
+  const auto dcs = paper_ecosystem();
+  // Table III: data centers in 7 countries on 4... (3 continents in our
+  // naming: Europe, North America, Australia), 166 machines total.
+  std::size_t machines = 0;
+  std::map<std::string, std::size_t> per_country;
+  for (const auto& d : dcs) {
+    machines += d.machines;
+    per_country[d.country] += d.machines;
+  }
+  EXPECT_EQ(machines, 166u);
+  EXPECT_EQ(per_country["Finland"], 8u);
+  EXPECT_EQ(per_country["Sweden"], 8u);
+  EXPECT_EQ(per_country["U.K."], 20u);
+  EXPECT_EQ(per_country["Netherlands"], 15u);
+  EXPECT_EQ(per_country["U.S. (West)"], 35u);
+  EXPECT_EQ(per_country["Canada (West)"], 15u);
+  EXPECT_EQ(per_country["U.S. (Central)"], 15u);
+  EXPECT_EQ(per_country["U.S. (East)"], 32u);
+  EXPECT_EQ(per_country["Canada (East)"], 10u);
+  EXPECT_EQ(per_country["Australia"], 8u);
+}
+
+TEST(EcosystemTest, PoliciesAlternateHp1Hp2) {
+  // §V-B: same-location pairs get HP-1 and HP-2 with half the machines each.
+  const auto dcs = paper_ecosystem();
+  std::size_t hp1 = 0, hp2 = 0;
+  for (const auto& d : dcs) {
+    if (d.policy.name == "HP-1") ++hp1;
+    if (d.policy.name == "HP-2") ++hp2;
+  }
+  EXPECT_EQ(hp1 + hp2, dcs.size());
+  EXPECT_GE(hp1, 7u);
+  EXPECT_GE(hp2, 7u);
+}
+
+TEST(EcosystemTest, SameLocationPairsShareCoordinates) {
+  const auto dcs = paper_ecosystem();
+  const auto find = [&](const std::string& name) {
+    for (const auto& d : dcs) {
+      if (d.name == name) return d;
+    }
+    ADD_FAILURE() << "missing " << name;
+    return dcs.front();
+  };
+  const auto fin1 = find("Finland (1)");
+  const auto fin2 = find("Finland (2)");
+  EXPECT_NEAR(haversine_km(fin1.location, fin2.location), 0.0, 1.0);
+  EXPECT_NE(fin1.policy.name, fin2.policy.name);
+}
+
+TEST(EcosystemTest, RegionSitesResolve) {
+  for (const char* name :
+       {"Europe", "US East Coast", "US West Coast", "US Central",
+        "Australia", "Canada East", "Canada West"}) {
+    const auto site = region_site(name);
+    EXPECT_EQ(site.name, name);
+    EXPECT_NE(site.location.lat, 0.0);
+  }
+  EXPECT_THROW(region_site("Atlantis"), std::out_of_range);
+}
+
+TEST(EcosystemTest, EuropeSiteIsNearEuropeanDataCenters) {
+  const auto site = region_site("Europe");
+  const auto dcs = paper_ecosystem();
+  bool some_close = false;
+  for (const auto& d : dcs) {
+    if (d.continent == "Europe" &&
+        haversine_km(site.location, d.location) < 1000.0) {
+      some_close = true;
+    }
+  }
+  EXPECT_TRUE(some_close);
+}
+
+TEST(EcosystemTest, NorthAmericaWorldPolicyGradient) {
+  // §V-E: East Coast coarse-grained, gradually finer towards the West.
+  const auto dcs = north_america_ecosystem();
+  ASSERT_EQ(dcs.size(), 8u);
+  const auto grain = [&](const std::string& name) {
+    for (const auto& d : dcs) {
+      if (d.name == name) return d.policy.granularity_score();
+    }
+    ADD_FAILURE() << "missing " << name;
+    return 0.0;
+  };
+  EXPECT_LT(grain("US West (1)"), grain("US Cent. (1)"));
+  EXPECT_LT(grain("US Cent. (1)"), grain("US East (1)"));
+  EXPECT_LT(grain("Canada West"), grain("Canada East"));
+}
+
+TEST(EcosystemTest, NorthAmericaMachineCountsFollowTableThree) {
+  const auto dcs = north_america_ecosystem();
+  std::size_t machines = 0;
+  for (const auto& d : dcs) machines += d.machines;
+  // 35 (US West) + 15 (Canada West) + 15 (US Central) + 32 (US East) +
+  // 10 (Canada East) = 107.
+  EXPECT_EQ(machines, 107u);
+}
+
+}  // namespace
+}  // namespace mmog::dc

@@ -1,0 +1,123 @@
+#include "dc/geo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmog::dc {
+namespace {
+
+constexpr GeoPoint kLondon{51.51, -0.13};
+constexpr GeoPoint kAmsterdam{52.37, 4.90};
+constexpr GeoPoint kNewYork{40.71, -74.01};
+constexpr GeoPoint kSydney{-33.87, 151.21};
+
+TEST(GeoTest, HaversineZeroForSamePoint) {
+  EXPECT_NEAR(haversine_km(kLondon, kLondon), 0.0, 1e-9);
+}
+
+TEST(GeoTest, HaversineIsSymmetric) {
+  EXPECT_NEAR(haversine_km(kLondon, kNewYork),
+              haversine_km(kNewYork, kLondon), 1e-9);
+}
+
+TEST(GeoTest, KnownDistances) {
+  // London-Amsterdam ~ 358 km; London-New York ~ 5570 km.
+  EXPECT_NEAR(haversine_km(kLondon, kAmsterdam), 358.0, 15.0);
+  EXPECT_NEAR(haversine_km(kLondon, kNewYork), 5570.0, 60.0);
+}
+
+TEST(GeoTest, AntipodalDistanceNearHalfCircumference) {
+  const GeoPoint a{0.0, 0.0};
+  const GeoPoint b{0.0, 180.0};
+  EXPECT_NEAR(haversine_km(a, b), 20015.0, 50.0);
+}
+
+TEST(GeoTest, ClassifyDistanceBoundaries) {
+  EXPECT_EQ(classify_distance(0.0), DistanceClass::kSameLocation);
+  EXPECT_EQ(classify_distance(100.0), DistanceClass::kSameLocation);
+  EXPECT_EQ(classify_distance(500.0), DistanceClass::kVeryClose);
+  EXPECT_EQ(classify_distance(1500.0), DistanceClass::kClose);
+  EXPECT_EQ(classify_distance(3000.0), DistanceClass::kFar);
+  EXPECT_EQ(classify_distance(8000.0), DistanceClass::kVeryFar);
+}
+
+TEST(GeoTest, MaxDistanceIsMonotonic) {
+  double prev = -1.0;
+  for (auto c : {DistanceClass::kSameLocation, DistanceClass::kVeryClose,
+                 DistanceClass::kClose, DistanceClass::kFar,
+                 DistanceClass::kVeryFar}) {
+    EXPECT_GT(max_distance_km(c), prev);
+    prev = max_distance_km(c);
+  }
+}
+
+TEST(GeoTest, WithinToleranceMatchesBounds) {
+  EXPECT_TRUE(within_tolerance(50.0, DistanceClass::kSameLocation));
+  EXPECT_FALSE(within_tolerance(500.0, DistanceClass::kSameLocation));
+  EXPECT_TRUE(within_tolerance(999.0, DistanceClass::kVeryClose));
+  EXPECT_FALSE(within_tolerance(1001.0, DistanceClass::kVeryClose));
+  EXPECT_TRUE(within_tolerance(1e7, DistanceClass::kVeryFar));
+}
+
+TEST(GeoTest, VeryFarCoversEarthScaleDistances) {
+  EXPECT_TRUE(within_tolerance(haversine_km(kLondon, kSydney),
+                               DistanceClass::kVeryFar));
+  EXPECT_FALSE(within_tolerance(haversine_km(kLondon, kSydney),
+                                DistanceClass::kFar));
+}
+
+TEST(GeoTest, DistanceClassNamesMatchPaper) {
+  EXPECT_EQ(distance_class_name(DistanceClass::kSameLocation),
+            "Same location");
+  EXPECT_EQ(distance_class_name(DistanceClass::kVeryFar),
+            "Very far (d>4000km)");
+}
+
+
+TEST(LatencyModelTest, RttGrowsWithDistance) {
+  EXPECT_NEAR(estimate_rtt_ms(0.0), 20.0, 1e-9);
+  EXPECT_GT(estimate_rtt_ms(1000.0), estimate_rtt_ms(100.0));
+  EXPECT_NEAR(estimate_rtt_ms(5000.0), 20.0 + 100.0, 1e-9);
+  EXPECT_NEAR(estimate_rtt_ms(-10.0), 20.0, 1e-9);  // clamps negatives
+}
+
+TEST(LatencyModelTest, GenreTolerancesFollowClaypool) {
+  // [17],[18]: racing < FPS < RPG < RTS.
+  EXPECT_LT(latency_tolerance_ms(GameGenre::kRacing),
+            latency_tolerance_ms(GameGenre::kFirstPersonShooter));
+  EXPECT_LT(latency_tolerance_ms(GameGenre::kFirstPersonShooter),
+            latency_tolerance_ms(GameGenre::kRolePlaying));
+  EXPECT_LT(latency_tolerance_ms(GameGenre::kRolePlaying),
+            latency_tolerance_ms(GameGenre::kRealTimeStrategy));
+}
+
+TEST(LatencyModelTest, GenreMapsToDistanceClass) {
+  // Racing (~50 ms) must stay within ~1500 km -> Close at most;
+  // FPS (~100 ms) reaches Far; RPG/RTS can use any server.
+  EXPECT_LE(static_cast<int>(tolerance_class_for_genre(GameGenre::kRacing)),
+            static_cast<int>(DistanceClass::kClose));
+  EXPECT_EQ(tolerance_class_for_genre(GameGenre::kFirstPersonShooter),
+            DistanceClass::kFar);
+  EXPECT_EQ(tolerance_class_for_genre(GameGenre::kRolePlaying),
+            DistanceClass::kVeryFar);
+  EXPECT_EQ(tolerance_class_for_genre(GameGenre::kRealTimeStrategy),
+            DistanceClass::kVeryFar);
+}
+
+TEST(LatencyModelTest, ClassWorstCaseMeetsGenreBudget) {
+  for (auto genre : {GameGenre::kRacing, GameGenre::kFirstPersonShooter,
+                     GameGenre::kRolePlaying, GameGenre::kRealTimeStrategy}) {
+    const auto cls = tolerance_class_for_genre(genre);
+    if (cls == DistanceClass::kVeryFar) continue;  // unbounded by design
+    EXPECT_LE(estimate_rtt_ms(max_distance_km(cls)),
+              latency_tolerance_ms(genre))
+        << genre_name(genre);
+  }
+}
+
+TEST(LatencyModelTest, GenreNames) {
+  EXPECT_EQ(genre_name(GameGenre::kFirstPersonShooter), "FPS");
+  EXPECT_EQ(genre_name(GameGenre::kRealTimeStrategy), "RTS");
+}
+
+}  // namespace
+}  // namespace mmog::dc

@@ -1,0 +1,88 @@
+#include "dc/hosting_policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmog::dc {
+namespace {
+
+TEST(HostingPolicyTest, PresetsMatchTableFour) {
+  const auto hp1 = HostingPolicy::preset(1);
+  EXPECT_EQ(hp1.name, "HP-1");
+  EXPECT_DOUBLE_EQ(hp1.bulk.cpu(), 0.25);
+  EXPECT_DOUBLE_EQ(hp1.bulk.memory(), 0.0);  // n/a
+  EXPECT_DOUBLE_EQ(hp1.bulk.net_in(), 6.0);
+  EXPECT_DOUBLE_EQ(hp1.bulk.net_out(), 0.33);
+  EXPECT_DOUBLE_EQ(hp1.time_bulk_minutes, 360.0);
+
+  const auto hp7 = HostingPolicy::preset(7);
+  EXPECT_DOUBLE_EQ(hp7.bulk.cpu(), 1.11);
+  EXPECT_DOUBLE_EQ(hp7.bulk.memory(), 2.0);
+  EXPECT_DOUBLE_EQ(hp7.time_bulk_minutes, 180.0);
+
+  const auto hp11 = HostingPolicy::preset(11);
+  EXPECT_DOUBLE_EQ(hp11.bulk.cpu(), 0.37);
+  EXPECT_DOUBLE_EQ(hp11.time_bulk_minutes, 2880.0);
+}
+
+TEST(HostingPolicyTest, PresetRejectsOutOfRange) {
+  EXPECT_THROW(HostingPolicy::preset(0), std::out_of_range);
+  EXPECT_THROW(HostingPolicy::preset(12), std::out_of_range);
+}
+
+TEST(HostingPolicyTest, AllPresetsReturnsEleven) {
+  const auto all = HostingPolicy::all_presets();
+  ASSERT_EQ(all.size(), 11u);
+  EXPECT_EQ(all.front().name, "HP-1");
+  EXPECT_EQ(all.back().name, "HP-11");
+}
+
+TEST(HostingPolicyTest, QuantizeRoundsUpToBulkMultiples) {
+  const auto hp1 = HostingPolicy::preset(1);
+  const auto q =
+      hp1.quantize(util::ResourceVector::of(0.3, 0.5, 0.5, 0.5));
+  EXPECT_DOUBLE_EQ(q.cpu(), 0.5);      // ceil(0.3/0.25)*0.25
+  EXPECT_DOUBLE_EQ(q.memory(), 0.5);   // no bulk: exact
+  EXPECT_DOUBLE_EQ(q.net_in(), 6.0);   // ceil(0.5/6)*6
+  EXPECT_DOUBLE_EQ(q.net_out(), 0.66); // ceil(0.5/0.33)*0.33
+}
+
+TEST(HostingPolicyTest, QuantizeExactMultipleUnchanged) {
+  const auto hp3 = HostingPolicy::preset(3);
+  const auto q = hp3.quantize(util::ResourceVector::of(0.44, 2.0, 0, 0));
+  EXPECT_NEAR(q.cpu(), 0.44, 1e-9);
+  EXPECT_DOUBLE_EQ(q.memory(), 2.0);
+}
+
+TEST(HostingPolicyTest, QuantizeZeroDemandStaysZero) {
+  const auto hp1 = HostingPolicy::preset(1);
+  const auto q = hp1.quantize({});
+  EXPECT_EQ(q, util::ResourceVector::of(0, 0, 0, 0));
+}
+
+TEST(HostingPolicyTest, QuantizeTinyDemandGetsOneBulk) {
+  const auto hp1 = HostingPolicy::preset(1);
+  const auto q = hp1.quantize(util::ResourceVector::of(0.001, 0, 0.001, 0));
+  EXPECT_DOUBLE_EQ(q.cpu(), 0.25);
+  EXPECT_DOUBLE_EQ(q.net_in(), 6.0);
+}
+
+TEST(HostingPolicyTest, TimeBulkStepsRoundsUpTwoMinuteSamples) {
+  const auto hp1 = HostingPolicy::preset(1);   // 360 min = 180 steps
+  EXPECT_EQ(hp1.time_bulk_steps(), 180u);
+  const auto hp3 = HostingPolicy::preset(3);   // 180 min = 90 steps
+  EXPECT_EQ(hp3.time_bulk_steps(), 90u);
+  const auto hp11 = HostingPolicy::preset(11); // 2880 min = 1440 steps
+  EXPECT_EQ(hp11.time_bulk_steps(), 1440u);
+}
+
+TEST(HostingPolicyTest, GranularityOrdersPoliciesByCpuBulkThenTime) {
+  // HP-3 (0.22) is finer than HP-7 (1.11); HP-5 (180 min) finer than the
+  // same-bulk HP-9 (720 min).
+  EXPECT_LT(HostingPolicy::preset(3).granularity_score(),
+            HostingPolicy::preset(7).granularity_score());
+  EXPECT_LT(HostingPolicy::preset(5).granularity_score(),
+            HostingPolicy::preset(9).granularity_score());
+}
+
+}  // namespace
+}  // namespace mmog::dc

@@ -1,0 +1,115 @@
+#include "dc/reservation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmog::dc {
+namespace {
+
+using util::ResourceVector;
+
+ReservationCalendar calendar(double cpu = 10.0, std::size_t horizon = 100) {
+  return ReservationCalendar(ResourceVector::of(cpu, 40, 100, 40), horizon);
+}
+
+TEST(ReservationTest, RejectsZeroHorizon) {
+  EXPECT_THROW(ReservationCalendar({}, 0), std::invalid_argument);
+}
+
+TEST(ReservationTest, FreshCalendarIsFullyAvailable) {
+  auto cal = calendar();
+  EXPECT_DOUBLE_EQ(cal.available_at(0).cpu(), 10.0);
+  EXPECT_DOUBLE_EQ(cal.available_at(99).cpu(), 10.0);
+  EXPECT_THROW(cal.available_at(100), std::out_of_range);
+  EXPECT_EQ(cal.active_bookings(), 0u);
+}
+
+TEST(ReservationTest, BookConsumesOnlyTheInterval) {
+  auto cal = calendar();
+  const auto id = cal.book(ResourceVector::of(4, 0, 0, 0), 10, 20);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_DOUBLE_EQ(cal.available_at(9).cpu(), 10.0);
+  EXPECT_DOUBLE_EQ(cal.available_at(10).cpu(), 6.0);
+  EXPECT_DOUBLE_EQ(cal.available_at(19).cpu(), 6.0);
+  EXPECT_DOUBLE_EQ(cal.available_at(20).cpu(), 10.0);
+  EXPECT_EQ(cal.active_bookings(), 1u);
+}
+
+TEST(ReservationTest, OverlappingBookingsStack) {
+  auto cal = calendar();
+  ASSERT_TRUE(cal.book(ResourceVector::of(4, 0, 0, 0), 0, 50).has_value());
+  ASSERT_TRUE(cal.book(ResourceVector::of(4, 0, 0, 0), 25, 75).has_value());
+  EXPECT_DOUBLE_EQ(cal.available_at(30).cpu(), 2.0);
+  // A third 4-unit booking cannot fit where both overlap.
+  EXPECT_FALSE(cal.book(ResourceVector::of(4, 0, 0, 0), 20, 30).has_value());
+  // But fits where only one is active.
+  EXPECT_TRUE(cal.book(ResourceVector::of(4, 0, 0, 0), 50, 60).has_value());
+}
+
+TEST(ReservationTest, FailedBookingHasNoSideEffects) {
+  auto cal = calendar();
+  ASSERT_TRUE(cal.book(ResourceVector::of(8, 0, 0, 0), 0, 100).has_value());
+  EXPECT_FALSE(cal.book(ResourceVector::of(4, 0, 0, 0), 50, 60).has_value());
+  EXPECT_DOUBLE_EQ(cal.available_at(55).cpu(), 2.0);  // unchanged
+}
+
+TEST(ReservationTest, BookingPastHorizonFails) {
+  auto cal = calendar();
+  EXPECT_FALSE(cal.book(ResourceVector::of(1, 0, 0, 0), 90, 101).has_value());
+  EXPECT_TRUE(cal.book(ResourceVector::of(1, 0, 0, 0), 90, 100).has_value());
+}
+
+TEST(ReservationTest, EmptyIntervalAlwaysFits) {
+  auto cal = calendar();
+  EXPECT_TRUE(cal.fits(ResourceVector::of(999, 0, 0, 0), 5, 5));
+}
+
+TEST(ReservationTest, CancelRestoresCapacity) {
+  auto cal = calendar();
+  const auto id = cal.book(ResourceVector::of(10, 0, 0, 0), 0, 100);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_FALSE(cal.book(ResourceVector::of(1, 0, 0, 0), 0, 1).has_value());
+  EXPECT_TRUE(cal.cancel(*id));
+  EXPECT_DOUBLE_EQ(cal.available_at(50).cpu(), 10.0);
+  EXPECT_TRUE(cal.book(ResourceVector::of(1, 0, 0, 0), 0, 1).has_value());
+  // Double-cancel and unknown ids are rejected.
+  EXPECT_FALSE(cal.cancel(*id));
+  EXPECT_FALSE(cal.cancel(12345));
+}
+
+TEST(ReservationTest, EarliestFitSkipsBusyWindows) {
+  auto cal = calendar();
+  ASSERT_TRUE(cal.book(ResourceVector::of(10, 0, 0, 0), 0, 30).has_value());
+  const auto start = cal.earliest_fit(ResourceVector::of(5, 0, 0, 0), 0, 10);
+  ASSERT_TRUE(start.has_value());
+  EXPECT_EQ(*start, 30u);
+}
+
+TEST(ReservationTest, EarliestFitHonoursFrom) {
+  auto cal = calendar();
+  const auto start = cal.earliest_fit(ResourceVector::of(1, 0, 0, 0), 42, 5);
+  ASSERT_TRUE(start.has_value());
+  EXPECT_EQ(*start, 42u);
+}
+
+TEST(ReservationTest, EarliestFitReturnsNulloptWhenImpossible) {
+  auto cal = calendar();
+  // Longer than the horizon.
+  EXPECT_FALSE(cal.earliest_fit(ResourceVector::of(1, 0, 0, 0), 0, 101)
+                   .has_value());
+  // Wider than the capacity.
+  ASSERT_TRUE(cal.book(ResourceVector::of(10, 0, 0, 0), 0, 100).has_value());
+  EXPECT_FALSE(
+      cal.earliest_fit(ResourceVector::of(1, 0, 0, 0), 0, 10).has_value());
+}
+
+TEST(ReservationTest, MultiResourceConstraintsAllApply) {
+  auto cal = calendar();
+  // Memory capacity is 40; a 35-memory booking blocks a second one even
+  // though CPU is free.
+  ASSERT_TRUE(cal.book(ResourceVector::of(1, 35, 0, 0), 0, 10).has_value());
+  EXPECT_FALSE(cal.book(ResourceVector::of(1, 10, 0, 0), 5, 8).has_value());
+  EXPECT_TRUE(cal.book(ResourceVector::of(1, 5, 0, 0), 5, 8).has_value());
+}
+
+}  // namespace
+}  // namespace mmog::dc

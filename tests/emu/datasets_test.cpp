@@ -1,0 +1,77 @@
+#include "emu/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmog::emu {
+namespace {
+
+TEST(DatasetsTest, ProducesEightSets) {
+  const auto sets = table1_datasets();
+  EXPECT_EQ(sets.size(), 8u);
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    EXPECT_EQ(sets[i].name, "Set " + std::to_string(i + 1));
+  }
+}
+
+TEST(DatasetsTest, BehaviourPercentagesMatchTableOne) {
+  const auto sets = table1_datasets();
+  // Set 1: 80/10/0/10.
+  EXPECT_DOUBLE_EQ(sets[0].mix.aggressive, 0.80);
+  EXPECT_DOUBLE_EQ(sets[0].mix.scout, 0.10);
+  EXPECT_DOUBLE_EQ(sets[0].mix.team, 0.00);
+  EXPECT_DOUBLE_EQ(sets[0].mix.camper, 0.10);
+  // Set 6: 10/80/10/0.
+  EXPECT_DOUBLE_EQ(sets[5].mix.aggressive, 0.10);
+  EXPECT_DOUBLE_EQ(sets[5].mix.scout, 0.80);
+  EXPECT_DOUBLE_EQ(sets[5].mix.team, 0.10);
+  EXPECT_DOUBLE_EQ(sets[5].mix.camper, 0.00);
+}
+
+TEST(DatasetsTest, PeakHoursOnlyForSetsFiveToEight) {
+  const auto sets = table1_datasets();
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FALSE(sets[i].peak_hours) << i;
+  for (std::size_t i = 4; i < 8; ++i) EXPECT_TRUE(sets[i].peak_hours) << i;
+}
+
+TEST(DatasetsTest, SignalTypesFollowSectionIVD) {
+  // Type I: sets 2, 3, 4 (indices 1-3); Type II: sets 6, 7, 8 (5-7);
+  // Type III: sets 1 and 5 (0, 4).
+  EXPECT_EQ(signal_type(0), SignalType::kTypeIII);
+  EXPECT_EQ(signal_type(1), SignalType::kTypeI);
+  EXPECT_EQ(signal_type(2), SignalType::kTypeI);
+  EXPECT_EQ(signal_type(3), SignalType::kTypeI);
+  EXPECT_EQ(signal_type(4), SignalType::kTypeIII);
+  EXPECT_EQ(signal_type(5), SignalType::kTypeII);
+  EXPECT_EQ(signal_type(6), SignalType::kTypeII);
+  EXPECT_EQ(signal_type(7), SignalType::kTypeII);
+}
+
+TEST(DatasetsTest, DynamicsEncodeSignalTypes) {
+  const auto sets = table1_datasets();
+  // Type I has the highest instantaneous dynamics, Type II the lowest.
+  EXPECT_GT(sets[1].instantaneous_dynamics, sets[0].instantaneous_dynamics);
+  EXPECT_GT(sets[0].instantaneous_dynamics, sets[5].instantaneous_dynamics);
+}
+
+TEST(DatasetsTest, SignalTypeNames) {
+  EXPECT_EQ(signal_type_name(SignalType::kTypeI), "Type I");
+  EXPECT_EQ(signal_type_name(SignalType::kTypeII), "Type II");
+  EXPECT_EQ(signal_type_name(SignalType::kTypeIII), "Type III");
+}
+
+TEST(DatasetsTest, SeedsAreDistinct) {
+  const auto sets = table1_datasets(500);
+  for (std::size_t i = 1; i < sets.size(); ++i) {
+    EXPECT_NE(sets[i].seed, sets[i - 1].seed);
+  }
+  EXPECT_EQ(sets[0].seed, 500u);
+}
+
+TEST(DatasetsTest, OneSimulatedDayAtTwoMinuteSamples) {
+  for (const auto& set : table1_datasets()) {
+    EXPECT_EQ(set.samples, util::kSamplesPerDay);
+  }
+}
+
+}  // namespace
+}  // namespace mmog::emu

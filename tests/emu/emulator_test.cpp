@@ -1,0 +1,174 @@
+#include "emu/emulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace mmog::emu {
+namespace {
+
+DatasetConfig tiny_config() {
+  DatasetConfig c;
+  c.name = "tiny";
+  c.mix = {0.4, 0.3, 0.2, 0.1};
+  c.peak_load = 200.0;
+  c.samples = 30;
+  c.ticks_per_sample = 8;
+  c.seed = 5;
+  return c;
+}
+
+TEST(WorldConfigTest, GeometryAccessors) {
+  WorldConfig w{8, 4, 25.0};
+  EXPECT_EQ(w.zone_count(), 32u);
+  EXPECT_DOUBLE_EQ(w.width(), 200.0);
+  EXPECT_DOUBLE_EQ(w.height(), 100.0);
+}
+
+TEST(EmulatorTest, RunProducesRequestedSamples) {
+  Emulator emu(WorldConfig{8, 8, 50.0}, tiny_config());
+  const auto trace = emu.run();
+  EXPECT_EQ(trace.samples.size(), 30u);
+  EXPECT_EQ(trace.name, "tiny");
+}
+
+TEST(EmulatorTest, ZoneCountsSumToTotal) {
+  Emulator emu(WorldConfig{8, 8, 50.0}, tiny_config());
+  const auto trace = emu.run();
+  for (const auto& s : trace.samples) {
+    const double sum =
+        std::accumulate(s.zone_counts.begin(), s.zone_counts.end(), 0.0);
+    EXPECT_DOUBLE_EQ(sum, s.total);
+  }
+}
+
+TEST(EmulatorTest, PopulationTracksPeakLoad) {
+  auto cfg = tiny_config();
+  cfg.peak_hours = false;
+  cfg.overall_dynamics = 0.0;  // no slow modulation
+  cfg.samples = 60;
+  Emulator emu(WorldConfig{8, 8, 50.0}, cfg);
+  const auto trace = emu.run();
+  // Without peak-hours shaping the population should hover near peak_load.
+  const auto total = trace.total_series();
+  EXPECT_NEAR(total.mean(), cfg.peak_load, cfg.peak_load * 0.15);
+}
+
+TEST(EmulatorTest, PeakHoursCreateDailyVariation) {
+  auto cfg = tiny_config();
+  cfg.peak_hours = true;
+  cfg.overall_dynamics = 0.0;
+  cfg.samples = util::kSamplesPerDay;
+  cfg.ticks_per_sample = 2;  // keep the test fast
+  Emulator emu(WorldConfig{8, 8, 50.0}, cfg);
+  const auto trace = emu.run();
+  const auto total = trace.total_series();
+  // Diurnal shaping: max well above min over a simulated day.
+  EXPECT_GT(total.max(), 2.0 * std::max(1.0, total.min()));
+}
+
+TEST(EmulatorTest, DeterministicForSameSeed) {
+  const auto cfg = tiny_config();
+  Emulator a(WorldConfig{}, cfg);
+  Emulator b(WorldConfig{}, cfg);
+  const auto ta = a.run();
+  const auto tb = b.run();
+  for (std::size_t s = 0; s < ta.samples.size(); ++s) {
+    EXPECT_DOUBLE_EQ(ta.samples[s].total, tb.samples[s].total);
+    EXPECT_EQ(ta.samples[s].zone_counts, tb.samples[s].zone_counts);
+  }
+}
+
+TEST(EmulatorTest, DifferentSeedsDiverge) {
+  auto cfg = tiny_config();
+  Emulator a(WorldConfig{}, cfg);
+  cfg.seed = 6;
+  Emulator b(WorldConfig{}, cfg);
+  const auto ta = a.run();
+  const auto tb = b.run();
+  bool any_diff = false;
+  for (std::size_t s = 0; s < ta.samples.size() && !any_diff; ++s) {
+    any_diff = ta.samples[s].zone_counts != tb.samples[s].zone_counts;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(EmulatorTest, AggressiveMixConcentratesEntities) {
+  // Aggressive entities seek hot-spots, so occupancy concentrates in fewer
+  // zones than with pure scouts (who spread towards uncharted zones).
+  auto aggressive = tiny_config();
+  aggressive.mix = {1.0, 0.0, 0.0, 0.0};
+  aggressive.samples = 40;
+  auto scouts = tiny_config();
+  scouts.mix = {0.0, 1.0, 0.0, 0.0};
+  scouts.samples = 40;
+
+  auto concentration = [](const EmulatorTrace& trace) {
+    // Mean interaction intensity normalized by total^2 — higher = denser.
+    double sum = 0.0;
+    for (const auto& s : trace.samples) {
+      if (s.total > 1.0) sum += s.interactions / (s.total * s.total);
+    }
+    return sum / static_cast<double>(trace.samples.size());
+  };
+
+  Emulator ea(WorldConfig{}, aggressive);
+  Emulator es(WorldConfig{}, scouts);
+  EXPECT_GT(concentration(ea.run()), 1.5 * concentration(es.run()));
+}
+
+TEST(EmulatorTest, InteractionsAreConsistentWithZoneCounts) {
+  Emulator emu(WorldConfig{4, 4, 50.0}, tiny_config());
+  const auto sample = emu.step_sample();
+  double expected = 0.0;
+  for (double c : sample.zone_counts) expected += c * (c - 1.0) / 2.0;
+  EXPECT_DOUBLE_EQ(sample.interactions, expected);
+}
+
+TEST(EmulatorTraceTest, SeriesAccessorsMatchSamples) {
+  Emulator emu(WorldConfig{4, 4, 50.0}, tiny_config());
+  const auto trace = emu.run();
+  const auto total = trace.total_series();
+  const auto zones = trace.zone_series();
+  const auto inter = trace.interaction_series();
+  ASSERT_EQ(total.size(), trace.samples.size());
+  ASSERT_EQ(inter.size(), trace.samples.size());
+  ASSERT_EQ(zones.size(), trace.world.zone_count());
+  for (std::size_t t = 0; t < trace.samples.size(); ++t) {
+    EXPECT_DOUBLE_EQ(total[t], trace.samples[t].total);
+    EXPECT_DOUBLE_EQ(inter[t], trace.samples[t].interactions);
+    double sum = 0.0;
+    for (const auto& z : zones) sum += z[t];
+    EXPECT_DOUBLE_EQ(sum, trace.samples[t].total);
+  }
+}
+
+TEST(EmulatorTest, HighInstantaneousDynamicsMovesEntitiesMore) {
+  // High instantaneous dynamics => faster movement and hot-spot churn =>
+  // larger sample-to-sample changes in zone occupancy.
+  auto slow = tiny_config();
+  slow.instantaneous_dynamics = 0.0;
+  slow.samples = 50;
+  auto fast = tiny_config();
+  fast.instantaneous_dynamics = 1.0;
+  fast.samples = 50;
+
+  auto churn = [](const EmulatorTrace& trace) {
+    double total = 0.0;
+    for (std::size_t t = 1; t < trace.samples.size(); ++t) {
+      double diff = 0.0;
+      const auto& a = trace.samples[t - 1].zone_counts;
+      const auto& b = trace.samples[t].zone_counts;
+      for (std::size_t z = 0; z < a.size(); ++z) diff += std::abs(a[z] - b[z]);
+      total += diff;
+    }
+    return total;
+  };
+
+  Emulator es(WorldConfig{}, slow);
+  Emulator ef(WorldConfig{}, fast);
+  EXPECT_GT(churn(ef.run()), churn(es.run()));
+}
+
+}  // namespace
+}  // namespace mmog::emu

@@ -1,0 +1,206 @@
+// Integration tests exercising the full pipeline the paper's evaluation
+// uses: synthetic RuneScape-like traces -> neural predictor training ->
+// multi-data-center provisioning -> Ω/Υ metrics.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/simulation.hpp"
+#include "dc/ecosystem.hpp"
+#include "emu/datasets.hpp"
+#include "emu/emulator.hpp"
+#include "predict/evaluate.hpp"
+#include "predict/neural.hpp"
+#include "predict/simple.hpp"
+#include "trace/runescape_model.hpp"
+
+namespace mmog {
+namespace {
+
+using core::AllocationMode;
+using core::GameSpec;
+using core::LoadModel;
+using core::SimulationConfig;
+using core::UpdateModel;
+using util::ResourceKind;
+
+// A scaled-down paper world: 2 regions, few groups, 2 simulated days.
+trace::WorldTrace small_paper_world(std::uint64_t seed = 11) {
+  trace::RuneScapeModelConfig cfg;
+  cfg.steps = util::samples_per_days(2);
+  cfg.seed = seed;
+  cfg.regions = {
+      {.name = "Europe",
+       .utc_offset_hours = 1,
+       .server_groups = 6,
+       .base_players_per_group = 1100.0,
+       .weekend_multiplier = 1.0,
+       .always_full_fraction = 0.0},
+      {.name = "US East Coast",
+       .utc_offset_hours = -5,
+       .server_groups = 4,
+       .base_players_per_group = 1000.0,
+       .weekend_multiplier = 1.1,
+       .always_full_fraction = 0.0},
+  };
+  return trace::generate(cfg);
+}
+
+SimulationConfig paper_like_config(trace::WorldTrace workload) {
+  SimulationConfig cfg;
+  cfg.datacenters = dc::paper_ecosystem();
+  GameSpec game;
+  game.name = "RuneScape-like";
+  game.load = LoadModel{UpdateModel::kQuadratic, 2000.0};
+  game.latency_tolerance = dc::DistanceClass::kVeryFar;
+  game.workload = std::move(workload);
+  cfg.games.push_back(std::move(game));
+  return cfg;
+}
+
+TEST(EndToEndTest, TraceToProvisioningWithLastValue) {
+  auto cfg = paper_like_config(small_paper_world());
+  cfg.predictor = [] {
+    return std::make_unique<predict::LastValuePredictor>();
+  };
+  const auto result = simulate(cfg);
+  EXPECT_EQ(result.steps, util::samples_per_days(2));
+  // Healthy dynamic run: moderate over-allocation, tiny under-allocation.
+  const double over =
+      result.metrics.avg_over_allocation_pct(ResourceKind::kCpu);
+  const double under =
+      result.metrics.avg_under_allocation_pct(ResourceKind::kCpu);
+  EXPECT_GT(over, 0.0);
+  EXPECT_LT(over, 300.0);
+  EXPECT_GT(under, -3.0);
+}
+
+TEST(EndToEndTest, NeuralPredictorWorksInsideProvisioning) {
+  const auto workload = small_paper_world();
+  predict::NeuralConfig ncfg;
+  ncfg.train.max_eras = 25;
+  ncfg.train.patience = 5;
+  auto cfg = paper_like_config(workload);
+  cfg.predictor = core::neural_factory_from_workload(
+      workload, util::samples_per_days(1), ncfg, 4);
+  const auto result = simulate(cfg);
+  // The neural-driven run should be usable: bounded under-allocation and
+  // not absurdly many events.
+  EXPECT_GT(result.metrics.avg_under_allocation_pct(ResourceKind::kCpu),
+            -5.0);
+  EXPECT_LT(result.metrics.significant_events(),
+            result.metrics.steps() / 2);
+}
+
+TEST(EndToEndTest, StaticVersusDynamicHeadline) {
+  // The core claim: dynamic provisioning is several times more efficient.
+  auto dyn_cfg = paper_like_config(small_paper_world());
+  dyn_cfg.predictor = [] {
+    return std::make_unique<predict::LastValuePredictor>();
+  };
+  const auto dyn = simulate(dyn_cfg);
+
+  auto sta_cfg = paper_like_config(small_paper_world());
+  sta_cfg.mode = AllocationMode::kStatic;
+  const auto sta = simulate(sta_cfg);
+
+  const double dyn_over =
+      dyn.metrics.avg_over_allocation_pct(ResourceKind::kCpu);
+  const double sta_over =
+      sta.metrics.avg_over_allocation_pct(ResourceKind::kCpu);
+  EXPECT_GT(sta_over / dyn_over, 3.0);
+  EXPECT_EQ(sta.metrics.significant_events(), 0u);
+}
+
+TEST(EndToEndTest, HigherInteractionComplexityCostsMore) {
+  // Table VI's trend: over-allocation and events grow with the update
+  // model's complexity.
+  double prev_over = -1.0;
+  std::size_t prev_events = 0;
+  for (auto model : {UpdateModel::kLinear, UpdateModel::kQuadratic,
+                     UpdateModel::kCubic}) {
+    auto cfg = paper_like_config(small_paper_world());
+    cfg.games[0].load.model = model;
+    cfg.predictor = [] {
+      return std::make_unique<predict::LastValuePredictor>();
+    };
+    const auto result = simulate(cfg);
+    const double over =
+        result.metrics.avg_over_allocation_pct(ResourceKind::kCpu);
+    EXPECT_GT(over, prev_over) << core::update_model_name(model);
+    EXPECT_GE(result.metrics.significant_events() + 2, prev_events)
+        << core::update_model_name(model);
+    prev_over = over;
+    prev_events = result.metrics.significant_events();
+  }
+}
+
+TEST(EndToEndTest, EmulatorFeedsPredictorEvaluation) {
+  // Fig 5 pipeline: emulate a data set, evaluate two predictors per zone.
+  auto sets = emu::table1_datasets(4242);
+  auto cfg = sets[0];
+  cfg.samples = 240;  // shorter for the test
+  cfg.peak_load = 400.0;
+  emu::Emulator emulator(emu::WorldConfig{8, 8, 50.0}, cfg);
+  const auto trace = emulator.run();
+  const auto zones = trace.zone_series();
+
+  const predict::PredictorFactory last = [] {
+    return std::make_unique<predict::LastValuePredictor>();
+  };
+  const predict::PredictorFactory average = [] {
+    return std::make_unique<predict::AveragePredictor>();
+  };
+  const double last_err = predict::zones_prediction_error(last, zones, 120);
+  const double avg_err = predict::zones_prediction_error(average, zones, 120);
+  EXPECT_GT(last_err, 0.0);
+  EXPECT_LT(last_err, 100.0);
+  EXPECT_GT(avg_err, 0.0);
+}
+
+TEST(EndToEndTest, MultiGameEcosystemRuns) {
+  // Table VII: several games with different update models share the world.
+  SimulationConfig cfg;
+  cfg.datacenters = dc::paper_ecosystem();
+  const UpdateModel models[] = {UpdateModel::kNLogN, UpdateModel::kQuadratic,
+                                UpdateModel::kQuadraticLogN};
+  for (int g = 0; g < 3; ++g) {
+    GameSpec game;
+    game.name = "Game" + std::to_string(g);
+    game.load = LoadModel{models[g], 2000.0};
+    game.workload = small_paper_world(20 + static_cast<std::uint64_t>(g));
+    cfg.games.push_back(std::move(game));
+  }
+  cfg.predictor = [] {
+    return std::make_unique<predict::LastValuePredictor>();
+  };
+  const auto result = simulate(cfg);
+  EXPECT_EQ(result.steps, util::samples_per_days(2));
+  EXPECT_EQ(result.datacenters.size(), dc::paper_ecosystem().size());
+  // Multiple origins served.
+  std::size_t origins = 0;
+  for (const auto& usage : result.datacenters) {
+    origins = std::max(origins, usage.avg_allocated_by_origin.size());
+  }
+  EXPECT_GE(origins, 1u);
+}
+
+TEST(EndToEndTest, LatencyToleranceRestrictsPlacement) {
+  // A same-location game only uses data centers co-located with its
+  // regions; Europe demand must land on European centers.
+  auto cfg = paper_like_config(small_paper_world());
+  cfg.games[0].latency_tolerance = dc::DistanceClass::kVeryClose;
+  cfg.predictor = [] {
+    return std::make_unique<predict::LastValuePredictor>();
+  };
+  const auto result = simulate(cfg);
+  for (const auto& usage : result.datacenters) {
+    if (usage.name.find("Australia") != std::string::npos) {
+      EXPECT_NEAR(usage.avg_allocated_cpu, 0.0, 1e-9) << usage.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mmog

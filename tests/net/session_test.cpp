@@ -1,0 +1,163 @@
+#include "net/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace mmog::net {
+namespace {
+
+SessionTrace make_trace(InteractionClass cls, std::uint64_t seed = 1,
+                        double duration = 600.0) {
+  SessionConfig cfg;
+  cfg.name = "t";
+  cfg.interaction = cls;
+  cfg.duration_seconds = duration;
+  cfg.seed = seed;
+  return emulate_session(cfg);
+}
+
+TEST(SessionTest, ProducesPacketsWithinDuration) {
+  const auto t = make_trace(InteractionClass::kCreatingContent);
+  ASSERT_GT(t.packets.size(), 100u);
+  for (const auto& p : t.packets) {
+    EXPECT_GE(p.timestamp_s, 0.0);
+    EXPECT_LT(p.timestamp_s, 600.0);
+  }
+}
+
+TEST(SessionTest, TimestampsAreMonotonic) {
+  const auto t = make_trace(InteractionClass::kFastPaced);
+  for (std::size_t i = 1; i < t.packets.size(); ++i) {
+    EXPECT_GE(t.packets[i].timestamp_s, t.packets[i - 1].timestamp_s);
+  }
+}
+
+TEST(SessionTest, PacketLengthsWithinFigureRange) {
+  // Fig 4 truncates at 500 B; our model clamps to [40, 500].
+  for (auto cls : {InteractionClass::kCreatingContent,
+                   InteractionClass::kFastPaced,
+                   InteractionClass::kGroupInteraction}) {
+    const auto t = make_trace(cls);
+    for (const auto& p : t.packets) {
+      EXPECT_GE(p.length_bytes, 40u);
+      EXPECT_LE(p.length_bytes, 500u);
+    }
+  }
+}
+
+TEST(SessionTest, DeterministicForSameSeed) {
+  const auto a = make_trace(InteractionClass::kP2PMarket, 9);
+  const auto b = make_trace(InteractionClass::kP2PMarket, 9);
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  for (std::size_t i = 0; i < a.packets.size(); i += 50) {
+    EXPECT_EQ(a.packets[i].length_bytes, b.packets[i].length_bytes);
+    EXPECT_DOUBLE_EQ(a.packets[i].timestamp_s, b.packets[i].timestamp_s);
+  }
+}
+
+TEST(SessionTest, InterArrivalAccessorsConsistent) {
+  const auto t = make_trace(InteractionClass::kFastPaced);
+  const auto lengths = t.lengths();
+  const auto iats = t.inter_arrival_ms();
+  EXPECT_EQ(lengths.size(), t.packets.size());
+  EXPECT_EQ(iats.size(), t.packets.size() - 1);
+  for (double iat : iats) EXPECT_GT(iat, 0.0);
+}
+
+TEST(SessionTest, FastPacedHasLowIat) {
+  // §III-D: fast-paced servers send packets as often as possible.
+  const auto fast = make_trace(InteractionClass::kFastPaced, 2);
+  const auto market = make_trace(InteractionClass::kP2PMarket, 2);
+  const double fast_iat = util::mean(fast.inter_arrival_ms());
+  const double market_iat = util::mean(market.inter_arrival_ms());
+  EXPECT_LT(fast_iat, 0.5 * market_iat);
+}
+
+TEST(SessionTest, CrowdingDoesNotChangeFastPacedIat) {
+  // T1 (non-crowded fast-paced) and T6 (crowded fast-paced) share the class;
+  // the paper finds crowding does not increase fast-paced load.
+  const auto sessions = fig4_sessions(77);
+  const auto& t1 = sessions[1];
+  const auto& t6 = sessions[7];
+  EXPECT_EQ(t1.interaction, InteractionClass::kFastPaced);
+  EXPECT_EQ(t6.interaction, InteractionClass::kFastPaced);
+}
+
+TEST(SessionTest, MarketHasLongerThinkTimeThanCrowdedP2P) {
+  // §III-D: T2's IAT moments exceed T7/T3 style interaction (players think
+  // before trading).
+  const auto market = make_trace(InteractionClass::kP2PMarket, 3, 1800);
+  const auto crowded = make_trace(InteractionClass::kP2PCrowded, 3, 1800);
+  EXPECT_GT(util::mean(market.inter_arrival_ms()),
+            1.2 * util::mean(crowded.inter_arrival_ms()));
+  // Packet sizes remain similar between the two p2p classes.
+  const double market_len = util::mean(market.lengths());
+  const double crowded_len = util::mean(crowded.lengths());
+  EXPECT_NEAR(market_len / crowded_len, 1.0, 0.15);
+}
+
+TEST(SessionTest, GroupInteractionHasLowestIatAndLargestPackets) {
+  // §III-D: group interaction packets arrive more often and carry more
+  // objects than any other class.
+  const auto group = make_trace(InteractionClass::kGroupInteraction, 4);
+  for (auto cls : {InteractionClass::kCreatingContent,
+                   InteractionClass::kP2PMarket,
+                   InteractionClass::kNewContentNonCrowded}) {
+    const auto other = make_trace(cls, 4);
+    EXPECT_LT(util::mean(group.inter_arrival_ms()),
+              util::mean(other.inter_arrival_ms()));
+    EXPECT_GT(util::mean(group.lengths()), util::mean(other.lengths()));
+  }
+}
+
+TEST(SessionTest, ConsecutiveCapturesOfSameEnvironmentMatch) {
+  // T5a and T5b validate measurement stability: same class, different
+  // seeds, near-identical distributions.
+  const auto a = make_trace(InteractionClass::kNewContentCrowded, 100, 1500);
+  const auto b = make_trace(InteractionClass::kNewContentCrowded, 101, 1500);
+  EXPECT_NEAR(util::mean(a.lengths()) / util::mean(b.lengths()), 1.0, 0.05);
+  EXPECT_NEAR(util::mean(a.inter_arrival_ms()) /
+                  util::mean(b.inter_arrival_ms()),
+              1.0, 0.08);
+}
+
+TEST(SessionTest, Fig4SessionSetMatchesPaper) {
+  const auto sessions = fig4_sessions();
+  ASSERT_EQ(sessions.size(), 9u);  // T0-T7 plus the 5a/5b pair
+  // Every session lasts between 5 minutes and 1 hour (§III-D).
+  for (const auto& s : sessions) {
+    EXPECT_GE(s.duration_seconds, 300.0);
+    EXPECT_LE(s.duration_seconds, 3600.0);
+  }
+  EXPECT_EQ(sessions[5].interaction, InteractionClass::kNewContentCrowded);
+  EXPECT_EQ(sessions[6].interaction, InteractionClass::kNewContentCrowded);
+  EXPECT_NE(sessions[5].seed, sessions[6].seed);
+}
+
+TEST(SessionTest, MeanBandwidthIsPositiveAndSane) {
+  const auto t = make_trace(InteractionClass::kFastPaced);
+  const double bps = t.mean_bandwidth_bps();
+  EXPECT_GT(bps, 100.0);      // more than 100 B/s
+  EXPECT_LT(bps, 1000000.0);  // less than 1 MB/s for a single session
+}
+
+TEST(SessionTest, ExpectedStatsHelpersAreConsistent) {
+  EXPECT_GT(expected_packet_length(InteractionClass::kGroupInteraction),
+            expected_packet_length(InteractionClass::kP2PMarket));
+  EXPECT_LT(expected_iat_ms(InteractionClass::kFastPaced),
+            expected_iat_ms(InteractionClass::kCreatingContent));
+}
+
+TEST(SessionTest, EmptyishTraceEdgeCases) {
+  SessionConfig cfg;
+  cfg.duration_seconds = 0.0;
+  const auto t = emulate_session(cfg);
+  EXPECT_TRUE(t.inter_arrival_ms().empty());
+  EXPECT_DOUBLE_EQ(t.mean_bandwidth_bps(), 0.0);
+}
+
+}  // namespace
+}  // namespace mmog::net

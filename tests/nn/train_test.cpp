@@ -1,0 +1,152 @@
+#include "nn/train.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace mmog::nn {
+namespace {
+
+Dataset make_sine_dataset(std::size_t n, std::size_t window) {
+  Dataset d;
+  std::vector<double> xs;
+  for (std::size_t t = 0; t < n + window; ++t) {
+    xs.push_back(0.5 + 0.4 * std::sin(2.0 * std::numbers::pi * t / 50.0));
+  }
+  for (std::size_t t = window; t < xs.size(); ++t) {
+    std::vector<double> in(xs.begin() + static_cast<std::ptrdiff_t>(t - window),
+                           xs.begin() + static_cast<std::ptrdiff_t>(t));
+    d.inputs.push_back(std::move(in));
+    d.targets.push_back({xs[t]});
+  }
+  return d;
+}
+
+TEST(DatasetTest, SplitPartitionsInOrder) {
+  Dataset d;
+  for (int i = 0; i < 10; ++i) {
+    d.inputs.push_back({static_cast<double>(i)});
+    d.targets.push_back({static_cast<double>(i)});
+  }
+  const auto [train, test] = d.split(0.8);
+  EXPECT_EQ(train.size(), 8u);
+  EXPECT_EQ(test.size(), 2u);
+  EXPECT_DOUBLE_EQ(train.inputs.front()[0], 0.0);
+  EXPECT_DOUBLE_EQ(test.inputs.front()[0], 8.0);
+}
+
+TEST(DatasetTest, SplitRejectsBadFraction) {
+  Dataset d;
+  EXPECT_THROW(d.split(-0.1), std::invalid_argument);
+  EXPECT_THROW(d.split(1.1), std::invalid_argument);
+}
+
+TEST(DatasetTest, SplitExtremes) {
+  Dataset d;
+  d.inputs.push_back({1.0});
+  d.targets.push_back({1.0});
+  const auto [all_train, none_test] = d.split(1.0);
+  EXPECT_EQ(all_train.size(), 1u);
+  EXPECT_TRUE(none_test.empty());
+}
+
+TEST(TrainTest, LearnsSineOneStepAhead) {
+  util::Rng rng(1);
+  Mlp net({6, 3, 1}, rng);
+  const auto data = make_sine_dataset(400, 6);
+  const auto [train_set, test_set] = data.split(0.8);
+  TrainConfig cfg;
+  cfg.max_eras = 150;
+  cfg.learning_rate = 0.05;
+  cfg.momentum = 0.5;
+  cfg.patience = 25;
+  const auto result = train(net, train_set, test_set, cfg);
+  EXPECT_GT(result.eras, 0u);
+  EXPECT_LT(result.test_rmse, 0.05);
+}
+
+TEST(TrainTest, EmptyTrainingSetIsNoOp) {
+  util::Rng rng(2);
+  Mlp net({2, 1}, rng);
+  const auto result = train(net, {}, {}, {});
+  EXPECT_EQ(result.eras, 0u);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(TrainTest, MismatchedDatasetThrows) {
+  util::Rng rng(3);
+  Mlp net({1, 1}, rng);
+  Dataset bad;
+  bad.inputs.push_back({1.0});
+  // no target
+  EXPECT_THROW(train(net, bad, {}, {}), std::invalid_argument);
+}
+
+TEST(TrainTest, TargetRmseStopsEarly) {
+  util::Rng rng(4);
+  Mlp net({6, 3, 1}, rng);
+  const auto data = make_sine_dataset(300, 6);
+  const auto [train_set, test_set] = data.split(0.8);
+  TrainConfig cfg;
+  cfg.max_eras = 500;
+  cfg.target_rmse = 0.2;  // loose target, hit quickly
+  cfg.patience = 0;
+  const auto result = train(net, train_set, test_set, cfg);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.eras, 500u);
+  EXPECT_LE(result.test_rmse, 0.2 + 1e-9);
+}
+
+TEST(TrainTest, PatienceTriggersConvergence) {
+  util::Rng rng(5);
+  Mlp net({2, 2, 1}, rng);
+  // A constant target is learned quickly; afterwards the test RMSE cannot
+  // improve materially, so patience must stop the run well short of the cap.
+  Dataset data;
+  util::Rng noise(99);
+  for (int i = 0; i < 60; ++i) {
+    data.inputs.push_back({noise.uniform(), noise.uniform()});
+    data.targets.push_back({0.5});
+  }
+  const auto [train_set, test_set] = data.split(0.7);
+  TrainConfig cfg;
+  cfg.max_eras = 20000;
+  cfg.learning_rate = 0.3;
+  cfg.patience = 10;
+  const auto result = train(net, train_set, test_set, cfg);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.eras, 20000u);
+}
+
+TEST(TrainTest, RestoresBestParametersOnTest) {
+  util::Rng rng(6);
+  Mlp net({6, 3, 1}, rng);
+  const auto data = make_sine_dataset(300, 6);
+  const auto [train_set, test_set] = data.split(0.8);
+  TrainConfig cfg;
+  cfg.max_eras = 100;
+  cfg.patience = 15;
+  const auto result = train(net, train_set, test_set, cfg);
+  // The restored network must reproduce the reported test RMSE.
+  const double rmse =
+      std::sqrt(net.evaluate_mse(test_set.inputs, test_set.targets));
+  EXPECT_NEAR(rmse, result.test_rmse, 1e-12);
+}
+
+TEST(TrainTest, TrainsWithoutTestSetUsingTrainError) {
+  util::Rng rng(7);
+  Mlp net({6, 3, 1}, rng);
+  const auto data = make_sine_dataset(200, 6);
+  TrainConfig cfg;
+  cfg.max_eras = 50;
+  cfg.patience = 10;
+  const auto result = train(net, data, {}, cfg);
+  EXPECT_GT(result.eras, 0u);
+  EXPECT_DOUBLE_EQ(result.test_rmse, result.train_rmse);
+}
+
+}  // namespace
+}  // namespace mmog::nn

@@ -1,0 +1,111 @@
+#include "predict/ar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace mmog::predict {
+namespace {
+
+util::TimeSeries ar1_series(std::size_t n, double phi, double mean,
+                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  util::TimeSeries ts(120.0);
+  double x = mean;
+  for (std::size_t t = 0; t < n; ++t) {
+    x = mean + phi * (x - mean) + rng.normal(0.0, 1.0);
+    ts.push_back(x);
+  }
+  return ts;
+}
+
+TEST(ArModelTest, FitRejectsBadInputs) {
+  const util::TimeSeries tiny(120.0, {1, 2});
+  std::vector<util::TimeSeries> hist = {tiny};
+  EXPECT_THROW(ArModel::fit(0, hist), std::invalid_argument);
+  EXPECT_THROW(ArModel::fit(3, hist), std::invalid_argument);
+}
+
+TEST(ArModelTest, RecoversAr1Coefficient) {
+  const auto series = ar1_series(8000, 0.8, 100.0, 3);
+  std::vector<util::TimeSeries> hist = {series};
+  const auto model = ArModel::fit(1, hist);
+  ASSERT_EQ(model.order(), 1u);
+  EXPECT_NEAR(model.coefficients()[0], 0.8, 0.05);
+  EXPECT_NEAR(model.mean(), 100.0, 1.0);
+}
+
+TEST(ArModelTest, ConstantSeriesPredictsTheConstant) {
+  const util::TimeSeries constant(120.0, std::vector<double>(50, 42.0));
+  std::vector<util::TimeSeries> hist = {constant};
+  const auto model = ArModel::fit(2, hist);
+  const std::vector<double> recent = {42.0, 42.0};
+  EXPECT_NEAR(model.predict_next(recent), 42.0, 1e-9);
+}
+
+TEST(ArModelTest, PredictNextUsesRecentValues) {
+  const auto series = ar1_series(4000, 0.9, 50.0, 7);
+  std::vector<util::TimeSeries> hist = {series};
+  const auto model = ArModel::fit(1, hist);
+  // Above-mean recent value -> prediction above mean but pulled towards it.
+  const std::vector<double> high = {80.0};
+  const double pred = model.predict_next(high);
+  EXPECT_GT(pred, model.mean());
+  EXPECT_LT(pred, 80.0 + 2.0);
+}
+
+TEST(ArModelTest, EmptyRecentPredictsMean) {
+  const auto series = ar1_series(1000, 0.5, 30.0, 11);
+  std::vector<util::TimeSeries> hist = {series};
+  const auto model = ArModel::fit(2, hist);
+  EXPECT_NEAR(model.predict_next({}), model.mean(), 1e-9);
+}
+
+TEST(ArModelTest, PredictionsAreNonNegative) {
+  const auto series = ar1_series(1000, 0.9, 2.0, 13);
+  std::vector<util::TimeSeries> hist = {series};
+  const auto model = ArModel::fit(1, hist);
+  const std::vector<double> recent = {0.0};
+  EXPECT_GE(model.predict_next(recent), 0.0);
+}
+
+TEST(ArPredictorTest, RejectsNullModel) {
+  EXPECT_THROW(ArPredictor(nullptr), std::invalid_argument);
+}
+
+TEST(ArPredictorTest, BeatsMeanPredictionOnAr1Signal) {
+  const auto train = ar1_series(4000, 0.85, 60.0, 17);
+  std::vector<util::TimeSeries> hist = {train};
+  auto model = std::make_shared<const ArModel>(ArModel::fit(1, hist));
+  ArPredictor p(model);
+  const auto eval = ar1_series(2000, 0.85, 60.0, 18);
+  double ar_err = 0.0, mean_err = 0.0;
+  for (std::size_t t = 0; t + 1 < eval.size(); ++t) {
+    p.observe(eval[t]);
+    ar_err += std::abs(p.predict() - eval[t + 1]);
+    mean_err += std::abs(60.0 - eval[t + 1]);
+  }
+  EXPECT_LT(ar_err, 0.8 * mean_err);
+}
+
+TEST(ArPredictorTest, MakeFreshSharesModelNotHistory) {
+  const auto series = ar1_series(500, 0.7, 10.0, 19);
+  std::vector<util::TimeSeries> hist = {series};
+  auto model = std::make_shared<const ArModel>(ArModel::fit(1, hist));
+  ArPredictor p(model);
+  p.observe(100.0);
+  auto fresh = p.make_fresh();
+  EXPECT_EQ(fresh->name(), "AR");
+  // The fresh instance has no history (predictor contract: 0 before any
+  // observation) but shares the fitted model.
+  EXPECT_DOUBLE_EQ(fresh->predict(), 0.0);
+  fresh->observe(model->mean());
+  EXPECT_NEAR(fresh->predict(), model->mean(), 1e-6);
+}
+
+}  // namespace
+}  // namespace mmog::predict

@@ -1,0 +1,98 @@
+#include "predict/evaluate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numbers>
+
+#include "predict/simple.hpp"
+
+namespace mmog::predict {
+namespace {
+
+TEST(SeriesErrorTest, PerfectPredictorScoresZero) {
+  // A constant series is predicted perfectly by Last value after warm-up.
+  LastValuePredictor p;
+  const std::vector<double> series(100, 50.0);
+  EXPECT_DOUBLE_EQ(series_prediction_error(p, series, 1), 0.0);
+}
+
+TEST(SeriesErrorTest, KnownErrorValue) {
+  // Series 10, 20, 10, 20... Last value is always off by 10; the paper's
+  // metric = sum |err| / sum actual * 100.
+  LastValuePredictor p;
+  std::vector<double> series;
+  for (int i = 0; i < 10; ++i) series.push_back(i % 2 == 0 ? 10.0 : 20.0);
+  // From t=1..9: |err| = 10 each (9 errors); actual sum = 5*20 + 4*10 = 140.
+  const double expected = 9.0 * 10.0 / 140.0 * 100.0;
+  EXPECT_NEAR(series_prediction_error(p, series, 1), expected, 1e-9);
+}
+
+TEST(SeriesErrorTest, RejectsBadRanges) {
+  LastValuePredictor p;
+  const std::vector<double> series = {1.0, 2.0};
+  EXPECT_THROW(series_prediction_error(p, series, 0), std::invalid_argument);
+  EXPECT_THROW(series_prediction_error(p, series, 2), std::invalid_argument);
+  const std::vector<double> single = {1.0};
+  EXPECT_THROW(series_prediction_error(p, single, 1), std::invalid_argument);
+}
+
+TEST(SeriesErrorTest, ZeroSeriesYieldsZeroError) {
+  LastValuePredictor p;
+  const std::vector<double> series(10, 0.0);
+  EXPECT_DOUBLE_EQ(series_prediction_error(p, series, 1), 0.0);
+}
+
+TEST(ZonesErrorTest, ScoresEveryZoneSample) {
+  // Two anti-phase square waves: the summed world total is constant, but
+  // the paper's metric scores each sub-zone sample, so the per-zone errors
+  // of a Last-value predictor do NOT cancel.
+  std::vector<util::TimeSeries> zones;
+  util::TimeSeries a(120.0), b(120.0);
+  for (int t = 0; t < 50; ++t) {
+    a.push_back(t % 2 == 0 ? 10.0 : 20.0);
+    b.push_back(t % 2 == 0 ? 20.0 : 10.0);
+  }
+  zones.push_back(a);
+  zones.push_back(b);
+  const PredictorFactory factory = [] {
+    return std::make_unique<LastValuePredictor>();
+  };
+  // Every zone sample is off by 10 against an average value of 15.
+  EXPECT_NEAR(zones_prediction_error(factory, zones, 1), 10.0 / 15.0 * 100.0,
+              1e-9);
+}
+
+TEST(ZonesErrorTest, MatchesSingleSeriesWhenOneZone) {
+  std::vector<double> values;
+  for (int t = 0; t < 60; ++t) {
+    values.push_back(100.0 +
+                     30.0 * std::sin(2.0 * std::numbers::pi * t / 20.0));
+  }
+  std::vector<util::TimeSeries> zones = {util::TimeSeries(120.0, values)};
+  const PredictorFactory factory = [] {
+    return std::make_unique<LastValuePredictor>();
+  };
+  LastValuePredictor single;
+  EXPECT_NEAR(zones_prediction_error(factory, zones, 5),
+              series_prediction_error(single, values, 5), 1e-9);
+}
+
+TEST(ZonesErrorTest, RejectsEmptyInput) {
+  const PredictorFactory factory = [] {
+    return std::make_unique<LastValuePredictor>();
+  };
+  EXPECT_THROW(zones_prediction_error(factory, {}, 1), std::invalid_argument);
+}
+
+TEST(TimePredictionsTest, ReturnsOneSamplePerCall) {
+  AveragePredictor p;
+  const std::vector<double> series = {1, 2, 3, 4, 5};
+  const auto micros = time_predictions(p, series, 3);
+  EXPECT_EQ(micros.size(), 15u);
+  for (double m : micros) EXPECT_GE(m, 0.0);
+}
+
+}  // namespace
+}  // namespace mmog::predict

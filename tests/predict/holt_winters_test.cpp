@@ -1,0 +1,138 @@
+#include "predict/holt_winters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "predict/simple.hpp"
+
+namespace mmog::predict {
+namespace {
+
+TEST(HoltTest, RejectsBadParameters) {
+  EXPECT_THROW(HoltPredictor(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(HoltPredictor(0.5, 1.5), std::invalid_argument);
+}
+
+TEST(HoltTest, TracksALinearRampWithoutLag) {
+  HoltPredictor p(0.5, 0.3);
+  // Ramp: 100, 110, 120, ... — after convergence the one-step forecast
+  // should be close to the next value, unlike plain smoothing.
+  double value = 100.0;
+  for (int i = 0; i < 200; ++i) {
+    p.observe(value);
+    value += 10.0;
+  }
+  EXPECT_NEAR(p.predict(), value, 1.0);
+  EXPECT_NEAR(p.trend(), 10.0, 0.5);
+}
+
+TEST(HoltTest, ConstantSignalHasZeroTrend) {
+  HoltPredictor p;
+  for (int i = 0; i < 50; ++i) p.observe(42.0);
+  EXPECT_NEAR(p.predict(), 42.0, 1e-9);
+  EXPECT_NEAR(p.trend(), 0.0, 1e-9);
+}
+
+TEST(HoltTest, PredictionsAreNonNegative) {
+  HoltPredictor p(0.9, 0.9);
+  p.observe(10.0);
+  p.observe(1.0);
+  p.observe(0.0);
+  EXPECT_GE(p.predict(), 0.0);
+}
+
+TEST(HoltTest, MakeFreshResets) {
+  HoltPredictor p;
+  p.observe(100.0);
+  auto fresh = p.make_fresh();
+  EXPECT_DOUBLE_EQ(fresh->predict(), 0.0);
+}
+
+TEST(HoltWintersTest, RejectsBadParameters) {
+  EXPECT_THROW(HoltWintersPredictor(0), std::invalid_argument);
+  EXPECT_THROW(HoltWintersPredictor(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(HoltWintersPredictor(10, 0.5, 0.5, 2.0),
+               std::invalid_argument);
+}
+
+TEST(HoltWintersTest, SeasonalInitializesAfterOneSeason) {
+  HoltWintersPredictor p(24);
+  for (int i = 0; i < 23; ++i) p.observe(static_cast<double>(i % 24));
+  EXPECT_FALSE(p.seasonal_ready());
+  p.observe(23.0);
+  EXPECT_TRUE(p.seasonal_ready());
+}
+
+TEST(HoltWintersTest, BeatsSimpleSmoothingOnSeasonalSignal) {
+  // A clean daily sinusoid with period 48: once the seasonal terms settle,
+  // Holt-Winters must beat exponential smoothing decisively.
+  constexpr std::size_t kSeason = 48;
+  HoltWintersPredictor hw(kSeason, 0.4, 0.05, 0.3);
+  ExponentialSmoothingPredictor es(0.5);
+  auto signal = [](int t) {
+    return 500.0 +
+           300.0 * std::sin(2.0 * std::numbers::pi * t / double(kSeason));
+  };
+  double hw_err = 0.0, es_err = 0.0;
+  for (int t = 0; t < 48 * 30; ++t) {
+    const double v = signal(t);
+    if (t > 48 * 5) {
+      hw_err += std::abs(hw.predict() - v);
+      es_err += std::abs(es.predict() - v);
+    }
+    hw.observe(v);
+    es.observe(v);
+  }
+  EXPECT_LT(hw_err, 0.25 * es_err);
+}
+
+TEST(HoltWintersTest, BehavesLikeHoltBeforeFirstSeason) {
+  HoltWintersPredictor hw(1000);
+  HoltPredictor holt(0.4, 0.05);
+  for (int i = 0; i < 100; ++i) {
+    const double v = 100.0 + i;
+    hw.observe(v);
+    holt.observe(v);
+  }
+  EXPECT_NEAR(hw.predict(), holt.predict(), 1e-9);
+}
+
+TEST(HoltWintersTest, PredictionsAreNonNegative) {
+  HoltWintersPredictor p(4, 0.9, 0.5, 0.9);
+  for (double v : {10.0, 0.0, 0.0, 0.0, 0.0, 0.0}) p.observe(v);
+  EXPECT_GE(p.predict(), 0.0);
+}
+
+TEST(HoltWintersTest, MakeFreshPreservesConfiguration) {
+  HoltWintersPredictor p(36);
+  auto fresh = p.make_fresh();
+  auto* cast = dynamic_cast<HoltWintersPredictor*>(fresh.get());
+  ASSERT_NE(cast, nullptr);
+  EXPECT_EQ(cast->season_length(), 36u);
+  EXPECT_FALSE(cast->seasonal_ready());
+}
+
+TEST(DriftTest, ExtrapolatesAverageSlope) {
+  DriftPredictor p;
+  for (double v : {0.0, 10.0, 20.0, 30.0}) p.observe(v);
+  // Average slope 10; prediction = 30 + 10.
+  EXPECT_NEAR(p.predict(), 40.0, 1e-9);
+}
+
+TEST(DriftTest, SingleObservationPredictsItself) {
+  DriftPredictor p;
+  EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+  p.observe(7.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 7.0);
+}
+
+TEST(DriftTest, NonNegativeOnDecline) {
+  DriftPredictor p;
+  for (double v : {100.0, 50.0, 2.0}) p.observe(v);
+  EXPECT_GE(p.predict(), 0.0);
+}
+
+}  // namespace
+}  // namespace mmog::predict

@@ -1,0 +1,134 @@
+#include "predict/neural.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numbers>
+
+#include "util/timeseries.hpp"
+
+namespace mmog::predict {
+namespace {
+
+util::TimeSeries sine_series(std::size_t n, double period = 120.0,
+                             double level = 500.0, double amp = 300.0) {
+  util::TimeSeries ts(util::kSampleStepSeconds);
+  for (std::size_t t = 0; t < n; ++t) {
+    ts.push_back(level +
+                 amp * std::sin(2.0 * std::numbers::pi *
+                                static_cast<double>(t) / period));
+  }
+  return ts;
+}
+
+NeuralConfig fast_config() {
+  NeuralConfig cfg;
+  cfg.train.max_eras = 60;
+  cfg.train.patience = 10;
+  return cfg;
+}
+
+TEST(NeuralModelTest, FitRejectsEmptyHistory) {
+  EXPECT_THROW(NeuralModel::fit(fast_config(), util::TimeSeries(120.0)),
+               std::invalid_argument);
+}
+
+TEST(NeuralModelTest, FitRejectsTooShortHistory) {
+  const util::TimeSeries tiny(120.0, {1, 2, 3});
+  EXPECT_THROW(NeuralModel::fit(fast_config(), tiny), std::invalid_argument);
+}
+
+TEST(NeuralModelTest, FitRejectsZeroWindow) {
+  auto cfg = fast_config();
+  cfg.input_window = 0;
+  EXPECT_THROW(NeuralModel::fit(cfg, sine_series(100)),
+               std::invalid_argument);
+}
+
+TEST(NeuralModelTest, LearnsASmoothPeriodicSignal) {
+  const auto series = sine_series(600);
+  const auto model = NeuralModel::fit(fast_config(), series);
+  // One-step-ahead predictions on the training signal should be accurate to
+  // a few percent of the amplitude.
+  double abs_err = 0.0, total = 0.0;
+  for (std::size_t t = 50; t + 1 < series.size(); ++t) {
+    std::vector<double> recent;
+    for (std::size_t k = t >= 10 ? t - 10 : 0; k <= t; ++k) {
+      recent.push_back(series[k]);
+    }
+    abs_err += std::abs(model.predict_next(recent) - series[t + 1]);
+    total += series[t + 1];
+  }
+  EXPECT_LT(abs_err / total, 0.05);
+}
+
+TEST(NeuralModelTest, PredictNextHandlesShortInput) {
+  const auto model = NeuralModel::fit(fast_config(), sine_series(300));
+  const std::vector<double> one = {500.0};
+  const double pred = model.predict_next(one);
+  EXPECT_TRUE(std::isfinite(pred));
+  EXPECT_GE(pred, 0.0);
+  EXPECT_DOUBLE_EQ(model.predict_next({}), 0.0);
+}
+
+TEST(NeuralModelTest, PredictionsAreNonNegative) {
+  // Entity counts cannot go below zero even when the signal dives.
+  util::TimeSeries diving(util::kSampleStepSeconds);
+  for (int t = 0; t < 300; ++t) {
+    diving.push_back(std::max(0.0, 300.0 - t * 2.0));
+  }
+  const auto model = NeuralModel::fit(fast_config(), diving);
+  const std::vector<double> recent = {8.0, 6.0, 4.0, 2.0, 0.0, 0.0};
+  EXPECT_GE(model.predict_next(recent), 0.0);
+}
+
+TEST(NeuralModelTest, FitPoolsMultipleHistories) {
+  std::vector<util::TimeSeries> histories = {sine_series(200),
+                                             sine_series(200, 90.0, 300.0)};
+  const auto model = NeuralModel::fit(fast_config(), histories);
+  EXPECT_GT(model.train_result().eras, 0u);
+}
+
+TEST(NeuralModelTest, TrainingIsDeterministicGivenSeed) {
+  const auto series = sine_series(300);
+  const auto a = NeuralModel::fit(fast_config(), series);
+  const auto b = NeuralModel::fit(fast_config(), series);
+  const std::vector<double> recent = {500, 520, 540, 560, 580, 600};
+  EXPECT_DOUBLE_EQ(a.predict_next(recent), b.predict_next(recent));
+}
+
+TEST(NeuralPredictorTest, RejectsNullModel) {
+  EXPECT_THROW(NeuralPredictor(nullptr), std::invalid_argument);
+}
+
+TEST(NeuralPredictorTest, TracksObservedSignal) {
+  const auto series = sine_series(600);
+  auto model = std::make_shared<const NeuralModel>(
+      NeuralModel::fit(fast_config(), series));
+  NeuralPredictor p(model);
+  EXPECT_EQ(p.name(), "Neural");
+  EXPECT_DOUBLE_EQ(p.predict(), 0.0);  // no history yet
+  double abs_err = 0.0, total = 0.0;
+  for (std::size_t t = 0; t + 1 < series.size(); ++t) {
+    p.observe(series[t]);
+    if (t > 50) {
+      abs_err += std::abs(p.predict() - series[t + 1]);
+      total += series[t + 1];
+    }
+  }
+  EXPECT_LT(abs_err / total, 0.05);
+}
+
+TEST(NeuralPredictorTest, MakeFreshSharesModelButNotHistory) {
+  auto model = std::make_shared<const NeuralModel>(
+      NeuralModel::fit(fast_config(), sine_series(300)));
+  NeuralPredictor p(model);
+  p.observe(500.0);
+  auto fresh = p.make_fresh();
+  EXPECT_DOUBLE_EQ(fresh->predict(), 0.0);
+  EXPECT_NE(p.predict(), 0.0);
+}
+
+}  // namespace
+}  // namespace mmog::predict

@@ -1,0 +1,132 @@
+#include "predict/simple.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace mmog::predict {
+namespace {
+
+TEST(LastValueTest, PredictsLastObservation) {
+  LastValuePredictor p;
+  EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+  p.observe(5.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 5.0);
+  p.observe(7.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 7.0);
+  EXPECT_EQ(p.name(), "Last value");
+}
+
+TEST(AverageTest, PredictsRunningMean) {
+  AveragePredictor p;
+  EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+  p.observe(2.0);
+  p.observe(4.0);
+  p.observe(6.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 4.0);
+  EXPECT_EQ(p.name(), "Average");
+}
+
+TEST(MovingAverageTest, WindowLimitsHistory) {
+  MovingAveragePredictor p(3);
+  p.observe(1.0);
+  p.observe(2.0);
+  p.observe(3.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 2.0);
+  p.observe(10.0);  // pushes out the 1.0
+  EXPECT_DOUBLE_EQ(p.predict(), 5.0);
+}
+
+TEST(MovingAverageTest, PartialWindowUsesAvailableSamples) {
+  MovingAveragePredictor p(5);
+  EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+  p.observe(4.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 4.0);
+}
+
+TEST(MovingAverageTest, RejectsZeroWindow) {
+  EXPECT_THROW(MovingAveragePredictor(0), std::invalid_argument);
+}
+
+TEST(SlidingMedianTest, OddWindowTakesMiddle) {
+  SlidingWindowMedianPredictor p(3);
+  p.observe(10.0);
+  p.observe(1.0);
+  p.observe(5.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 5.0);
+}
+
+TEST(SlidingMedianTest, EvenCountAveragesMiddlePair) {
+  SlidingWindowMedianPredictor p(5);
+  p.observe(1.0);
+  p.observe(3.0);
+  p.observe(5.0);
+  p.observe(7.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 4.0);
+}
+
+TEST(SlidingMedianTest, IsRobustToOutliers) {
+  SlidingWindowMedianPredictor p(5);
+  for (double v : {10.0, 10.0, 1000.0, 10.0, 10.0}) p.observe(v);
+  EXPECT_DOUBLE_EQ(p.predict(), 10.0);
+}
+
+TEST(SlidingMedianTest, RejectsZeroWindow) {
+  EXPECT_THROW(SlidingWindowMedianPredictor(0), std::invalid_argument);
+}
+
+TEST(ExpSmoothingTest, FirstObservationPrimesState) {
+  ExponentialSmoothingPredictor p(0.5);
+  p.observe(10.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 10.0);
+}
+
+TEST(ExpSmoothingTest, BlendsWithAlpha) {
+  ExponentialSmoothingPredictor p(0.25);
+  p.observe(0.0);
+  p.observe(100.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 25.0);
+  p.observe(100.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 43.75);
+}
+
+TEST(ExpSmoothingTest, AlphaOneIsLastValue) {
+  ExponentialSmoothingPredictor p(1.0);
+  p.observe(3.0);
+  p.observe(9.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 9.0);
+}
+
+TEST(ExpSmoothingTest, NameIncludesPercentage) {
+  EXPECT_EQ(ExponentialSmoothingPredictor(0.25).name(), "Exp. smoothing 25%");
+  EXPECT_EQ(ExponentialSmoothingPredictor(0.50).name(), "Exp. smoothing 50%");
+  EXPECT_EQ(ExponentialSmoothingPredictor(0.75).name(), "Exp. smoothing 75%");
+}
+
+TEST(ExpSmoothingTest, RejectsBadAlpha) {
+  EXPECT_THROW(ExponentialSmoothingPredictor(0.0), std::invalid_argument);
+  EXPECT_THROW(ExponentialSmoothingPredictor(1.5), std::invalid_argument);
+}
+
+TEST(MakeFreshTest, ProducesEmptyCloneOfSameType) {
+  MovingAveragePredictor p(4);
+  p.observe(100.0);
+  auto fresh = p.make_fresh();
+  EXPECT_EQ(fresh->name(), p.name());
+  EXPECT_DOUBLE_EQ(fresh->predict(), 0.0);  // no history carried over
+  fresh->observe(2.0);
+  EXPECT_DOUBLE_EQ(fresh->predict(), 2.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 100.0);  // original untouched
+}
+
+TEST(MakeFreshTest, PreservesParameters) {
+  ExponentialSmoothingPredictor p(0.75);
+  auto fresh = p.make_fresh();
+  fresh->observe(0.0);
+  fresh->observe(100.0);
+  EXPECT_DOUBLE_EQ(fresh->predict(), 75.0);  // alpha carried over
+}
+
+}  // namespace
+}  // namespace mmog::predict

@@ -1,0 +1,105 @@
+// Property-based tests of the game emulator across all eight Table I
+// configurations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "emu/datasets.hpp"
+#include "emu/emulator.hpp"
+
+namespace mmog::emu {
+namespace {
+
+class EmulatorDatasetProperties : public ::testing::TestWithParam<int> {
+ protected:
+  DatasetConfig config() const {
+    auto sets = table1_datasets(4000);
+    auto cfg = sets[static_cast<std::size_t>(GetParam())];
+    cfg.samples = 120;  // four simulated hours keep the suite fast
+    return cfg;
+  }
+};
+
+TEST_P(EmulatorDatasetProperties, ZoneCountsAreConsistent) {
+  Emulator emulator(WorldConfig{}, config());
+  const auto trace = emulator.run();
+  ASSERT_EQ(trace.samples.size(), 120u);
+  for (const auto& s : trace.samples) {
+    ASSERT_EQ(s.zone_counts.size(), trace.world.zone_count());
+    double sum = 0.0;
+    for (double c : s.zone_counts) {
+      EXPECT_GE(c, 0.0);
+      EXPECT_EQ(c, std::floor(c));  // whole entities
+      sum += c;
+    }
+    EXPECT_DOUBLE_EQ(sum, s.total);
+  }
+}
+
+TEST_P(EmulatorDatasetProperties, InteractionsMatchZoneFormula) {
+  Emulator emulator(WorldConfig{8, 8, 60.0}, config());
+  const auto trace = emulator.run();
+  for (const auto& s : trace.samples) {
+    double expected = 0.0;
+    for (double c : s.zone_counts) expected += c * (c - 1.0) / 2.0;
+    EXPECT_DOUBLE_EQ(s.interactions, expected);
+  }
+}
+
+TEST_P(EmulatorDatasetProperties, PopulationWithinConfiguredBounds) {
+  const auto cfg = config();
+  Emulator emulator(WorldConfig{}, cfg);
+  const auto total = emulator.run().total_series();
+  // Population tracks peak_load modulated by at most (1 + 0.35*overall).
+  const double ceiling = cfg.peak_load * (1.0 + 0.4 * cfg.overall_dynamics) +
+                         cfg.peak_load * 0.1;
+  for (std::size_t t = 0; t < total.size(); ++t) {
+    EXPECT_GE(total[t], 0.0);
+    EXPECT_LE(total[t], ceiling) << "sample " << t;
+  }
+}
+
+TEST_P(EmulatorDatasetProperties, PopulationChurnIsBounded) {
+  // Joins/quits are sessions, not teleports: at most ~5 % + 4 entities of
+  // churn between consecutive samples.
+  Emulator emulator(WorldConfig{}, config());
+  const auto total = emulator.run().total_series();
+  for (std::size_t t = 1; t < total.size(); ++t) {
+    EXPECT_LE(std::abs(total[t] - total[t - 1]),
+              0.05 * std::max(total[t - 1], 80.0) + 4.0)
+        << "sample " << t;
+  }
+}
+
+TEST_P(EmulatorDatasetProperties, DeterministicPerSeed) {
+  Emulator a(WorldConfig{}, config());
+  Emulator b(WorldConfig{}, config());
+  const auto ta = a.run();
+  const auto tb = b.run();
+  for (std::size_t s = 0; s < ta.samples.size(); s += 17) {
+    EXPECT_EQ(ta.samples[s].zone_counts, tb.samples[s].zone_counts);
+  }
+}
+
+TEST_P(EmulatorDatasetProperties, OccupancyIsNotUniform) {
+  // AI profiles concentrate entities (hot-spots, camps, team clusters):
+  // the busiest zone must clearly exceed the mean occupancy.
+  Emulator emulator(WorldConfig{}, config());
+  const auto trace = emulator.run();
+  const auto& s = trace.samples.back();
+  const double mean =
+      s.total / static_cast<double>(trace.world.zone_count());
+  const double busiest =
+      *std::max_element(s.zone_counts.begin(), s.zone_counts.end());
+  EXPECT_GT(busiest, 2.0 * mean);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableOneSets, EmulatorDatasetProperties,
+                         ::testing::Range(0, 8), [](const auto& info) {
+                           return "Set" + std::to_string(info.param + 1);
+                         });
+
+}  // namespace
+}  // namespace mmog::emu

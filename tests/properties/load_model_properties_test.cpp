@@ -1,0 +1,111 @@
+// Property-based tests over all five update models: the load-model algebra
+// the provisioning pipeline relies on must hold for each of them.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/load_model.hpp"
+#include "util/rng.hpp"
+
+namespace mmog::core {
+namespace {
+
+class LoadModelProperties : public ::testing::TestWithParam<UpdateModel> {
+ protected:
+  LoadModel model() const { return LoadModel{GetParam(), 2000.0}; }
+};
+
+TEST_P(LoadModelProperties, NormalizedAtReference) {
+  const auto m = model();
+  const auto d = m.demand(2000.0);
+  for (std::size_t r = 0; r < util::kResourceKinds; ++r) {
+    EXPECT_NEAR(d.v[r], 1.0, 1e-9);
+  }
+}
+
+TEST_P(LoadModelProperties, ZeroPlayersZeroDemand) {
+  EXPECT_EQ(model().demand(0.0), util::ResourceVector{});
+  EXPECT_EQ(model().demand(-5.0), util::ResourceVector{});
+}
+
+TEST_P(LoadModelProperties, DemandIsMonotonic) {
+  const auto m = model();
+  util::ResourceVector prev{};
+  for (double p = 0.0; p <= 2400.0; p += 40.0) {
+    const auto d = m.demand(p);
+    EXPECT_TRUE(d.covers(prev)) << "players " << p;
+    prev = d;
+  }
+}
+
+TEST_P(LoadModelProperties, DemandIsNonNegativeAndFinite) {
+  const auto m = model();
+  util::Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    const auto d = m.demand(rng.uniform(-100.0, 5000.0));
+    EXPECT_TRUE(d.non_negative());
+    for (double v : d.v) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST_P(LoadModelProperties, CpuConvexityOrdersHalfLoad) {
+  // For superlinear models, half the players need at most half the CPU.
+  const auto m = model();
+  const double half = m.demand(1000.0).cpu();
+  EXPECT_LE(half, 0.5 + 1e-9);
+  EXPECT_GT(half, 0.0);
+}
+
+TEST_P(LoadModelProperties, LinearResourcesScaleLinearly) {
+  const auto m = model();
+  util::Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const double p = rng.uniform(0.0, 2000.0);
+    const auto d = m.demand(p);
+    EXPECT_NEAR(d.memory(), p / 2000.0, 1e-9);
+    EXPECT_NEAR(d.net_in(), p / 2000.0, 1e-9);
+    EXPECT_NEAR(d.net_out(), p / 2000.0, 1e-9);
+  }
+}
+
+TEST_P(LoadModelProperties, AreaOfInterestNeverRaisesCost) {
+  const auto base = GetParam();
+  const auto reduced = with_area_of_interest(base);
+  for (double n = 1.0; n <= 4000.0; n *= 2.0) {
+    EXPECT_LE(update_cost(reduced, n), update_cost(base, n) + 1e-9)
+        << "n = " << n;
+  }
+}
+
+TEST_P(LoadModelProperties, AreaOfInterestIsIdempotent) {
+  const auto once = with_area_of_interest(GetParam());
+  EXPECT_EQ(with_area_of_interest(once), once);
+}
+
+TEST_P(LoadModelProperties, UpdateCostGrowsAtLeastLinearly) {
+  // Every model is Omega(n): doubling the entities at least doubles cost.
+  for (double n = 8.0; n <= 2048.0; n *= 2.0) {
+    EXPECT_GE(update_cost(GetParam(), 2.0 * n),
+              2.0 * update_cost(GetParam(), n) - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllUpdateModels, LoadModelProperties,
+    ::testing::Values(UpdateModel::kLinear, UpdateModel::kNLogN,
+                      UpdateModel::kQuadratic, UpdateModel::kQuadraticLogN,
+                      UpdateModel::kCubic),
+    [](const auto& info) {
+      switch (info.param) {
+        case UpdateModel::kLinear: return "Linear";
+        case UpdateModel::kNLogN: return "NLogN";
+        case UpdateModel::kQuadratic: return "Quadratic";
+        case UpdateModel::kQuadraticLogN: return "QuadraticLogN";
+        case UpdateModel::kCubic: return "Cubic";
+      }
+      return "Unknown";
+    });
+
+}  // namespace
+}  // namespace mmog::core

@@ -1,0 +1,143 @@
+// Property-based tests over all eleven Table IV hosting policies: the
+// quantization and bundle algebra must hold for every policy and every
+// demand the simulator can produce.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dc/hosting_policy.hpp"
+#include "util/rng.hpp"
+
+namespace mmog::dc {
+namespace {
+
+class PolicyProperties : public ::testing::TestWithParam<int> {
+ protected:
+  HostingPolicy policy() const { return HostingPolicy::preset(GetParam()); }
+};
+
+TEST_P(PolicyProperties, QuantizeCoversDemand) {
+  const auto p = policy();
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const auto demand = util::ResourceVector::of(
+        rng.uniform(0.0, 50.0), rng.uniform(0.0, 100.0),
+        rng.uniform(0.0, 50.0), rng.uniform(0.0, 50.0));
+    const auto q = p.quantize(demand);
+    EXPECT_TRUE(q.covers(demand));
+  }
+}
+
+TEST_P(PolicyProperties, QuantizeIsIdempotent) {
+  const auto p = policy();
+  util::Rng rng(100 + GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const auto demand = util::ResourceVector::of(
+        rng.uniform(0.0, 20.0), rng.uniform(0.0, 20.0),
+        rng.uniform(0.0, 20.0), rng.uniform(0.0, 20.0));
+    const auto once = p.quantize(demand);
+    const auto twice = p.quantize(once);
+    for (std::size_t r = 0; r < util::kResourceKinds; ++r) {
+      EXPECT_NEAR(once.v[r], twice.v[r], 1e-9);
+    }
+  }
+}
+
+TEST_P(PolicyProperties, QuantizeWasteBoundedByOneBulk) {
+  const auto p = policy();
+  util::Rng rng(200 + GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const auto demand = util::ResourceVector::of(
+        rng.uniform(0.01, 30.0), rng.uniform(0.01, 30.0),
+        rng.uniform(0.01, 30.0), rng.uniform(0.01, 30.0));
+    const auto q = p.quantize(demand);
+    for (std::size_t r = 0; r < util::kResourceKinds; ++r) {
+      const double bulk = p.bulk.v[r];
+      EXPECT_LE(q.v[r], demand.v[r] + (bulk > 0.0 ? bulk : 0.0) + 1e-9);
+    }
+  }
+}
+
+TEST_P(PolicyProperties, BundlesCoverConstrainedDemand) {
+  const auto p = policy();
+  util::Rng rng(300 + GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const auto demand = util::ResourceVector::of(
+        rng.uniform(0.0, 40.0), rng.uniform(0.0, 40.0),
+        rng.uniform(0.0, 40.0), rng.uniform(0.0, 40.0));
+    const auto k = p.bundles_needed(demand);
+    const auto amount = p.bundle_amount(k);
+    for (std::size_t r = 0; r < util::kResourceKinds; ++r) {
+      if (p.bulk.v[r] > 0.0 && demand.v[r] > 0.0) {
+        EXPECT_GE(amount.v[r], demand.v[r] - 1e-9)
+            << "resource " << r << " demand " << demand.v[r];
+      }
+    }
+    // Minimality: one fewer bundle would leave some resource uncovered.
+    if (k > 0) {
+      const auto less = p.bundle_amount(k - 1);
+      bool some_uncovered = false;
+      for (std::size_t r = 0; r < util::kResourceKinds; ++r) {
+        if (p.bulk.v[r] > 0.0 && demand.v[r] > less.v[r] + 1e-9) {
+          some_uncovered = true;
+        }
+      }
+      EXPECT_TRUE(some_uncovered);
+    }
+  }
+}
+
+TEST_P(PolicyProperties, BundlesFittingNeverOverCommits) {
+  const auto p = policy();
+  util::Rng rng(400 + GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const auto free = util::ResourceVector::of(
+        rng.uniform(0.0, 30.0), rng.uniform(0.0, 60.0),
+        rng.uniform(0.0, 200.0), rng.uniform(0.0, 60.0));
+    const auto k = p.bundles_fitting(free);
+    const auto amount = p.bundle_amount(k);
+    EXPECT_TRUE(free.covers(amount));
+    // Maximality: one more bundle would not fit.
+    const auto more = p.bundle_amount(k + 1);
+    EXPECT_FALSE(free.covers(more));
+  }
+}
+
+TEST_P(PolicyProperties, BundleAmountIsLinearInCount) {
+  const auto p = policy();
+  const auto one = p.bundle_amount(1);
+  const auto five = p.bundle_amount(5);
+  for (std::size_t r = 0; r < util::kResourceKinds; ++r) {
+    EXPECT_NEAR(five.v[r], 5.0 * one.v[r], 1e-9);
+  }
+}
+
+TEST_P(PolicyProperties, TimeBulkStepsMatchesMinutes) {
+  const auto p = policy();
+  EXPECT_EQ(p.time_bulk_steps(),
+            static_cast<std::size_t>(std::ceil(p.time_bulk_minutes / 2.0)));
+  EXPECT_GT(p.time_bulk_steps(), 0u);
+}
+
+TEST_P(PolicyProperties, ZeroDemandNeedsNothing) {
+  const auto p = policy();
+  EXPECT_EQ(p.bundles_needed({}), 0u);
+  EXPECT_EQ(p.quantize({}), util::ResourceVector{});
+}
+
+TEST_P(PolicyProperties, AllPresetsHaveCpuBulk) {
+  // Every Table IV policy constrains CPU — the resource that drives
+  // placement in the simulator.
+  EXPECT_GT(policy().bulk.cpu(), 0.0);
+  EXPECT_TRUE(policy().has_bundles());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHostingPolicies, PolicyProperties,
+                         ::testing::Range(1, 12),
+                         [](const auto& info) {
+                           return "HP" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace mmog::dc

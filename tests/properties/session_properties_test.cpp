@@ -1,0 +1,105 @@
+// Property-based tests of the packet-session emulator across every
+// interaction class.
+
+#include <gtest/gtest.h>
+
+#include "net/session.hpp"
+#include "util/stats.hpp"
+
+namespace mmog::net {
+namespace {
+
+class SessionClassProperties
+    : public ::testing::TestWithParam<InteractionClass> {
+ protected:
+  SessionTrace session(std::uint64_t seed = 3,
+                       double duration = 600.0) const {
+    SessionConfig cfg;
+    cfg.interaction = GetParam();
+    cfg.duration_seconds = duration;
+    cfg.seed = seed;
+    return emulate_session(cfg);
+  }
+};
+
+TEST_P(SessionClassProperties, PacketsRespectFigureBounds) {
+  const auto t = session();
+  ASSERT_GT(t.packets.size(), 50u);
+  for (const auto& p : t.packets) {
+    EXPECT_GE(p.length_bytes, 40u);
+    EXPECT_LE(p.length_bytes, 500u);
+  }
+  for (double iat : t.inter_arrival_ms()) {
+    EXPECT_GT(iat, 0.0);
+    EXPECT_LE(iat, 600.0 + 1e-9);
+  }
+}
+
+TEST_P(SessionClassProperties, TimestampsMonotoneWithinDuration) {
+  const auto t = session();
+  double prev = -1.0;
+  for (const auto& p : t.packets) {
+    EXPECT_GE(p.timestamp_s, prev);
+    EXPECT_LT(p.timestamp_s, 600.0);
+    prev = p.timestamp_s;
+  }
+}
+
+TEST_P(SessionClassProperties, SeedsChangeTheStream) {
+  const auto a = session(3);
+  const auto b = session(4);
+  // Same class, different seed: close in distribution, not identical.
+  EXPECT_NE(a.packets.size(), 0u);
+  bool differs = a.packets.size() != b.packets.size();
+  for (std::size_t i = 0; !differs && i < std::min(a.packets.size(),
+                                                   b.packets.size());
+       ++i) {
+    differs = a.packets[i].length_bytes != b.packets[i].length_bytes;
+  }
+  EXPECT_TRUE(differs);
+  EXPECT_NEAR(util::mean(a.lengths()) / util::mean(b.lengths()), 1.0, 0.15);
+}
+
+TEST_P(SessionClassProperties, ExpectedMomentsMatchEmpirical) {
+  const auto t = session(9, 1800.0);
+  EXPECT_NEAR(util::mean(t.lengths()),
+              expected_packet_length(GetParam()), 12.0);
+  EXPECT_NEAR(util::mean(t.inter_arrival_ms()),
+              expected_iat_ms(GetParam()),
+              0.12 * expected_iat_ms(GetParam()));
+}
+
+TEST_P(SessionClassProperties, BandwidthConsistentWithMoments) {
+  const auto t = session(5, 1200.0);
+  const double expected_bps = expected_packet_length(GetParam()) /
+                              (expected_iat_ms(GetParam()) / 1e3);
+  EXPECT_NEAR(t.mean_bandwidth_bps() / expected_bps, 1.0, 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, SessionClassProperties,
+    ::testing::Values(InteractionClass::kCreatingContent,
+                      InteractionClass::kFastPaced,
+                      InteractionClass::kP2PMarket,
+                      InteractionClass::kP2PCrowded,
+                      InteractionClass::kGroupInteraction,
+                      InteractionClass::kNewContentNonCrowded,
+                      InteractionClass::kNewContentCrowded,
+                      InteractionClass::kNewContentLocks),
+    [](const auto& info) {
+      switch (info.param) {
+        case InteractionClass::kCreatingContent: return "CreatingContent";
+        case InteractionClass::kFastPaced: return "FastPaced";
+        case InteractionClass::kP2PMarket: return "P2PMarket";
+        case InteractionClass::kP2PCrowded: return "P2PCrowded";
+        case InteractionClass::kGroupInteraction: return "GroupInteraction";
+        case InteractionClass::kNewContentNonCrowded:
+          return "NewContentNonCrowded";
+        case InteractionClass::kNewContentCrowded: return "NewContentCrowded";
+        case InteractionClass::kNewContentLocks: return "NewContentLocks";
+      }
+      return "Unknown";
+    });
+
+}  // namespace
+}  // namespace mmog::net

@@ -1,0 +1,150 @@
+// Property-based tests over the provisioning simulator: invariants that
+// must hold for every (allocation mode x update model) combination.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numbers>
+#include <tuple>
+
+#include "core/simulation.hpp"
+#include "predict/simple.hpp"
+
+namespace mmog::core {
+namespace {
+
+using util::ResourceKind;
+
+trace::WorldTrace sine_workload(std::size_t steps) {
+  trace::WorldTrace world;
+  trace::RegionalTrace region;
+  region.name = "Europe";
+  for (std::size_t g = 0; g < 3; ++g) {
+    trace::ServerGroupTrace group;
+    group.name = "G" + std::to_string(g);
+    group.players = util::TimeSeries(util::kSampleStepSeconds);
+    for (std::size_t t = 0; t < steps; ++t) {
+      group.players.push_back(
+          900.0 + 500.0 * std::sin(2.0 * std::numbers::pi *
+                                   static_cast<double>(t + g * 60) / 720.0));
+    }
+    region.groups.push_back(std::move(group));
+  }
+  world.regions.push_back(std::move(region));
+  return world;
+}
+
+using Combo = std::tuple<AllocationMode, UpdateModel>;
+
+class SimulationInvariants : public ::testing::TestWithParam<Combo> {
+ protected:
+  SimulationResult run(std::size_t steps = 300) const {
+    SimulationConfig cfg;
+    dc::DataCenterSpec center;
+    center.name = "NL";
+    center.location = {52.37, 4.90};
+    center.machines = 20;
+    center.policy = dc::HostingPolicy::preset(3);
+    cfg.datacenters = {center};
+    GameSpec game;
+    game.load = LoadModel{std::get<1>(GetParam()), 2000.0};
+    game.workload = sine_workload(steps);
+    cfg.games.push_back(std::move(game));
+    cfg.mode = std::get<0>(GetParam());
+    if (cfg.mode == AllocationMode::kDynamic) {
+      cfg.predictor = [] {
+        return std::make_unique<predict::LastValuePredictor>();
+      };
+    }
+    return simulate(cfg);
+  }
+};
+
+TEST_P(SimulationInvariants, MetricsArePresentForEveryStep) {
+  const auto result = run();
+  EXPECT_EQ(result.metrics.steps(), result.steps);
+  EXPECT_EQ(result.games.size(), 1u);
+  EXPECT_EQ(result.games[0].metrics.steps(), result.steps);
+}
+
+TEST_P(SimulationInvariants, AllocationsAreNonNegativeAndWithinCapacity) {
+  const auto result = run();
+  for (const auto& m : result.metrics.step_metrics()) {
+    EXPECT_TRUE(m.allocated.non_negative());
+    EXPECT_LE(m.allocated.cpu(), 20.0 + 1e-9);  // DC capacity
+  }
+  for (const auto& usage : result.datacenters) {
+    EXPECT_GE(usage.peak_allocated_cpu, usage.avg_allocated_cpu - 1e-9);
+    EXPECT_LE(usage.peak_allocated_cpu, usage.capacity_cpu + 1e-9);
+  }
+}
+
+TEST_P(SimulationInvariants, ShortfallIsNeverPositive) {
+  const auto result = run();
+  for (const auto& m : result.metrics.step_metrics()) {
+    for (double v : m.shortfall.v) EXPECT_LE(v, 1e-9);
+    EXPECT_LE(m.under_allocation_pct(ResourceKind::kCpu), 1e-9);
+  }
+}
+
+TEST_P(SimulationInvariants, UsedLoadMatchesTraceIndependentOfMode) {
+  // The generated load is a property of the workload, not the allocator.
+  const auto result = run();
+  const auto& m = result.metrics.step_metrics()[100];
+  LoadModel load{std::get<1>(GetParam()), 2000.0};
+  const auto world = sine_workload(300);
+  util::ResourceVector expected{};
+  for (const auto& g : world.regions[0].groups) {
+    expected += load.demand(g.players[100]);
+  }
+  EXPECT_NEAR(m.used.cpu(), expected.cpu(), 1e-9);
+  EXPECT_NEAR(m.used.memory(), expected.memory(), 1e-9);
+}
+
+TEST_P(SimulationInvariants, CostIsPositiveAndFinite) {
+  const auto result = run();
+  EXPECT_GT(result.total_cost, 0.0);
+  EXPECT_TRUE(std::isfinite(result.total_cost));
+}
+
+TEST_P(SimulationInvariants, RunsAreDeterministic) {
+  const auto a = run();
+  const auto b = run();
+  EXPECT_DOUBLE_EQ(a.metrics.avg_over_allocation_pct(ResourceKind::kCpu),
+                   b.metrics.avg_over_allocation_pct(ResourceKind::kCpu));
+  EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
+  EXPECT_EQ(a.metrics.significant_events(), b.metrics.significant_events());
+}
+
+TEST_P(SimulationInvariants, OverAllocationIsNonNegativeOnAverage) {
+  // The allocator never systematically grants less than the load unless
+  // capacity runs out; with 20 machines for ~2 units of demand it cannot.
+  const auto result = run();
+  EXPECT_GE(result.metrics.avg_over_allocation_pct(ResourceKind::kCpu),
+            -1e-9);
+  EXPECT_DOUBLE_EQ(result.unplaced_cpu_unit_steps, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndModels, SimulationInvariants,
+    ::testing::Combine(::testing::Values(AllocationMode::kDynamic,
+                                         AllocationMode::kStatic),
+                       ::testing::Values(UpdateModel::kLinear,
+                                         UpdateModel::kQuadratic,
+                                         UpdateModel::kCubic)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param) == AllocationMode::kDynamic
+                             ? "Dynamic"
+                             : "Static";
+      switch (std::get<1>(info.param)) {
+        case UpdateModel::kLinear: name += "Linear"; break;
+        case UpdateModel::kQuadratic: name += "Quadratic"; break;
+        case UpdateModel::kCubic: name += "Cubic"; break;
+        default: name += "Other"; break;
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace mmog::core

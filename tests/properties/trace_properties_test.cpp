@@ -1,0 +1,97 @@
+// Property-based tests of the workload generator across seeds: every seed
+// must produce a structurally valid, statistically plausible world.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/analysis.hpp"
+#include "trace/runescape_model.hpp"
+#include "util/stats.hpp"
+
+namespace mmog::trace {
+namespace {
+
+class TraceGeneratorProperties : public ::testing::TestWithParam<int> {
+ protected:
+  WorldTrace world() const {
+    auto cfg = RuneScapeModelConfig::paper_default();
+    cfg.steps = util::samples_per_days(3);
+    cfg.seed = static_cast<std::uint64_t>(GetParam());
+    return generate(cfg);
+  }
+};
+
+TEST_P(TraceGeneratorProperties, StructureMatchesConfig) {
+  const auto w = world();
+  ASSERT_EQ(w.regions.size(), 5u);
+  for (const auto& region : w.regions) {
+    for (const auto& group : region.groups) {
+      ASSERT_EQ(group.players.size(), util::samples_per_days(3));
+    }
+  }
+}
+
+TEST_P(TraceGeneratorProperties, LoadsWithinCapacity) {
+  const auto w = world();
+  for (const auto& region : w.regions) {
+    for (const auto& group : region.groups) {
+      for (double v : group.players.values()) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, static_cast<double>(group.capacity));
+        EXPECT_EQ(v, std::floor(v));  // whole players
+      }
+    }
+  }
+}
+
+TEST_P(TraceGeneratorProperties, GlobalScalePlausible) {
+  const auto g = world().global();
+  EXPECT_GT(g.mean(), 50e3);
+  EXPECT_LT(g.max(), 350e3);
+  EXPECT_GT(g.min(), 10e3);
+}
+
+TEST_P(TraceGeneratorProperties, DiurnalStructurePresent) {
+  const auto w = world();
+  const auto total = w.regions[0].total();
+  const auto acf = util::autocorrelation(total.values(), 720);
+  EXPECT_GT(acf[720], 0.35) << "seed " << GetParam();
+}
+
+TEST_P(TraceGeneratorProperties, StepToStepChangesAreSessionLike) {
+  // No teleporting populations: the global count never jumps by more than
+  // ~20 % between two-minute samples (activity waves ramp, never step).
+  const auto g = world().global();
+  for (std::size_t t = 1; t < g.size(); ++t) {
+    EXPECT_LT(std::abs(g[t] - g[t - 1]) / std::max(1.0, g[t - 1]), 0.2)
+        << "step " << t;
+  }
+}
+
+TEST_P(TraceGeneratorProperties, RegionsPeakAtDifferentTimes) {
+  // Time zones shift the regional peaks: Europe and US West Coast must not
+  // peak within the same hour.
+  const auto w = world();
+  auto argmax = [](const util::TimeSeries& s) {
+    std::size_t best = 0;
+    for (std::size_t t = 1; t < s.size(); ++t) {
+      if (s[t] > s[best]) best = t;
+    }
+    return best % 720;  // time of day
+  };
+  const auto eu = argmax(w.regions[0].total());
+  const auto us_west = argmax(w.regions[2].total());
+  const auto diff =
+      std::min((eu + 720 - us_west) % 720, (us_west + 720 - eu) % 720);
+  EXPECT_GT(diff, 30u);  // more than an hour apart
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceGeneratorProperties,
+                         ::testing::Values(1, 7, 42, 1337, 20080815),
+                         [](const auto& info) {
+                           return "Seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace mmog::trace

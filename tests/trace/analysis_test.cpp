@@ -1,0 +1,130 @@
+#include "trace/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "trace/runescape_model.hpp"
+#include "util/stats.hpp"
+
+namespace mmog::trace {
+namespace {
+
+RegionalTrace make_region(std::vector<std::vector<double>> group_loads) {
+  RegionalTrace region;
+  region.name = "Europe";
+  for (auto& loads : group_loads) {
+    ServerGroupTrace g;
+    g.players = util::TimeSeries(120.0, std::move(loads));
+    region.groups.push_back(std::move(g));
+  }
+  return region;
+}
+
+TEST(AnalysisTest, AggregateComputesMinMedianMaxPerStep) {
+  const auto region = make_region({{1, 10}, {2, 20}, {3, 30}});
+  const auto agg = aggregate_over_groups(region);
+  ASSERT_EQ(agg.size(), 2u);
+  EXPECT_DOUBLE_EQ(agg[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(agg[0].median, 2.0);
+  EXPECT_DOUBLE_EQ(agg[0].max, 3.0);
+  EXPECT_DOUBLE_EQ(agg[1].median, 20.0);
+}
+
+TEST(AnalysisTest, AggregateOfEmptyRegionIsEmpty) {
+  RegionalTrace region;
+  EXPECT_TRUE(aggregate_over_groups(region).empty());
+  EXPECT_TRUE(iqr_over_time(region).empty());
+}
+
+TEST(AnalysisTest, IqrOverTimeTracksSpread) {
+  // Four groups; at step 0 identical (IQR 0), at step 1 spread out.
+  const auto region = make_region({{5, 0}, {5, 10}, {5, 20}, {5, 30}});
+  const auto iqr = iqr_over_time(region);
+  ASSERT_EQ(iqr.size(), 2u);
+  EXPECT_DOUBLE_EQ(iqr[0], 0.0);
+  EXPECT_GT(iqr[1], 10.0);
+}
+
+TEST(AnalysisTest, GroupAutocorrelationsHaveRequestedLags) {
+  const auto region = make_region({{1, 2, 3, 4, 5, 6}, {6, 5, 4, 3, 2, 1}});
+  const auto acfs = group_autocorrelations(region, 3);
+  ASSERT_EQ(acfs.size(), 2u);
+  for (const auto& acf : acfs) {
+    ASSERT_EQ(acf.size(), 4u);
+    EXPECT_DOUBLE_EQ(acf[0], 1.0);
+  }
+}
+
+TEST(AnalysisTest, CountAlwaysFullFindsPeggedGroups) {
+  RegionalTrace region;
+  ServerGroupTrace full;
+  full.capacity = 100;
+  full.players = util::TimeSeries(120.0, {96, 97, 95, 98});
+  ServerGroupTrace normal;
+  normal.capacity = 100;
+  normal.players = util::TimeSeries(120.0, {50, 60, 70, 40});
+  region.groups.push_back(std::move(full));
+  region.groups.push_back(std::move(normal));
+  EXPECT_EQ(count_always_full(region, 0.95, 0.9), 1u);
+  EXPECT_EQ(count_always_full(region, 0.99, 0.9), 0u);
+}
+
+TEST(AnalysisTest, DetectEventsFindsADrop) {
+  // Flat series with a sharp sustained 30 % drop in the middle.
+  std::vector<double> values;
+  for (int t = 0; t < 3000; ++t) {
+    values.push_back(t < 1500 ? 1000.0 : 700.0);
+  }
+  const util::TimeSeries ts(120.0, std::move(values));
+  const auto events = detect_events(ts, 360, 0.18);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front().kind, DetectedEvent::Kind::kDrop);
+  EXPECT_NEAR(events.front().relative_change, -0.3, 0.05);
+  EXPECT_NEAR(static_cast<double>(events.front().step), 1500.0, 120.0);
+}
+
+TEST(AnalysisTest, DetectEventsFindsASurge) {
+  std::vector<double> values;
+  for (int t = 0; t < 3000; ++t) {
+    values.push_back(t < 1500 ? 1000.0 : 1600.0);
+  }
+  const util::TimeSeries ts(120.0, std::move(values));
+  const auto events = detect_events(ts, 360, 0.18);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front().kind, DetectedEvent::Kind::kSurge);
+  EXPECT_GT(events.front().relative_change, 0.4);
+}
+
+TEST(AnalysisTest, DetectEventsIgnoresDiurnalCycles) {
+  // A pure diurnal sinusoid is not an event at a one-day window.
+  std::vector<double> values;
+  for (int t = 0; t < 720 * 6; ++t) {
+    values.push_back(1000.0 +
+                     200.0 * std::sin(2.0 * std::numbers::pi * t / 720.0));
+  }
+  const util::TimeSeries ts(120.0, std::move(values));
+  const auto events = detect_events(ts, 720, 0.18);
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(AnalysisTest, DetectEventsOnShortSeriesIsEmpty) {
+  const util::TimeSeries ts(120.0, {1, 2, 3});
+  EXPECT_TRUE(detect_events(ts, 720, 0.18).empty());
+}
+
+TEST(AnalysisTest, SyntheticRegionShowsDiurnalIqrCycle) {
+  // Fig 3 middle subplot: the IQR across groups follows a diurnal cycle.
+  auto cfg = RuneScapeModelConfig::paper_default();
+  cfg.steps = util::samples_per_days(4);
+  cfg.seed = 3;
+  cfg.waves_per_day = 0;  // isolate the diurnal cycle from activity waves
+  const auto world = generate(cfg);
+  const auto iqr = iqr_over_time(world.regions[0]);
+  const auto acf = util::autocorrelation(iqr, 730);
+  EXPECT_GT(acf[720], 0.4);
+}
+
+}  // namespace
+}  // namespace mmog::trace

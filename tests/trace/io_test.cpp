@@ -1,0 +1,110 @@
+#include "trace/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/runescape_model.hpp"
+
+namespace mmog::trace {
+namespace {
+
+WorldTrace tiny_world() {
+  WorldTrace world;
+  RegionalTrace region;
+  region.name = "Europe";
+  region.utc_offset_hours = 1;
+  ServerGroupTrace g1;
+  g1.name = "Europe-1";
+  g1.capacity = 2000;
+  g1.players = util::TimeSeries(util::kSampleStepSeconds, {10, 20, 30});
+  ServerGroupTrace g2;
+  g2.name = "Europe-2";
+  g2.capacity = 1500;
+  g2.players = util::TimeSeries(util::kSampleStepSeconds, {5, 6, 7});
+  region.groups = {g1, g2};
+  world.regions.push_back(std::move(region));
+  return world;
+}
+
+TEST(TraceIoTest, RoundTripPreservesEverything) {
+  const auto world = tiny_world();
+  std::ostringstream out;
+  write_world_csv(out, world);
+  std::istringstream in(out.str());
+  const auto loaded = read_world_csv(in);
+
+  ASSERT_EQ(loaded.regions.size(), 1u);
+  const auto& region = loaded.regions[0];
+  EXPECT_EQ(region.name, "Europe");
+  EXPECT_EQ(region.utc_offset_hours, 1);
+  ASSERT_EQ(region.groups.size(), 2u);
+  EXPECT_EQ(region.groups[0].name, "Europe-1");
+  EXPECT_EQ(region.groups[1].capacity, 1500u);
+  ASSERT_EQ(region.groups[0].players.size(), 3u);
+  EXPECT_DOUBLE_EQ(region.groups[0].players[2], 30.0);
+  EXPECT_DOUBLE_EQ(region.groups[1].players[0], 5.0);
+}
+
+TEST(TraceIoTest, RoundTripOnGeneratedWorld) {
+  auto cfg = RuneScapeModelConfig::paper_default();
+  cfg.steps = 50;
+  cfg.seed = 3;
+  cfg.regions.resize(2);
+  cfg.regions[0].server_groups = 3;
+  cfg.regions[1].server_groups = 2;
+  const auto world = generate(cfg);
+
+  std::ostringstream out;
+  write_world_csv(out, world);
+  std::istringstream in(out.str());
+  const auto loaded = read_world_csv(in);
+
+  ASSERT_EQ(loaded.regions.size(), world.regions.size());
+  for (std::size_t r = 0; r < world.regions.size(); ++r) {
+    ASSERT_EQ(loaded.regions[r].groups.size(), world.regions[r].groups.size());
+    for (std::size_t g = 0; g < world.regions[r].groups.size(); ++g) {
+      const auto& a = world.regions[r].groups[g].players;
+      const auto& b = loaded.regions[r].groups[g].players;
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t t = 0; t < a.size(); ++t) {
+        EXPECT_DOUBLE_EQ(a[t], b[t]);
+      }
+    }
+  }
+}
+
+TEST(TraceIoTest, RejectsMissingColumns) {
+  std::istringstream in("region,group\nEurope,G1\n");
+  EXPECT_THROW(read_world_csv(in), std::out_of_range);
+}
+
+TEST(TraceIoTest, RejectsNonNumericCells) {
+  std::istringstream in(
+      "region,utc_offset_hours,group,capacity,step,players\n"
+      "Europe,1,G1,2000,0,abc\n");
+  EXPECT_THROW(read_world_csv(in), std::runtime_error);
+}
+
+TEST(TraceIoTest, RejectsNonContiguousSteps) {
+  std::istringstream in(
+      "region,utc_offset_hours,group,capacity,step,players\n"
+      "Europe,1,G1,2000,0,10\n"
+      "Europe,1,G1,2000,2,20\n");
+  EXPECT_THROW(read_world_csv(in), std::runtime_error);
+}
+
+TEST(TraceIoTest, RejectsShortRows) {
+  std::istringstream in(
+      "region,utc_offset_hours,group,capacity,step,players\n"
+      "Europe,1,G1\n");
+  EXPECT_THROW(read_world_csv(in), std::runtime_error);
+}
+
+TEST(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW(read_world_csv_file("/nonexistent/missing.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mmog::trace

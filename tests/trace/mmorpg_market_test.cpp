@@ -1,0 +1,103 @@
+#include "trace/mmorpg_market.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mmog::trace {
+namespace {
+
+TEST(MarketTest, TitleIsZeroBeforeLaunch) {
+  TitleSpec t{"X", 2000.0, 1e6, 2.0};
+  EXPECT_DOUBLE_EQ(title_players_at(t, 1999.0), 0.0);
+}
+
+TEST(MarketTest, TitleApproachesPlateau) {
+  TitleSpec t{"X", 2000.0, 1e6, 2.0};
+  EXPECT_NEAR(title_players_at(t, 2010.0), 1e6, 1e4);
+}
+
+TEST(MarketTest, TitleGrowsMonotonicallyWithoutDecline) {
+  TitleSpec t{"X", 2000.0, 1.5, 0.0};
+  t.plateau_players = 5e5;
+  double prev = -1.0;
+  for (double y = 2000.0; y <= 2012.0; y += 0.5) {
+    const double v = title_players_at(t, y);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(MarketTest, DeclineShrinksPopulation) {
+  TitleSpec t{"X", 2000.0, 1e6, 2.0, 2005.0, 0.5};
+  const double at_peak = title_players_at(t, 2005.0);
+  const double later = title_players_at(t, 2008.0);
+  EXPECT_LT(later, at_peak * 0.5);
+}
+
+TEST(MarketTest, MarketSeriesSamplesInclusive) {
+  const auto titles = paper_title_catalog();
+  const auto series = market_series(titles, 1997.0, 2008.0, 1.0);
+  ASSERT_EQ(series.size(), 12u);
+  EXPECT_DOUBLE_EQ(series.front().year, 1997.0);
+  EXPECT_DOUBLE_EQ(series.back().year, 2008.0);
+  for (const auto& p : series) {
+    ASSERT_EQ(p.per_title.size(), titles.size());
+  }
+}
+
+TEST(MarketTest, MarketSeriesRejectsBadRange) {
+  const auto titles = paper_title_catalog();
+  EXPECT_TRUE(market_series(titles, 2008.0, 1997.0).empty());
+  EXPECT_TRUE(market_series(titles, 1997.0, 2008.0, 0.0).empty());
+}
+
+TEST(MarketTest, TotalGrowsOverTheDecade) {
+  // Fig 1: the MMORPG market grows steadily from 1997 to 2008.
+  const auto titles = paper_title_catalog();
+  const auto series = market_series(titles, 1997.0, 2008.0, 1.0);
+  EXPECT_LT(series.front().total, 1e6);
+  EXPECT_GT(series.back().total, 15e6);
+}
+
+TEST(MarketTest, SixTitlesAboveHalfMillionIn2008) {
+  // The paper highlights six games with > 500 k players each.
+  const auto titles = paper_title_catalog();
+  const auto leaders = titles_above(titles, 2008.0, 500e3);
+  EXPECT_EQ(leaders.size(), 6u);
+  EXPECT_NE(std::find(leaders.begin(), leaders.end(), "World of Warcraft"),
+            leaders.end());
+  EXPECT_NE(std::find(leaders.begin(), leaders.end(), "RuneScape"),
+            leaders.end());
+}
+
+TEST(MarketTest, WorldOfWarcraftDominatesBy2008) {
+  const auto titles = paper_title_catalog();
+  const auto it = std::find_if(titles.begin(), titles.end(), [](const auto& t) {
+    return t.name == "World of Warcraft";
+  });
+  ASSERT_NE(it, titles.end());
+  EXPECT_GT(title_players_at(*it, 2008.0), 8e6);
+}
+
+TEST(MarketTest, RuneScapeReachesMillionsOfActives) {
+  const auto titles = paper_title_catalog();
+  const auto it = std::find_if(titles.begin(), titles.end(), [](const auto& t) {
+    return t.name == "RuneScape";
+  });
+  ASSERT_NE(it, titles.end());
+  // §III-B: over 5 M active players estimated in 2008.
+  EXPECT_GT(title_players_at(*it, 2008.0), 3e6);
+}
+
+TEST(MarketTest, GrowthExtrapolatesTowards60MBy2011) {
+  // §II-C: assuming the same rate of growth, over 60 M players by 2011.
+  const auto titles = paper_title_catalog();
+  const auto series = market_series(titles, 2008.0, 2011.0, 3.0);
+  // Our catalog only extrapolates existing titles, so expect a healthy
+  // fraction of the projection rather than the full market forecast.
+  EXPECT_GT(series.back().total, 20e6);
+}
+
+}  // namespace
+}  // namespace mmog::trace

@@ -1,0 +1,179 @@
+#include "trace/runescape_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/analysis.hpp"
+#include "util/stats.hpp"
+
+namespace mmog::trace {
+namespace {
+
+RuneScapeModelConfig small_config() {
+  auto cfg = RuneScapeModelConfig::paper_default();
+  cfg.steps = util::samples_per_days(4);
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(RuneScapeModelTest, PaperDefaultHasFiveRegions) {
+  const auto cfg = RuneScapeModelConfig::paper_default();
+  ASSERT_EQ(cfg.regions.size(), 5u);
+  EXPECT_EQ(cfg.regions[0].name, "Europe");
+  EXPECT_EQ(cfg.regions[0].server_groups, 40u);
+  // Region 0 (Europe) shows no weekend effect (§III-C).
+  EXPECT_DOUBLE_EQ(cfg.regions[0].weekend_multiplier, 1.0);
+}
+
+TEST(RuneScapeModelTest, GeneratesRequestedShape) {
+  const auto cfg = small_config();
+  const auto world = generate(cfg);
+  ASSERT_EQ(world.regions.size(), cfg.regions.size());
+  EXPECT_EQ(world.steps(), cfg.steps);
+  for (std::size_t r = 0; r < world.regions.size(); ++r) {
+    EXPECT_EQ(world.regions[r].groups.size(), cfg.regions[r].server_groups);
+    for (const auto& g : world.regions[r].groups) {
+      EXPECT_EQ(g.players.size(), cfg.steps);
+    }
+  }
+}
+
+TEST(RuneScapeModelTest, DeterministicForSameSeed) {
+  const auto cfg = small_config();
+  const auto a = generate(cfg);
+  const auto b = generate(cfg);
+  for (std::size_t t = 0; t < a.steps(); t += 100) {
+    EXPECT_DOUBLE_EQ(a.regions[0].groups[5].players[t],
+                     b.regions[0].groups[5].players[t]);
+  }
+}
+
+TEST(RuneScapeModelTest, DifferentSeedsDiffer) {
+  auto cfg = small_config();
+  const auto a = generate(cfg);
+  cfg.seed = 8;
+  const auto b = generate(cfg);
+  EXPECT_NE(a.global().values()[100], b.global().values()[100]);
+}
+
+TEST(RuneScapeModelTest, LoadsRespectCapacity) {
+  const auto world = generate(small_config());
+  for (const auto& region : world.regions) {
+    for (const auto& group : region.groups) {
+      for (double v : group.players.values()) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, static_cast<double>(group.capacity));
+      }
+    }
+  }
+}
+
+TEST(RuneScapeModelTest, DiurnalAutocorrelationPeaksAtOneDay) {
+  // §III-C / Fig 3: ACF peak near lag 720 (24 h), trough near lag 360 (12 h).
+  auto cfg = small_config();
+  cfg.steps = util::samples_per_days(6);
+  const auto world = generate(cfg);
+  const auto total = world.regions[0].total();
+  const auto acf = util::autocorrelation(total.values(), 760);
+  EXPECT_GT(acf[720], 0.55);
+  EXPECT_LT(acf[360], -0.3);
+}
+
+TEST(RuneScapeModelTest, PeakMedianExceedsMinimumStrongly) {
+  // §III-C: the median is about 50 % higher than the minimum at peak hours.
+  const auto world = generate(small_config());
+  const auto total = world.regions[0].total();
+  const double hi = total.max();
+  const double lo = total.min();
+  EXPECT_GT(hi / lo, 1.35);
+}
+
+TEST(RuneScapeModelTest, AlwaysFullGroupsExist) {
+  const auto world = generate(small_config());
+  const auto n = count_always_full(world.regions[0], 0.90, 0.9);
+  // 3 % of 40 groups = about 1 group pegged near capacity.
+  EXPECT_GE(n, 1u);
+  EXPECT_LE(n, 4u);
+}
+
+TEST(RuneScapeModelTest, GlobalScaleIsRealistic) {
+  // The paper reports ~100k-250k active concurrent players globally.
+  const auto world = generate(small_config());
+  const auto global = world.global();
+  EXPECT_GT(global.mean(), 60e3);
+  EXPECT_LT(global.max(), 300e3);
+}
+
+TEST(EventMultiplierTest, NoEventsIsUnity) {
+  EXPECT_DOUBLE_EQ(event_multiplier({}, 1000), 1.0);
+}
+
+TEST(EventMultiplierTest, BeforeEventIsUnity) {
+  EventSpec e;
+  e.kind = EventSpec::Kind::kContentRelease;
+  e.step = 500;
+  EXPECT_DOUBLE_EQ(event_multiplier({e}, 100), 1.0);
+}
+
+TEST(EventMultiplierTest, UnpopularDecisionDropsWithinADay) {
+  EventSpec e;
+  e.kind = EventSpec::Kind::kUnpopularDecision;
+  e.step = 0;
+  e.magnitude = 0.25;  // "a quarter of its value", §III-B
+  e.recovery_delay_steps = 720 * 8;
+  e.recovery_level = 0.95;
+  // Within a day the multiplier reaches the full drop.
+  EXPECT_NEAR(event_multiplier({e}, 720), 0.75, 0.01);
+  // After the amendment it recovers to 95 %, not 100 %.
+  EXPECT_NEAR(event_multiplier({e}, 720 * 12), 0.95, 0.01);
+}
+
+TEST(EventMultiplierTest, ContentReleaseSurgesOverFiftyPercent) {
+  EventSpec e;
+  e.kind = EventSpec::Kind::kContentRelease;
+  e.step = 0;
+  e.magnitude = 0.55;
+  // During the plateau (~days 1-5) the surge is fully applied.
+  EXPECT_NEAR(event_multiplier({e}, 720 * 3), 1.55, 0.01);
+  // Long after, only a small residual lift remains.
+  EXPECT_LT(event_multiplier({e}, 720 * 30), 1.1);
+  EXPECT_GT(event_multiplier({e}, 720 * 30), 1.0);
+}
+
+TEST(EventMultiplierTest, EventsCompose) {
+  EventSpec drop;
+  drop.kind = EventSpec::Kind::kUnpopularDecision;
+  drop.step = 0;
+  drop.magnitude = 0.2;
+  drop.recovery_delay_steps = 100000;  // never amended in range
+  EventSpec release;
+  release.kind = EventSpec::Kind::kContentRelease;
+  release.step = 0;
+  release.magnitude = 0.5;
+  const double combined = event_multiplier({drop, release}, 720 * 2);
+  EXPECT_NEAR(combined, 0.8 * 1.5, 0.02);
+}
+
+TEST(RuneScapeModelTest, EventsShapeTheGlobalTrace) {
+  auto cfg = small_config();
+  cfg.steps = util::samples_per_days(8);
+  EventSpec e;
+  e.kind = EventSpec::Kind::kUnpopularDecision;
+  e.step = util::samples_per_days(4);
+  e.magnitude = 0.25;
+  e.recovery_delay_steps = 100000;
+  cfg.events = {e};
+  const auto with_event = generate(cfg);
+  cfg.events.clear();
+  const auto without = generate(cfg);
+  // Compare the same diurnal phase one day before vs two days after.
+  const auto g_with = with_event.global();
+  const auto g_without = without.global();
+  const std::size_t after = util::samples_per_days(6);
+  EXPECT_LT(g_with[after], 0.85 * g_without[after]);
+}
+
+}  // namespace
+}  // namespace mmog::trace

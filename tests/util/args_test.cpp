@@ -1,0 +1,67 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmog::util {
+namespace {
+
+Args make_args(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv(tokens);
+  return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgsTest, ParsesOptionsWithValues) {
+  const auto args = make_args({"prog", "--days", "14", "--out", "file.csv"});
+  EXPECT_EQ(args.program(), "prog");
+  EXPECT_TRUE(args.has("days"));
+  EXPECT_EQ(args.get("out", ""), "file.csv");
+  EXPECT_EQ(args.get_long("days", 0), 14);
+}
+
+TEST(ArgsTest, BooleanFlags) {
+  const auto args = make_args({"prog", "--verbose", "--seed", "3"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get("verbose", "x"), "");
+  EXPECT_EQ(args.get_long("seed", 0), 3);
+}
+
+TEST(ArgsTest, FlagFollowedByOption) {
+  const auto args = make_args({"prog", "--flag", "--next", "v"});
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_EQ(args.get("next", ""), "v");
+}
+
+TEST(ArgsTest, Positionals) {
+  const auto args = make_args({"prog", "input.csv", "--n", "2", "extra"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.csv");
+  EXPECT_EQ(args.positional()[1], "extra");
+}
+
+TEST(ArgsTest, DefaultsWhenAbsent) {
+  const auto args = make_args({"prog"});
+  EXPECT_FALSE(args.has("days"));
+  EXPECT_EQ(args.get("days", "7"), "7");
+  EXPECT_DOUBLE_EQ(args.get_double("ratio", 0.5), 0.5);
+  EXPECT_EQ(args.get_long("count", -1), -1);
+}
+
+TEST(ArgsTest, NumericValidation) {
+  const auto args = make_args({"prog", "--days", "abc", "--f", "1.5x"});
+  EXPECT_THROW(args.get_long("days", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_double("f", 0.0), std::invalid_argument);
+}
+
+TEST(ArgsTest, DoubleParsing) {
+  const auto args = make_args({"prog", "--ratio", "2.75"});
+  EXPECT_DOUBLE_EQ(args.get_double("ratio", 0.0), 2.75);
+}
+
+TEST(ArgsTest, EmptyArgv) {
+  const Args args(0, nullptr);
+  EXPECT_EQ(args.program(), "");
+  EXPECT_TRUE(args.positional().empty());
+}
+
+}  // namespace
+}  // namespace mmog::util

@@ -1,0 +1,217 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace mmog::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsProduceDifferentStreams) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a() != b()) ++differences;
+  }
+  EXPECT_GT(differences, 12);
+}
+
+TEST(RngTest, UniformStaysInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCloseToHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-5.0, 10.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 10.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversFullInclusiveRange) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(1, 6));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 1);
+  EXPECT_EQ(*seen.rbegin(), 6);
+}
+
+TEST(RngTest, UniformIntDegenerateRangeReturnsLow) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform_int(4, 4), 4);
+  EXPECT_EQ(rng.uniform_int(9, 2), 9);  // hi < lo falls back to lo
+}
+
+TEST(RngTest, NormalHasExpectedMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParametersShiftsAndScales) {
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(19);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialIsPositive) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.exponential(1.0), 0.0);
+  }
+}
+
+TEST(RngTest, LognormalMedianIsExpMu) {
+  Rng rng(23);
+  std::vector<double> xs;
+  for (int i = 0; i < 50001; ++i) xs.push_back(rng.lognormal(1.0, 0.5));
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[xs.size() / 2], std::exp(1.0), 0.1);
+}
+
+TEST(RngTest, BernoulliFrequencyTracksP) {
+  Rng rng(29);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliExtremesAreDeterministic) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(37);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    sum += static_cast<double>(rng.poisson(3.5));
+  }
+  EXPECT_NEAR(sum / kN, 3.5, 0.1);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesNormalApproximation) {
+  Rng rng(41);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    sum += static_cast<double>(rng.poisson(100.0));
+  }
+  EXPECT_NEAR(sum / kN, 100.0, 1.0);
+}
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(43);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(RngTest, WeightedChoiceFollowsWeights) {
+  Rng rng(47);
+  const std::array<double, 3> weights = {1.0, 2.0, 1.0};
+  std::array<int, 3> counts{};
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[rng.weighted_choice(weights)];
+  }
+  EXPECT_NEAR(static_cast<double>(counts[1]) / kN, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, 0.25, 0.02);
+}
+
+TEST(RngTest, WeightedChoiceIgnoresNegativeWeights) {
+  Rng rng(53);
+  const std::array<double, 3> weights = {-1.0, 0.0, 5.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.weighted_choice(weights), 2u);
+  }
+}
+
+TEST(RngTest, WeightedChoiceThrowsOnEmptyOrZeroWeights) {
+  Rng rng(59);
+  EXPECT_THROW(rng.weighted_choice({}), std::invalid_argument);
+  const std::array<double, 2> zeros = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_choice(zeros), std::invalid_argument);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(61);
+  Rng child = parent.fork();
+  // The child stream must differ from a continued parent stream.
+  int diff = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (parent() != child()) ++diff;
+  }
+  EXPECT_GT(diff, 12);
+}
+
+TEST(RngTest, ShuffleKeepsAllElements) {
+  Rng rng(67);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  shuffle(copy, rng);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, v);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(71);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto shuffled = v;
+  shuffle(shuffled, rng);
+  EXPECT_NE(shuffled, v);
+}
+
+}  // namespace
+}  // namespace mmog::util

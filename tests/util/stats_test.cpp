@@ -1,0 +1,180 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace mmog::util {
+namespace {
+
+TEST(StatsTest, MeanOfKnownSample) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(StatsTest, MeanOfEmptyIsZero) { EXPECT_DOUBLE_EQ(mean({}), 0.0); }
+
+TEST(StatsTest, VarianceOfConstantIsZero) {
+  const std::vector<double> xs = {5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+}
+
+TEST(StatsTest, VarianceOfKnownSample) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);  // classic example
+}
+
+TEST(StatsTest, QuantileEndpoints) {
+  const std::vector<double> xs = {3, 1, 4, 1, 5};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  const std::vector<double> xs = {0, 10};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+}
+
+TEST(StatsTest, QuantileThrowsOnBadInput) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(quantile(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(xs, 1.1), std::invalid_argument);
+}
+
+TEST(StatsTest, MedianOddAndEven) {
+  const std::vector<double> odd = {9, 1, 5};
+  EXPECT_DOUBLE_EQ(median(odd), 5.0);
+  const std::vector<double> even = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(StatsTest, IqrOfUniformGrid) {
+  std::vector<double> xs;
+  for (int i = 0; i <= 100; ++i) xs.push_back(i);
+  EXPECT_NEAR(interquartile_range(xs), 50.0, 1e-9);
+}
+
+TEST(StatsTest, SummaryOfKnownSample) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const auto s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q1, 2.0);
+  EXPECT_DOUBLE_EQ(s.q3, 4.0);
+  EXPECT_DOUBLE_EQ(s.iqr(), 2.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+}
+
+TEST(StatsTest, SummaryOfEmptyIsZeroed) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(StatsTest, AutocorrelationLagZeroIsOne) {
+  const std::vector<double> xs = {1, 3, 2, 5, 4, 6};
+  const auto acf = autocorrelation(xs, 2);
+  ASSERT_EQ(acf.size(), 3u);
+  EXPECT_DOUBLE_EQ(acf[0], 1.0);
+}
+
+TEST(StatsTest, AutocorrelationDetectsPeriodicity) {
+  // A sine with period 24 should have a strong positive ACF at lag 24 and a
+  // strong negative ACF at lag 12.
+  std::vector<double> xs;
+  for (int t = 0; t < 24 * 20; ++t) {
+    xs.push_back(std::sin(2.0 * std::numbers::pi * t / 24.0));
+  }
+  const auto acf = autocorrelation(xs, 30);
+  EXPECT_GT(acf[24], 0.9);
+  EXPECT_LT(acf[12], -0.9);
+}
+
+TEST(StatsTest, AutocorrelationOfConstantIsZeroBeyondLagZero) {
+  const std::vector<double> xs(50, 7.0);
+  const auto acf = autocorrelation(xs, 5);
+  for (double v : acf) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(StatsTest, AutocorrelationOfWhiteNoiseIsSmall) {
+  std::vector<double> xs;
+  unsigned long long state = 88172645463325252ULL;
+  for (int i = 0; i < 5000; ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    xs.push_back(static_cast<double>(state % 1000));
+  }
+  const auto acf = autocorrelation(xs, 10);
+  for (std::size_t lag = 1; lag <= 10; ++lag) {
+    EXPECT_LT(std::abs(acf[lag]), 0.1) << "lag " << lag;
+  }
+}
+
+TEST(StatsTest, EmpiricalCdfIsMonotonicAndEndsAtOne) {
+  const std::vector<double> xs = {5, 1, 3, 3, 2};
+  const auto cdf = empirical_cdf(xs);
+  ASSERT_FALSE(cdf.empty());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GT(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GE(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+}
+
+TEST(StatsTest, EmpiricalCdfMergesDuplicates) {
+  const std::vector<double> xs = {2, 2, 2, 4};
+  const auto cdf = empirical_cdf(xs);
+  ASSERT_EQ(cdf.size(), 2u);
+  EXPECT_DOUBLE_EQ(cdf[0].fraction, 0.75);
+}
+
+TEST(StatsTest, CdfAtInterpolatesStepwise) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const auto cdf = empirical_cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 10.0), 1.0);
+}
+
+TEST(StatsTest, HistogramCountsAndClamps) {
+  const std::vector<double> xs = {-1, 0.1, 0.2, 0.6, 2.0};
+  const auto h = histogram(xs, 0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 3u);  // -1 clamps into the first bucket
+  EXPECT_EQ(h[1], 2u);  // 2.0 clamps into the last bucket
+}
+
+TEST(StatsTest, HistogramDegenerateInputs) {
+  EXPECT_TRUE(histogram({}, 0, 1, 0).empty());
+  const std::vector<double> xs = {1.0};
+  const auto h = histogram(xs, 1.0, 1.0, 4);  // hi == lo
+  for (auto c : h) EXPECT_EQ(c, 0u);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> zs = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, zs), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonDegenerateCases) {
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> constant = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(xs, constant), 0.0);
+  const std::vector<double> shorter = {1, 2};
+  EXPECT_DOUBLE_EQ(pearson(xs, shorter), 0.0);
+}
+
+}  // namespace
+}  // namespace mmog::util

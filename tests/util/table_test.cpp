@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace mmog::util {
+namespace {
+
+TEST(TextTableTest, RendersHeadersAndRows) {
+  TextTable t({"Name", "Value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("Name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(TextTableTest, PadsMissingCellsAndDropsExtras) {
+  TextTable t({"A", "B"});
+  t.add_row({"only"});
+  t.add_row({"x", "y", "dropped"});
+  const auto s = t.to_string();
+  EXPECT_EQ(s.find("dropped"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTableTest, NumFormatsWithPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::num(-0.5, 1), "-0.5");
+}
+
+TEST(TextTableTest, CsvEscapesSpecialCharacters) {
+  TextTable t({"k", "v"});
+  t.add_row({"a,b", "say \"hi\""});
+  const auto csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTableTest, CsvHasOneLinePerRowPlusHeader) {
+  TextTable t({"x"});
+  t.add_row({"1"});
+  t.add_row({"2"});
+  const auto csv = t.to_csv();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(TextTableTest, StreamOperatorMatchesToString) {
+  TextTable t({"h"});
+  t.add_row({"v"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.to_string());
+}
+
+}  // namespace
+}  // namespace mmog::util

@@ -1,0 +1,98 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace mmog::util {
+namespace {
+
+TEST(ThreadPoolTest, DefaultHasAtLeastOneWorker) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> visits(1000);
+  parallel_for(pool, visits.size(), [&](std::size_t i) { ++visits[i]; });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroIterationsIsNoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(pool, 0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, ComputesCorrectSum) {
+  ThreadPool pool(4);
+  std::vector<double> out(500, 0.0);
+  parallel_for(pool, out.size(),
+               [&](std::size_t i) { out[i] = static_cast<double>(i); });
+  const double sum = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, 499.0 * 500.0 / 2.0);
+}
+
+TEST(ParallelForTest, PropagatesWorkerException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 10,
+                            [](std::size_t i) {
+                              if (i == 7) throw std::runtime_error("x");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, SharedPoolOverloadWorks) {
+  std::atomic<int> counter{0};
+  parallel_for(64, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ParallelForTest, MoreIterationsThanThreads) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  parallel_for(pool, 37, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 37);
+}
+
+}  // namespace
+}  // namespace mmog::util

@@ -1,0 +1,101 @@
+#include "util/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mmog::util {
+namespace {
+
+TEST(TimeSeriesTest, ConstructorRejectsNonPositiveStep) {
+  EXPECT_THROW(TimeSeries(0.0), std::invalid_argument);
+  EXPECT_THROW(TimeSeries(-1.0), std::invalid_argument);
+}
+
+TEST(TimeSeriesTest, TimeAtUsesStep) {
+  TimeSeries ts(120.0, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(ts.time_at(0), 0.0);
+  EXPECT_DOUBLE_EQ(ts.time_at(2), 240.0);
+}
+
+TEST(TimeSeriesTest, PushBackAndIndexing) {
+  TimeSeries ts(1.0);
+  EXPECT_TRUE(ts.empty());
+  ts.push_back(3.0);
+  ts.push_back(4.0);
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_DOUBLE_EQ(ts[1], 4.0);
+  ts[1] = 9.0;
+  EXPECT_DOUBLE_EQ(ts.at(1), 9.0);
+  EXPECT_THROW(ts.at(5), std::out_of_range);
+}
+
+TEST(TimeSeriesTest, SliceClampsToRange) {
+  TimeSeries ts(1.0, {0, 1, 2, 3, 4});
+  const auto s = ts.slice(3, 10);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0], 3.0);
+  EXPECT_DOUBLE_EQ(s[1], 4.0);
+  EXPECT_TRUE(ts.slice(99, 3).empty());
+}
+
+TEST(TimeSeriesTest, SlicePreservesStep) {
+  TimeSeries ts(120.0, {0, 1, 2});
+  EXPECT_DOUBLE_EQ(ts.slice(0, 2).step_seconds(), 120.0);
+}
+
+TEST(TimeSeriesTest, DownsampleMeanAveragesWindows) {
+  TimeSeries ts(1.0, {1, 3, 5, 7, 10});
+  const auto d = ts.downsample_mean(2);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+  EXPECT_DOUBLE_EQ(d[1], 6.0);
+  EXPECT_DOUBLE_EQ(d[2], 10.0);  // trailing partial window
+  EXPECT_DOUBLE_EQ(d.step_seconds(), 2.0);
+}
+
+TEST(TimeSeriesTest, DownsampleRejectsZeroFactor) {
+  TimeSeries ts(1.0, {1, 2});
+  EXPECT_THROW(ts.downsample_mean(0), std::invalid_argument);
+}
+
+TEST(TimeSeriesTest, SumAddsElementwise) {
+  const std::vector<TimeSeries> series = {TimeSeries(1.0, {1, 2, 3}),
+                                          TimeSeries(1.0, {10, 20, 30})};
+  const auto total = TimeSeries::sum(series);
+  ASSERT_EQ(total.size(), 3u);
+  EXPECT_DOUBLE_EQ(total[0], 11.0);
+  EXPECT_DOUBLE_EQ(total[2], 33.0);
+}
+
+TEST(TimeSeriesTest, SumRejectsMismatchedSeries) {
+  const std::vector<TimeSeries> bad_len = {TimeSeries(1.0, {1, 2}),
+                                           TimeSeries(1.0, {1})};
+  EXPECT_THROW(TimeSeries::sum(bad_len), std::invalid_argument);
+  const std::vector<TimeSeries> bad_step = {TimeSeries(1.0, {1, 2}),
+                                            TimeSeries(2.0, {1, 2})};
+  EXPECT_THROW(TimeSeries::sum(bad_step), std::invalid_argument);
+}
+
+TEST(TimeSeriesTest, SumOfNothingIsEmpty) {
+  EXPECT_TRUE(TimeSeries::sum({}).empty());
+}
+
+TEST(TimeSeriesTest, MinMaxMean) {
+  TimeSeries ts(1.0, {4, -1, 7, 2});
+  EXPECT_DOUBLE_EQ(ts.max(), 7.0);
+  EXPECT_DOUBLE_EQ(ts.min(), -1.0);
+  EXPECT_DOUBLE_EQ(ts.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(TimeSeries().max(), 0.0);
+  EXPECT_DOUBLE_EQ(TimeSeries().mean(), 0.0);
+}
+
+TEST(TimeSeriesTest, SamplesPerDaysMatchesTwoMinuteCadence) {
+  EXPECT_EQ(samples_per_days(1.0), 720u);
+  EXPECT_EQ(samples_per_days(14.0), 10080u);
+  EXPECT_EQ(kSamplesPerDay, 720u);
+  EXPECT_DOUBLE_EQ(kSampleStepSeconds, 120.0);
+}
+
+}  // namespace
+}  // namespace mmog::util

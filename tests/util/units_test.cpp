@@ -1,0 +1,74 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmog::util {
+namespace {
+
+TEST(UnitsTest, ResourceNamesMatchPaper) {
+  EXPECT_EQ(resource_name(ResourceKind::kCpu), "CPU");
+  EXPECT_EQ(resource_name(ResourceKind::kMemory), "Memory");
+  EXPECT_EQ(resource_name(ResourceKind::kNetIn), "ExtNet[in]");
+  EXPECT_EQ(resource_name(ResourceKind::kNetOut), "ExtNet[out]");
+}
+
+TEST(ResourceVectorTest, OfSetsComponentsInOrder) {
+  const auto v = ResourceVector::of(1, 2, 3, 4);
+  EXPECT_DOUBLE_EQ(v.cpu(), 1.0);
+  EXPECT_DOUBLE_EQ(v.memory(), 2.0);
+  EXPECT_DOUBLE_EQ(v.net_in(), 3.0);
+  EXPECT_DOUBLE_EQ(v.net_out(), 4.0);
+}
+
+TEST(ResourceVectorTest, IndexingByKind) {
+  ResourceVector v;
+  v[ResourceKind::kNetOut] = 7.5;
+  EXPECT_DOUBLE_EQ(v[ResourceKind::kNetOut], 7.5);
+  EXPECT_DOUBLE_EQ(v[ResourceKind::kCpu], 0.0);
+}
+
+TEST(ResourceVectorTest, Arithmetic) {
+  const auto a = ResourceVector::of(1, 2, 3, 4);
+  const auto b = ResourceVector::of(4, 3, 2, 1);
+  const auto sum = a + b;
+  EXPECT_EQ(sum, ResourceVector::of(5, 5, 5, 5));
+  const auto diff = a - b;
+  EXPECT_EQ(diff, ResourceVector::of(-3, -1, 1, 3));
+  EXPECT_EQ(a * 2.0, ResourceVector::of(2, 4, 6, 8));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+}
+
+TEST(ResourceVectorTest, CompoundAssignment) {
+  auto v = ResourceVector::of(1, 1, 1, 1);
+  v += ResourceVector::of(1, 2, 3, 4);
+  EXPECT_EQ(v, ResourceVector::of(2, 3, 4, 5));
+  v -= ResourceVector::of(2, 2, 2, 2);
+  EXPECT_EQ(v, ResourceVector::of(0, 1, 2, 3));
+  v *= 3.0;
+  EXPECT_EQ(v, ResourceVector::of(0, 3, 6, 9));
+}
+
+TEST(ResourceVectorTest, CoversRequiresEveryComponent) {
+  const auto big = ResourceVector::of(2, 2, 2, 2);
+  const auto small = ResourceVector::of(1, 2, 1, 0);
+  EXPECT_TRUE(big.covers(small));
+  EXPECT_FALSE(small.covers(big));
+  EXPECT_TRUE(big.covers(big));  // equality counts as covering
+}
+
+TEST(ResourceVectorTest, NonNegativeAndClamp) {
+  const auto mixed = ResourceVector::of(1, -2, 0, 3);
+  EXPECT_FALSE(mixed.non_negative());
+  const auto clamped = mixed.clamped_non_negative();
+  EXPECT_TRUE(clamped.non_negative());
+  EXPECT_EQ(clamped, ResourceVector::of(1, 0, 0, 3));
+}
+
+TEST(ResourceVectorTest, DefaultIsZero) {
+  const ResourceVector v;
+  EXPECT_TRUE(v.non_negative());
+  EXPECT_EQ(v, ResourceVector::of(0, 0, 0, 0));
+}
+
+}  // namespace
+}  // namespace mmog::util

@@ -1,0 +1,152 @@
+// mmog-simulate: run the dynamic/static provisioning simulation on a CSV
+// workload trace against a chosen hosting setup.
+//
+// Usage:
+//   mmog_simulate --in FILE [--mode dynamic|static]
+//                 [--predictor neural|lastvalue|average|movingavg|median|
+//                              expsmooth|holt|holtwinters]
+//                 [--world table3|policy] [--policy N] [--machines M]
+//                 [--model n|nlogn|n2|n2logn|n3] [--tolerance 0..4]
+//                 [--safety F] [--lead-in-days D]
+
+#include <cstdio>
+#include <memory>
+
+#include "core/simulation.hpp"
+#include "predict/holt_winters.hpp"
+#include "predict/simple.hpp"
+#include "trace/io.hpp"
+#include "util/args.hpp"
+
+using namespace mmog;
+using util::ResourceKind;
+
+namespace {
+
+core::UpdateModel parse_model(const std::string& name) {
+  if (name == "n") return core::UpdateModel::kLinear;
+  if (name == "nlogn") return core::UpdateModel::kNLogN;
+  if (name == "n2") return core::UpdateModel::kQuadratic;
+  if (name == "n2logn") return core::UpdateModel::kQuadraticLogN;
+  if (name == "n3") return core::UpdateModel::kCubic;
+  throw std::invalid_argument("unknown --model " + name);
+}
+
+predict::PredictorFactory parse_predictor(const std::string& name,
+                                          const trace::WorldTrace& workload,
+                                          std::size_t lead_in) {
+  if (name == "neural") {
+    predict::NeuralConfig cfg;
+    cfg.train.max_eras = 40;
+    cfg.train.patience = 8;
+    return core::neural_factory_from_workload(workload, lead_in, cfg, 6);
+  }
+  if (name == "lastvalue") {
+    return [] { return std::make_unique<predict::LastValuePredictor>(); };
+  }
+  if (name == "average") {
+    return [] { return std::make_unique<predict::AveragePredictor>(); };
+  }
+  if (name == "movingavg") {
+    return [] { return std::make_unique<predict::MovingAveragePredictor>(5); };
+  }
+  if (name == "median") {
+    return [] {
+      return std::make_unique<predict::SlidingWindowMedianPredictor>(5);
+    };
+  }
+  if (name == "expsmooth") {
+    return [] {
+      return std::make_unique<predict::ExponentialSmoothingPredictor>(0.5);
+    };
+  }
+  if (name == "holt") {
+    return [] { return std::make_unique<predict::HoltPredictor>(); };
+  }
+  if (name == "holtwinters") {
+    return [] { return std::make_unique<predict::HoltWintersPredictor>(); };
+  }
+  throw std::invalid_argument("unknown --predictor " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto in_path = args.get("in", "");
+  if (args.has("help") || in_path.empty()) {
+    std::printf(
+        "usage: %s --in FILE [--mode dynamic|static] [--predictor NAME]\n"
+        "          [--world table3|policy] [--policy N] [--machines M]\n"
+        "          [--model n|nlogn|n2|n2logn|n3] [--tolerance 0..4]\n"
+        "          [--safety F] [--lead-in-days D]\n",
+        args.program().c_str());
+    return in_path.empty() && !args.has("help") ? 1 : 0;
+  }
+
+  try {
+    auto workload = trace::read_world_csv_file(in_path);
+    const auto lead_in = util::samples_per_days(
+        args.get_double("lead-in-days", 1.0));
+
+    core::SimulationConfig cfg;
+    const auto world_kind = args.get("world", "table3");
+    if (world_kind == "table3") {
+      cfg.datacenters = dc::paper_ecosystem();
+    } else if (world_kind == "policy") {
+      dc::DataCenterSpec center;
+      center.name = "DC";
+      center.location = dc::region_site(workload.regions.front().name).location;
+      center.machines = static_cast<std::size_t>(args.get_long("machines", 40));
+      center.policy = dc::HostingPolicy::preset(
+          static_cast<int>(args.get_long("policy", 1)));
+      cfg.datacenters = {center};
+    } else {
+      throw std::invalid_argument("unknown --world " + world_kind);
+    }
+
+    core::GameSpec game;
+    game.name = "CLI MMOG";
+    game.load = core::LoadModel{parse_model(args.get("model", "n2")), 2000.0};
+    const long tolerance = args.get_long("tolerance", 4);
+    if (tolerance < 0 || tolerance > 4) {
+      throw std::invalid_argument("--tolerance must be 0..4");
+    }
+    game.latency_tolerance = static_cast<dc::DistanceClass>(tolerance);
+    game.workload = std::move(workload);
+    cfg.games.push_back(std::move(game));
+
+    cfg.safety_factor = args.get_double("safety", 0.5);
+    const auto mode = args.get("mode", "dynamic");
+    if (mode == "static") {
+      cfg.mode = core::AllocationMode::kStatic;
+    } else if (mode == "dynamic") {
+      cfg.predictor = parse_predictor(args.get("predictor", "lastvalue"),
+                                      cfg.games[0].workload, lead_in);
+    } else {
+      throw std::invalid_argument("unknown --mode " + mode);
+    }
+
+    const auto result = core::simulate(cfg);
+    std::printf("steps                  %zu\n", result.steps);
+    std::printf("CPU over-allocation    %.2f %%\n",
+                result.metrics.avg_over_allocation_pct(ResourceKind::kCpu));
+    std::printf("CPU under-allocation   %.3f %%\n",
+                result.metrics.avg_under_allocation_pct(ResourceKind::kCpu));
+    std::printf("|Y|>1%% events          %zu\n",
+                result.metrics.significant_events());
+    std::printf("unplaced CPU unit-steps %.1f\n",
+                result.unplaced_cpu_unit_steps);
+    std::printf("renting cost           %.1f\n", result.total_cost);
+    std::printf("\nPer data center (avg CPU units):\n");
+    for (const auto& usage : result.datacenters) {
+      if (usage.avg_allocated_cpu < 0.005) continue;
+      std::printf("  %-16s %7.2f / %-4.0f\n", usage.name.c_str(),
+                  usage.avg_allocated_cpu, usage.capacity_cpu);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

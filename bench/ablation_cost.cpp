@@ -21,7 +21,7 @@ int main() {
   const auto sta = core::simulate(static_cfg);
 
   util::TextTable table({"Strategy", "Cost [unit-hours]", "vs static",
-                         "Over CPU [%]", "|Y|>1% events"});
+                         "Over CPU [%]", "|Υ|>1% events"});
   table.add_row({"Static (dedicated)", util::TextTable::num(sta.total_cost, 0),
                  "1.00x",
                  util::TextTable::num(

@@ -37,7 +37,7 @@ int main() {
                 clean.datacenters[target].name.c_str());
   }
 
-  util::TextTable table({"Scenario", "Under [%]", "|Y|>1% events",
+  util::TextTable table({"Scenario", "Under [%]", "|Υ|>1% events",
                          "Unplaced [unit-steps]"});
   for (const bool inject : {false, true}) {
     for (const bool dynamic : {true, false}) {

@@ -34,7 +34,7 @@ int main() {
       {"Drift", [] { return std::make_unique<predict::DriftPredictor>(); }});
 
   util::TextTable table({"Predictor", "Over [%]", "Under [%]",
-                         "|Y|>1% events", "Cost [unit-hours]"});
+                         "|Υ|>1% events", "Cost [unit-hours]"});
   for (const auto& nf : lineup) {
     auto cfg = bench::standard_config(workload);
     cfg.predictor = nf.factory;

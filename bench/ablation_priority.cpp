@@ -60,7 +60,7 @@ int main() {
   const auto neural = bench::neural_factory(light);
 
   util::TextTable table({"Mode", "Game", "Over [%]", "Under [%]",
-                         "|Y|>1% events"});
+                         "|Υ|>1% events"});
   for (bool prioritize : {false, true}) {
     const auto result = core::simulate(
         competition(prioritize, light, heavy, neural.factory));

@@ -18,7 +18,7 @@ int main() {
   const auto neural = bench::neural_factory(workload);
 
   util::TextTable table({"Safety factor", "Over [%]", "Under [%]",
-                         "|Y|>1% events", "Cost [unit-hours]"});
+                         "|Υ|>1% events", "Cost [unit-hours]"});
   for (double safety : {0.0, 0.25, 0.5, 1.0, 2.0, 4.0}) {
     auto cfg = bench::standard_config(workload);
     cfg.predictor = neural.factory;

@@ -63,7 +63,7 @@ int main() {
   std::printf("\nAcross %zu seeds:\n", std::size(seeds));
   report("dynamic over-allocation [%]", acc.dyn_over);
   report("static over-allocation [%]", acc.sta_over);
-  report("neural |Y|>1% events", acc.neural_events);
+  report("neural |Υ|>1% events", acc.neural_events);
   report("Average predictor under [%]", acc.avg_under);
 
   double min_ratio = 1e18;

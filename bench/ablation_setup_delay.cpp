@@ -19,7 +19,7 @@ int main() {
   const auto neural = bench::neural_factory(workload);
 
   util::TextTable table({"Setup delay", "Over [%]", "Under [%]",
-                         "|Y|>1% events"});
+                         "|Υ|>1% events"});
   for (std::size_t delay : {0u, 1u, 5u, 15u, 30u}) {
     auto cfg = bench::standard_config(workload);
     cfg.predictor = neural.factory;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/simulation.hpp"
+#include "obs/recorder.hpp"
 #include "predict/ar.hpp"
 #include "predict/neural.hpp"
 #include "predict/simple.hpp"
@@ -109,6 +110,38 @@ inline void print_series(const std::string& label,
   for (std::size_t i = 0; i < series.size(); i += stride) {
     std::printf("  t=%7.1fh  %12.2f\n", series.time_at(i) / 3600.0,
                 series[i]);
+  }
+}
+
+/// Prints a registry snapshot as two tables — counters/gauges and duration
+/// histograms — so every harness can emit the observability state of its
+/// instrumented runs next to the reproduced table or figure.
+inline void print_registry_snapshot(const obs::Snapshot& snap,
+                                    const std::string& title =
+                                        "Observability snapshot") {
+  std::printf("# %s\n", title.c_str());
+  if (!snap.counters.empty() || !snap.gauges.empty()) {
+    util::TextTable table({"Metric", "Kind", "Value"});
+    for (const auto& [name, value] : snap.counters) {
+      table.add_row({name, "counter", util::TextTable::num(value, 0)});
+    }
+    for (const auto& [name, value] : snap.gauges) {
+      table.add_row({name, "gauge", util::TextTable::num(value, 0)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  if (!snap.histograms.empty()) {
+    util::TextTable table({"Histogram", "Count", "Mean", "P50", "P90", "P99",
+                           "Max"});
+    for (const auto& [name, h] : snap.histograms) {
+      table.add_row({name, std::to_string(h.count),
+                     util::TextTable::num(h.mean(), 3),
+                     util::TextTable::num(h.quantile(0.5), 3),
+                     util::TextTable::num(h.quantile(0.9), 3),
+                     util::TextTable::num(h.quantile(0.99), 3),
+                     util::TextTable::num(h.max, 3)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
   }
 }
 

@@ -12,8 +12,7 @@
 
 #include "bench/common.hpp"
 #include "emu/datasets.hpp"
-#include "predict/evaluate.hpp"
-#include "util/stats.hpp"
+#include "obs/recorder.hpp"
 
 using namespace mmog;
 
@@ -54,17 +53,36 @@ void run_quartile_table() {
       "Exp smoothing",
       std::make_unique<predict::ExponentialSmoothingPredictor>(0.5));
 
+  // Per-predictor inference timing through the observability registry: each
+  // predict() call lands in a fine log-bucketed duration histogram, the
+  // same machinery the simulator uses for its "predictor.inference_us"
+  // metric (quantiles are interpolated within buckets).
+  obs::Registry registry;
+  const auto fine_buckets = obs::log_buckets(0.005, 1e5, 1.15);
   util::TextTable table(
       {"Method", "Min [us]", "Q1 [us]", "Median [us]", "Q3 [us]", "Max [us]"});
   for (auto& [name, predictor] : predictors) {
-    const auto micros =
-        predict::time_predictions(*predictor, signal.values(), 20);
-    const auto s = util::summarize(micros);
-    table.add_row({name, util::TextTable::num(s.min, 3),
-                   util::TextTable::num(s.q1, 3),
-                   util::TextTable::num(s.median, 3),
-                   util::TextTable::num(s.q3, 3),
-                   util::TextTable::num(s.max, 3)});
+    const std::string hist = "predict." + name + "_us";
+    registry.define_histogram(hist, fine_buckets);
+    volatile double sink = 0.0;  // keep the calls observable
+    for (std::size_t rep = 0; rep < 20; ++rep) {
+      for (double v : signal.values()) {
+        predictor->observe(v);
+        const obs::Stopwatch watch;
+        sink = predictor->predict();
+        registry.observe(hist, watch.elapsed_us());
+      }
+    }
+    (void)sink;
+  }
+  const auto snap = registry.snapshot();
+  for (const auto& [name, predictor] : predictors) {
+    const auto& h = snap.histograms.at("predict." + name + "_us");
+    table.add_row({name, util::TextTable::num(h.min, 3),
+                   util::TextTable::num(h.quantile(0.25), 3),
+                   util::TextTable::num(h.quantile(0.5), 3),
+                   util::TextTable::num(h.quantile(0.75), 3),
+                   util::TextTable::num(h.max, 3)});
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf(

@@ -1,5 +1,5 @@
 // Reproduces Figure 7: the cumulative number of significant under-allocation
-// events (|Y| > 1 %) over the two simulated weeks, for the five predictors
+// events (|Υ| > 1 %) over the two simulated weeks, for the five predictors
 // with normal over-allocation performance (§V-B; the poor-class Average
 // predictor is excluded as in the paper's figure).
 

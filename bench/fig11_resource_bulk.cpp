@@ -19,7 +19,7 @@ int main() {
   const auto neural = bench::neural_factory(workload);
 
   util::TextTable table({"Policy", "CPU bulk [unit]", "Over [%]", "Under [%]",
-                         "|Y|>1% events"});
+                         "|Υ|>1% events"});
   for (int policy = 3; policy <= 7; ++policy) {
     auto cfg = bench::standard_config(workload);
     for (auto& dc : cfg.datacenters) {

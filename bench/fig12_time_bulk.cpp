@@ -17,7 +17,7 @@ int main() {
   const auto neural = bench::neural_factory(workload);
 
   util::TextTable table({"Policy", "Time bulk [h]", "Over [%]", "Under [%]",
-                         "|Y|>1% events"});
+                         "|Υ|>1% events"});
   for (int policy : {5, 8, 9, 10, 11}) {
     auto cfg = bench::standard_config(workload);
     for (auto& dc : cfg.datacenters) {

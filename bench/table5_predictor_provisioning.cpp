@@ -1,7 +1,7 @@
 // Reproduces Table V: the average provisioning performance of the dynamic
 // resource allocation under six different prediction algorithms — CPU and
 // external-network over-allocation, under-allocation, and the number of
-// significant under-allocation events (|Y| > 1 %). Setup of §V-B: Table III
+// significant under-allocation events (|Υ| > 1 %). Setup of §V-B: Table III
 // data centers with HP-1/HP-2 assigned round-robin, one O(n^2) MMOG, two
 // weeks of the RuneScape-like trace.
 
@@ -21,13 +21,18 @@ int main() {
 
   util::TextTable table({"Predictor", "Over CPU [%]", "Over ExtNet[in] [%]",
                          "Over ExtNet[out] [%]", "Under CPU [%]",
-                         "Under ExtNet[out] [%]", "|Y|>1% events"});
+                         "Under ExtNet[out] [%]", "|Υ|>1% events"});
+
+  // One metrics-only recorder shared by all runs: per-phase duration
+  // histograms and offer/allocation counters aggregated over the line-up.
+  obs::Recorder recorder(obs::TraceLevel::kOff);
 
   std::string best_name;
   std::size_t best_events = ~0ull;
   for (const auto& nf : lineup) {
     auto cfg = bench::standard_config(workload);
     cfg.predictor = nf.factory;
+    cfg.recorder = &recorder;
     const auto result = core::simulate(cfg);
     const auto& m = result.metrics;
     const auto events = m.significant_events();
@@ -58,6 +63,9 @@ int main() {
       "class (deep CPU under-allocation, thousands of events); Neural and\n"
       "Last value lead, with Neural producing roughly half the events of\n"
       "Last value. ExtNet[in] over-allocation is ~10x the demand because\n"
-      "HP-1/HP-2 rent inbound bandwidth in 4-6 unit bulks.\n");
+      "HP-1/HP-2 rent inbound bandwidth in 4-6 unit bulks.\n\n");
+  bench::print_registry_snapshot(
+      recorder.snapshot(),
+      "Observability snapshot (all six runs, durations in us)");
   return 0;
 }

@@ -20,7 +20,7 @@ int main() {
   const auto neural = bench::neural_factory(workload);
 
   util::TextTable table({"Interaction type", "Static over [%]",
-                         "Dyn over [%]", "Dyn under [%]", "|Y|>1% events",
+                         "Dyn over [%]", "Dyn under [%]", "|Υ|>1% events",
                          "Static/dyn ratio"});
 
   const UpdateModel models[] = {

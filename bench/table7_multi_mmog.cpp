@@ -47,7 +47,7 @@ int main() {
   };
 
   util::TextTable table({"MMOG A [%]", "MMOG B [%]", "MMOG C [%]",
-                         "Over [%]", "Under [%]", "|Y|>1% events"});
+                         "Over [%]", "Under [%]", "|Υ|>1% events"});
 
   for (const auto& s : scenarios) {
     core::SimulationConfig cfg;

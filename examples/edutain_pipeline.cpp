@@ -117,7 +117,7 @@ int main() {
               result.metrics.avg_over_allocation_pct(ResourceKind::kCpu));
   std::printf("  CPU under-allocation %6.2f %%\n",
               result.metrics.avg_under_allocation_pct(ResourceKind::kCpu));
-  std::printf("  |Y|>1%% events        %6zu\n",
+  std::printf("  |Υ|>1%% events        %6zu\n",
               result.metrics.significant_events());
   std::printf("  renting cost         %6.1f unit-hours\n", result.total_cost);
   for (const auto& usage : result.datacenters) {

@@ -73,7 +73,7 @@ int main() {
   std::printf("%-22s %11.2f%% %11.2f%%\n", "CPU under-allocation",
               dynamic_run.metrics.avg_under_allocation_pct(ResourceKind::kCpu),
               static_run.metrics.avg_under_allocation_pct(ResourceKind::kCpu));
-  std::printf("%-22s %12zu %12zu\n", "|Y|>1% events",
+  std::printf("%-22s %12zu %12zu\n", "|Υ|>1% events",
               dynamic_run.metrics.significant_events(),
               static_run.metrics.significant_events());
 

@@ -9,12 +9,12 @@ namespace mmog::core {
 
 /// Resource-allocation quality at one 2-minute sample (§V, Eqs. 1-2).
 ///
-/// Over-allocation reports the *excess* percentage: Eq. 1 computes
+/// Over-allocation Ω reports the *excess* percentage: Eq. 1 computes
 /// Σα/Σλ·100, which is 100 % at a perfect fit; the paper's tables and plots
 /// report the surplus above that (dynamic allocation averages ≈ 25 %, not
 /// 125 %), so over_allocation_pct() returns (Σα/Σλ − 1)·100.
 ///
-/// Under-allocation (Eq. 2) is Σ min(α_m − λ_m, 0) / M · 100: the average
+/// Under-allocation Υ (Eq. 2) is Σ min(α_m − λ_m, 0) / M · 100: the average
 /// per-machine shortfall, at most 0. Over-allocation on one machine never
 /// offsets under-allocation on another, so the two metrics are not
 /// correlated by construction.

@@ -183,13 +183,15 @@ void affinity_local_search(const ZoneGraph& graph, double capacity,
 }  // namespace
 
 Partition partition_zones(const ZoneGraph& graph, double server_capacity,
-                          PartitionStrategy strategy) {
+                          PartitionStrategy strategy, obs::Recorder* recorder,
+                          std::size_t step) {
   if (graph.zone_count() == 0) {
     throw std::invalid_argument("partition_zones: empty graph");
   }
   if (server_capacity <= 0.0) {
     throw std::invalid_argument("partition_zones: non-positive capacity");
   }
+  const obs::PhaseScope scope(recorder, "partition", step);
   switch (strategy) {
     case PartitionStrategy::kRoundRobin:
       return round_robin(graph, server_capacity);

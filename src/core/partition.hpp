@@ -5,6 +5,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/recorder.hpp"
+
 namespace mmog::core {
 
 /// Zone-to-server partitioning (§II-A: operators distribute the load of a
@@ -67,8 +69,11 @@ std::string_view partition_strategy_name(PartitionStrategy s) noexcept;
 /// server). kAffinity additionally runs a bounded local search that moves
 /// zones between servers to reduce the interaction cut without violating
 /// capacity. Deterministic. Throws std::invalid_argument on an empty graph
-/// or non-positive capacity.
+/// or non-positive capacity. When `recorder` is set, the call is timed into
+/// the "phase.partition_us" histogram (with a span at `step`).
 Partition partition_zones(const ZoneGraph& graph, double server_capacity,
-                          PartitionStrategy strategy);
+                          PartitionStrategy strategy,
+                          obs::Recorder* recorder = nullptr,
+                          std::size_t step = 0);
 
 }  // namespace mmog::core

@@ -65,6 +65,8 @@ SimulationResult simulate(const SimulationConfig& config) {
     throw std::invalid_argument("simulate: no data centers configured");
   }
 
+  obs::Recorder* const rec = config.recorder;
+
   const Matcher matcher(config.datacenters);
   std::vector<dc::DataCenterLedger> ledgers;
   ledgers.reserve(config.datacenters.size());
@@ -85,6 +87,14 @@ SimulationResult simulate(const SimulationConfig& config) {
       unit.region_name = region.name;
       unit.candidates =
           matcher.candidates(site.location, game.latency_tolerance);
+      if (rec) {
+        // Matching criterion 2 (§II-C, geographic proximity): centers
+        // outside the game's latency tolerance are rejected up front, once
+        // per (game, region) request stream.
+        rec->count("offer.rejected.latency",
+                   static_cast<double>(config.datacenters.size() -
+                                       unit.candidates.size()));
+      }
       unit.priority = game.priority;
       for (const auto& sg : region.groups) {
         GroupStream stream;
@@ -105,6 +115,14 @@ SimulationResult simulate(const SimulationConfig& config) {
   }
   const std::size_t steps =
       config.steps == 0 ? horizon : std::min(config.steps, horizon);
+
+  if (rec) {
+    rec->gauge("sim.steps", static_cast<double>(steps));
+    rec->gauge("sim.units", static_cast<double>(units.size()));
+    rec->gauge("sim.groups", static_cast<double>(total_groups));
+    rec->gauge("sim.datacenters",
+               static_cast<double>(config.datacenters.size()));
+  }
 
   // Service order: stable by priority when the extension is enabled,
   // otherwise first-come (flattening order).
@@ -137,7 +155,10 @@ SimulationResult simulate(const SimulationConfig& config) {
                           std::size_t step, std::size_t hold_steps) {
     util::ResourceVector need = need_in.clamped_non_negative();
     for (std::size_t cand : unit.candidates) {
-      if (dc_down(cand, step)) continue;
+      if (dc_down(cand, step)) {
+        if (rec) rec->count("offer.rejected.outage");
+        continue;
+      }
       double outstanding = 0.0;
       for (double v : need.v) outstanding += v;
       if (outstanding <= 1e-9) break;
@@ -146,11 +167,19 @@ SimulationResult simulate(const SimulationConfig& config) {
       const auto amount = offer_amount(need, ledger.free(), policy);
       // CPU drives placement: when CPU is needed, a grant without CPU only
       // wastes bandwidth; and an empty offer is no offer.
-      if (need.cpu() > 1e-9 && amount.cpu() <= 1e-9) continue;
+      if (need.cpu() > 1e-9 && amount.cpu() <= 1e-9) {
+        // Matching criterion 3 (§II-C, offer granularity): the policy's CPU
+        // bulk cannot produce a usable offer from this center's free pool.
+        if (rec) rec->count("offer.rejected.bulk");
+        continue;
+      }
       double total = 0.0;
       for (double v : amount.v) total += v;
-      if (total <= 1e-9) continue;
-      if (!ledger.grant(amount)) continue;
+      if (total <= 1e-9 || !ledger.grant(amount)) {
+        // Matching criterion 1 (§II-C, amount fit): nothing left to offer.
+        if (rec) rec->count("offer.rejected.amount");
+        continue;
+      }
       dc::Allocation alloc;
       alloc.id = next_allocation_id++;
       alloc.dc_index = cand;
@@ -166,6 +195,15 @@ SimulationResult simulate(const SimulationConfig& config) {
       unit.allocations.push_back(alloc);
       unit.allocated += amount;
       need = (need - amount).clamped_non_negative();
+      if (rec) {
+        rec->count("offer.matched");
+        rec->count("alloc.granted");
+        rec->instant("alloc.granted", "alloc", step,
+                     {{"dc", ledger.spec().name},
+                      {"region", unit.region_name},
+                      {"cpu", std::to_string(amount.cpu())},
+                      {"id", std::to_string(alloc.id)}});
+      }
     }
     return need;  // unmet demand
   };
@@ -174,6 +212,7 @@ SimulationResult simulate(const SimulationConfig& config) {
   // server group gets a dedicated machine sized for a full game server
   // (capacity for `reference_players`), provisioned once and held forever.
   if (config.mode == AllocationMode::kStatic) {
+    const obs::PhaseScope scope(rec, "static_allocate", 0);
     for (std::size_t idx : order) {
       DemandUnit& unit = units[idx];
       const auto& load = config.games[unit.game_id].load;
@@ -187,57 +226,107 @@ SimulationResult simulate(const SimulationConfig& config) {
     }
   }
 
-  for (std::size_t t = 0; t < steps; ++t) {
-    if (config.mode == AllocationMode::kDynamic) {
-      for (std::size_t idx : order) {
-        DemandUnit& unit = units[idx];
-        const auto& load = config.games[unit.game_id].load;
-        // Region demand = sum of per-group predictions through the
-        // (nonlinear) load model, each padded by the predictor's own recent
-        // error (the §V-C over-allocation mechanism).
-        util::ResourceVector demand{};
-        for (auto& stream : unit.groups) {
-          stream.last_prediction = stream.predictor->predict();
-          const double padded =
-              stream.last_prediction +
-              config.safety_factor * stream.abs_error_ewma;
-          demand += load.demand(padded);
-        }
+  // Reused per-step scratch: the padded demand of every unit.
+  std::vector<util::ResourceVector> demands(units.size());
 
-        // Release expired allocations no longer needed (largest first so
-        // coarse chunks go back to the pool as soon as possible).
-        bool released = true;
-        while (released) {
-          released = false;
-          std::size_t best = unit.allocations.size();
-          double best_cpu = 0.0;
-          for (std::size_t a = 0; a < unit.allocations.size(); ++a) {
-            const auto& alloc = unit.allocations[a];
-            if (!alloc.releasable_at(t)) continue;
-            const auto rest = unit.allocated - alloc.amount;
-            if (!rest.clamped_non_negative().covers(demand)) continue;
-            if (rest.cpu() + 1e-9 < demand.cpu()) continue;
-            if (alloc.amount.cpu() > best_cpu) {
-              best_cpu = alloc.amount.cpu();
-              best = a;
+  for (std::size_t t = 0; t < steps; ++t) {
+    const obs::PhaseScope step_scope(rec, "step", t, "step");
+    if (config.mode == AllocationMode::kDynamic) {
+      {
+        // Phase 1 — predict: one online prediction per server group (§IV-B).
+        const obs::PhaseScope scope(rec, "predict", t);
+        for (std::size_t idx : order) {
+          for (auto& stream : units[idx].groups) {
+            if (rec) {
+              const obs::Stopwatch watch;
+              stream.last_prediction = stream.predictor->predict();
+              rec->observe_us("predictor.inference_us", watch.elapsed_us());
+            } else {
+              stream.last_prediction = stream.predictor->predict();
             }
           }
-          if (best < unit.allocations.size()) {
-            const auto amount = unit.allocations[best].amount;
-            ledgers[unit.allocations[best].dc_index].release(amount);
-            unit.allocated -= amount;
-            unit.allocated = unit.allocated.clamped_non_negative();
-            unit.allocations.erase(unit.allocations.begin() +
-                                   static_cast<std::ptrdiff_t>(best));
-            released = true;
+        }
+        if (rec) rec->count("predict.issued", static_cast<double>(total_groups));
+      }
+
+      {
+        // Phase 2 — safety padding: region demand = sum of per-group
+        // predictions through the (nonlinear) load model, each padded by the
+        // predictor's own recent error (the §V-C over-allocation mechanism).
+        const obs::PhaseScope scope(rec, "pad", t);
+        for (std::size_t idx : order) {
+          DemandUnit& unit = units[idx];
+          const auto& load = config.games[unit.game_id].load;
+          util::ResourceVector demand{};
+          for (const auto& stream : unit.groups) {
+            const double padded =
+                stream.last_prediction +
+                config.safety_factor * stream.abs_error_ewma;
+            demand += load.demand(padded);
+          }
+          demands[idx] = demand;
+          if (rec) {
+            rec->count("request.padded");
+            rec->detail_instant("request.padded", "demand", t,
+                                {{"region", unit.region_name},
+                                 {"cpu", std::to_string(demand.cpu())}});
           }
         }
+      }
 
-        // Acquire what the prediction says is missing.
-        if (!unit.allocated.covers(demand)) {
-          const auto need = demand - unit.allocated;
-          const auto unmet = try_allocate(unit, need, t, 1);
-          result.unplaced_cpu_unit_steps += unmet.cpu();
+      {
+        // Phase 3 — matching: release what the prediction no longer needs,
+        // then acquire the missing difference (§II-C request-offer matching).
+        const obs::PhaseScope scope(rec, "match", t);
+        for (std::size_t idx : order) {
+          DemandUnit& unit = units[idx];
+          const auto& demand = demands[idx];
+
+          // Release expired allocations no longer needed (largest first so
+          // coarse chunks go back to the pool as soon as possible).
+          bool released = true;
+          while (released) {
+            released = false;
+            std::size_t best = unit.allocations.size();
+            double best_cpu = 0.0;
+            for (std::size_t a = 0; a < unit.allocations.size(); ++a) {
+              const auto& alloc = unit.allocations[a];
+              if (!alloc.releasable_at(t)) continue;
+              const auto rest = unit.allocated - alloc.amount;
+              if (!rest.clamped_non_negative().covers(demand)) continue;
+              if (rest.cpu() + 1e-9 < demand.cpu()) continue;
+              if (alloc.amount.cpu() > best_cpu) {
+                best_cpu = alloc.amount.cpu();
+                best = a;
+              }
+            }
+            if (best < unit.allocations.size()) {
+              const auto amount = unit.allocations[best].amount;
+              ledgers[unit.allocations[best].dc_index].release(amount);
+              if (rec) {
+                rec->count("alloc.released");
+                rec->instant(
+                    "alloc.released", "alloc", t,
+                    {{"dc", ledgers[unit.allocations[best].dc_index]
+                                .spec()
+                                .name},
+                     {"cpu", std::to_string(amount.cpu())},
+                     {"id", std::to_string(unit.allocations[best].id)}});
+              }
+              unit.allocated -= amount;
+              unit.allocated = unit.allocated.clamped_non_negative();
+              unit.allocations.erase(unit.allocations.begin() +
+                                     static_cast<std::ptrdiff_t>(best));
+              released = true;
+            }
+          }
+
+          // Acquire what the prediction says is missing.
+          if (!unit.allocated.covers(demand)) {
+            const auto need = demand - unit.allocated;
+            const auto unmet = try_allocate(unit, need, t, 1);
+            result.unplaced_cpu_unit_steps += unmet.cpu();
+          }
         }
       }
     }
@@ -250,6 +339,13 @@ SimulationResult simulate(const SimulationConfig& config) {
         const auto& alloc = unit.allocations[a];
         if (!dc_down(alloc.dc_index, t)) continue;
         ledgers[alloc.dc_index].release(alloc.amount);
+        if (rec) {
+          rec->count("alloc.force_released");
+          rec->instant("alloc.force_released", "alloc", t,
+                       {{"dc", ledgers[alloc.dc_index].spec().name},
+                        {"cpu", std::to_string(alloc.amount.cpu())},
+                        {"id", std::to_string(alloc.id)}});
+        }
         unit.allocated -= alloc.amount;
         unit.allocated = unit.allocated.clamped_non_negative();
         unit.allocations.erase(unit.allocations.begin() +
@@ -257,7 +353,9 @@ SimulationResult simulate(const SimulationConfig& config) {
       }
     }
 
-    // The actual load materializes; score the step (globally and per game).
+    // Phase 4 — metric accounting: the actual load materializes; score the
+    // step (globally and per game).
+    const obs::PhaseScope account_scope(rec, "account", t);
     StepMetrics step_metrics;
     step_metrics.machines = total_groups;
     std::vector<StepMetrics> per_game(config.games.size());
@@ -294,6 +392,15 @@ SimulationResult simulate(const SimulationConfig& config) {
         step_metrics.shortfall.v[i] += short_i;
         game_step.shortfall.v[i] += short_i;
       }
+    }
+    if (rec &&
+        step_metrics.significant_under_allocation(config.event_threshold_pct)) {
+      rec->count("event.under_allocation");
+      rec->instant(
+          "event.under_allocation", "event", t,
+          {{"under_pct",
+            std::to_string(
+                step_metrics.under_allocation_pct(util::ResourceKind::kCpu))}});
     }
     result.metrics.add(step_metrics);
     if (result.games.empty()) {

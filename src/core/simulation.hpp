@@ -10,6 +10,7 @@
 #include "core/metrics.hpp"
 #include "dc/datacenter.hpp"
 #include "dc/ecosystem.hpp"
+#include "obs/recorder.hpp"
 #include "predict/neural.hpp"
 #include "predict/predictor.hpp"
 #include "trace/trace.hpp"
@@ -58,7 +59,7 @@ struct SimulationConfig {
   /// Serve games in priority order within each step (extension; off
   /// reproduces the paper's first-come matching).
   bool prioritize_by_interaction = false;
-  /// |Y| threshold (percent) counting a significant under-allocation event.
+  /// |Υ| threshold (percent) counting a significant under-allocation event.
   double event_threshold_pct = 1.0;
   /// Demand-estimation safety factor (§V-C: a mechanism that allocates more
   /// than the predicted volume). Each group's requested player count is its
@@ -70,6 +71,13 @@ struct SimulationConfig {
   /// (game-server deployment, world-state transfer). The paper assumes zero
   /// overhead (§V); the setup-delay ablation quantifies that assumption.
   std::size_t provisioning_delay_steps = 0;
+  /// Optional observability sink (not owned). When set, the simulator
+  /// records per-phase duration histograms, offer/allocation counters and
+  /// step spans; when null every instrumentation site short-circuits on a
+  /// single pointer test. Event *content* stays deterministic for a fixed
+  /// configuration; measured wall-clock durations are recorded values and
+  /// never influence control flow.
+  obs::Recorder* recorder = nullptr;
 };
 
 /// Aggregated per-data-center outcome.

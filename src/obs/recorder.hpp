@@ -1,0 +1,125 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
+
+namespace mmog::obs {
+
+/// How much the tracer records. The registry is always live (it is cheap);
+/// the trace level bounds trace-file growth on long runs.
+enum class TraceLevel {
+  kOff = 0,     ///< metrics only, no trace events
+  kSteps = 1,   ///< step/phase spans + allocation and under-allocation events
+  kDetail = 2,  ///< + per-unit point events (prediction issued, request padded)
+};
+
+/// The observability sink instrumented code writes to. Call sites take a
+/// `Recorder*` and treat nullptr as "observability disabled": every guard is
+/// a single pointer test, so a null recorder costs nothing — no formatting,
+/// no clock reads, no allocation.
+class Recorder {
+ public:
+  explicit Recorder(TraceLevel level = TraceLevel::kSteps)
+      : level_(level) {}
+
+  Registry& registry() noexcept { return registry_; }
+  const Registry& registry() const noexcept { return registry_; }
+  Tracer& tracer() noexcept { return tracer_; }
+  const Tracer& tracer() const noexcept { return tracer_; }
+
+  TraceLevel trace_level() const noexcept { return level_; }
+  bool tracing() const noexcept { return level_ >= TraceLevel::kSteps; }
+  bool detail() const noexcept { return level_ >= TraceLevel::kDetail; }
+
+  void count(std::string_view counter, double delta = 1.0) {
+    registry_.add(counter, delta);
+  }
+  void gauge(std::string_view name, double value) {
+    registry_.set(name, value);
+  }
+  void observe_us(std::string_view histogram, double us) {
+    registry_.observe(histogram, us);
+  }
+
+  /// Point event; dropped below TraceLevel::kSteps.
+  void instant(std::string_view name, std::string_view category,
+               std::uint64_t step, std::vector<TraceArg> args = {}) {
+    if (tracing()) tracer_.instant(name, category, step, std::move(args));
+  }
+
+  /// High-frequency point event; dropped below TraceLevel::kDetail.
+  void detail_instant(std::string_view name, std::string_view category,
+                      std::uint64_t step, std::vector<TraceArg> args = {}) {
+    if (detail()) tracer_.instant(name, category, step, std::move(args));
+  }
+
+  Snapshot snapshot() const { return registry_.snapshot(); }
+
+ private:
+  Registry registry_;
+  Tracer tracer_;
+  TraceLevel level_;
+};
+
+/// Monotonic microsecond stopwatch for timing instrumented sections.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII phase profiler: on destruction records the elapsed wall time into
+/// the histogram "phase.<name>_us" and (when tracing) emits a span named
+/// `name`. Null-recorder construction is free: no clock is read.
+class PhaseScope {
+ public:
+  PhaseScope(Recorder* recorder, std::string_view name, std::uint64_t step,
+             std::string_view category = "phase")
+      : recorder_(recorder) {
+    if (!recorder_) return;
+    name_ = name;
+    category_ = category;
+    step_ = step;
+    if (recorder_->tracing()) span_start_us_ = recorder_->tracer().now_us();
+    watch_.reset();
+  }
+
+  ~PhaseScope() {
+    if (!recorder_) return;
+    const double us = watch_.elapsed_us();
+    recorder_->observe_us("phase." + name_ + "_us", us);
+    if (recorder_->tracing()) {
+      recorder_->tracer().complete_span(name_, category_, step_,
+                                        span_start_us_, us);
+    }
+  }
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Recorder* recorder_;
+  std::string name_;
+  std::string category_;
+  std::uint64_t step_ = 0;
+  double span_start_us_ = 0.0;
+  Stopwatch watch_;
+};
+
+}  // namespace mmog::obs

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mmog::obs {
+
+/// One key/value annotation attached to a trace event.
+struct TraceArg {
+  std::string key;
+  std::string value;
+
+  friend bool operator==(const TraceArg&, const TraceArg&) = default;
+};
+
+enum class TraceKind { kSpan, kInstant };
+
+/// One recorded event. The *content* (kind, name, category, step, seq,
+/// args and recording order) is deterministic for a fixed configuration and
+/// seed; ts_us/dur_us carry measured wall-clock time and are values only —
+/// they never influence simulation control flow.
+struct TraceEvent {
+  TraceKind kind = TraceKind::kInstant;
+  std::string name;
+  std::string category;
+  std::uint64_t step = 0;  ///< simulation step the event belongs to
+  std::uint64_t seq = 0;   ///< per-tracer recording sequence number
+  double ts_us = 0.0;      ///< wall-clock start, us since tracer creation
+  double dur_us = 0.0;     ///< span duration in us (0 for instants)
+  std::vector<TraceArg> args;
+};
+
+/// Records simulation-step spans and point events, exporting JSONL (one
+/// event object per line) and the Chrome trace_event format understood by
+/// chrome://tracing and Perfetto. Thread-safe; events are kept in memory in
+/// recording order.
+class Tracer {
+ public:
+  Tracer();
+
+  /// Microseconds elapsed on the monotonic clock since construction.
+  double now_us() const;
+
+  /// Records a point event stamped at now_us().
+  void instant(std::string_view name, std::string_view category,
+               std::uint64_t step, std::vector<TraceArg> args = {});
+
+  /// Records a completed span [ts_us, ts_us + dur_us).
+  void complete_span(std::string_view name, std::string_view category,
+                     std::uint64_t step, double ts_us, double dur_us,
+                     std::vector<TraceArg> args = {});
+
+  std::size_t size() const;
+  std::vector<TraceEvent> events() const;  ///< copy, in recording order
+
+  /// One JSON object per line:
+  /// {"seq":N,"kind":"span|instant","name":..,"cat":..,"step":N,
+  ///  "ts_us":F,"dur_us":F,"args":{..}}
+  void write_jsonl(std::ostream& out) const;
+
+  /// {"traceEvents":[...]}: spans as "ph":"X" complete events, instants as
+  /// "ph":"i"; loads directly in chrome://tracing and ui.perfetto.dev.
+  void write_chrome_trace(std::ostream& out) const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Parses a stream produced by Tracer::write_jsonl back into events.
+/// Throws std::invalid_argument on malformed lines (blank lines are
+/// skipped). Covers the subset of JSON the writer emits.
+std::vector<TraceEvent> read_trace_jsonl(std::istream& in);
+
+}  // namespace mmog::obs

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <numbers>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "obs/recorder.hpp"
+#include "predict/simple.hpp"
+
+namespace mmog::core {
+namespace {
+
+using util::ResourceKind;
+
+// Same small setup as simulation_test.cpp: one-region sine workload against
+// the single Amsterdam data center.
+trace::WorldTrace sine_workload(std::size_t groups, std::size_t steps) {
+  trace::WorldTrace world;
+  trace::RegionalTrace region;
+  region.name = "Europe";
+  for (std::size_t g = 0; g < groups; ++g) {
+    trace::ServerGroupTrace group;
+    group.name = "G" + std::to_string(g);
+    group.players = util::TimeSeries(util::kSampleStepSeconds);
+    for (std::size_t t = 0; t < steps; ++t) {
+      const double phase =
+          2.0 * std::numbers::pi * static_cast<double>(t) / 720.0;
+      group.players.push_back(400.0 + 600.0 * (1.0 - std::cos(phase)));
+    }
+    region.groups.push_back(std::move(group));
+  }
+  world.regions.push_back(std::move(region));
+  return world;
+}
+
+SimulationConfig base_config(std::size_t groups, std::size_t steps) {
+  SimulationConfig cfg;
+  dc::DataCenterSpec d;
+  d.name = "NL";
+  d.country = "Netherlands";
+  d.continent = "Europe";
+  d.location = {52.37, 4.90};
+  d.machines = 40;
+  d.policy = dc::HostingPolicy::preset(1);
+  cfg.datacenters = {d};
+  GameSpec game;
+  game.name = "TestGame";
+  game.load = LoadModel{UpdateModel::kQuadratic, 2000.0};
+  game.latency_tolerance = dc::DistanceClass::kVeryFar;
+  game.workload = sine_workload(groups, steps);
+  cfg.games.push_back(std::move(game));
+  cfg.predictor = [] {
+    return std::make_unique<predict::LastValuePredictor>();
+  };
+  return cfg;
+}
+
+TEST(ObsIntegrationTest, DynamicRunEmitsGoldenSpanSequencePerStep) {
+  constexpr std::size_t kGroups = 3;
+  constexpr std::size_t kSteps = 24;
+  obs::Recorder rec(obs::TraceLevel::kSteps);
+  auto cfg = base_config(kGroups, kSteps);
+  cfg.recorder = &rec;
+  simulate(cfg);
+
+  // Golden content check: span names only, never timings. Each step emits
+  // exactly the four phase spans followed by the enclosing step span.
+  const std::vector<std::string> golden = {"predict", "pad", "match",
+                                           "account", "step"};
+  std::map<std::uint64_t, std::vector<std::string>> spans_by_step;
+  for (const auto& e : rec.tracer().events()) {
+    if (e.kind == obs::TraceKind::kSpan) {
+      spans_by_step[e.step].push_back(e.name);
+    }
+  }
+  ASSERT_EQ(spans_by_step.size(), kSteps);
+  for (std::uint64_t t = 0; t < kSteps; ++t) {
+    EXPECT_EQ(spans_by_step.at(t), golden) << "step " << t;
+  }
+}
+
+TEST(ObsIntegrationTest, CountersMatchWorkloadShape) {
+  constexpr std::size_t kGroups = 3;
+  constexpr std::size_t kSteps = 24;
+  obs::Recorder rec(obs::TraceLevel::kSteps);
+  auto cfg = base_config(kGroups, kSteps);
+  cfg.recorder = &rec;
+  simulate(cfg);
+
+  const auto snap = rec.snapshot();
+  EXPECT_DOUBLE_EQ(snap.counters.at("predict.issued"),
+                   static_cast<double>(kSteps * kGroups));
+  EXPECT_DOUBLE_EQ(snap.counters.at("request.padded"),
+                   static_cast<double>(kSteps));  // one unit (game, region)
+  EXPECT_DOUBLE_EQ(snap.counters.at("offer.matched"),
+                   snap.counters.at("alloc.granted"));
+  EXPECT_GT(snap.counters.at("alloc.granted"), 0.0);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("sim.steps"), static_cast<double>(kSteps));
+  EXPECT_DOUBLE_EQ(snap.gauges.at("sim.units"), 1.0);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("sim.groups"),
+                   static_cast<double>(kGroups));
+  EXPECT_DOUBLE_EQ(snap.gauges.at("sim.datacenters"), 1.0);
+  // Phase histograms carry one sample per step; inference timing one per
+  // prediction.
+  for (const char* phase : {"phase.predict_us", "phase.pad_us",
+                            "phase.match_us", "phase.account_us",
+                            "phase.step_us"}) {
+    EXPECT_EQ(snap.histograms.at(phase).count, kSteps) << phase;
+  }
+  EXPECT_EQ(snap.histograms.at("predictor.inference_us").count,
+            kSteps * kGroups);
+}
+
+TEST(ObsIntegrationTest, DetailLevelAddsPerUnitInstants) {
+  constexpr std::size_t kSteps = 12;
+  auto count_instants = [&](obs::TraceLevel level, std::string_view name) {
+    obs::Recorder rec(level);
+    auto cfg = base_config(2, kSteps);
+    cfg.recorder = &rec;
+    simulate(cfg);
+    std::size_t n = 0;
+    for (const auto& e : rec.tracer().events()) {
+      if (e.kind == obs::TraceKind::kInstant && e.name == name) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_instants(obs::TraceLevel::kSteps, "request.padded"), 0u);
+  EXPECT_EQ(count_instants(obs::TraceLevel::kDetail, "request.padded"),
+            kSteps);
+}
+
+TEST(ObsIntegrationTest, ResultsIdenticalWithAndWithoutRecorder) {
+  // The observability layer must be a pure observer: event content derives
+  // from simulation state, never the reverse.
+  auto cfg = base_config(4, 120);
+  const auto plain = simulate(cfg);
+
+  obs::Recorder rec(obs::TraceLevel::kDetail);
+  cfg.recorder = &rec;
+  const auto observed = simulate(cfg);
+
+  EXPECT_EQ(observed.steps, plain.steps);
+  EXPECT_DOUBLE_EQ(observed.total_cost, plain.total_cost);
+  EXPECT_DOUBLE_EQ(observed.unplaced_cpu_unit_steps,
+                   plain.unplaced_cpu_unit_steps);
+  EXPECT_DOUBLE_EQ(observed.metrics.avg_over_allocation_pct(ResourceKind::kCpu),
+                   plain.metrics.avg_over_allocation_pct(ResourceKind::kCpu));
+  EXPECT_DOUBLE_EQ(
+      observed.metrics.avg_under_allocation_pct(ResourceKind::kCpu),
+      plain.metrics.avg_under_allocation_pct(ResourceKind::kCpu));
+  EXPECT_EQ(observed.metrics.significant_events(),
+            plain.metrics.significant_events());
+}
+
+TEST(ObsIntegrationTest, StaticModeRecordsSingleAllocationPhase) {
+  obs::Recorder rec(obs::TraceLevel::kSteps);
+  auto cfg = base_config(2, 12);
+  cfg.mode = AllocationMode::kStatic;
+  cfg.recorder = &rec;
+  simulate(cfg);
+  const auto snap = rec.snapshot();
+  EXPECT_EQ(snap.histograms.at("phase.static_allocate_us").count, 1u);
+  EXPECT_FALSE(snap.histograms.contains("phase.predict_us"));
+  EXPECT_GT(snap.counters.at("alloc.granted"), 0.0);
+}
+
+TEST(ObsIntegrationTest, OutageEmitsForceReleaseAndRejection) {
+  obs::Recorder rec(obs::TraceLevel::kSteps);
+  auto cfg = base_config(2, 24);
+  DataCenterOutage outage;
+  outage.dc_index = 0;
+  outage.from_step = 10;
+  outage.to_step = 12;
+  cfg.outages.push_back(outage);
+  cfg.recorder = &rec;
+  simulate(cfg);
+  const auto snap = rec.snapshot();
+  EXPECT_GT(snap.counters.at("alloc.force_released"), 0.0);
+  EXPECT_GT(snap.counters.at("offer.rejected.outage"), 0.0);
+}
+
+}  // namespace
+}  // namespace mmog::core

@@ -1,0 +1,71 @@
+#include "obs/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmog::obs {
+namespace {
+
+TEST(RecorderTest, NullRecorderPhaseScopeIsSafe) {
+  const PhaseScope scope(nullptr, "predict", 0);
+  // Nothing to assert beyond "does not crash": the null recorder contract
+  // is that every instrumentation site short-circuits.
+}
+
+TEST(RecorderTest, PhaseScopeRecordsHistogramAndSpan) {
+  Recorder rec(TraceLevel::kSteps);
+  {
+    const PhaseScope scope(&rec, "match", 5);
+  }
+  const auto snap = rec.snapshot();
+  ASSERT_TRUE(snap.histograms.contains("phase.match_us"));
+  EXPECT_EQ(snap.histograms.at("phase.match_us").count, 1u);
+  const auto events = rec.tracer().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, TraceKind::kSpan);
+  EXPECT_EQ(events[0].name, "match");
+  EXPECT_EQ(events[0].category, "phase");
+  EXPECT_EQ(events[0].step, 5u);
+  EXPECT_GE(events[0].dur_us, 0.0);
+}
+
+TEST(RecorderTest, OffLevelKeepsMetricsButDropsEvents) {
+  Recorder rec(TraceLevel::kOff);
+  EXPECT_FALSE(rec.tracing());
+  EXPECT_FALSE(rec.detail());
+  rec.count("offer.matched");
+  rec.instant("alloc.granted", "alloc", 0);
+  rec.detail_instant("request.padded", "pad", 0);
+  {
+    const PhaseScope scope(&rec, "step", 0, "step");
+  }
+  const auto snap = rec.snapshot();
+  EXPECT_DOUBLE_EQ(snap.counters.at("offer.matched"), 1.0);
+  EXPECT_EQ(snap.histograms.at("phase.step_us").count, 1u);
+  EXPECT_EQ(rec.tracer().size(), 0u);
+}
+
+TEST(RecorderTest, DetailInstantsGatedByLevel) {
+  Recorder steps(TraceLevel::kSteps);
+  steps.instant("alloc.granted", "alloc", 0);
+  steps.detail_instant("request.padded", "pad", 0);
+  EXPECT_EQ(steps.tracer().size(), 1u);
+
+  Recorder detail(TraceLevel::kDetail);
+  EXPECT_TRUE(detail.detail());
+  detail.instant("alloc.granted", "alloc", 0);
+  detail.detail_instant("request.padded", "pad", 0);
+  EXPECT_EQ(detail.tracer().size(), 2u);
+}
+
+TEST(RecorderTest, StopwatchMeasuresForward) {
+  Stopwatch watch;
+  const double a = watch.elapsed_us();
+  const double b = watch.elapsed_us();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  watch.reset();
+  EXPECT_GE(watch.elapsed_us(), 0.0);
+}
+
+}  // namespace
+}  // namespace mmog::obs

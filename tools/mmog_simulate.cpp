@@ -8,11 +8,25 @@
 //                 [--world table3|policy] [--policy N] [--machines M]
 //                 [--model n|nlogn|n2|n2logn|n3] [--tolerance 0..4]
 //                 [--safety F] [--lead-in-days D]
+//                 [--metrics-out FILE.{json,csv}]
+//                 [--trace-out FILE[.jsonl]] [--trace-detail]
+//
+// --metrics-out snapshots the observability registry (per-phase duration
+// histograms, offer/allocation counters) as JSON (.json) or CSV (anything
+// else). --trace-out writes per-step spans and allocation events as JSONL
+// (.jsonl) or Chrome trace_event JSON loadable in chrome://tracing and
+// ui.perfetto.dev (any other extension). --trace-detail adds per-unit
+// prediction/padding point events.
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <stdexcept>
+#include <string_view>
 
 #include "core/simulation.hpp"
+#include "obs/recorder.hpp"
 #include "predict/holt_winters.hpp"
 #include "predict/simple.hpp"
 #include "trace/io.hpp"
@@ -79,7 +93,9 @@ int main(int argc, char** argv) {
         "usage: %s --in FILE [--mode dynamic|static] [--predictor NAME]\n"
         "          [--world table3|policy] [--policy N] [--machines M]\n"
         "          [--model n|nlogn|n2|n2logn|n3] [--tolerance 0..4]\n"
-        "          [--safety F] [--lead-in-days D]\n",
+        "          [--safety F] [--lead-in-days D]\n"
+        "          [--metrics-out FILE.{json,csv}]\n"
+        "          [--trace-out FILE[.jsonl]] [--trace-detail]\n",
         args.program().c_str());
     return in_path.empty() && !args.has("help") ? 1 : 0;
   }
@@ -127,13 +143,59 @@ int main(int argc, char** argv) {
       throw std::invalid_argument("unknown --mode " + mode);
     }
 
+    const auto metrics_out = args.get("metrics-out", "");
+    const auto trace_out = args.get("trace-out", "");
+    std::unique_ptr<obs::Recorder> recorder;
+    if (!metrics_out.empty() || !trace_out.empty()) {
+      auto level = obs::TraceLevel::kOff;
+      if (!trace_out.empty()) {
+        level = args.has("trace-detail") ? obs::TraceLevel::kDetail
+                                         : obs::TraceLevel::kSteps;
+      }
+      recorder = std::make_unique<obs::Recorder>(level);
+      cfg.recorder = recorder.get();
+    }
+
+    const auto wall_start = std::chrono::steady_clock::now();
     const auto result = core::simulate(cfg);
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+
+    auto ends_with = [](const std::string& s, std::string_view suffix) {
+      return s.size() >= suffix.size() &&
+             s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+    };
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      if (!out) throw std::runtime_error("cannot write " + metrics_out);
+      const auto snap = recorder->snapshot();
+      out << (ends_with(metrics_out, ".json") ? snap.to_json()
+                                              : snap.to_csv());
+    }
+    if (!trace_out.empty()) {
+      std::ofstream out(trace_out);
+      if (!out) throw std::runtime_error("cannot write " + trace_out);
+      if (ends_with(trace_out, ".jsonl")) {
+        recorder->tracer().write_jsonl(out);
+      } else {
+        recorder->tracer().write_chrome_trace(out);
+      }
+    }
+
+    std::fprintf(stderr,
+                 "mmog_simulate: %zu steps, %zu game(s), %zu data center(s), "
+                 "%.2f s wall\n",
+                 result.steps, cfg.games.size(), cfg.datacenters.size(),
+                 wall_seconds);
+
     std::printf("steps                  %zu\n", result.steps);
     std::printf("CPU over-allocation    %.2f %%\n",
                 result.metrics.avg_over_allocation_pct(ResourceKind::kCpu));
     std::printf("CPU under-allocation   %.3f %%\n",
                 result.metrics.avg_under_allocation_pct(ResourceKind::kCpu));
-    std::printf("|Y|>1%% events          %zu\n",
+    std::printf("|Υ|>1%% events          %zu\n",
                 result.metrics.significant_events());
     std::printf("unplaced CPU unit-steps %.1f\n",
                 result.unplaced_cpu_unit_steps);

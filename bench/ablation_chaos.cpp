@@ -1,0 +1,105 @@
+// Ablation: chaos injection. Instead of the single hand-scheduled outage of
+// ablation_failover, a stochastic fault mix (repeated MTBF/MTTR-driven
+// outages on the busiest center, partial capacity loss on its neighbour and
+// short grant flaps) runs against three provisioning strategies. The claim
+// under test: dynamic provisioning with the resilience policy re-places the
+// force-released demand and returns |Υ| below the significance threshold
+// within a bounded number of steps after every recovery, while static
+// provisioning never wins back the lost machines.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "fault/parse.hpp"
+
+using namespace mmog;
+using util::ResourceKind;
+
+namespace {
+
+std::string worst_lag(const core::SimulationResult& result,
+                      double threshold_pct) {
+  const auto lags = core::recovery_lag_steps(result.metrics,
+                                             result.fault_events,
+                                             threshold_pct);
+  if (lags.empty()) return "-";
+  std::size_t worst = 0;
+  for (const auto lag : lags) {
+    if (lag == core::kNeverRecovered) return "never";
+    worst = std::max(worst, lag);
+  }
+  return std::to_string(worst);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation", "Stochastic fault injection (chaos sweep)");
+
+  const auto workload = bench::paper_workload();
+  const auto neural = bench::neural_factory(workload);
+  const std::size_t target = bench::busiest_datacenter(
+      bench::standard_config(workload), neural.factory);
+  const std::size_t n_dcs = dc::paper_ecosystem().size();
+  const std::size_t neighbour = (target + 1) % n_dcs;
+
+  const std::string spec_text =
+      "outage:dc=" + std::to_string(target) + ",mtbf=3d,mttr=2h,seed=9;"
+      "capacity:dc=" + std::to_string(neighbour) +
+      ",mtbf=2d,mttr=6h,keep=0.4,seed=11;"
+      "flap:dc=" + std::to_string(target) + ",mtbf=1d,mttr=10m,seed=13";
+  const auto specs = fault::parse_fault_specs(spec_text);
+  std::printf("Fault mix (primary target %s):\n",
+              dc::paper_ecosystem()[target].name.c_str());
+  for (const auto& spec : specs) {
+    std::printf("  %s\n", fault::describe(spec).c_str());
+  }
+  std::printf("\n");
+
+  obs::Recorder recorder(obs::TraceLevel::kOff);
+  util::TextTable table({"Scenario", "Under [%]", "|Υ|>1% events",
+                         "Avail [%]", "Down", "MTTR", "Worst lag"});
+  double threshold_pct = 1.0;
+  for (const std::string scenario :
+       {"static", "dynamic", "dynamic+resilient"}) {
+    auto cfg = bench::standard_config(workload);
+    cfg.faults = specs;
+    threshold_pct = cfg.event_threshold_pct;
+    if (scenario == "static") {
+      cfg.mode = core::AllocationMode::kStatic;
+    } else {
+      cfg.predictor = neural.factory;
+    }
+    if (scenario == "dynamic+resilient") {
+      cfg.resilience.enabled = true;
+      cfg.resilience.shed_low_priority = true;
+      cfg.recorder = &recorder;  // collect retry/shed counters
+    }
+    const auto result = core::simulate(cfg);
+    table.add_row(
+        {scenario,
+         util::TextTable::num(
+             result.metrics.avg_under_allocation_pct(ResourceKind::kCpu), 3),
+         std::to_string(result.metrics.significant_events()),
+         util::TextTable::num(result.sla.availability_pct(), 2),
+         std::to_string(result.sla.downtime_steps),
+         util::TextTable::num(result.sla.mean_time_to_recover_steps, 1),
+         worst_lag(result, threshold_pct)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  bench::print_registry_snapshot(recorder.snapshot(),
+                                 "Resilient run counters");
+  std::printf(
+      "MTTR and the worst post-recovery lag are in 2-minute steps. The\n"
+      "resilient dynamic operator re-places force-released demand in the\n"
+      "same step (resilience.replaced) and is back under the %.1f %%\n"
+      "threshold within a bounded lag after every fault window; static\n"
+      "dedicated capacity stays in breach until the fault itself ends —\n"
+      "and never recovers what an outage takes mid-run.\n",
+      threshold_pct);
+  return 0;
+}

@@ -20,22 +20,10 @@ int main() {
   const std::size_t from = util::samples_per_days(8) + 19 * 30;
   const std::size_t to = from + 60;
 
-  // Target the busiest center of a clean dynamic run, so the failure
-  // actually takes live game servers down.
-  std::size_t target = 0;
-  {
-    auto probe = bench::standard_config(workload);
-    probe.predictor = neural.factory;
-    const auto clean = core::simulate(probe);
-    for (std::size_t i = 1; i < clean.datacenters.size(); ++i) {
-      if (clean.datacenters[i].avg_allocated_cpu >
-          clean.datacenters[target].avg_allocated_cpu) {
-        target = i;
-      }
-    }
-    std::printf("Injected outage: %s, day 8 19:00-21:00 UTC\n\n",
-                clean.datacenters[target].name.c_str());
-  }
+  const std::size_t target = bench::busiest_datacenter(
+      bench::standard_config(workload), neural.factory);
+  std::printf("Injected outage: %s, day 8 19:00-21:00 UTC\n\n",
+              dc::paper_ecosystem()[target].name.c_str());
 
   util::TextTable table({"Scenario", "Under [%]", "|Υ|>1% events",
                          "Unplaced [unit-steps]"});

@@ -98,6 +98,24 @@ inline core::SimulationConfig standard_config(trace::WorldTrace workload) {
   return cfg;
 }
 
+/// Index of the data center carrying the most demand in a clean dynamic
+/// probe run of `config` — the failure/chaos ablations aim injected faults
+/// there so an outage actually takes live game servers down.
+inline std::size_t busiest_datacenter(core::SimulationConfig config,
+                                      predict::PredictorFactory factory) {
+  config.mode = core::AllocationMode::kDynamic;
+  config.predictor = std::move(factory);
+  const auto probe = core::simulate(config);
+  std::size_t busiest = 0;
+  for (std::size_t i = 1; i < probe.datacenters.size(); ++i) {
+    if (probe.datacenters[i].avg_allocated_cpu >
+        probe.datacenters[busiest].avg_allocated_cpu) {
+      busiest = i;
+    }
+  }
+  return busiest;
+}
+
 /// Prints a time series as rows of (time, value), downsampled to roughly
 /// `points` rows — the textual analogue of one plotted curve.
 inline void print_series(const std::string& label,

@@ -1,5 +1,7 @@
 #include "core/metrics.hpp"
 
+#include <algorithm>
+
 namespace mmog::core {
 
 double StepMetrics::over_allocation_pct(util::ResourceKind k) const noexcept {
@@ -45,6 +47,45 @@ std::size_t MetricsAccumulator::significant_events(
     if (m.significant_under_allocation(threshold_pct)) ++n;
   }
   return n;
+}
+
+double SlaStats::availability_pct() const noexcept {
+  if (steps == 0) return 100.0;
+  return 100.0 *
+         (1.0 - static_cast<double>(downtime_steps) /
+                    static_cast<double>(steps));
+}
+
+SlaTracker::Transition SlaTracker::observe(bool breached, bool shed) {
+  ++s_.steps;
+  if (shed) ++s_.shed_steps;
+  Transition transition = Transition::kNone;
+  if (breached) {
+    ++s_.downtime_steps;
+    if (streak_ == 0) {
+      ++s_.breach_episodes;
+      transition = Transition::kBreachBegan;
+    }
+    ++streak_;
+    s_.longest_breach_steps = std::max(s_.longest_breach_steps, streak_);
+  } else if (streak_ > 0) {
+    ++s_.recoveries;
+    recovered_steps_sum_ += static_cast<double>(streak_);
+    s_.max_time_to_recover_steps =
+        std::max(s_.max_time_to_recover_steps, streak_);
+    streak_ = 0;
+    transition = Transition::kRecovered;
+  }
+  return transition;
+}
+
+SlaStats SlaTracker::stats() const noexcept {
+  SlaStats out = s_;
+  if (out.recoveries > 0) {
+    out.mean_time_to_recover_steps =
+        recovered_steps_sum_ / static_cast<double>(out.recoveries);
+  }
+  return out;
 }
 
 std::vector<std::size_t> MetricsAccumulator::cumulative_events(

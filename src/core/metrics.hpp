@@ -63,4 +63,43 @@ class MetricsAccumulator {
   std::vector<StepMetrics> steps_;
 };
 
+/// Service-level outcome of one run (globally or restricted to one game),
+/// derived from the per-step breach signal |Υ| > threshold. A *breach
+/// episode* is a maximal run of consecutive breached steps; its length is
+/// the observed time-to-recover. Fault-injection runs read availability and
+/// recovery figures from here (§V's "re-place within one step" claim).
+struct SlaStats {
+  std::size_t steps = 0;           ///< observed steps
+  std::size_t downtime_steps = 0;  ///< steps with |Υ| above the threshold
+  std::size_t shed_steps = 0;      ///< steps this game was degraded on purpose
+  std::size_t breach_episodes = 0; ///< maximal breach streaks started
+  std::size_t recoveries = 0;      ///< episodes that ended within the run
+  std::size_t longest_breach_steps = 0;
+  /// Mean/max length of *ended* episodes (0 when none ended).
+  double mean_time_to_recover_steps = 0.0;
+  std::size_t max_time_to_recover_steps = 0;
+
+  /// Fraction of steps meeting the SLA, in percent (100 when never down).
+  double availability_pct() const noexcept;
+};
+
+/// Streaming accumulator for SlaStats: feed one breach observation per
+/// step; stats() may be taken at any point (an episode still open at the
+/// end counts toward downtime and longest-streak, not recoveries).
+class SlaTracker {
+ public:
+  enum class Transition { kNone, kBreachBegan, kRecovered };
+
+  /// Records one step; `shed` marks deliberate degradation (the resilience
+  /// policy sacrificing this game for a higher-priority one).
+  Transition observe(bool breached, bool shed = false);
+
+  SlaStats stats() const noexcept;
+
+ private:
+  SlaStats s_;
+  std::size_t streak_ = 0;
+  double recovered_steps_sum_ = 0.0;
+};
+
 }  // namespace mmog::core

@@ -1,6 +1,7 @@
 #include "core/simulation.hpp"
 
 #include <algorithm>
+#include <climits>
 #include <cmath>
 #include <limits>
 #include <memory>
@@ -8,6 +9,8 @@
 
 namespace mmog::core {
 namespace {
+
+constexpr std::uint8_t kNotACandidate = 0xFF;
 
 /// One predicted sub-stream: a server group's player counts plus its online
 /// predictor (§IV-B: prediction happens per sub-zone; the region estimate is
@@ -29,6 +32,13 @@ struct DemandUnit {
   std::vector<dc::Allocation> allocations;
   util::ResourceVector allocated{};
   std::vector<std::size_t> candidates;  ///< matcher-ordered DC indices
+  /// Healthy distance class per data center (kNotACandidate when the
+  /// center is outside the game's latency tolerance); latency-degradation
+  /// faults worsen the effective class against `tolerance`.
+  std::vector<std::uint8_t> base_class_by_dc;
+  dc::DistanceClass tolerance = dc::DistanceClass::kVeryFar;
+  /// Retry bookkeeping for the resilience policy (unused when disabled).
+  fault::BackoffTracker backoff;
   int priority = 0;
 };
 
@@ -52,9 +62,9 @@ util::ResourceVector offer_amount(const util::ResourceVector& need,
   return out;
 }
 
-}  // namespace
-
-SimulationResult simulate(const SimulationConfig& config) {
+/// Up-front configuration validation: every inconsistency fails loudly
+/// here instead of silently no-opting deep in the run.
+void validate_config(const SimulationConfig& config) {
   if (config.games.empty()) {
     throw std::invalid_argument("simulate: no games configured");
   }
@@ -64,8 +74,42 @@ SimulationResult simulate(const SimulationConfig& config) {
   if (config.datacenters.empty()) {
     throw std::invalid_argument("simulate: no data centers configured");
   }
+  const std::size_t n_dcs = config.datacenters.size();
+  for (const auto& outage : config.outages) {
+    if (outage.dc_index >= n_dcs) {
+      throw std::invalid_argument(
+          "simulate: outage dc_index " + std::to_string(outage.dc_index) +
+          " out of range (have " + std::to_string(n_dcs) +
+          " data centers)");
+    }
+    if (outage.from_step >= outage.to_step) {
+      throw std::invalid_argument(
+          "simulate: outage window must satisfy from_step < to_step (got [" +
+          std::to_string(outage.from_step) + ", " +
+          std::to_string(outage.to_step) + "))");
+    }
+  }
+  for (const auto& spec : config.faults) fault::validate(spec, n_dcs);
+  if (!(config.safety_factor >= 0.0)) {
+    throw std::invalid_argument("simulate: safety_factor must be >= 0");
+  }
+  if (!(config.event_threshold_pct >= 0.0)) {
+    throw std::invalid_argument("simulate: event_threshold_pct must be >= 0");
+  }
+  if (config.resilience.standby_reserve_servers < 0.0) {
+    throw std::invalid_argument(
+        "simulate: standby_reserve_servers must be >= 0");
+  }
+}
+
+}  // namespace
+
+SimulationResult simulate(const SimulationConfig& config) {
+  validate_config(config);
 
   obs::Recorder* const rec = config.recorder;
+  const auto& res_policy = config.resilience;
+  const bool resilient = res_policy.enabled;
 
   const Matcher matcher(config.datacenters);
   std::vector<dc::DataCenterLedger> ledgers;
@@ -87,6 +131,14 @@ SimulationResult simulate(const SimulationConfig& config) {
       unit.region_name = region.name;
       unit.candidates =
           matcher.candidates(site.location, game.latency_tolerance);
+      unit.tolerance = game.latency_tolerance;
+      unit.base_class_by_dc.assign(config.datacenters.size(), kNotACandidate);
+      for (const std::size_t cand : unit.candidates) {
+        unit.base_class_by_dc[cand] = static_cast<std::uint8_t>(
+            dc::classify_distance(matcher.distance_km(site.location, cand)));
+      }
+      unit.backoff = fault::BackoffTracker(res_policy.base_backoff_steps,
+                                           res_policy.max_backoff_steps);
       if (rec) {
         // Matching criterion 2 (§II-C, geographic proximity): centers
         // outside the game's latency tolerance are rejected up front, once
@@ -116,12 +168,30 @@ SimulationResult simulate(const SimulationConfig& config) {
   const std::size_t steps =
       config.steps == 0 ? horizon : std::min(config.steps, horizon);
 
+  // Expand the fault processes over the run's horizon; the legacy outage
+  // windows fold into the same schedule. Empty schedule = the exact
+  // fault-free behavior this simulator always had.
+  std::vector<fault::FaultEvent> fixed_events;
+  fixed_events.reserve(config.outages.size());
+  for (const auto& outage : config.outages) {
+    fixed_events.push_back({fault::FaultKind::kOutage, outage.dc_index,
+                            outage.from_step, outage.to_step, 1.0});
+  }
+  const auto schedule =
+      fault::FaultSchedule::generate(config.faults, config.datacenters.size(),
+                                     steps, std::move(fixed_events));
+  const bool have_faults = !schedule.empty();
+
   if (rec) {
     rec->gauge("sim.steps", static_cast<double>(steps));
     rec->gauge("sim.units", static_cast<double>(units.size()));
     rec->gauge("sim.groups", static_cast<double>(total_groups));
     rec->gauge("sim.datacenters",
                static_cast<double>(config.datacenters.size()));
+    if (have_faults) {
+      rec->gauge("fault.windows",
+                 static_cast<double>(schedule.events().size()));
+    }
   }
 
   // Service order: stable by priority when the extension is enabled,
@@ -138,25 +208,48 @@ SimulationResult simulate(const SimulationConfig& config) {
   std::size_t next_allocation_id = 1;
   SimulationResult result;
   result.steps = steps;
+  result.fault_events = schedule.events();
 
   // Per-DC usage accumulators.
   std::vector<double> dc_cpu_sum(ledgers.size(), 0.0);
   std::vector<double> dc_cpu_peak(ledgers.size(), 0.0);
   std::vector<std::map<std::string, double>> dc_origin_sum(ledgers.size());
 
-  auto dc_down = [&](std::size_t dc_index, std::size_t step) {
-    for (const auto& outage : config.outages) {
-      if (outage.dc_index == dc_index && outage.active_at(step)) return true;
-    }
-    return false;
+  // SLA accounting: one tracker per game plus the global signal; per-step
+  // shed flags mark games deliberately degraded by the resilience policy.
+  SlaTracker overall_sla;
+  std::vector<SlaTracker> game_sla(config.games.size());
+  std::vector<char> game_shed(config.games.size(), 0);
+
+  // A latency-degradation fault pushes the center's effective distance
+  // class beyond the unit's tolerance: no new grants, and hosted servers
+  // must migrate away.
+  auto latency_violated = [&](const DemandUnit& unit, std::size_t d,
+                              std::size_t step) {
+    if (!have_faults) return false;
+    const std::size_t penalty = schedule.latency_penalty_at(d, step);
+    if (penalty == 0) return false;
+    const std::uint8_t base = unit.base_class_by_dc[d];
+    if (base == kNotACandidate) return true;
+    return base + penalty > static_cast<std::size_t>(unit.tolerance);
   };
 
   auto try_allocate = [&](DemandUnit& unit, const util::ResourceVector& need_in,
                           std::size_t step, std::size_t hold_steps) {
     util::ResourceVector need = need_in.clamped_non_negative();
     for (std::size_t cand : unit.candidates) {
-      if (dc_down(cand, step)) {
+      if (have_faults && schedule.outage_at(cand, step)) {
         if (rec) rec->count("offer.rejected.outage");
+        continue;
+      }
+      if (have_faults && latency_violated(unit, cand, step)) {
+        // Matching criterion 2 re-evaluated under degradation: the center
+        // is temporarily too far for this game.
+        if (rec) rec->count("offer.rejected.latency_degraded");
+        continue;
+      }
+      if (resilient && unit.backoff.excluded(cand, step)) {
+        if (rec) rec->count("offer.rejected.backoff");
         continue;
       }
       double outstanding = 0.0;
@@ -175,7 +268,18 @@ SimulationResult simulate(const SimulationConfig& config) {
       }
       double total = 0.0;
       for (double v : amount.v) total += v;
-      if (total <= 1e-9 || !ledger.grant(amount)) {
+      if (total <= 1e-9) {
+        if (rec) rec->count("offer.rejected.amount");
+        continue;
+      }
+      if (have_faults && schedule.flap_at(cand, step)) {
+        // Transient grant failure: the offer was accepted but the rented
+        // resources never materialize. The request retries elsewhere.
+        if (rec) rec->count("alloc.grant_failed.transient");
+        if (resilient) unit.backoff.record_failure(cand, step);
+        continue;
+      }
+      if (!ledger.grant(amount)) {
         // Matching criterion 1 (§II-C, amount fit): nothing left to offer.
         if (rec) rec->count("offer.rejected.amount");
         continue;
@@ -195,6 +299,7 @@ SimulationResult simulate(const SimulationConfig& config) {
       unit.allocations.push_back(alloc);
       unit.allocated += amount;
       need = (need - amount).clamped_non_negative();
+      if (resilient) unit.backoff.record_success(cand);
       if (rec) {
         rec->count("offer.matched");
         rec->count("alloc.granted");
@@ -208,10 +313,82 @@ SimulationResult simulate(const SimulationConfig& config) {
     return need;  // unmet demand
   };
 
+  // Force-releases one allocation (fault eviction or shedding), returning
+  // its resources to the ledger and recording why.
+  auto force_release = [&](std::size_t unit_index, std::size_t alloc_index,
+                           std::size_t step, const char* reason) {
+    DemandUnit& unit = units[unit_index];
+    const auto alloc = unit.allocations[alloc_index];
+    ledgers[alloc.dc_index].release(alloc.amount);
+    if (rec) {
+      rec->count("alloc.force_released");
+      rec->instant("alloc.force_released", "alloc", step,
+                   {{"dc", ledgers[alloc.dc_index].spec().name},
+                    {"cpu", std::to_string(alloc.amount.cpu())},
+                    {"id", std::to_string(alloc.id)},
+                    {"reason", reason}});
+    }
+    unit.allocated -= alloc.amount;
+    unit.allocated = unit.allocated.clamped_non_negative();
+    unit.allocations.erase(unit.allocations.begin() +
+                           static_cast<std::ptrdiff_t>(alloc_index));
+    if (resilient) unit.backoff.record_failure(alloc.dc_index, step);
+  };
+
+  // Graceful degradation: make room for `needy` by force-releasing
+  // allocations of strictly lower-priority units hosted in its candidate
+  // centers — lowest priority first, newest allocation first. Returns true
+  // when anything was freed (the caller then retries the acquisition).
+  auto shed_for = [&](const DemandUnit& needy, const util::ResourceVector& need,
+                      std::size_t step) {
+    double need_cpu = need.cpu();
+    bool freed = false;
+    while (need_cpu > 1e-9) {
+      std::size_t victim_unit = units.size();
+      std::size_t victim_alloc = 0;
+      int victim_priority = INT_MAX;
+      std::size_t victim_id = 0;
+      for (std::size_t u = 0; u < units.size(); ++u) {
+        const DemandUnit& unit = units[u];
+        if (&unit == &needy || unit.priority >= needy.priority) continue;
+        for (std::size_t a = 0; a < unit.allocations.size(); ++a) {
+          const auto& alloc = unit.allocations[a];
+          const std::size_t d = alloc.dc_index;
+          // Freeing capacity only helps where needy can actually rent.
+          if (needy.base_class_by_dc[d] == kNotACandidate) continue;
+          if (schedule.grants_blocked_at(d, step)) continue;
+          if (latency_violated(needy, d, step)) continue;
+          if (resilient && needy.backoff.excluded(d, step)) continue;
+          if (unit.priority < victim_priority ||
+              (unit.priority == victim_priority && alloc.id > victim_id)) {
+            victim_unit = u;
+            victim_alloc = a;
+            victim_priority = unit.priority;
+            victim_id = alloc.id;
+          }
+        }
+      }
+      if (victim_unit >= units.size()) break;
+      const double freed_cpu =
+          units[victim_unit].allocations[victim_alloc].amount.cpu();
+      game_shed[units[victim_unit].game_id] = 1;
+      if (rec) rec->count("resilience.shed");
+      force_release(victim_unit, victim_alloc, step, "shed");
+      need_cpu -= freed_cpu;
+      freed = true;
+    }
+    return freed;
+  };
+
   // Static mode: the industry practice the paper compares against — every
   // server group gets a dedicated machine sized for a full game server
   // (capacity for `reference_players`), provisioned once and held forever.
   if (config.mode == AllocationMode::kStatic) {
+    if (have_faults) {
+      for (std::size_t d = 0; d < ledgers.size(); ++d) {
+        ledgers[d].set_capacity_fraction(schedule.capacity_fraction_at(d, 0));
+      }
+    }
     const obs::PhaseScope scope(rec, "static_allocate", 0);
     for (std::size_t idx : order) {
       DemandUnit& unit = units[idx];
@@ -231,6 +408,37 @@ SimulationResult simulate(const SimulationConfig& config) {
 
   for (std::size_t t = 0; t < steps; ++t) {
     const obs::PhaseScope step_scope(rec, "step", t, "step");
+    if (have_faults) {
+      // Apply this step's fault state: capacity fractions on every ledger,
+      // begin/end markers and a downed-center gauge for the recorder.
+      for (std::size_t d = 0; d < ledgers.size(); ++d) {
+        ledgers[d].set_capacity_fraction(schedule.capacity_fraction_at(d, t));
+      }
+      if (rec) {
+        for (const auto& ev : schedule.events()) {
+          if (ev.from_step == t) {
+            rec->count("fault.begun");
+            rec->instant("fault.begin", "fault", t,
+                         {{"kind", std::string(fault_kind_name(ev.kind))},
+                          {"dc", ledgers[ev.dc_index].spec().name},
+                          {"severity", std::to_string(ev.severity)},
+                          {"until_step", std::to_string(ev.to_step)}});
+          }
+          if (ev.to_step == t) {
+            rec->instant("fault.end", "fault", t,
+                         {{"kind", std::string(fault_kind_name(ev.kind))},
+                          {"dc", ledgers[ev.dc_index].spec().name}});
+          }
+        }
+        double down = 0.0;
+        for (std::size_t d = 0; d < ledgers.size(); ++d) {
+          if (schedule.outage_at(d, t)) down += 1.0;
+        }
+        if (down > 0.0) rec->count("fault.dc_down_steps", down);
+      }
+    }
+    std::fill(game_shed.begin(), game_shed.end(), 0);
+
     if (config.mode == AllocationMode::kDynamic) {
       {
         // Phase 1 — predict: one online prediction per server group (§IV-B).
@@ -263,6 +471,12 @@ SimulationResult simulate(const SimulationConfig& config) {
                 stream.last_prediction +
                 config.safety_factor * stream.abs_error_ewma;
             demand += load.demand(padded);
+          }
+          if (resilient && res_policy.standby_reserve_servers > 0.0) {
+            // N+k standby reserve: hold spare full servers so losing up to
+            // k servers' worth of rented capacity costs no shortfall.
+            demand += load.demand(load.reference_players) *
+                      res_policy.standby_reserve_servers;
           }
           demands[idx] = demand;
           if (rec) {
@@ -324,7 +538,15 @@ SimulationResult simulate(const SimulationConfig& config) {
           // Acquire what the prediction says is missing.
           if (!unit.allocated.covers(demand)) {
             const auto need = demand - unit.allocated;
-            const auto unmet = try_allocate(unit, need, t, 1);
+            auto unmet = try_allocate(unit, need, t, 1);
+            if (unmet.cpu() > 1e-9 && resilient &&
+                res_policy.shed_low_priority) {
+              // Total supply cannot cover demand: degrade lower-priority
+              // games to keep this one whole.
+              if (shed_for(unit, unmet, t)) {
+                unmet = try_allocate(unit, unmet, t, 1);
+              }
+            }
             result.unplaced_cpu_unit_steps += unmet.cpu();
           }
         }
@@ -332,24 +554,77 @@ SimulationResult simulate(const SimulationConfig& config) {
     }
 
     // Failure injection: a center going down mid-interval takes its
-    // allocations with it; the operator can only re-place the demand at the
-    // next 2-minute step, which is the shortfall the metrics observe.
-    for (auto& unit : units) {
-      for (std::size_t a = unit.allocations.size(); a-- > 0;) {
-        const auto& alloc = unit.allocations[a];
-        if (!dc_down(alloc.dc_index, t)) continue;
-        ledgers[alloc.dc_index].release(alloc.amount);
-        if (rec) {
-          rec->count("alloc.force_released");
-          rec->instant("alloc.force_released", "alloc", t,
-                       {{"dc", ledgers[alloc.dc_index].spec().name},
-                        {"cpu", std::to_string(alloc.amount.cpu())},
-                        {"id", std::to_string(alloc.id)}});
+    // allocations with it; without the resilience policy the operator can
+    // only re-place the demand at the next 2-minute step, which is the
+    // shortfall the metrics observe.
+    std::vector<char> lost_capacity(units.size(), 0);
+    if (have_faults) {
+      for (std::size_t u = 0; u < units.size(); ++u) {
+        DemandUnit& unit = units[u];
+        for (std::size_t a = unit.allocations.size(); a-- > 0;) {
+          const std::size_t d = unit.allocations[a].dc_index;
+          const char* reason = nullptr;
+          if (schedule.outage_at(d, t)) {
+            reason = "outage";
+          } else if (latency_violated(unit, d, t)) {
+            reason = "latency";
+          }
+          if (!reason) continue;
+          force_release(u, a, t, reason);
+          lost_capacity[u] = 1;
         }
-        unit.allocated -= alloc.amount;
-        unit.allocated = unit.allocated.clamped_non_negative();
-        unit.allocations.erase(unit.allocations.begin() +
-                               static_cast<std::ptrdiff_t>(a));
+      }
+      // Partial capacity loss: evict newest-first until the survivors fit
+      // into the degraded capacity (no preemption granularity below one
+      // allocation, §II-B).
+      for (std::size_t d = 0; d < ledgers.size(); ++d) {
+        while (ledgers[d].over_capacity()) {
+          std::size_t victim_unit = units.size();
+          std::size_t victim_alloc = 0;
+          std::size_t victim_id = 0;
+          for (std::size_t u = 0; u < units.size(); ++u) {
+            const auto& allocations = units[u].allocations;
+            for (std::size_t a = 0; a < allocations.size(); ++a) {
+              if (allocations[a].dc_index != d) continue;
+              if (allocations[a].id >= victim_id) {
+                victim_unit = u;
+                victim_alloc = a;
+                victim_id = allocations[a].id;
+              }
+            }
+          }
+          if (victim_unit >= units.size()) break;
+          force_release(victim_unit, victim_alloc, t, "capacity");
+          lost_capacity[victim_unit] = 1;
+        }
+      }
+    }
+
+    // Resilient re-placement: what a fault took this step is re-requested
+    // within the same 2-minute interval — the failed center is excluded by
+    // its backoff window, so the walk goes straight to the survivors.
+    if (resilient && config.mode == AllocationMode::kDynamic) {
+      bool any_lost = false;
+      for (const char lost : lost_capacity) any_lost |= (lost != 0);
+      if (any_lost) {
+        const obs::PhaseScope scope(rec, "replace", t);
+        for (std::size_t idx : order) {
+          if (!lost_capacity[idx]) continue;
+          DemandUnit& unit = units[idx];
+          const auto& demand = demands[idx];
+          if (unit.allocated.covers(demand)) continue;
+          if (rec) rec->count("resilience.retry");
+          auto unmet = try_allocate(unit, demand - unit.allocated, t, 1);
+          if (unmet.cpu() > 1e-9 && res_policy.shed_low_priority) {
+            if (shed_for(unit, unmet, t)) {
+              unmet = try_allocate(unit, unmet, t, 1);
+            }
+          }
+          if (unmet.cpu() <= 1e-9) {
+            if (rec) rec->count("resilience.replaced");
+          }
+          result.unplaced_cpu_unit_steps += unmet.cpu();
+        }
       }
     }
 
@@ -409,8 +684,20 @@ SimulationResult simulate(const SimulationConfig& config) {
         result.games[g].name = config.games[g].name;
       }
     }
+    overall_sla.observe(
+        step_metrics.significant_under_allocation(config.event_threshold_pct));
     for (std::size_t g = 0; g < config.games.size(); ++g) {
       result.games[g].metrics.add(per_game[g]);
+      const auto transition = game_sla[g].observe(
+          per_game[g].significant_under_allocation(config.event_threshold_pct),
+          game_shed[g] != 0);
+      if (rec && have_faults &&
+          transition != SlaTracker::Transition::kNone) {
+        rec->instant(transition == SlaTracker::Transition::kBreachBegan
+                         ? "sla.breach.begin"
+                         : "sla.breach.end",
+                     "sla", t, {{"game", config.games[g].name}});
+      }
     }
 
     for (std::size_t d = 0; d < ledgers.size(); ++d) {
@@ -428,6 +715,12 @@ SimulationResult simulate(const SimulationConfig& config) {
     }
   }
 
+  result.sla = overall_sla.stats();
+  for (std::size_t g = 0;
+       g < config.games.size() && g < result.games.size(); ++g) {
+    result.games[g].sla = game_sla[g].stats();
+  }
+
   result.datacenters.reserve(ledgers.size());
   for (std::size_t d = 0; d < ledgers.size(); ++d) {
     DataCenterUsage usage;
@@ -442,6 +735,26 @@ SimulationResult simulate(const SimulationConfig& config) {
     result.datacenters.push_back(std::move(usage));
   }
   return result;
+}
+
+std::vector<std::size_t> recovery_lag_steps(
+    const MetricsAccumulator& metrics,
+    const std::vector<fault::FaultEvent>& events, double threshold_pct) {
+  const auto& steps = metrics.step_metrics();
+  std::vector<std::size_t> lags;
+  lags.reserve(events.size());
+  for (const auto& ev : events) {
+    if (ev.to_step >= steps.size()) continue;  // recovers outside the run
+    std::size_t lag = kNeverRecovered;
+    for (std::size_t t = ev.to_step; t < steps.size(); ++t) {
+      if (!steps[t].significant_under_allocation(threshold_pct)) {
+        lag = t - ev.to_step;
+        break;
+      }
+    }
+    lags.push_back(lag);
+  }
+  return lags;
 }
 
 predict::PredictorFactory neural_factory_from_workload(

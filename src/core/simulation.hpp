@@ -10,6 +10,8 @@
 #include "core/metrics.hpp"
 #include "dc/datacenter.hpp"
 #include "dc/ecosystem.hpp"
+#include "fault/model.hpp"
+#include "fault/resilience.hpp"
 #include "obs/recorder.hpp"
 #include "predict/neural.hpp"
 #include "predict/predictor.hpp"
@@ -50,7 +52,17 @@ struct DataCenterOutage {
 struct SimulationConfig {
   std::vector<dc::DataCenterSpec> datacenters;
   std::vector<GameSpec> games;
-  std::vector<DataCenterOutage> outages;  ///< failure injection (optional)
+  /// Hand-scheduled all-or-nothing outage windows (the original failure
+  /// knob; kept for compatibility — internally folded into `faults`).
+  std::vector<DataCenterOutage> outages;
+  /// Stochastic/fixed fault processes (outages, capacity loss, latency
+  /// degradation, grant flaps); expanded deterministically per seed over
+  /// the run's horizon. Empty = today's fault-free behavior, bit-identical.
+  std::vector<fault::FaultSpec> faults;
+  /// Operator-side reaction to faults: same-step re-placement with
+  /// exponential backoff + exclusion lists, optional N+k standby reserve,
+  /// optional priority shedding. Disabled by default.
+  fault::ResiliencePolicy resilience;
   AllocationMode mode = AllocationMode::kDynamic;
   /// Creates a fresh predictor per server group (dynamic mode only).
   predict::PredictorFactory predictor;
@@ -94,6 +106,7 @@ struct DataCenterUsage {
 struct GameUsage {
   std::string name;
   MetricsAccumulator metrics;  ///< Ω/Υ restricted to this game's groups
+  SlaStats sla;                ///< availability / recovery, this game only
 };
 
 /// Result of one simulation run.
@@ -108,12 +121,33 @@ struct SimulationResult {
   /// Total renting cost over the run: granted CPU units x hours x the
   /// serving policy's cpu_unit_price_per_hour.
   double total_cost = 0.0;
+  /// Whole-run SLA outcome over the global breach signal.
+  SlaStats sla;
+  /// The concrete fault windows the run was exposed to (stochastic specs
+  /// expanded, legacy outages folded in), sorted by start step.
+  std::vector<fault::FaultEvent> fault_events;
 };
 
 /// Runs the trace-driven provisioning simulation (§V). Deterministic.
-/// Throws std::invalid_argument for inconsistent configurations (no games,
-/// missing predictor in dynamic mode, unknown region names).
+/// Throws std::invalid_argument for inconsistent configurations — no games,
+/// missing predictor in dynamic mode, unknown region names, malformed
+/// outage/fault windows (dc_index out of range, from_step >= to_step),
+/// negative safety factor or event threshold.
 SimulationResult simulate(const SimulationConfig& config);
+
+/// Sentinel for recovery_lag_steps: the run ended still in breach.
+inline constexpr std::size_t kNeverRecovered =
+    static_cast<std::size_t>(-1);
+
+/// For every fault window that ends inside the run, the number of steps
+/// after the recovery until the |Υ| breach signal first clears (0 = the
+/// first post-fault step already meets the SLA; kNeverRecovered = it never
+/// does). The §V resilience claim is that this stays small and bounded for
+/// dynamic provisioning while static allocation never recovers.
+std::vector<std::size_t> recovery_lag_steps(
+    const MetricsAccumulator& metrics,
+    const std::vector<fault::FaultEvent>& events,
+    double threshold_pct = 1.0);
 
 /// Builds the paper's dynamic-provisioning predictor: fits a NeuralModel on
 /// the first `lead_in_steps` of (a subsample of) the workload's group

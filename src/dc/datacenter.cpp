@@ -8,11 +8,23 @@ DataCenterLedger::DataCenterLedger(DataCenterSpec spec)
     : spec_(std::move(spec)) {}
 
 bool DataCenterLedger::fits(const util::ResourceVector& amount) const noexcept {
-  const auto cap = spec_.total_capacity();
+  const auto cap = effective_capacity();
   for (std::size_t i = 0; i < util::kResourceKinds; ++i) {
     if (in_use_.v[i] + amount.v[i] > cap.v[i] + 1e-9) return false;
   }
   return true;
+}
+
+void DataCenterLedger::set_capacity_fraction(double fraction) noexcept {
+  capacity_fraction_ = std::clamp(fraction, 0.0, 1.0);
+}
+
+bool DataCenterLedger::over_capacity() const noexcept {
+  const auto cap = effective_capacity();
+  for (std::size_t i = 0; i < util::kResourceKinds; ++i) {
+    if (in_use_.v[i] > cap.v[i] + 1e-9) return true;
+  }
+  return false;
 }
 
 bool DataCenterLedger::grant(const util::ResourceVector& amount) noexcept {

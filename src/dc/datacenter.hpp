@@ -73,9 +73,29 @@ class DataCenterLedger {
   /// Resources currently granted.
   const util::ResourceVector& in_use() const noexcept { return in_use_; }
 
+  /// Fraction of the nominal capacity currently usable, in [0, 1]. 1.0 in
+  /// healthy operation; lowered by partial-failure injection (a hoster
+  /// losing racks keeps serving, with less bulk to offer).
+  double capacity_fraction() const noexcept { return capacity_fraction_; }
+
+  /// Sets the usable capacity fraction (clamped to [0, 1]). Already granted
+  /// allocations are not touched: when the new effective capacity no longer
+  /// covers them, over_capacity() turns true and the caller decides which
+  /// allocations to evict.
+  void set_capacity_fraction(double fraction) noexcept;
+
+  /// Capacity usable right now: total_capacity() x capacity_fraction().
+  util::ResourceVector effective_capacity() const noexcept {
+    return spec_.total_capacity() * capacity_fraction_;
+  }
+
+  /// True when granted resources exceed the effective capacity (only
+  /// possible after a capacity reduction).
+  bool over_capacity() const noexcept;
+
   /// Resources still available.
   util::ResourceVector free() const noexcept {
-    return (spec_.total_capacity() - in_use_).clamped_non_negative();
+    return (effective_capacity() - in_use_).clamped_non_negative();
   }
 
   /// True when an allocation of `amount` fits in the remaining capacity.
@@ -94,6 +114,7 @@ class DataCenterLedger {
  private:
   DataCenterSpec spec_;
   util::ResourceVector in_use_{};
+  double capacity_fraction_ = 1.0;
 };
 
 }  // namespace mmog::dc

@@ -1,0 +1,212 @@
+#include "fault/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace mmog::fault {
+namespace {
+
+/// One positive duration draw with the spec's distribution and the given
+/// mean (in steps). Weibull is scaled so its mean equals `mean_steps`.
+double draw_duration(const FaultSpec& spec, double mean_steps,
+                     util::Rng& rng) {
+  if (spec.distribution == FaultDistribution::kWeibull) {
+    const double k = spec.weibull_shape;
+    const double scale = mean_steps / std::tgamma(1.0 + 1.0 / k);
+    double u = rng.uniform();
+    if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+    return scale * std::pow(-std::log1p(-u), 1.0 / k);
+  }
+  return rng.exponential(1.0 / mean_steps);
+}
+
+std::size_t rounded_steps(double steps) noexcept {
+  const double r = std::llround(steps);
+  return static_cast<std::size_t>(std::max(1.0, r));
+}
+
+}  // namespace
+
+std::string_view fault_kind_name(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kOutage: return "outage";
+    case FaultKind::kCapacityLoss: return "capacity";
+    case FaultKind::kLatencyDegradation: return "latency";
+    case FaultKind::kGrantFlap: return "flap";
+  }
+  return "?";
+}
+
+void validate(const FaultSpec& spec, std::size_t n_dcs) {
+  const std::string where =
+      "fault spec (" + std::string(fault_kind_name(spec.kind)) + ")";
+  if (spec.dc_index >= n_dcs) {
+    throw std::invalid_argument(
+        where + ": dc_index " + std::to_string(spec.dc_index) +
+        " out of range (have " + std::to_string(n_dcs) + " data centers)");
+  }
+  if (spec.fixed_window()) {
+    // window_to > window_from by definition of fixed_window().
+  } else if (spec.window_from != 0 || spec.window_to != 0) {
+    throw std::invalid_argument(where + ": fixed window needs from < to");
+  } else {
+    if (!(spec.mtbf_steps > 0.0)) {
+      throw std::invalid_argument(where + ": mtbf must be > 0 steps");
+    }
+    if (!(spec.mttr_steps > 0.0)) {
+      throw std::invalid_argument(where + ": mttr must be > 0 steps");
+    }
+  }
+  if (spec.distribution == FaultDistribution::kWeibull &&
+      !(spec.weibull_shape > 0.0)) {
+    throw std::invalid_argument(where + ": weibull shape must be > 0");
+  }
+  if (spec.kind == FaultKind::kCapacityLoss &&
+      !(spec.severity > 0.0 && spec.severity < 1.0)) {
+    throw std::invalid_argument(
+        where + ": capacity fraction kept must be in (0, 1)");
+  }
+  if (spec.kind == FaultKind::kLatencyDegradation && !(spec.severity >= 1.0)) {
+    throw std::invalid_argument(
+        where + ": latency degradation must add >= 1 distance class");
+  }
+}
+
+std::vector<FaultEvent> generate_events(const FaultSpec& spec,
+                                        std::size_t horizon_steps) {
+  std::vector<FaultEvent> events;
+  if (spec.fixed_window()) {
+    if (spec.window_from < horizon_steps) {
+      events.push_back({spec.kind, spec.dc_index, spec.window_from,
+                        std::min(spec.window_to, horizon_steps),
+                        spec.severity});
+    }
+    return events;
+  }
+  // Decorrelate specs sharing a seed but differing in target or kind.
+  util::Rng rng(spec.seed ^ (0x9e3779b97f4a7c15ULL * (spec.dc_index + 1)) ^
+                (0xbf58476d1ce4e5b9ULL *
+                 (static_cast<std::uint64_t>(spec.kind) + 1)));
+  std::size_t t = rounded_steps(draw_duration(spec, spec.mtbf_steps, rng));
+  while (t < horizon_steps) {
+    const std::size_t dur =
+        rounded_steps(draw_duration(spec, spec.mttr_steps, rng));
+    events.push_back({spec.kind, spec.dc_index, t,
+                      std::min(t + dur, horizon_steps), spec.severity});
+    t += dur + rounded_steps(draw_duration(spec, spec.mtbf_steps, rng));
+  }
+  return events;
+}
+
+FaultSchedule FaultSchedule::generate(const std::vector<FaultSpec>& specs,
+                                      std::size_t n_dcs,
+                                      std::size_t horizon_steps,
+                                      std::vector<FaultEvent> fixed_events) {
+  FaultSchedule schedule;
+  schedule.per_dc_.resize(n_dcs);
+  auto add = [&](FaultEvent ev) {
+    if (ev.dc_index >= n_dcs) {
+      throw std::invalid_argument("fault event: dc_index " +
+                                  std::to_string(ev.dc_index) +
+                                  " out of range (have " +
+                                  std::to_string(n_dcs) + " data centers)");
+    }
+    if (ev.from_step >= ev.to_step) {
+      throw std::invalid_argument(
+          "fault event: window must satisfy from_step < to_step (got [" +
+          std::to_string(ev.from_step) + ", " + std::to_string(ev.to_step) +
+          "))");
+    }
+    schedule.all_.push_back(ev);
+  };
+  for (const auto& spec : specs) {
+    validate(spec, n_dcs);
+    for (const auto& ev : generate_events(spec, horizon_steps)) add(ev);
+  }
+  for (auto& ev : fixed_events) {
+    // Legacy windows may extend past the horizon; clamp, drop what starts
+    // beyond it (not malformed — the horizon depends on the run length).
+    if (ev.from_step >= ev.to_step) {
+      throw std::invalid_argument(
+          "fault event: window must satisfy from_step < to_step (got [" +
+          std::to_string(ev.from_step) + ", " + std::to_string(ev.to_step) +
+          "))");
+    }
+    if (ev.dc_index >= n_dcs) {
+      throw std::invalid_argument("fault event: dc_index " +
+                                  std::to_string(ev.dc_index) +
+                                  " out of range (have " +
+                                  std::to_string(n_dcs) + " data centers)");
+    }
+    if (ev.from_step >= horizon_steps) continue;
+    ev.to_step = std::min(ev.to_step, horizon_steps);
+    schedule.all_.push_back(ev);
+  }
+  std::stable_sort(schedule.all_.begin(), schedule.all_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     if (a.from_step != b.from_step) {
+                       return a.from_step < b.from_step;
+                     }
+                     if (a.dc_index != b.dc_index) {
+                       return a.dc_index < b.dc_index;
+                     }
+                     return static_cast<int>(a.kind) <
+                            static_cast<int>(b.kind);
+                   });
+  for (const auto& ev : schedule.all_) {
+    schedule.per_dc_[ev.dc_index].push_back(ev);
+  }
+  return schedule;
+}
+
+bool FaultSchedule::outage_at(std::size_t dc,
+                              std::size_t step) const noexcept {
+  if (dc >= per_dc_.size()) return false;
+  for (const auto& ev : per_dc_[dc]) {
+    if (ev.kind == FaultKind::kOutage && ev.active_at(step)) return true;
+  }
+  return false;
+}
+
+bool FaultSchedule::flap_at(std::size_t dc, std::size_t step) const noexcept {
+  if (dc >= per_dc_.size()) return false;
+  for (const auto& ev : per_dc_[dc]) {
+    if (ev.kind == FaultKind::kGrantFlap && ev.active_at(step)) return true;
+  }
+  return false;
+}
+
+bool FaultSchedule::grants_blocked_at(std::size_t dc,
+                                      std::size_t step) const noexcept {
+  return outage_at(dc, step) || flap_at(dc, step);
+}
+
+double FaultSchedule::capacity_fraction_at(std::size_t dc,
+                                           std::size_t step) const noexcept {
+  double fraction = 1.0;
+  if (dc >= per_dc_.size()) return fraction;
+  for (const auto& ev : per_dc_[dc]) {
+    if (ev.kind == FaultKind::kCapacityLoss && ev.active_at(step)) {
+      fraction = std::min(fraction, ev.severity);
+    }
+  }
+  return fraction;
+}
+
+std::size_t FaultSchedule::latency_penalty_at(std::size_t dc,
+                                              std::size_t step) const noexcept {
+  std::size_t penalty = 0;
+  if (dc >= per_dc_.size()) return penalty;
+  for (const auto& ev : per_dc_[dc]) {
+    if (ev.kind == FaultKind::kLatencyDegradation && ev.active_at(step)) {
+      penalty = std::max(penalty, static_cast<std::size_t>(ev.severity));
+    }
+  }
+  return penalty;
+}
+
+}  // namespace mmog::fault

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace mmog::fault {
+
+/// The failure shapes the injection layer can produce. The paper's §V
+/// failure discussion assumes an all-or-nothing data-center loss; real
+/// rented capacity also fails *partially* (a hoster loses racks, a peering
+/// link degrades, an accepted request never materializes), which is what
+/// separates the simulator from a provisioning system.
+enum class FaultKind {
+  kOutage = 0,       ///< the center grants nothing; hosted allocations die
+  kCapacityLoss = 1, ///< the center keeps only `severity` of its capacity
+  kLatencyDegradation = 2, ///< effective distance class worsens by `severity`
+  kGrantFlap = 3,    ///< accepted requests fail to materialize (grants only)
+};
+
+inline constexpr std::size_t kFaultKindCount = 4;
+
+std::string_view fault_kind_name(FaultKind k) noexcept;
+
+/// One concrete fault window on one data center: active during
+/// [from_step, to_step). `severity` is kind-specific:
+///   kOutage / kGrantFlap        — unused (1.0)
+///   kCapacityLoss               — fraction of capacity *kept*, in (0, 1)
+///   kLatencyDegradation         — distance classes added, >= 1
+struct FaultEvent {
+  FaultKind kind = FaultKind::kOutage;
+  std::size_t dc_index = 0;
+  std::size_t from_step = 0;
+  std::size_t to_step = 0;
+  double severity = 1.0;
+
+  bool active_at(std::size_t step) const noexcept {
+    return step >= from_step && step < to_step;
+  }
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Distribution of the up-time (time-between-failures) and repair-time
+/// draws. Exponential is the classic memoryless MTBF model; Weibull with
+/// shape < 1 models infant-mortality-like burstiness and shape > 1 wear-out
+/// clustering.
+enum class FaultDistribution {
+  kExponential = 0,
+  kWeibull = 1,
+};
+
+/// A stochastic fault process on one data center, or (when `window` is set)
+/// one hand-scheduled window. Generation is deterministic: the same spec
+/// always produces the same schedule.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kOutage;
+  std::size_t dc_index = 0;
+  /// Mean steps between the end of one fault and the start of the next.
+  double mtbf_steps = 0.0;
+  /// Mean fault duration in steps.
+  double mttr_steps = 0.0;
+  FaultDistribution distribution = FaultDistribution::kExponential;
+  double weibull_shape = 1.0;  ///< Weibull shape k (> 0); 1 == exponential
+  double severity = 1.0;       ///< kind-specific, see FaultEvent
+  std::uint64_t seed = 0;
+  /// Fixed window [first, second): when second > first the spec is
+  /// deterministic and mtbf/mttr/seed are ignored.
+  std::size_t window_from = 0;
+  std::size_t window_to = 0;
+
+  bool fixed_window() const noexcept { return window_to > window_from; }
+};
+
+/// Throws std::invalid_argument (with the offending field named) when the
+/// spec is internally inconsistent or its dc_index is outside [0, n_dcs).
+void validate(const FaultSpec& spec, std::size_t n_dcs);
+
+/// Expands one spec into its fault windows over [0, horizon_steps), clamped
+/// to the horizon. Deterministic for a fixed spec.
+std::vector<FaultEvent> generate_events(const FaultSpec& spec,
+                                        std::size_t horizon_steps);
+
+/// The full fault schedule of one simulation run: every fault window of
+/// every data center, queryable per (dc, step). Immutable once built.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  /// Validates and expands `specs` over [0, horizon_steps), appends
+  /// `fixed_events` (already-concrete windows, e.g. legacy outage configs),
+  /// and indexes everything per data center.
+  static FaultSchedule generate(const std::vector<FaultSpec>& specs,
+                                std::size_t n_dcs, std::size_t horizon_steps,
+                                std::vector<FaultEvent> fixed_events = {});
+
+  bool empty() const noexcept { return all_.empty(); }
+
+  /// All events, sorted by (from_step, dc_index, kind).
+  const std::vector<FaultEvent>& events() const noexcept { return all_; }
+
+  /// A full outage is active on `dc` at `step`.
+  bool outage_at(std::size_t dc, std::size_t step) const noexcept;
+
+  /// New grants at `dc` fail at `step` (outage or grant flap).
+  bool grants_blocked_at(std::size_t dc, std::size_t step) const noexcept;
+
+  /// A grant flap (but not necessarily an outage) is active.
+  bool flap_at(std::size_t dc, std::size_t step) const noexcept;
+
+  /// Fraction of the center's capacity available at `step`: 1.0 when
+  /// healthy, the minimum of the active capacity-loss severities otherwise.
+  double capacity_fraction_at(std::size_t dc, std::size_t step) const noexcept;
+
+  /// Distance classes to add to the center's effective latency at `step`
+  /// (maximum over active latency-degradation events; 0 when healthy).
+  std::size_t latency_penalty_at(std::size_t dc,
+                                 std::size_t step) const noexcept;
+
+ private:
+  std::vector<std::vector<FaultEvent>> per_dc_;
+  std::vector<FaultEvent> all_;
+};
+
+}  // namespace mmog::fault

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/model.hpp"
+
+namespace mmog::fault {
+
+/// Parses a duration into 2-minute simulation steps. Accepts a plain
+/// number (steps) or a number with one of the suffixes s/m/h/d/w
+/// ("90s", "30m", "2h", "4d", "1w"). Throws std::invalid_argument on
+/// malformed input or non-positive durations (zero is accepted only with
+/// `allow_zero`, for window start offsets).
+double parse_duration_steps(std::string_view text, bool allow_zero = false);
+
+/// Parses one fault directive of the form
+///
+///   kind:key=value,key=value,...
+///
+/// with kind in {outage, capacity, latency, flap} and keys
+///
+///   dc=N          target data-center index (required)
+///   mtbf=DUR      mean time between faults (stochastic form)
+///   mttr=DUR      mean fault duration (stochastic form)
+///   from=DUR to=DUR   fixed window (alternative to mtbf/mttr)
+///   seed=N        generator seed (default 0)
+///   dist=exp|weibull  up/repair-time distribution (default exp)
+///   shape=F       Weibull shape k (default 1)
+///   keep=F        capacity: fraction of capacity kept, in (0,1)
+///   classes=N     latency: distance classes added (>= 1)
+///   severity=F    generic alias for keep/classes
+///
+/// e.g. "outage:dc=2,mtbf=4d,mttr=2h,seed=9". Durations use
+/// parse_duration_steps. Throws std::invalid_argument with the offending
+/// token named.
+FaultSpec parse_fault_spec(std::string_view text);
+
+/// Parses a ';'-separated list of fault directives (empty input -> empty).
+std::vector<FaultSpec> parse_fault_specs(std::string_view text);
+
+/// Compact round-trippable description, for logs and tables.
+std::string describe(const FaultSpec& spec);
+
+}  // namespace mmog::fault

@@ -1,0 +1,36 @@
+#include "fault/resilience.hpp"
+
+#include <algorithm>
+
+namespace mmog::fault {
+
+void BackoffTracker::record_failure(std::size_t dc, std::size_t step) {
+  Entry& e = entries_[dc];
+  ++e.failures;
+  std::size_t window = base_;
+  for (std::size_t i = 1; i < e.failures && window < max_; ++i) window *= 2;
+  window = std::min(window, max_);
+  e.until = std::max(e.until, step + window);
+}
+
+void BackoffTracker::record_success(std::size_t dc) noexcept {
+  entries_.erase(dc);
+}
+
+bool BackoffTracker::excluded(std::size_t dc,
+                              std::size_t step) const noexcept {
+  const auto it = entries_.find(dc);
+  return it != entries_.end() && step < it->second.until;
+}
+
+std::size_t BackoffTracker::failures(std::size_t dc) const noexcept {
+  const auto it = entries_.find(dc);
+  return it == entries_.end() ? 0 : it->second.failures;
+}
+
+std::size_t BackoffTracker::excluded_until(std::size_t dc) const noexcept {
+  const auto it = entries_.find(dc);
+  return it == entries_.end() ? 0 : it->second.until;
+}
+
+}  // namespace mmog::fault

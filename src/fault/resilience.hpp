@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+namespace mmog::fault {
+
+/// How the operator loop reacts to injected faults. Disabled by default:
+/// the simulator then behaves exactly as before this layer existed (a
+/// force-released allocation is only re-placed by the *next* step's
+/// regular matching pass).
+struct ResiliencePolicy {
+  /// Master switch for same-step re-placement, backoff bookkeeping,
+  /// standby reserve and shedding.
+  bool enabled = false;
+  /// First exclusion window after a center fails a request, in steps;
+  /// doubles per consecutive failure up to `max_backoff_steps`.
+  std::size_t base_backoff_steps = 1;
+  std::size_t max_backoff_steps = 32;
+  /// N+k standby reserve: extra fully-loaded reference servers requested
+  /// per demand unit on top of the padded prediction, so the loss of up to
+  /// k servers' worth of capacity is absorbed without a shortfall.
+  double standby_reserve_servers = 0.0;
+  /// Graceful degradation: when a request cannot be placed anywhere in
+  /// tolerance, force-release allocations of strictly lower-priority games
+  /// (lowest priority first) to make room.
+  bool shed_low_priority = false;
+};
+
+/// Per-request retry bookkeeping: which data centers recently failed a
+/// request stream, and until when they are excluded from its candidate
+/// walk. Exponential backoff per center — the first failure excludes the
+/// center for `base` steps, each consecutive failure doubles the window up
+/// to `max`; one successful grant resets it.
+class BackoffTracker {
+ public:
+  explicit BackoffTracker(std::size_t base_steps = 1,
+                          std::size_t max_steps = 32) noexcept
+      : base_(base_steps == 0 ? 1 : base_steps),
+        max_(max_steps < base_ ? base_ : max_steps) {}
+
+  /// Records a failed grant (or a force-release) observed at `step`.
+  void record_failure(std::size_t dc, std::size_t step);
+
+  /// A successful grant clears the center's failure history.
+  void record_success(std::size_t dc) noexcept;
+
+  /// True while `dc` is inside its exclusion window at `step`.
+  bool excluded(std::size_t dc, std::size_t step) const noexcept;
+
+  /// Consecutive failures recorded for `dc` (0 when clear).
+  std::size_t failures(std::size_t dc) const noexcept;
+
+  /// First step at which `dc` becomes eligible again (0 when not excluded).
+  std::size_t excluded_until(std::size_t dc) const noexcept;
+
+ private:
+  struct Entry {
+    std::size_t failures = 0;
+    std::size_t until = 0;  ///< exclusive end of the exclusion window
+  };
+  std::map<std::size_t, Entry> entries_;
+  std::size_t base_;
+  std::size_t max_;
+};
+
+}  // namespace mmog::fault

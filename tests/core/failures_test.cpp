@@ -103,6 +103,48 @@ TEST(FailureInjectionTest, StaticModeCannotRecover) {
   EXPECT_LT(steps.back().under_allocation_pct(ResourceKind::kCpu), -1.0);
 }
 
+TEST(ConfigValidationTest, RejectsOutOfRangeOutageIndex) {
+  auto cfg = two_dc_config(50);
+  cfg.outages.push_back({.dc_index = 2, .from_step = 0, .to_step = 10});
+  EXPECT_THROW(simulate(cfg), std::invalid_argument);
+}
+
+TEST(ConfigValidationTest, RejectsInvertedOutageWindow) {
+  auto cfg = two_dc_config(50);
+  cfg.outages.push_back({.dc_index = 0, .from_step = 10, .to_step = 10});
+  EXPECT_THROW(simulate(cfg), std::invalid_argument);
+}
+
+TEST(ConfigValidationTest, RejectsMalformedFaultSpecsUpFront) {
+  auto cfg = two_dc_config(50);
+  fault::FaultSpec spec;  // neither window nor mtbf/mttr
+  spec.dc_index = 0;
+  cfg.faults.push_back(spec);
+  EXPECT_THROW(simulate(cfg), std::invalid_argument);
+
+  auto range_cfg = two_dc_config(50);
+  fault::FaultSpec out_of_range;
+  out_of_range.dc_index = 5;
+  out_of_range.window_from = 0;
+  out_of_range.window_to = 10;
+  range_cfg.faults.push_back(out_of_range);
+  EXPECT_THROW(simulate(range_cfg), std::invalid_argument);
+}
+
+TEST(ConfigValidationTest, RejectsNegativeKnobs) {
+  auto cfg = two_dc_config(50);
+  cfg.safety_factor = -0.1;
+  EXPECT_THROW(simulate(cfg), std::invalid_argument);
+
+  auto threshold_cfg = two_dc_config(50);
+  threshold_cfg.event_threshold_pct = -1.0;
+  EXPECT_THROW(simulate(threshold_cfg), std::invalid_argument);
+
+  auto reserve_cfg = two_dc_config(50);
+  reserve_cfg.resilience.standby_reserve_servers = -1.0;
+  EXPECT_THROW(simulate(reserve_cfg), std::invalid_argument);
+}
+
 TEST(CostAccountingTest, CostGrowsWithAllocation) {
   auto cfg = two_dc_config(100);
   const auto result = simulate(cfg);

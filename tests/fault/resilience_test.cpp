@@ -1,0 +1,80 @@
+// Retry/backoff bookkeeping of the resilience policy.
+
+#include <gtest/gtest.h>
+
+#include "fault/resilience.hpp"
+
+namespace mmog::fault {
+namespace {
+
+TEST(BackoffTrackerTest, StartsClear) {
+  BackoffTracker tracker(2, 16);
+  EXPECT_FALSE(tracker.excluded(0, 0));
+  EXPECT_EQ(tracker.failures(0), 0u);
+  EXPECT_EQ(tracker.excluded_until(0), 0u);
+}
+
+TEST(BackoffTrackerTest, FirstFailureExcludesForBaseWindow) {
+  BackoffTracker tracker(2, 16);
+  tracker.record_failure(3, 10);
+  EXPECT_EQ(tracker.failures(3), 1u);
+  EXPECT_TRUE(tracker.excluded(3, 10));
+  EXPECT_TRUE(tracker.excluded(3, 11));
+  EXPECT_FALSE(tracker.excluded(3, 12));  // window [10, 10+2)
+  EXPECT_EQ(tracker.excluded_until(3), 12u);
+  // Other centers are unaffected.
+  EXPECT_FALSE(tracker.excluded(4, 10));
+}
+
+TEST(BackoffTrackerTest, ConsecutiveFailuresDoubleTheWindowUpToMax) {
+  BackoffTracker tracker(2, 8);
+  tracker.record_failure(0, 0);    // window 2 -> until 2
+  EXPECT_EQ(tracker.excluded_until(0), 2u);
+  tracker.record_failure(0, 2);    // window 4 -> until 6
+  EXPECT_EQ(tracker.excluded_until(0), 6u);
+  tracker.record_failure(0, 6);    // window 8 -> until 14
+  EXPECT_EQ(tracker.excluded_until(0), 14u);
+  tracker.record_failure(0, 14);   // capped at max 8 -> until 22
+  EXPECT_EQ(tracker.excluded_until(0), 22u);
+  EXPECT_EQ(tracker.failures(0), 4u);
+}
+
+TEST(BackoffTrackerTest, WindowNeverShrinks) {
+  BackoffTracker tracker(4, 32);
+  tracker.record_failure(0, 10);   // until 14
+  tracker.record_failure(0, 2);    // 2+8=10 < 14: window keeps its end
+  EXPECT_EQ(tracker.excluded_until(0), 14u);
+  EXPECT_EQ(tracker.failures(0), 2u);
+}
+
+TEST(BackoffTrackerTest, SuccessResetsTheCenter) {
+  BackoffTracker tracker(2, 16);
+  tracker.record_failure(1, 0);
+  tracker.record_failure(1, 2);
+  ASSERT_TRUE(tracker.excluded(1, 3));
+  tracker.record_success(1);
+  EXPECT_FALSE(tracker.excluded(1, 3));
+  EXPECT_EQ(tracker.failures(1), 0u);
+  // The next failure starts from the base window again.
+  tracker.record_failure(1, 10);
+  EXPECT_EQ(tracker.excluded_until(1), 12u);
+}
+
+TEST(BackoffTrackerTest, DegenerateParametersAreSanitized) {
+  BackoffTracker zero_base(0, 0);  // base clamps to 1, max to base
+  zero_base.record_failure(0, 5);
+  EXPECT_TRUE(zero_base.excluded(0, 5));
+  EXPECT_EQ(zero_base.excluded_until(0), 6u);
+  zero_base.record_failure(0, 6);  // doubling capped at max == 1
+  EXPECT_EQ(zero_base.excluded_until(0), 7u);
+}
+
+TEST(ResiliencePolicyTest, DefaultsAreInert) {
+  const ResiliencePolicy policy;
+  EXPECT_FALSE(policy.enabled);
+  EXPECT_FALSE(policy.shed_low_priority);
+  EXPECT_DOUBLE_EQ(policy.standby_reserve_servers, 0.0);
+}
+
+}  // namespace
+}  // namespace mmog::fault

@@ -8,6 +8,8 @@
 //                 [--world table3|policy] [--policy N] [--machines M]
 //                 [--model n|nlogn|n2|n2logn|n3] [--tolerance 0..4]
 //                 [--safety F] [--lead-in-days D]
+//                 [--fault "SPEC[;SPEC...]"] [--resilience]
+//                 [--reserve K] [--shed]
 //                 [--metrics-out FILE.{json,csv}]
 //                 [--trace-out FILE[.jsonl]] [--trace-detail]
 //
@@ -17,6 +19,14 @@
 // (.jsonl) or Chrome trace_event JSON loadable in chrome://tracing and
 // ui.perfetto.dev (any other extension). --trace-detail adds per-unit
 // prediction/padding point events.
+//
+// --fault injects failures: each ';'-separated spec is
+// kind:key=value,... with kind outage|capacity|latency|flap, e.g.
+//   --fault "outage:dc=2,mtbf=4d,mttr=2h,seed=9;flap:dc=0,mtbf=1d,mttr=2m"
+// (see src/fault/parse.hpp for the full key list). --resilience turns on
+// same-step re-placement with exponential backoff; --reserve K requests an
+// N+k standby reserve of K full servers per demand unit; --shed sacrifices
+// lower-priority games when supply cannot cover demand.
 
 #include <chrono>
 #include <cstdio>
@@ -26,6 +36,7 @@
 #include <string_view>
 
 #include "core/simulation.hpp"
+#include "fault/parse.hpp"
 #include "obs/recorder.hpp"
 #include "predict/holt_winters.hpp"
 #include "predict/simple.hpp"
@@ -94,6 +105,8 @@ int main(int argc, char** argv) {
         "          [--world table3|policy] [--policy N] [--machines M]\n"
         "          [--model n|nlogn|n2|n2logn|n3] [--tolerance 0..4]\n"
         "          [--safety F] [--lead-in-days D]\n"
+        "          [--fault \"SPEC[;SPEC...]\"] [--resilience]\n"
+        "          [--reserve K] [--shed]\n"
         "          [--metrics-out FILE.{json,csv}]\n"
         "          [--trace-out FILE[.jsonl]] [--trace-detail]\n",
         args.program().c_str());
@@ -133,6 +146,11 @@ int main(int argc, char** argv) {
     cfg.games.push_back(std::move(game));
 
     cfg.safety_factor = args.get_double("safety", 0.5);
+    cfg.faults = fault::parse_fault_specs(args.get("fault", ""));
+    cfg.resilience.enabled =
+        args.has("resilience") || args.has("reserve") || args.has("shed");
+    cfg.resilience.standby_reserve_servers = args.get_double("reserve", 0.0);
+    cfg.resilience.shed_low_priority = args.has("shed");
     const auto mode = args.get("mode", "dynamic");
     if (mode == "static") {
       cfg.mode = core::AllocationMode::kStatic;
@@ -200,6 +218,22 @@ int main(int argc, char** argv) {
     std::printf("unplaced CPU unit-steps %.1f\n",
                 result.unplaced_cpu_unit_steps);
     std::printf("renting cost           %.1f\n", result.total_cost);
+    if (!result.fault_events.empty()) {
+      std::printf("\nFault injection / SLA:\n");
+      std::printf("  fault windows        %zu\n", result.fault_events.size());
+      std::printf("  availability         %.3f %%\n",
+                  result.sla.availability_pct());
+      std::printf("  downtime steps       %zu / %zu\n",
+                  result.sla.downtime_steps, result.sla.steps);
+      std::printf("  breach episodes      %zu (longest %zu steps)\n",
+                  result.sla.breach_episodes,
+                  result.sla.longest_breach_steps);
+      if (result.sla.recoveries > 0) {
+        std::printf("  time to recover      mean %.1f / max %zu steps\n",
+                    result.sla.mean_time_to_recover_steps,
+                    result.sla.max_time_to_recover_steps);
+      }
+    }
     std::printf("\nPer data center (avg CPU units):\n");
     for (const auto& usage : result.datacenters) {
       if (usage.avg_allocated_cpu < 0.005) continue;

@@ -403,6 +403,28 @@ SimulationResult simulate(const SimulationConfig& config) {
     }
   }
 
+  // Live telemetry: one sample vector reused every step (metric names are
+  // fixed up front, so per-step sampling rewrites values and never
+  // allocates). Only built when the recorder has a time-series store or
+  // alert engine attached; sampling reads simulation state and never
+  // feeds back into it, so runs stay bit-identical either way.
+  const bool live = rec != nullptr && rec->live();
+  std::vector<obs::Sample> live_samples;
+  std::size_t live_game_base = 0;
+  if (live) {
+    live_samples.push_back({"core.allocated_cpu", 0.0});
+    live_samples.push_back({"core.demand_cpu", 0.0});
+    live_samples.push_back({"core.underalloc_frac", 0.0});
+    live_samples.push_back({"core.overalloc_frac", 0.0});
+    live_samples.push_back({"core.predictor_abs_err", 0.0});
+    live_samples.push_back({"core.unplaced_cpu_unit_steps", 0.0});
+    live_samples.push_back({"sla.availability_min_pct", 100.0});
+    live_game_base = live_samples.size();
+    for (const auto& game : config.games) {
+      live_samples.push_back({"sla.availability_pct." + game.name, 100.0});
+    }
+  }
+
   // Reused per-step scratch: the padded demand of every unit.
   std::vector<util::ResourceVector> demands(units.size());
 
@@ -698,6 +720,34 @@ SimulationResult simulate(const SimulationConfig& config) {
                          : "sla.breach.end",
                      "sla", t, {{"game", config.games[g].name}});
       }
+    }
+
+    if (live) {
+      live_samples[0].value = step_metrics.allocated.cpu();
+      live_samples[1].value = step_metrics.used.cpu();
+      live_samples[2].value =
+          -step_metrics.under_allocation_pct(util::ResourceKind::kCpu) /
+          100.0;
+      live_samples[3].value =
+          step_metrics.over_allocation_pct(util::ResourceKind::kCpu) / 100.0;
+      double err_sum = 0.0;
+      for (const auto& unit : units) {
+        for (const auto& stream : unit.groups) {
+          err_sum += stream.abs_error_ewma;
+        }
+      }
+      live_samples[4].value =
+          total_groups > 0 ? err_sum / static_cast<double>(total_groups)
+                           : 0.0;
+      live_samples[5].value = result.unplaced_cpu_unit_steps;
+      double min_avail = 100.0;
+      for (std::size_t g = 0; g < config.games.size(); ++g) {
+        const double avail = game_sla[g].stats().availability_pct();
+        live_samples[live_game_base + g].value = avail;
+        min_avail = std::min(min_avail, avail);
+      }
+      live_samples[6].value = min_avail;
+      rec->sample_step(t, live_samples);
     }
 
     for (std::size_t d = 0; d < ledgers.size(); ++d) {

@@ -3,7 +3,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
-#include "util/timeseries.hpp"
+#include "util/duration.hpp"
 
 namespace mmog::fault {
 namespace {
@@ -32,30 +32,7 @@ FaultKind parse_kind(std::string_view name) {
 }  // namespace
 
 double parse_duration_steps(std::string_view text, bool allow_zero) {
-  if (text.empty()) {
-    throw std::invalid_argument("fault spec: empty duration");
-  }
-  double per_step_seconds = 0.0;  // 0 = already in steps
-  switch (text.back()) {
-    case 's': per_step_seconds = 1.0; break;
-    case 'm': per_step_seconds = 60.0; break;
-    case 'h': per_step_seconds = 3600.0; break;
-    case 'd': per_step_seconds = 86400.0; break;
-    case 'w': per_step_seconds = 7.0 * 86400.0; break;
-    default: break;
-  }
-  auto digits = text;
-  if (per_step_seconds > 0.0) digits.remove_suffix(1);
-  const double value = parse_number(digits, "duration");
-  const double steps =
-      per_step_seconds > 0.0
-          ? value * per_step_seconds / util::kSampleStepSeconds
-          : value;
-  if (!(steps > 0.0) && !(allow_zero && steps == 0.0)) {
-    throw std::invalid_argument("fault spec: duration '" + std::string(text) +
-                                "' must be positive");
-  }
-  return steps;
+  return util::parse_duration_steps(text, allow_zero, "fault spec");
 }
 
 FaultSpec parse_fault_spec(std::string_view text) {

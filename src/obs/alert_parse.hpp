@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/alerts.hpp"
+
+namespace mmog::obs {
+
+/// Parses one alert directive, mirroring the --fault grammar:
+///
+///   name:key=value,key=value,...
+///
+/// with keys
+///
+///   metric=NAME   sampled live metric the rule watches (required)
+///   op=OP         comparator, one of > < >= <= == != (default >)
+///   value=F       threshold (required)
+///   for=DUR       debounce: the condition must hold this long before the
+///                 rule fires; steps or s/m/h/d/w suffixes (default 0)
+///
+/// e.g. "underalloc:metric=core.underalloc_frac,op=>,value=0.01,for=5".
+/// Throws std::invalid_argument with the offending token named.
+AlertRule parse_alert_rule(std::string_view text);
+
+/// Parses a ';'-separated list of alert directives (empty input -> empty).
+std::vector<AlertRule> parse_alert_rules(std::string_view text);
+
+/// Compact round-trippable description, for logs and --help output.
+std::string describe(const AlertRule& rule);
+
+}  // namespace mmog::obs

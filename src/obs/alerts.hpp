@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/timeseries.hpp"
+
+namespace mmog::obs {
+
+enum class AlertOp { kGt, kLt, kGe, kLe, kEq, kNe };
+
+std::string_view alert_op_name(AlertOp op) noexcept;  ///< ">", "<", ...
+
+/// One SLA/metric alert rule: fire when `metric op value` has held
+/// continuously for `for_steps` simulation steps. `for_steps == 0` fires on
+/// the first breaching sample; `for_steps == k` stays *pending* until the
+/// condition has held from step t through step t+k (k steps of simulated
+/// time, i.e. k+1 consecutive samples) — the Prometheus `for:` debounce.
+struct AlertRule {
+  std::string name;
+  std::string metric;
+  AlertOp op = AlertOp::kGt;
+  double value = 0.0;
+  std::size_t for_steps = 0;
+
+  bool matches(double sample) const noexcept;
+};
+
+/// pending -> firing -> resolved; kInactive is "never breached since the
+/// last resolve" and kResolved is the latched post-firing rest state (so a
+/// dashboard can tell "recovered" from "never fired").
+enum class AlertState { kInactive, kPending, kFiring, kResolved };
+
+std::string_view alert_state_name(AlertState state) noexcept;
+
+/// Point-in-time view of one rule inside the engine.
+struct AlertStatus {
+  AlertRule rule;
+  AlertState state = AlertState::kInactive;
+  std::uint64_t pending_since_step = 0;   ///< valid when pending or firing
+  std::uint64_t firing_since_step = 0;    ///< valid when firing
+  std::uint64_t last_resolved_step = 0;   ///< valid when resolved_count > 0
+  std::uint64_t fired_count = 0;
+  std::uint64_t resolved_count = 0;
+  double last_value = 0.0;  ///< last observed sample of rule.metric
+  bool has_value = false;   ///< the metric has been seen at least once
+};
+
+/// One pending->firing or firing->resolved edge, returned by observe() so
+/// the caller (Recorder) can emit tracer instants and registry counters.
+struct AlertTransition {
+  enum class Kind { kFired, kResolved };
+  Kind kind = Kind::kFired;
+  std::string rule_name;
+  std::string metric;
+  std::uint64_t step = 0;
+  double value = 0.0;
+};
+
+/// Evaluates a fixed rule set against each step's live samples. A metric
+/// missing from a step's sample set counts as "condition false" (the rule
+/// cannot breach on data it does not have). Thread-safe: the simulation
+/// thread calls observe() while the HTTP thread reads statuses()/to_json().
+class AlertEngine {
+ public:
+  explicit AlertEngine(std::vector<AlertRule> rules);
+
+  /// Feeds one step; returns the transitions that edge caused (in rule
+  /// order), already applied to the internal state machine.
+  std::vector<AlertTransition> observe(std::uint64_t step,
+                                       const std::vector<Sample>& samples);
+
+  std::size_t rule_count() const;
+  std::vector<AlertStatus> statuses() const;  ///< copy under the lock
+  std::size_t count_in_state(AlertState state) const;
+  std::size_t firing_count() const { return count_in_state(AlertState::kFiring); }
+
+  /// {"step":N,"alerts":[{"name":..,"metric":..,"op":..,"value":F,
+  ///   "for_steps":N,"state":"firing",...}]}
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<AlertStatus> statuses_;
+  std::uint64_t last_step_ = 0;
+};
+
+/// The built-in rules every live run watches unless overridden: the
+/// paper's 1% under-provisioning QoS threshold (§V) on
+/// `core.underalloc_frac`, debounced over 5 steps (10 simulated minutes),
+/// and worst-game SLA availability `sla.availability_min_pct < 99.0` over
+/// 10 steps. `event_threshold_pct` keeps the first rule aligned with
+/// SimulationConfig::event_threshold_pct.
+std::vector<AlertRule> default_alert_rules(double event_threshold_pct = 1.0);
+
+}  // namespace mmog::obs

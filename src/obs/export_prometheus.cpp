@@ -1,0 +1,80 @@
+#include "obs/export_prometheus.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mmog::obs {
+namespace {
+
+bool valid_first(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool valid_rest(char c) { return valid_first(c) || (c >= '0' && c <= '9'); }
+
+/// Shortest round-trip-ish rendering: integers print without an exponent
+/// or trailing ".0" (bucket counts, step counts), everything else as %.15g.
+std::string format_value(double v) {
+  if (!std::isfinite(v)) {
+    if (std::isnan(v)) return "NaN";
+    return v > 0 ? "+Inf" : "-Inf";
+  }
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.15g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string sanitize_prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) out += valid_rest(c) ? c : '_';
+  if (out.empty() || !valid_first(out.front())) out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string to_prometheus(const Snapshot& snapshot) {
+  std::string out;
+  auto type_line = [&out](const std::string& name, std::string_view type) {
+    out += "# TYPE ";
+    out += name;
+    out += ' ';
+    out += type;
+    out += '\n';
+  };
+  for (const auto& [name, value] : snapshot.counters) {
+    const auto prom = sanitize_prometheus_name(name);
+    type_line(prom, "counter");
+    out += prom + ' ' + format_value(value) + '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const auto prom = sanitize_prometheus_name(name);
+    type_line(prom, "gauge");
+    out += prom + ' ' + format_value(value) + '\n';
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const auto prom = sanitize_prometheus_name(name);
+    type_line(prom, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += i < h.counts.size() ? h.counts[i] : 0;
+      out += prom + "_bucket{le=\"" + format_value(h.bounds[i]) + "\"} " +
+             format_value(static_cast<double>(cumulative)) + '\n';
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " +
+           format_value(static_cast<double>(h.count)) + '\n';
+    out += prom + "_sum " + format_value(h.sum) + '\n';
+    out += prom + "_count " + format_value(static_cast<double>(h.count)) +
+           '\n';
+  }
+  return out;
+}
+
+}  // namespace mmog::obs

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/registry.hpp"
+
+namespace mmog::obs {
+
+/// Maps a registry metric name onto the Prometheus name charset
+/// [a-zA-Z_:][a-zA-Z0-9_:]*: every disallowed byte becomes '_' and a name
+/// whose first byte would still be invalid (e.g. a leading digit) gains a
+/// '_' prefix. "phase.step_us" -> "phase_step_us". Distinct registry names
+/// can collide after sanitization; the exporter emits both series as-is.
+std::string sanitize_prometheus_name(std::string_view name);
+
+/// Serializes a Snapshot to the Prometheus text exposition format v0.0.4.
+///
+/// Counters and gauges become one `# TYPE` line plus one sample each.
+/// Histograms become the conventional `_bucket{le="..."}` series with
+/// cumulative counts over the registry's bucket bounds, a final
+/// `le="+Inf"` bucket equal to the total count, and `_sum` / `_count`
+/// samples. Output is sorted by metric name (the Snapshot maps are
+/// ordered), ends with a newline, and is accepted verbatim by a
+/// Prometheus scraper; serve it with content type
+/// "text/plain; version=0.0.4".
+std::string to_prometheus(const Snapshot& snapshot);
+
+}  // namespace mmog::obs

@@ -1,0 +1,173 @@
+#include "obs/http_server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/export_prometheus.hpp"
+#include "obs/recorder.hpp"
+
+namespace mmog::obs {
+namespace {
+
+std::string_view status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Internal Server Error";
+  }
+}
+
+void write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer gone; nothing useful to do
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+HttpServer::HttpServer(std::uint16_t port, Handler handler)
+    : handler_(std::move(handler)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("http: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("http: cannot listen on port " +
+                             std::to_string(port) + ": " + why);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  thread_ = std::thread([this] { serve(); });
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::stop() {
+  if (!stop_.exchange(true) && thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::serve() {
+  while (!stop_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    // A finite poll timeout bounds how long stop() waits for the thread.
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+
+    std::string raw;
+    char buf[2048];
+    while (raw.size() < 8192 && raw.find("\r\n\r\n") == std::string::npos &&
+           raw.find("\n\n") == std::string::npos) {
+      pollfd cfd{client, POLLIN, 0};
+      if (::poll(&cfd, 1, 2000) <= 0) break;
+      const ssize_t n = ::recv(client, buf, sizeof buf, 0);
+      if (n <= 0) break;
+      raw.append(buf, static_cast<std::size_t>(n));
+    }
+
+    Request request;
+    Response response;
+    const auto line_end = raw.find_first_of("\r\n");
+    const auto line = raw.substr(0, line_end);
+    const auto sp1 = line.find(' ');
+    const auto sp2 = line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      response = {400, "text/plain; charset=utf-8", "bad request\n"};
+    } else {
+      request.method = line.substr(0, sp1);
+      request.path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const auto query = request.path.find('?');
+      if (query != std::string::npos) request.path.resize(query);
+      response = handler_(request);
+    }
+
+    std::string head = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                       std::string(status_text(response.status)) +
+                       "\r\nContent-Type: " + response.content_type +
+                       "\r\nContent-Length: " +
+                       std::to_string(response.body.size()) +
+                       "\r\nConnection: close\r\n\r\n";
+    write_all(client, head);
+    if (request.method != "HEAD") write_all(client, response.body);
+    ::close(client);
+  }
+}
+
+TelemetryService::TelemetryService(Recorder& recorder, std::uint16_t port)
+    : server_(port, [&recorder](const HttpServer::Request& request) {
+        return handle(recorder, request);
+      }) {}
+
+HttpServer::Response TelemetryService::handle(
+    Recorder& recorder, const HttpServer::Request& request) {
+  if (request.method != "GET" && request.method != "HEAD") {
+    return {405, "text/plain; charset=utf-8", "method not allowed\n"};
+  }
+  if (request.path == "/metrics") {
+    return {200, "text/plain; version=0.0.4; charset=utf-8",
+            to_prometheus(recorder.snapshot())};
+  }
+  if (request.path == "/healthz") {
+    const AlertEngine* alerts = recorder.alerts();
+    std::string body = "{\"status\":\"ok\",\"step\":" +
+                       std::to_string(recorder.last_sampled_step());
+    body += ",\"alerts\":{";
+    if (alerts) {
+      body += "\"rules\":" + std::to_string(alerts->rule_count());
+      body += ",\"pending\":" +
+              std::to_string(alerts->count_in_state(AlertState::kPending));
+      body += ",\"firing\":" +
+              std::to_string(alerts->count_in_state(AlertState::kFiring));
+      body += ",\"resolved\":" +
+              std::to_string(alerts->count_in_state(AlertState::kResolved));
+    } else {
+      body += "\"rules\":0,\"pending\":0,\"firing\":0,\"resolved\":0";
+    }
+    body += "}}";
+    return {200, "application/json", std::move(body)};
+  }
+  if (request.path == "/alerts") {
+    const AlertEngine* alerts = recorder.alerts();
+    return {200, "application/json",
+            alerts ? alerts->to_json() : "{\"step\":0,\"alerts\":[]}"};
+  }
+  if (request.path == "/timeseries.json") {
+    const TimeSeriesStore* store = recorder.timeseries();
+    return {200, "application/json",
+            store ? store->to_json() : "{\"series\":[]}"};
+  }
+  return {404, "text/plain; charset=utf-8", "not found\n"};
+}
+
+}  // namespace mmog::obs

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace mmog::obs {
+
+class Recorder;
+
+/// Minimal dependency-free HTTP/1.0 server on POSIX sockets, for exposing
+/// telemetry from a running simulation. One background thread accepts
+/// loopback connections, parses `METHOD PATH`, calls the handler, writes
+/// the response with Content-Length and closes. Not a general web server:
+/// no keep-alive, no TLS, request line + headers capped at 8 KiB.
+class HttpServer {
+ public:
+  struct Request {
+    std::string method;
+    std::string path;  ///< decoded-as-is, query string stripped
+  };
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  using Handler = std::function<Response(const Request&)>;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; see port()) and starts the
+  /// accept thread. Throws std::runtime_error when the socket cannot be
+  /// created, bound or listened on.
+  HttpServer(std::uint16_t port, Handler handler);
+  ~HttpServer();  ///< stop() + join
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+  void stop();
+
+ private:
+  void serve();
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+/// The live-telemetry endpoint bundle served by `mmog_simulate --serve`:
+/// binds an HttpServer whose routes render a Recorder's state on demand.
+///
+///   GET /metrics           Prometheus text exposition v0.0.4 of the
+///                          registry snapshot (counters, gauges, histogram
+///                          buckets)
+///   GET /healthz           {"status":"ok","step":N,"alerts":{...}}
+///   GET /alerts            alert-rule states (AlertEngine::to_json)
+///   GET /timeseries.json   per-metric downsampled step series
+///
+/// Every route reads mutex-guarded snapshots (the registry merges shards;
+/// the store and engine copy under their own locks), so scrapes never
+/// block or perturb the simulation thread. The recorder must outlive the
+/// service.
+class TelemetryService {
+ public:
+  TelemetryService(Recorder& recorder, std::uint16_t port);
+
+  std::uint16_t port() const noexcept { return server_.port(); }
+  void stop() { server_.stop(); }
+
+  /// Route table shared with tests: answers one request against a
+  /// recorder without a socket in the path.
+  static HttpServer::Response handle(Recorder& recorder,
+                                     const HttpServer::Request& request);
+
+ private:
+  HttpServer server_;
+};
+
+}  // namespace mmog::obs

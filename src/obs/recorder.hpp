@@ -1,12 +1,16 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "obs/alerts.hpp"
 #include "obs/registry.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/tracer.hpp"
 
 namespace mmog::obs {
@@ -61,10 +65,70 @@ class Recorder {
 
   Snapshot snapshot() const { return registry_.snapshot(); }
 
+  // --- Live telemetry (PR 3) -------------------------------------------
+  //
+  // Off by default: a Recorder without enable_timeseries()/enable_alerts()
+  // behaves exactly as before and live() short-circuits to false, so the
+  // simulator's per-step sampling block never runs. When enabled, the
+  // simulation thread calls sample_step() once per step; the HTTP thread
+  // (TelemetryService) reads the store/engine through their own locks.
+
+  /// Keep a downsampling ring of every sampled metric (capacity points per
+  /// series; resolution halves when full).
+  void enable_timeseries(std::size_t capacity_per_series = 512) {
+    timeseries_ = std::make_unique<TimeSeriesStore>(capacity_per_series);
+  }
+
+  /// Watch the sampled metrics with an alert-rule engine.
+  void enable_alerts(std::vector<AlertRule> rules) {
+    alerts_ = std::make_unique<AlertEngine>(std::move(rules));
+  }
+
+  TimeSeriesStore* timeseries() noexcept { return timeseries_.get(); }
+  const TimeSeriesStore* timeseries() const noexcept {
+    return timeseries_.get();
+  }
+  AlertEngine* alerts() noexcept { return alerts_.get(); }
+  const AlertEngine* alerts() const noexcept { return alerts_.get(); }
+
+  /// True when per-step sampling has a consumer (store or alert engine).
+  bool live() const noexcept { return timeseries_ || alerts_; }
+
+  /// Step of the most recent sample_step() call (0 before the first).
+  std::uint64_t last_sampled_step() const noexcept {
+    return last_step_.load(std::memory_order_relaxed);
+  }
+
+  /// Records one step's live samples: publishes each as a gauge (so a
+  /// /metrics scrape sees the current value), appends to the time-series
+  /// store, and feeds the alert engine — firing/resolve edges become
+  /// tracer instants (category "alert") and `alert.fired` /
+  /// `alert.resolved` counters. Values are deterministic simulation state;
+  /// this never influences control flow.
+  void sample_step(std::uint64_t step, const std::vector<Sample>& samples) {
+    last_step_.store(step, std::memory_order_relaxed);
+    for (const auto& sample : samples) {
+      registry_.set(sample.name, sample.value);
+    }
+    if (timeseries_) timeseries_->append(step, samples);
+    if (!alerts_) return;
+    for (const auto& edge : alerts_->observe(step, samples)) {
+      const bool fired = edge.kind == AlertTransition::Kind::kFired;
+      count(fired ? "alert.fired" : "alert.resolved");
+      instant(fired ? "alert.firing" : "alert.resolved", "alert", step,
+              {{"rule", edge.rule_name},
+               {"metric", edge.metric},
+               {"value", std::to_string(edge.value)}});
+    }
+  }
+
  private:
   Registry registry_;
   Tracer tracer_;
   TraceLevel level_;
+  std::unique_ptr<TimeSeriesStore> timeseries_;
+  std::unique_ptr<AlertEngine> alerts_;
+  std::atomic<std::uint64_t> last_step_{0};
 };
 
 /// Monotonic microsecond stopwatch for timing instrumented sections.

@@ -8,6 +8,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/csv.hpp"
+
 namespace mmog::obs {
 namespace {
 
@@ -301,9 +303,12 @@ std::string Snapshot::to_json() const {
 
 std::string Snapshot::to_csv() const {
   std::string out = "type,name,stat,value\n";
+  // Metric names are free-form (callers may embed commas or quotes), so
+  // the name field goes through RFC-4180 escaping; type and stat are fixed
+  // tokens.
   auto row = [&out](std::string_view type, std::string_view name,
                     std::string_view stat, double value) {
-    out += std::string(type) + ',' + std::string(name) + ',' +
+    out += std::string(type) + ',' + util::csv_escape(name) + ',' +
            std::string(stat) + ',' + json_number(value) + '\n';
   };
   for (const auto& [name, value] : counters) {

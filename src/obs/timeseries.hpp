@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mmog::obs {
+
+/// One named value sampled at a simulation step for live telemetry. The
+/// simulator builds the vector once (names are stable across steps) and
+/// rewrites the values each step, so per-step sampling never allocates.
+struct Sample {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Fixed-capacity downsampling buffer for one metric's per-step samples.
+///
+/// Samples are appended in step order at stride 1. When the buffer reaches
+/// capacity, adjacent point pairs are averaged in place — halving the
+/// resolution and doubling the stride — like a compacting flight recorder:
+/// a 500k-step run always fits in `capacity` points, each covering
+/// `stride()` consecutive steps, with the full run span retained.
+class TimeSeriesBuffer {
+ public:
+  /// Capacity is clamped to an even value >= 2 so compaction always pairs.
+  explicit TimeSeriesBuffer(std::size_t capacity);
+
+  void push(double value);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// Steps covered by each stored point (a power of two).
+  std::size_t stride() const noexcept { return stride_; }
+  /// Total samples pushed (across all compactions).
+  std::size_t samples_seen() const noexcept { return total_; }
+  /// Completed points, oldest first; each is the mean of `stride()` samples.
+  const std::vector<double>& points() const noexcept { return points_; }
+  /// Mean of the trailing samples not yet forming a full point, if any.
+  bool partial(double* mean_out) const noexcept;
+
+ private:
+  std::size_t capacity_;
+  std::size_t stride_ = 1;
+  std::vector<double> points_;
+  double acc_ = 0.0;        ///< sum of the in-progress stride window
+  std::size_t acc_n_ = 0;   ///< samples in the in-progress window
+  std::size_t total_ = 0;
+};
+
+/// Named collection of TimeSeriesBuffer, guarded for one writer (the
+/// simulation thread appending each step) and concurrent readers (the HTTP
+/// thread serializing). Buffers are created on first append of a name and
+/// record the step of their first sample.
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(std::size_t capacity_per_series = 512);
+
+  /// Appends one step's samples; creates series on first sight.
+  void append(std::uint64_t step, const std::vector<Sample>& samples);
+
+  std::size_t series_count() const;
+  std::vector<std::string> names() const;
+
+  /// {"series":[{"name":..,"start_step":N,"stride":N,"samples_seen":N,
+  ///             "points":[..]}, ...]} — points include the trailing
+  /// partial window so the most recent steps are always visible.
+  std::string to_json() const;
+
+  /// Long-format CSV "name,step,value" (RFC-4180-escaped names); `step` is
+  /// the first step each point covers.
+  std::string to_csv() const;
+
+ private:
+  struct Series {
+    std::uint64_t start_step = 0;
+    TimeSeriesBuffer buffer;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Series, std::less<>> series_;
+};
+
+}  // namespace mmog::obs

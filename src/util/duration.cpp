@@ -1,0 +1,44 @@
+#include "util/duration.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "util/timeseries.hpp"
+
+namespace mmog::util {
+
+double parse_duration_steps(std::string_view text, bool allow_zero,
+                            std::string_view what) {
+  if (text.empty()) {
+    throw std::invalid_argument(std::string(what) + ": empty duration");
+  }
+  double per_step_seconds = 0.0;  // 0 = already in steps
+  switch (text.back()) {
+    case 's': per_step_seconds = 1.0; break;
+    case 'm': per_step_seconds = 60.0; break;
+    case 'h': per_step_seconds = 3600.0; break;
+    case 'd': per_step_seconds = 86400.0; break;
+    case 'w': per_step_seconds = 7.0 * 86400.0; break;
+    default: break;
+  }
+  auto digits = text;
+  if (per_step_seconds > 0.0) digits.remove_suffix(1);
+  const std::string s(digits);
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str(), &end);
+  if (s.empty() || end != s.c_str() + s.size()) {
+    throw std::invalid_argument(std::string(what) + ": malformed duration '" +
+                                std::string(text) + "'");
+  }
+  const double steps =
+      per_step_seconds > 0.0 ? value * per_step_seconds / kSampleStepSeconds
+                             : value;
+  if (!(steps > 0.0) && !(allow_zero && steps == 0.0)) {
+    throw std::invalid_argument(std::string(what) + ": duration '" +
+                                std::string(text) + "' must be positive");
+  }
+  return steps;
+}
+
+}  // namespace mmog::util

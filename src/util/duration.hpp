@@ -1,0 +1,16 @@
+#pragma once
+
+#include <string_view>
+
+namespace mmog::util {
+
+/// Parses a duration into 2-minute simulation steps. Accepts a plain
+/// number (steps) or a number with one of the suffixes s/m/h/d/w
+/// ("90s", "30m", "2h", "4d", "1w"). Throws std::invalid_argument on
+/// malformed input or non-positive durations (zero is accepted only with
+/// `allow_zero`, for window start offsets). The thrown message is prefixed
+/// with `what` so CLI grammars (--fault, --alert) name their own context.
+double parse_duration_steps(std::string_view text, bool allow_zero = false,
+                            std::string_view what = "duration");
+
+}  // namespace mmog::util

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/simulation.hpp"
+#include "fault/model.hpp"
+
 namespace mmog::core {
 namespace {
 
@@ -106,6 +109,89 @@ TEST(AccumulatorTest, EmptyAccumulatorIsZero) {
   EXPECT_DOUBLE_EQ(acc.avg_under_allocation_pct(ResourceKind::kCpu), 0.0);
   EXPECT_EQ(acc.significant_events(), 0u);
   EXPECT_TRUE(acc.cumulative_events().empty());
+}
+
+TEST(SlaTrackerTest, OpenEpisodeAtEndOfRunIsBreachNotRecovery) {
+  SlaTracker tracker;
+  tracker.observe(false);
+  tracker.observe(true);
+  tracker.observe(true);  // run ends mid-breach
+  const auto stats = tracker.stats();
+  EXPECT_EQ(stats.steps, 3u);
+  EXPECT_EQ(stats.downtime_steps, 2u);
+  EXPECT_EQ(stats.breach_episodes, 1u);
+  EXPECT_EQ(stats.recoveries, 0u);
+  // The open streak still drives downtime and the longest-breach figure...
+  EXPECT_EQ(stats.longest_breach_steps, 2u);
+  EXPECT_NEAR(stats.availability_pct(), 100.0 / 3.0, 1e-9);
+  // ...but never the time-to-recover stats, which only count ended episodes.
+  EXPECT_DOUBLE_EQ(stats.mean_time_to_recover_steps, 0.0);
+  EXPECT_EQ(stats.max_time_to_recover_steps, 0u);
+}
+
+TEST(SlaTrackerTest, TimeToRecoverOnlyAveragesEndedEpisodes) {
+  SlaTracker tracker;
+  tracker.observe(true);  // episode 1: 2 steps, recovers
+  tracker.observe(true);
+  tracker.observe(false);
+  tracker.observe(true);  // episode 2: 3 steps, still open at end of run
+  tracker.observe(true);
+  tracker.observe(true);
+  const auto stats = tracker.stats();
+  EXPECT_EQ(stats.breach_episodes, 2u);
+  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_time_to_recover_steps, 2.0);
+  EXPECT_EQ(stats.max_time_to_recover_steps, 2u);
+  EXPECT_EQ(stats.longest_breach_steps, 3u);
+}
+
+TEST(SlaTrackerTest, TransitionsMarkEpisodeEdges) {
+  SlaTracker tracker;
+  EXPECT_EQ(tracker.observe(false), SlaTracker::Transition::kNone);
+  EXPECT_EQ(tracker.observe(true), SlaTracker::Transition::kBreachBegan);
+  EXPECT_EQ(tracker.observe(true), SlaTracker::Transition::kNone);
+  EXPECT_EQ(tracker.observe(false), SlaTracker::Transition::kRecovered);
+  // A breach on the very last observed step still opens an episode even
+  // though no recovery can follow it.
+  EXPECT_EQ(tracker.observe(true), SlaTracker::Transition::kBreachBegan);
+  EXPECT_EQ(tracker.stats().breach_episodes, 2u);
+  EXPECT_EQ(tracker.stats().recoveries, 1u);
+}
+
+TEST(RecoveryLagTest, NeverRepairedOutageReportsSentinel) {
+  MetricsAccumulator metrics;
+  metrics.add(step_with(10, 10, 0.0));   // step 0: healthy
+  metrics.add(step_with(10, 10, -0.2));  // steps 1..3: breached to the end
+  metrics.add(step_with(10, 10, -0.2));
+  metrics.add(step_with(10, 10, -0.2));
+  fault::FaultEvent outage;
+  outage.from_step = 1;
+  outage.to_step = 2;  // repaired mid-run, but the SLA never comes back
+  const auto lags = recovery_lag_steps(metrics, {outage}, 1.0);
+  ASSERT_EQ(lags.size(), 1u);
+  EXPECT_EQ(lags[0], kNeverRecovered);
+}
+
+TEST(RecoveryLagTest, RepairBeyondEndOfRunIsSkipped) {
+  MetricsAccumulator metrics;
+  metrics.add(step_with(10, 10, -0.2));
+  metrics.add(step_with(10, 10, -0.2));
+  fault::FaultEvent outage;
+  outage.from_step = 1;
+  outage.to_step = 5;  // still broken when the run ends: lag is undefined
+  EXPECT_TRUE(recovery_lag_steps(metrics, {outage}, 1.0).empty());
+}
+
+TEST(RecoveryLagTest, ImmediateRecoveryIsZeroLag) {
+  MetricsAccumulator metrics;
+  metrics.add(step_with(10, 10, -0.2));  // during the outage
+  metrics.add(step_with(10, 10, 0.0));   // first post-repair step is clean
+  fault::FaultEvent outage;
+  outage.from_step = 0;
+  outage.to_step = 1;
+  const auto lags = recovery_lag_steps(metrics, {outage}, 1.0);
+  ASSERT_EQ(lags.size(), 1u);
+  EXPECT_EQ(lags[0], 0u);
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <memory>
@@ -154,6 +155,83 @@ TEST(ObsIntegrationTest, ResultsIdenticalWithAndWithoutRecorder) {
       plain.metrics.avg_under_allocation_pct(ResourceKind::kCpu));
   EXPECT_EQ(observed.metrics.significant_events(),
             plain.metrics.significant_events());
+}
+
+TEST(ObsIntegrationTest, ResultsIdenticalWithLiveTelemetryEnabled) {
+  // The live sampling path (time-series + alert engine) must be as inert
+  // as the base recorder: identical results, bit for bit.
+  auto cfg = base_config(4, 120);
+  const auto plain = simulate(cfg);
+
+  obs::Recorder rec(obs::TraceLevel::kSteps);
+  rec.enable_timeseries(64);
+  rec.enable_alerts(obs::default_alert_rules(cfg.event_threshold_pct));
+  cfg.recorder = &rec;
+  const auto live = simulate(cfg);
+
+  EXPECT_EQ(live.steps, plain.steps);
+  EXPECT_DOUBLE_EQ(live.total_cost, plain.total_cost);
+  EXPECT_DOUBLE_EQ(live.unplaced_cpu_unit_steps,
+                   plain.unplaced_cpu_unit_steps);
+  EXPECT_DOUBLE_EQ(live.metrics.avg_under_allocation_pct(ResourceKind::kCpu),
+                   plain.metrics.avg_under_allocation_pct(ResourceKind::kCpu));
+  EXPECT_EQ(live.metrics.significant_events(),
+            plain.metrics.significant_events());
+}
+
+TEST(ObsIntegrationTest, LiveSamplingFillsTimeSeriesAndGauges) {
+  constexpr std::size_t kSteps = 24;
+  obs::Recorder rec(obs::TraceLevel::kOff);
+  rec.enable_timeseries(64);
+  auto cfg = base_config(2, kSteps);
+  cfg.recorder = &rec;
+  simulate(cfg);
+
+  ASSERT_NE(rec.timeseries(), nullptr);
+  const auto names = rec.timeseries()->names();
+  for (const char* expected :
+       {"core.allocated_cpu", "core.demand_cpu", "core.underalloc_frac",
+        "core.overalloc_frac", "core.predictor_abs_err",
+        "sla.availability_min_pct", "sla.availability_pct.TestGame"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  const auto json = rec.timeseries()->to_json();
+  EXPECT_NE(json.find("\"samples_seen\":" + std::to_string(kSteps)),
+            std::string::npos);
+  // The last step's samples are republished as gauges for /metrics scrapes.
+  const auto snap = rec.snapshot();
+  EXPECT_GT(snap.gauges.at("core.allocated_cpu"), 0.0);
+  EXPECT_EQ(rec.last_sampled_step(), kSteps - 1);
+}
+
+TEST(ObsIntegrationTest, AlertFiresWhenDemandOverwhelmsCapacity) {
+  // One machine against three heavy groups: demand far exceeds capacity on
+  // every step, so |Y| > 1 % holds long enough to trip the default
+  // under-allocation rule (for=5 steps).
+  obs::Recorder rec(obs::TraceLevel::kSteps);
+  rec.enable_alerts(obs::default_alert_rules(1.0));
+  auto cfg = base_config(3, 40);
+  cfg.games[0].load = LoadModel{UpdateModel::kQuadratic, 300.0};
+  cfg.datacenters[0].machines = 1;
+  cfg.recorder = &rec;
+  simulate(cfg);
+
+  ASSERT_NE(rec.alerts(), nullptr);
+  const auto statuses = rec.alerts()->statuses();
+  ASSERT_FALSE(statuses.empty());
+  EXPECT_EQ(statuses[0].rule.name, "underalloc");
+  EXPECT_GE(statuses[0].fired_count, 1u);
+  const auto snap = rec.snapshot();
+  EXPECT_GE(snap.counters.at("alert.fired"), 1.0);
+  // Firing edges also land in the trace as "alert" instants.
+  bool saw_instant = false;
+  for (const auto& e : rec.tracer().events()) {
+    if (e.kind == obs::TraceKind::kInstant && e.name == "alert.firing") {
+      saw_instant = true;
+    }
+  }
+  EXPECT_TRUE(saw_instant);
 }
 
 TEST(ObsIntegrationTest, StaticModeRecordsSingleAllocationPhase) {

@@ -1,0 +1,84 @@
+#include "obs/export_prometheus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mmog::obs {
+namespace {
+
+TEST(PrometheusExportTest, SanitizesNamesOntoPrometheusCharset) {
+  EXPECT_EQ(sanitize_prometheus_name("phase.step_us"), "phase_step_us");
+  EXPECT_EQ(sanitize_prometheus_name("offer.rejected.latency-degraded"),
+            "offer_rejected_latency_degraded");
+  EXPECT_EQ(sanitize_prometheus_name("sla.availability_pct.CLI MMOG"),
+            "sla_availability_pct_CLI_MMOG");
+  EXPECT_EQ(sanitize_prometheus_name("already_fine:subsystem"),
+            "already_fine:subsystem");
+  // A leading digit is invalid as a first character: prefix, don't drop.
+  EXPECT_EQ(sanitize_prometheus_name("2fast"), "_2fast");
+  EXPECT_EQ(sanitize_prometheus_name(""), "_");
+  // Multi-byte characters sanitize byte-wise (Υ = U+03A5 is two bytes, so
+  // ".|Υ|" becomes five underscores).
+  EXPECT_EQ(sanitize_prometheus_name("events.|Υ|"), "events_____");
+}
+
+TEST(PrometheusExportTest, GoldenExpositionForCountersAndGauges) {
+  Registry reg;
+  reg.add("alloc.granted", 42.0);
+  reg.set("sim.steps", 720.0);
+  reg.set("core.underalloc_frac", 0.0125);
+  const std::string expected =
+      "# TYPE alloc_granted counter\n"
+      "alloc_granted 42\n"
+      "# TYPE core_underalloc_frac gauge\n"
+      "core_underalloc_frac 0.0125\n"
+      "# TYPE sim_steps gauge\n"
+      "sim_steps 720\n";
+  EXPECT_EQ(to_prometheus(reg.snapshot()), expected);
+}
+
+TEST(PrometheusExportTest, GoldenHistogramWithCumulativeBucketsAndInf) {
+  Registry reg;
+  reg.define_histogram("latency.us", {1.0, 2.5, 5.0});
+  for (double v : {0.5, 1.0, 2.0, 3.0, 100.0}) reg.observe("latency.us", v);
+  const std::string expected =
+      "# TYPE latency_us histogram\n"
+      "latency_us_bucket{le=\"1\"} 2\n"       // 0.5, 1.0 (upper-inclusive)
+      "latency_us_bucket{le=\"2.5\"} 3\n"     // + 2.0
+      "latency_us_bucket{le=\"5\"} 4\n"       // + 3.0
+      "latency_us_bucket{le=\"+Inf\"} 5\n"    // + 100.0 overflow
+      "latency_us_sum 106.5\n"
+      "latency_us_count 5\n";
+  EXPECT_EQ(to_prometheus(reg.snapshot()), expected);
+}
+
+TEST(PrometheusExportTest, BucketsAreCumulativeAndInfEqualsCount) {
+  Registry reg;
+  reg.observe("d", 0.07);  // auto-registered duration buckets
+  reg.observe("d", 3.0);
+  reg.observe("d", 1e9);  // beyond the last bound: only +Inf catches it
+  const auto text = to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("d_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("d_count 3\n"), std::string::npos);
+  // Cumulative counts never decrease along the bucket series.
+  std::size_t pos = 0;
+  long prev = -1;
+  while ((pos = text.find("d_bucket{le=", pos)) != std::string::npos) {
+    const auto space = text.find("} ", pos);
+    const auto eol = text.find('\n', space);
+    const long count = std::stol(text.substr(space + 2, eol - space - 2));
+    EXPECT_GE(count, prev);
+    prev = count;
+    pos = eol;
+  }
+  EXPECT_EQ(prev, 3);
+}
+
+TEST(PrometheusExportTest, EmptySnapshotSerializesToEmptyString) {
+  Registry reg;
+  EXPECT_EQ(to_prometheus(reg.snapshot()), "");
+}
+
+}  // namespace
+}  // namespace mmog::obs

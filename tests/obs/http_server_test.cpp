@@ -1,0 +1,167 @@
+#include "obs/http_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "obs/recorder.hpp"
+
+namespace mmog::obs {
+namespace {
+
+/// Blocking one-shot HTTP client: connect, send the request line, read to
+/// EOF. Returns the raw response (status line + headers + body).
+std::string http_get(std::uint16_t port, const std::string& path,
+                     const std::string& method = "GET") {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0)
+      << std::strerror(errno);
+  const std::string request =
+      method + " " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string body_of(const std::string& response) {
+  const auto pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? std::string() : response.substr(pos + 4);
+}
+
+TEST(HttpServerTest, BindsEphemeralPortAndServesHandler) {
+  HttpServer server(0, [](const HttpServer::Request& request) {
+    HttpServer::Response response;
+    response.body = "echo:" + request.path;
+    return response;
+  });
+  ASSERT_GT(server.port(), 0);
+  const auto response = http_get(server.port(), "/hello?x=1");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 11"), std::string::npos);
+  EXPECT_EQ(body_of(response), "echo:/hello");  // query string stripped
+  server.stop();
+}
+
+TEST(HttpServerTest, MalformedRequestLineGets400) {
+  HttpServer server(0, [](const HttpServer::Request&) {
+    return HttpServer::Response{};
+  });
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  const std::string junk = "nonsense\r\n\r\n";
+  ASSERT_EQ(::send(fd, junk.data(), junk.size(), 0),
+            static_cast<ssize_t>(junk.size()));
+  std::string response;
+  char buf[512];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("400"), std::string::npos);
+}
+
+TEST(HttpServerTest, TelemetrySmokeMetricsAndHealthz) {
+  Recorder recorder(TraceLevel::kOff);
+  recorder.enable_timeseries(8);
+  recorder.enable_alerts(default_alert_rules());
+  recorder.count("alloc.granted", 3.0);
+  recorder.observe_us("phase.step_us", 12.0);
+  std::vector<Sample> samples = {{"core.underalloc_frac", 0.05},
+                                 {"sla.availability_min_pct", 100.0}};
+  for (std::uint64_t t = 0; t <= 6; ++t) recorder.sample_step(t, samples);
+
+  TelemetryService service(recorder, 0);
+  ASSERT_GT(service.port(), 0);
+
+  const auto metrics = http_get(service.port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  const auto exposition = body_of(metrics);
+  EXPECT_NE(exposition.find("# TYPE alloc_granted counter"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("alloc_granted 3"), std::string::npos);
+  EXPECT_NE(exposition.find("core_underalloc_frac 0.05"), std::string::npos);
+  EXPECT_NE(exposition.find("# TYPE phase_step_us histogram"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("phase_step_us_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  // The underalloc default rule (for=5) fired at step 5: counter visible.
+  EXPECT_NE(exposition.find("alert_fired 1"), std::string::npos);
+
+  const auto healthz = http_get(service.port(), "/healthz");
+  EXPECT_NE(healthz.find("HTTP/1.0 200 OK"), std::string::npos);
+  const auto health = body_of(healthz);
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(health.find("\"step\":6"), std::string::npos);
+  EXPECT_NE(health.find("\"firing\":1"), std::string::npos);
+
+  const auto alerts = body_of(http_get(service.port(), "/alerts"));
+  EXPECT_NE(alerts.find("\"name\":\"underalloc\""), std::string::npos);
+  EXPECT_NE(alerts.find("\"state\":\"firing\""), std::string::npos);
+
+  const auto series = body_of(http_get(service.port(), "/timeseries.json"));
+  EXPECT_NE(series.find("\"name\":\"core.underalloc_frac\""),
+            std::string::npos);
+  EXPECT_NE(series.find("\"samples_seen\":7"), std::string::npos);
+
+  const auto missing = http_get(service.port(), "/nope");
+  EXPECT_NE(missing.find("HTTP/1.0 404"), std::string::npos);
+
+  const auto post = http_get(service.port(), "/metrics", "POST");
+  EXPECT_NE(post.find("HTTP/1.0 405"), std::string::npos);
+
+  service.stop();
+}
+
+TEST(HttpServerTest, ScrapesRaceSafelyWithSampling) {
+  // TSan-oriented: one thread samples while another scrapes every route.
+  Recorder recorder(TraceLevel::kOff);
+  recorder.enable_timeseries(16);
+  recorder.enable_alerts(default_alert_rules());
+  TelemetryService service(recorder, 0);
+  std::vector<Sample> samples = {{"core.underalloc_frac", 0.0},
+                                 {"sla.availability_min_pct", 100.0}};
+  std::thread writer([&] {
+    for (std::uint64_t t = 0; t < 200; ++t) {
+      samples[0].value = (t % 10 == 0) ? 0.05 : 0.0;
+      recorder.sample_step(t, samples);
+    }
+  });
+  for (int i = 0; i < 10; ++i) {
+    for (const char* path :
+         {"/metrics", "/healthz", "/alerts", "/timeseries.json"}) {
+      EXPECT_NE(http_get(service.port(), path).find("200"),
+                std::string::npos);
+    }
+  }
+  writer.join();
+  service.stop();
+}
+
+}  // namespace
+}  // namespace mmog::obs

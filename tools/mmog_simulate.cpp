@@ -12,6 +12,8 @@
 //                 [--reserve K] [--shed]
 //                 [--metrics-out FILE.{json,csv}]
 //                 [--trace-out FILE[.jsonl]] [--trace-detail]
+//                 [--serve PORT] [--serve-hold SEC]
+//                 [--alert "SPEC[;SPEC...]"] [--no-default-alerts]
 //
 // --metrics-out snapshots the observability registry (per-phase duration
 // histograms, offer/allocation counters) as JSON (.json) or CSV (anything
@@ -27,6 +29,20 @@
 // same-step re-placement with exponential backoff; --reserve K requests an
 // N+k standby reserve of K full servers per demand unit; --shed sacrifices
 // lower-priority games when supply cannot cover demand.
+//
+// --serve starts the live telemetry endpoint on 127.0.0.1:PORT (0 picks an
+// ephemeral port; the bound port is printed to stderr): GET /metrics
+// (Prometheus text exposition), /healthz, /alerts and /timeseries.json
+// serve the running simulation's state. --serve-hold keeps serving SEC
+// seconds after the run finishes so short runs can still be scraped.
+// --alert adds SLA alert rules, each ';'-separated spec mirroring the
+// --fault grammar:
+//   --alert "underalloc:metric=core.underalloc_frac,op=>,value=0.01,for=5"
+// (see src/obs/alert_parse.hpp). The built-in rules — the paper's 1%
+// under-provisioning threshold and worst-game SLA availability < 99% —
+// are always on with --serve/--alert unless --no-default-alerts is given.
+// Firing/resolve edges land in the trace (category "alert"), the
+// `alert.fired`/`alert.resolved` counters, and the end-of-run summary.
 
 #include <chrono>
 #include <cstdio>
@@ -34,9 +50,12 @@
 #include <memory>
 #include <stdexcept>
 #include <string_view>
+#include <thread>
 
 #include "core/simulation.hpp"
 #include "fault/parse.hpp"
+#include "obs/alert_parse.hpp"
+#include "obs/http_server.hpp"
 #include "obs/recorder.hpp"
 #include "predict/holt_winters.hpp"
 #include "predict/simple.hpp"
@@ -108,7 +127,9 @@ int main(int argc, char** argv) {
         "          [--fault \"SPEC[;SPEC...]\"] [--resilience]\n"
         "          [--reserve K] [--shed]\n"
         "          [--metrics-out FILE.{json,csv}]\n"
-        "          [--trace-out FILE[.jsonl]] [--trace-detail]\n",
+        "          [--trace-out FILE[.jsonl]] [--trace-detail]\n"
+        "          [--serve PORT] [--serve-hold SEC]\n"
+        "          [--alert \"SPEC[;SPEC...]\"] [--no-default-alerts]\n",
         args.program().c_str());
     return in_path.empty() && !args.has("help") ? 1 : 0;
   }
@@ -163,8 +184,10 @@ int main(int argc, char** argv) {
 
     const auto metrics_out = args.get("metrics-out", "");
     const auto trace_out = args.get("trace-out", "");
+    const bool serve = args.has("serve");
+    const bool live = serve || args.has("alert");
     std::unique_ptr<obs::Recorder> recorder;
-    if (!metrics_out.empty() || !trace_out.empty()) {
+    if (!metrics_out.empty() || !trace_out.empty() || live) {
       auto level = obs::TraceLevel::kOff;
       if (!trace_out.empty()) {
         level = args.has("trace-detail") ? obs::TraceLevel::kDetail
@@ -172,6 +195,31 @@ int main(int argc, char** argv) {
       }
       recorder = std::make_unique<obs::Recorder>(level);
       cfg.recorder = recorder.get();
+    }
+    if (live) {
+      recorder->enable_timeseries();
+      auto rules = args.has("no-default-alerts")
+                       ? std::vector<obs::AlertRule>{}
+                       : obs::default_alert_rules(cfg.event_threshold_pct);
+      for (auto& rule : obs::parse_alert_rules(args.get("alert", ""))) {
+        rules.push_back(std::move(rule));
+      }
+      if (!rules.empty()) recorder->enable_alerts(std::move(rules));
+    }
+    std::unique_ptr<obs::TelemetryService> telemetry;
+    if (serve) {
+      const long port = args.get_long("serve", 0);
+      if (port < 0 || port > 65535) {
+        throw std::invalid_argument("--serve PORT must be 0..65535");
+      }
+      telemetry = std::make_unique<obs::TelemetryService>(
+          *recorder, static_cast<std::uint16_t>(port));
+      std::fprintf(stderr,
+                   "mmog_simulate: serving telemetry on "
+                   "http://127.0.0.1:%u (/metrics /healthz /alerts "
+                   "/timeseries.json)\n",
+                   telemetry->port());
+      std::fflush(stderr);
     }
 
     const auto wall_start = std::chrono::steady_clock::now();
@@ -202,11 +250,34 @@ int main(int argc, char** argv) {
       }
     }
 
-    std::fprintf(stderr,
-                 "mmog_simulate: %zu steps, %zu game(s), %zu data center(s), "
-                 "%.2f s wall\n",
-                 result.steps, cfg.games.size(), cfg.datacenters.size(),
-                 wall_seconds);
+    std::size_t alerts_fired = 0;
+    std::size_t alerts_resolved = 0;
+    std::size_t alerts_firing = 0;
+    const obs::AlertEngine* engine =
+        recorder ? recorder->alerts() : nullptr;
+    if (engine) {
+      for (const auto& status : engine->statuses()) {
+        alerts_fired += status.fired_count;
+        alerts_resolved += status.resolved_count;
+        if (status.state == obs::AlertState::kFiring) ++alerts_firing;
+      }
+    }
+
+    if (engine) {
+      std::fprintf(stderr,
+                   "mmog_simulate: %zu steps, %zu game(s), %zu data "
+                   "center(s), %.2f s wall, alerts: %zu fired / %zu "
+                   "resolved / %zu still firing\n",
+                   result.steps, cfg.games.size(), cfg.datacenters.size(),
+                   wall_seconds, alerts_fired, alerts_resolved,
+                   alerts_firing);
+    } else {
+      std::fprintf(stderr,
+                   "mmog_simulate: %zu steps, %zu game(s), %zu data "
+                   "center(s), %.2f s wall\n",
+                   result.steps, cfg.games.size(), cfg.datacenters.size(),
+                   wall_seconds);
+    }
 
     std::printf("steps                  %zu\n", result.steps);
     std::printf("CPU over-allocation    %.2f %%\n",
@@ -218,7 +289,14 @@ int main(int argc, char** argv) {
     std::printf("unplaced CPU unit-steps %.1f\n",
                 result.unplaced_cpu_unit_steps);
     std::printf("renting cost           %.1f\n", result.total_cost);
-    if (!result.fault_events.empty()) {
+    // The SLA outcome matters whenever a breach actually happened, not
+    // only on fault-injection runs: a plain under-provisioned run has SLA
+    // consequences too.
+    bool any_breach = result.sla.breach_episodes > 0;
+    for (const auto& game : result.games) {
+      any_breach = any_breach || game.sla.breach_episodes > 0;
+    }
+    if (!result.fault_events.empty() || any_breach) {
       std::printf("\nFault injection / SLA:\n");
       std::printf("  fault windows        %zu\n", result.fault_events.size());
       std::printf("  availability         %.3f %%\n",
@@ -239,6 +317,29 @@ int main(int argc, char** argv) {
       if (usage.avg_allocated_cpu < 0.005) continue;
       std::printf("  %-16s %7.2f / %-4.0f\n", usage.name.c_str(),
                   usage.avg_allocated_cpu, usage.capacity_cpu);
+    }
+    if (engine) {
+      std::printf("\nAlerts:\n");
+      for (const auto& status : engine->statuses()) {
+        std::printf("  %-20s %-9s fired %zu, resolved %zu  (%s)\n",
+                    status.rule.name.c_str(),
+                    std::string(obs::alert_state_name(status.state)).c_str(),
+                    static_cast<std::size_t>(status.fired_count),
+                    static_cast<std::size_t>(status.resolved_count),
+                    obs::describe(status.rule).c_str());
+      }
+    }
+    if (telemetry) {
+      const double hold = args.get_double("serve-hold", 0.0);
+      if (hold > 0.0) {
+        std::fprintf(stderr,
+                     "mmog_simulate: holding telemetry endpoint for %.0f s\n",
+                     hold);
+        std::fflush(stderr);
+        std::fflush(stdout);
+        std::this_thread::sleep_for(std::chrono::duration<double>(hold));
+      }
+      telemetry->stop();
     }
     return 0;
   } catch (const std::exception& e) {

@@ -49,7 +49,8 @@ Mlp load_mlp(std::istream& in) {
   for (auto& p : params) {
     if (!(in >> p)) throw std::runtime_error("load_mlp: truncated parameters");
   }
-  util::Rng rng(0);  // weights overwritten below
+  // Placeholder init only — set_parameters() below overwrites every weight.
+  util::Rng rng(0);  // mmog-lint: allow(seed-literal)
   Mlp net(std::move(sizes), rng);
   if (net.parameter_count() != n_params) {
     throw std::runtime_error("load_mlp: parameter count mismatch");

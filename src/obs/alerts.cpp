@@ -70,7 +70,7 @@ AlertEngine::AlertEngine(std::vector<AlertRule> rules) {
 std::vector<AlertTransition> AlertEngine::observe(
     std::uint64_t step, const std::vector<Sample>& samples) {
   std::vector<AlertTransition> transitions;
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   last_step_ = step;
   for (auto& status : statuses_) {
     bool breached = false;
@@ -115,17 +115,17 @@ std::vector<AlertTransition> AlertEngine::observe(
 }
 
 std::size_t AlertEngine::rule_count() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return statuses_.size();
 }
 
 std::vector<AlertStatus> AlertEngine::statuses() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return statuses_;
 }
 
 std::size_t AlertEngine::count_in_state(AlertState state) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::size_t n = 0;
   for (const auto& status : statuses_) {
     if (status.state == state) ++n;
@@ -134,7 +134,7 @@ std::size_t AlertEngine::count_in_state(AlertState state) const {
 }
 
 std::string AlertEngine::to_json() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::string out = "{\"step\":" + std::to_string(last_step_);
   out += ",\"alerts\":[";
   bool sep = false;

@@ -2,12 +2,13 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/timeseries.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mmog::obs {
 
@@ -72,11 +73,13 @@ class AlertEngine {
   /// Feeds one step; returns the transitions that edge caused (in rule
   /// order), already applied to the internal state machine.
   std::vector<AlertTransition> observe(std::uint64_t step,
-                                       const std::vector<Sample>& samples);
+                                       const std::vector<Sample>& samples)
+      EXCLUDES(mutex_);
 
-  std::size_t rule_count() const;
-  std::vector<AlertStatus> statuses() const;  ///< copy under the lock
-  std::size_t count_in_state(AlertState state) const;
+  std::size_t rule_count() const EXCLUDES(mutex_);
+  std::vector<AlertStatus> statuses() const
+      EXCLUDES(mutex_);  ///< copy under the lock
+  std::size_t count_in_state(AlertState state) const EXCLUDES(mutex_);
   std::size_t firing_count() const { return count_in_state(AlertState::kFiring); }
 
   /// {"step":N,"alerts":[{"name":..,"metric":..,"op":..,"value":F,
@@ -84,9 +87,9 @@ class AlertEngine {
   std::string to_json() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<AlertStatus> statuses_;
-  std::uint64_t last_step_ = 0;
+  mutable util::Mutex mutex_;
+  std::vector<AlertStatus> statuses_ GUARDED_BY(mutex_);
+  std::uint64_t last_step_ GUARDED_BY(mutex_) = 0;
 };
 
 /// The built-in rules every live run watches unless overridden: the

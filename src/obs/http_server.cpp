@@ -69,7 +69,11 @@ HttpServer::HttpServer(std::uint16_t port, Handler handler)
 HttpServer::~HttpServer() { stop(); }
 
 void HttpServer::stop() {
-  if (!stop_.exchange(true) && thread_.joinable()) thread_.join();
+  // Exactly one caller wins the exchange, joins the accept thread and then
+  // closes the socket; losers return immediately. Closing before the join
+  // would yank listen_fd_ out from under the serve() poll loop.
+  if (stop_.exchange(true)) return;
+  if (thread_.joinable()) thread_.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;

@@ -38,11 +38,18 @@ class HttpServer {
   HttpServer& operator=(const HttpServer&) = delete;
 
   std::uint16_t port() const noexcept { return port_; }
+
+  /// Joins the accept thread and closes the socket. Idempotent and safe to
+  /// call from multiple threads: one caller wins, the rest return at once.
   void stop();
 
  private:
   void serve();
 
+  // No mutex: handler_/port_ are written only before the accept thread
+  // starts, and listen_fd_ only before start and after the stop() join, so
+  // every cross-thread hand-off is ordered by the thread start/join (and
+  // stop_ is the one flag both threads touch concurrently).
   Handler handler_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;

@@ -72,27 +72,44 @@ class Recorder {
   // simulator's per-step sampling block never runs. When enabled, the
   // simulation thread calls sample_step() once per step; the HTTP thread
   // (TelemetryService) reads the store/engine through their own locks.
+  //
+  // The store/engine pointers are published through release/acquire
+  // atomics: enable_*() may race with a scrape on the HTTP thread, and the
+  // reader must observe a fully constructed object or nullptr — never a
+  // half-written pointer. Each enable_*() is one-shot (the owner slot is
+  // written once); re-enabling while serving is not supported.
 
   /// Keep a downsampling ring of every sampled metric (capacity points per
   /// series; resolution halves when full).
   void enable_timeseries(std::size_t capacity_per_series = 512) {
-    timeseries_ = std::make_unique<TimeSeriesStore>(capacity_per_series);
+    timeseries_owner_ =
+        std::make_unique<TimeSeriesStore>(capacity_per_series);
+    timeseries_.store(timeseries_owner_.get(), std::memory_order_release);
   }
 
   /// Watch the sampled metrics with an alert-rule engine.
   void enable_alerts(std::vector<AlertRule> rules) {
-    alerts_ = std::make_unique<AlertEngine>(std::move(rules));
+    alerts_owner_ = std::make_unique<AlertEngine>(std::move(rules));
+    alerts_.store(alerts_owner_.get(), std::memory_order_release);
   }
 
-  TimeSeriesStore* timeseries() noexcept { return timeseries_.get(); }
-  const TimeSeriesStore* timeseries() const noexcept {
-    return timeseries_.get();
+  TimeSeriesStore* timeseries() noexcept {
+    return timeseries_.load(std::memory_order_acquire);
   }
-  AlertEngine* alerts() noexcept { return alerts_.get(); }
-  const AlertEngine* alerts() const noexcept { return alerts_.get(); }
+  const TimeSeriesStore* timeseries() const noexcept {
+    return timeseries_.load(std::memory_order_acquire);
+  }
+  AlertEngine* alerts() noexcept {
+    return alerts_.load(std::memory_order_acquire);
+  }
+  const AlertEngine* alerts() const noexcept {
+    return alerts_.load(std::memory_order_acquire);
+  }
 
   /// True when per-step sampling has a consumer (store or alert engine).
-  bool live() const noexcept { return timeseries_ || alerts_; }
+  bool live() const noexcept {
+    return timeseries() != nullptr || alerts() != nullptr;
+  }
 
   /// Step of the most recent sample_step() call (0 before the first).
   std::uint64_t last_sampled_step() const noexcept {
@@ -110,9 +127,10 @@ class Recorder {
     for (const auto& sample : samples) {
       registry_.set(sample.name, sample.value);
     }
-    if (timeseries_) timeseries_->append(step, samples);
-    if (!alerts_) return;
-    for (const auto& edge : alerts_->observe(step, samples)) {
+    if (TimeSeriesStore* store = timeseries()) store->append(step, samples);
+    AlertEngine* engine = alerts();
+    if (!engine) return;
+    for (const auto& edge : engine->observe(step, samples)) {
       const bool fired = edge.kind == AlertTransition::Kind::kFired;
       count(fired ? "alert.fired" : "alert.resolved");
       instant(fired ? "alert.firing" : "alert.resolved", "alert", step,
@@ -126,8 +144,10 @@ class Recorder {
   Registry registry_;
   Tracer tracer_;
   TraceLevel level_;
-  std::unique_ptr<TimeSeriesStore> timeseries_;
-  std::unique_ptr<AlertEngine> alerts_;
+  std::unique_ptr<TimeSeriesStore> timeseries_owner_;
+  std::unique_ptr<AlertEngine> alerts_owner_;
+  std::atomic<TimeSeriesStore*> timeseries_{nullptr};
+  std::atomic<AlertEngine*> alerts_{nullptr};
   std::atomic<std::uint64_t> last_step_{0};
 };
 

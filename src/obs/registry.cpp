@@ -75,11 +75,11 @@ std::string json_number(double v) {
 }  // namespace
 
 struct Registry::Shard {
-  std::mutex mutex;  ///< owner thread + snapshot() only: effectively free
+  util::Mutex mutex;  ///< owner thread + snapshot() only: effectively free
   std::unordered_map<std::string, double, StringHash, std::equal_to<>>
-      counters;
+      counters GUARDED_BY(mutex);
   std::unordered_map<std::string, LocalHistogram, StringHash, std::equal_to<>>
-      histograms;
+      histograms GUARDED_BY(mutex);
 };
 
 double HistogramData::quantile(double q) const noexcept {
@@ -135,7 +135,7 @@ Registry::Shard& Registry::local_shard() const {
   // be reused), so a stale entry from a destroyed registry is never hit.
   thread_local std::unordered_map<std::uint64_t, Shard*> cache;
   if (const auto it = cache.find(id_); it != cache.end()) return *it->second;
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   shards_.push_back(std::make_unique<Shard>());
   Shard* shard = shards_.back().get();
   cache.emplace(id_, shard);
@@ -144,7 +144,7 @@ Registry::Shard& Registry::local_shard() const {
 
 std::shared_ptr<const std::vector<double>> Registry::bounds_for(
     std::string_view name) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (const auto it = histogram_bounds_.find(name);
       it != histogram_bounds_.end()) {
     return it->second;
@@ -157,7 +157,7 @@ std::shared_ptr<const std::vector<double>> Registry::bounds_for(
 
 void Registry::add(std::string_view counter, double delta) {
   Shard& shard = local_shard();
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   if (const auto it = shard.counters.find(counter);
       it != shard.counters.end()) {
     it->second += delta;
@@ -167,7 +167,7 @@ void Registry::add(std::string_view counter, double delta) {
 }
 
 void Registry::set(std::string_view gauge, double value) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (const auto it = gauges_.find(gauge); it != gauges_.end()) {
     it->second = value;
   } else {
@@ -181,7 +181,7 @@ void Registry::define_histogram(std::string_view name,
     throw std::invalid_argument(
         "define_histogram: bounds must be non-empty and ascending");
   }
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (const auto it = histogram_bounds_.find(name);
       it != histogram_bounds_.end()) {
     if (*it->second != bounds) {
@@ -198,7 +198,7 @@ void Registry::define_histogram(std::string_view name,
 void Registry::observe(std::string_view histogram, double value) {
   Shard& shard = local_shard();
   {
-    std::lock_guard lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     if (const auto it = shard.histograms.find(histogram);
         it != shard.histograms.end()) {
       it->second.observe(value);
@@ -209,7 +209,7 @@ void Registry::observe(std::string_view histogram, double value) {
   // outside the shard lock (bounds_for takes the registry mutex, which
   // snapshot() holds while collecting shard pointers).
   auto bounds = bounds_for(histogram);
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   shard.histograms.emplace(std::string(histogram),
                            LocalHistogram(std::move(bounds)))
       .first->second.observe(value);
@@ -219,13 +219,13 @@ Snapshot Registry::snapshot() const {
   Snapshot snap;
   std::vector<Shard*> shards;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     shards.reserve(shards_.size());
     for (const auto& s : shards_) shards.push_back(s.get());
     snap.gauges.insert(gauges_.begin(), gauges_.end());
   }
   for (Shard* shard : shards) {
-    std::lock_guard lock(shard->mutex);
+    util::MutexLock lock(shard->mutex);
     for (const auto& [name, value] : shard->counters) {
       snap.counters[name] += value;
     }

@@ -4,11 +4,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mmog::obs {
 
@@ -92,16 +94,17 @@ class Registry {
  private:
   struct Shard;
 
-  Shard& local_shard() const;
-  std::shared_ptr<const std::vector<double>> bounds_for(std::string_view name);
+  Shard& local_shard() const EXCLUDES(mutex_);
+  std::shared_ptr<const std::vector<double>> bounds_for(std::string_view name)
+      EXCLUDES(mutex_);
 
   const std::uint64_t id_;  ///< process-unique, keys the thread-local cache
-  mutable std::mutex mutex_;
-  mutable std::vector<std::unique_ptr<Shard>> shards_;
+  mutable util::Mutex mutex_;
+  mutable std::vector<std::unique_ptr<Shard>> shards_ GUARDED_BY(mutex_);
   std::map<std::string, std::shared_ptr<const std::vector<double>>,
            std::less<>>
-      histogram_bounds_;
-  std::map<std::string, double, std::less<>> gauges_;
+      histogram_bounds_ GUARDED_BY(mutex_);
+  std::map<std::string, double, std::less<>> gauges_ GUARDED_BY(mutex_);
 };
 
 }  // namespace mmog::obs

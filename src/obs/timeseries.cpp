@@ -53,7 +53,7 @@ TimeSeriesStore::TimeSeriesStore(std::size_t capacity_per_series)
 
 void TimeSeriesStore::append(std::uint64_t step,
                              const std::vector<Sample>& samples) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (const auto& sample : samples) {
     auto it = series_.find(sample.name);
     if (it == series_.end()) {
@@ -67,12 +67,12 @@ void TimeSeriesStore::append(std::uint64_t step,
 }
 
 std::size_t TimeSeriesStore::series_count() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return series_.size();
 }
 
 std::vector<std::string> TimeSeriesStore::names() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(series_.size());
   for (const auto& [name, series] : series_) out.push_back(name);
@@ -80,7 +80,7 @@ std::vector<std::string> TimeSeriesStore::names() const {
 }
 
 std::string TimeSeriesStore::to_json() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::string out = "{\"series\":[";
   bool sep = false;
   for (const auto& [name, series] : series_) {
@@ -112,7 +112,7 @@ std::string TimeSeriesStore::to_json() const {
 }
 
 std::string TimeSeriesStore::to_csv() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::string out = "name,step,value\n";
   for (const auto& [name, series] : series_) {
     const auto& buf = series.buffer;

@@ -3,10 +3,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mmog::obs {
 
@@ -60,10 +62,11 @@ class TimeSeriesStore {
   explicit TimeSeriesStore(std::size_t capacity_per_series = 512);
 
   /// Appends one step's samples; creates series on first sight.
-  void append(std::uint64_t step, const std::vector<Sample>& samples);
+  void append(std::uint64_t step, const std::vector<Sample>& samples)
+      EXCLUDES(mutex_);
 
-  std::size_t series_count() const;
-  std::vector<std::string> names() const;
+  std::size_t series_count() const EXCLUDES(mutex_);
+  std::vector<std::string> names() const EXCLUDES(mutex_);
 
   /// {"series":[{"name":..,"start_step":N,"stride":N,"samples_seen":N,
   ///             "points":[..]}, ...]} — points include the trailing
@@ -81,8 +84,8 @@ class TimeSeriesStore {
   };
 
   std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::map<std::string, Series, std::less<>> series_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, Series, std::less<>> series_ GUARDED_BY(mutex_);
 };
 
 }  // namespace mmog::obs

@@ -236,7 +236,7 @@ void Tracer::instant(std::string_view name, std::string_view category,
   ev.step = step;
   ev.ts_us = ts;
   ev.args = std::move(args);
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   ev.seq = next_seq_++;
   events_.push_back(std::move(ev));
 }
@@ -252,18 +252,18 @@ void Tracer::complete_span(std::string_view name, std::string_view category,
   ev.ts_us = ts_us;
   ev.dur_us = dur_us;
   ev.args = std::move(args);
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   ev.seq = next_seq_++;
   events_.push_back(std::move(ev));
 }
 
 std::size_t Tracer::size() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return events_.size();
 }
 
 std::vector<TraceEvent> Tracer::events() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return events_;
 }
 

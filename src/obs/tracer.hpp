@@ -3,10 +3,12 @@
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mmog::obs {
 
@@ -55,8 +57,9 @@ class Tracer {
                      std::uint64_t step, double ts_us, double dur_us,
                      std::vector<TraceArg> args = {});
 
-  std::size_t size() const;
-  std::vector<TraceEvent> events() const;  ///< copy, in recording order
+  std::size_t size() const EXCLUDES(mutex_);
+  std::vector<TraceEvent> events() const
+      EXCLUDES(mutex_);  ///< copy, in recording order
 
   /// One JSON object per line:
   /// {"seq":N,"kind":"span|instant","name":..,"cat":..,"step":N,
@@ -69,9 +72,9 @@ class Tracer {
 
  private:
   std::chrono::steady_clock::time_point start_;
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
-  std::uint64_t next_seq_ = 0;
+  mutable util::Mutex mutex_;
+  std::vector<TraceEvent> events_ GUARDED_BY(mutex_);
+  std::uint64_t next_seq_ GUARDED_BY(mutex_) = 0;
 };
 
 /// Parses a stream produced by Tracer::write_jsonl back into events.

@@ -1,0 +1,386 @@
+#include "util/srclint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace mmog::util::lint {
+namespace {
+
+bool is_word(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Result of the comment/string stripper: `code` mirrors the input byte for
+/// byte except that comment bodies and string/char literal contents become
+/// spaces (newlines survive, so line numbers line up); `comment_text[i]` is
+/// the concatenated comment text that *starts* on 1-based line i+1; and
+/// `line_has_code[i]` says whether that line kept any non-whitespace code.
+struct Stripped {
+  std::string code;
+  std::vector<std::string> comment_text;
+  std::vector<bool> line_has_code;
+};
+
+Stripped strip(std::string_view in) {
+  Stripped out;
+  out.code.reserve(in.size());
+  std::size_t line = 0;  // 0-based index of the current line
+  auto ensure_line = [&](std::size_t l) {
+    if (out.comment_text.size() <= l) {
+      out.comment_text.resize(l + 1);
+      out.line_has_code.resize(l + 1, false);
+    }
+  };
+  ensure_line(0);
+
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::size_t comment_line = 0;  // line the active comment started on
+  std::string raw_delim;         // for R"delim( ... )delim"
+
+  std::size_t i = 0;
+  const auto n = in.size();
+  auto emit = [&](char c) {
+    out.code += c;
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      out.line_has_code[line] = true;
+    }
+  };
+  auto blank = [&](char c) { out.code += c == '\n' ? '\n' : ' '; };
+
+  while (i < n) {
+    const char c = in[i];
+    if (c == '\n') {
+      ++line;
+      ensure_line(line);
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < n && in[i + 1] == '/') {
+          state = State::kLine;
+          comment_line = line;
+          blank(c);
+          blank(in[++i]);
+        } else if (c == '/' && i + 1 < n && in[i + 1] == '*') {
+          state = State::kBlock;
+          comment_line = line;
+          blank(c);
+          blank(in[++i]);
+        } else if (c == '"' && i > 0 && in[i - 1] == 'R') {
+          // Raw string literal: R"delim( ... )delim"
+          state = State::kRaw;
+          raw_delim.clear();
+          emit(c);
+          while (i + 1 < n && in[i + 1] != '(') raw_delim += in[++i];
+          if (i + 1 < n) ++i;  // consume '('
+        } else if (c == '"') {
+          state = State::kString;
+          emit(c);
+        } else if (c == '\'' && (i == 0 || !is_word(in[i - 1]))) {
+          // A char literal, not a C++14 digit separator (1'000'000).
+          state = State::kChar;
+          emit(c);
+        } else {
+          emit(c);
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+          blank(c);
+        } else {
+          out.comment_text[comment_line] += c;
+          blank(c);
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && i + 1 < n && in[i + 1] == '/') {
+          state = State::kCode;
+          blank(c);
+          blank(in[++i]);
+        } else {
+          out.comment_text[comment_line] += c;
+          blank(c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < n) {
+          blank(c);
+          blank(in[++i]);
+        } else if (c == '"') {
+          state = State::kCode;
+          emit(c);
+        } else {
+          blank(c);
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < n) {
+          blank(c);
+          blank(in[++i]);
+        } else if (c == '\'') {
+          state = State::kCode;
+          emit(c);
+        } else {
+          blank(c);
+        }
+        break;
+      case State::kRaw:
+        if (c == ')' && in.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
+            i + 1 + raw_delim.size() < n && in[i + 1 + raw_delim.size()] == '"') {
+          for (std::size_t k = 0; k < raw_delim.size() + 1; ++k) blank(in[i + k]);
+          i += raw_delim.size() + 1;
+          emit('"');
+          state = State::kCode;
+        } else {
+          blank(c);
+        }
+        break;
+    }
+    ++i;
+  }
+  return out;
+}
+
+/// First position >= from where `name` appears as a whole word; npos if none.
+std::size_t find_token(std::string_view line, std::string_view name,
+                       std::size_t from = 0) {
+  for (std::size_t pos = line.find(name, from); pos != std::string_view::npos;
+       pos = line.find(name, pos + 1)) {
+    const bool left_ok = pos == 0 || !is_word(line[pos - 1]);
+    const std::size_t end = pos + name.size();
+    const bool right_ok = end >= line.size() || !is_word(line[end]);
+    if (left_ok && right_ok) return pos;
+  }
+  return std::string_view::npos;
+}
+
+std::size_t skip_ws(std::string_view s, std::size_t pos) {
+  while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t')) ++pos;
+  return pos;
+}
+
+/// True when `name` appears as a word immediately followed by '(' — i.e. a
+/// call (or declaration, which is equally banned for the banned names).
+bool has_call(std::string_view line, std::string_view name) {
+  for (std::size_t pos = find_token(line, name); pos != std::string_view::npos;
+       pos = find_token(line, name, pos + 1)) {
+    const std::size_t after = skip_ws(line, pos + name.size());
+    if (after < line.size() && line[after] == '(') return true;
+  }
+  return false;
+}
+
+/// True when `name` (an RNG engine or .seed) is invoked with a bare integer
+/// literal argument: `seed(0xabc)`, or the declaration forms
+/// `util::Rng rng(42)` / `std::mt19937 gen{12345}` — one intervening
+/// identifier (the variable name) is skipped between the engine and the
+/// argument list.
+bool has_literal_seed(std::string_view line, std::string_view name) {
+  for (std::size_t pos = find_token(line, name); pos != std::string_view::npos;
+       pos = find_token(line, name, pos + 1)) {
+    std::size_t p = skip_ws(line, pos + name.size());
+    if (p < line.size() && std::isalpha(static_cast<unsigned char>(line[p])) != 0) {
+      while (p < line.size() && is_word(line[p])) ++p;  // variable name
+      p = skip_ws(line, p);
+    }
+    if (p >= line.size() || (line[p] != '(' && line[p] != '{')) continue;
+    const char close = line[p] == '(' ? ')' : '}';
+    p = skip_ws(line, p + 1);
+    if (p >= line.size() || std::isdigit(static_cast<unsigned char>(line[p])) == 0) {
+      continue;
+    }
+    while (p < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[p])) != 0 ||
+            line[p] == '\'')) {
+      ++p;  // digits, hex letters, 0x/0b prefixes, u/l suffixes, separators
+    }
+    p = skip_ws(line, p);
+    if (p < line.size() && line[p] == close) return true;
+  }
+  return false;
+}
+
+const std::string_view kDeterministicDirs[] = {"core", "dc", "predict", "nn",
+                                               "emu"};
+
+/// Parses every `mmog-lint: allow(rule[, rule...])` directive in a comment.
+std::set<std::string> parse_allows(std::string_view comment) {
+  std::set<std::string> rules;
+  static constexpr std::string_view kKey = "mmog-lint:";
+  for (std::size_t at = comment.find(kKey); at != std::string_view::npos;
+       at = comment.find(kKey, at + 1)) {
+    std::size_t p = skip_ws(comment, at + kKey.size());
+    if (comment.compare(p, 5, "allow") != 0) continue;
+    p = skip_ws(comment, p + 5);
+    if (p >= comment.size() || comment[p] != '(') continue;
+    const std::size_t end = comment.find(')', p);
+    if (end == std::string_view::npos) continue;
+    std::string name;
+    for (std::size_t k = p + 1; k <= end; ++k) {
+      const char c = k == end ? ',' : comment[k];
+      if (c == ',' ) {
+        if (!name.empty()) rules.insert(name);
+        name.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(c))) {
+        name += c;
+      }
+    }
+  }
+  return rules;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> kCatalog = {
+      {"rand", false,
+       "rand()/srand() use hidden global state; take a util::Rng instead"},
+      {"random-device", false,
+       "std::random_device draws fresh entropy every run; plumb a seed"},
+      {"wall-clock", false,
+       "wall-clock reads (system_clock, time(), localtime, ...) make runs "
+       "time-of-day dependent; use steady_clock for measured durations"},
+      {"seed-literal", false,
+       "RNG seeded with a bare integer literal; seeds must come from "
+       "configuration so experiments stay reproducible end to end"},
+      {"unordered-container", true,
+       "unordered container in a deterministic simulation path; iteration "
+       "order is implementation-defined — use std::map or a sorted vector"},
+  };
+  return kCatalog;
+}
+
+bool is_deterministic_path(std::string_view path) {
+  std::size_t begin = 0;
+  while (begin <= path.size()) {
+    std::size_t end = path.find('/', begin);
+    if (end == std::string_view::npos) end = path.size();
+    const std::string_view part = path.substr(begin, end - begin);
+    for (const std::string_view dir : kDeterministicDirs) {
+      if (part == dir) return true;
+    }
+    begin = end + 1;
+  }
+  return false;
+}
+
+std::vector<Finding> lint_source(std::string_view path,
+                                 std::string_view content) {
+  const Stripped stripped = strip(content);
+  const bool deterministic = is_deterministic_path(path);
+
+  // Allow sets per 0-based line, from that line's comments.
+  std::vector<std::set<std::string>> allows(stripped.comment_text.size());
+  for (std::size_t l = 0; l < stripped.comment_text.size(); ++l) {
+    if (!stripped.comment_text[l].empty()) {
+      allows[l] = parse_allows(stripped.comment_text[l]);
+    }
+  }
+
+  std::vector<Finding> findings;
+  auto allowed = [&](std::size_t l, std::string_view rule) {
+    if (l < allows.size() && allows[l].count(std::string(rule)) > 0) {
+      return true;
+    }
+    // A standalone allow comment (no code on its line) covers the next line.
+    return l > 0 && l - 1 < allows.size() &&
+           allows[l - 1].count(std::string(rule)) > 0 &&
+           !stripped.line_has_code[l - 1];
+  };
+  auto report = [&](std::size_t l, std::string_view rule,
+                    std::string message) {
+    if (allowed(l, rule)) return;
+    findings.push_back(
+        {std::string(path), l + 1, std::string(rule), std::move(message)});
+  };
+
+  std::istringstream lines{stripped.code};
+  std::string raw_line;
+  for (std::size_t l = 0; std::getline(lines, raw_line); ++l) {
+    const std::string_view line = raw_line;
+
+    if (has_call(line, "rand") || has_call(line, "srand")) {
+      report(l, "rand", "rand()/srand() banned: use util::Rng with a "
+                        "plumbed seed");
+    }
+    if (line.find("random_device") != std::string_view::npos) {
+      report(l, "random-device",
+             "std::random_device banned: nondeterministic across runs");
+    }
+    if (line.find("system_clock") != std::string_view::npos ||
+        has_call(line, "time") || has_call(line, "gettimeofday") ||
+        has_call(line, "localtime") || has_call(line, "gmtime") ||
+        has_call(line, "ctime") || has_call(line, "asctime")) {
+      report(l, "wall-clock",
+             "wall-clock read banned: simulation output must not depend on "
+             "time of day (steady_clock is fine for measured durations)");
+    }
+    for (const std::string_view engine :
+         {std::string_view("Rng"), std::string_view("mt19937"),
+          std::string_view("mt19937_64"),
+          std::string_view("default_random_engine"),
+          std::string_view("minstd_rand"), std::string_view("minstd_rand0"),
+          std::string_view("seed")}) {
+      if (has_literal_seed(line, engine)) {
+        report(l, "seed-literal",
+               "RNG seeded with an integer literal: plumb the seed from "
+               "configuration instead of inventing it here");
+        break;
+      }
+    }
+    if (deterministic &&
+        (line.find("unordered_map") != std::string_view::npos ||
+         line.find("unordered_set") != std::string_view::npos ||
+         line.find("unordered_multi") != std::string_view::npos)) {
+      report(l, "unordered-container",
+             "unordered container in a deterministic path: iteration order "
+             "is implementation-defined — use std::map or a sorted vector");
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> lint_tree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  const auto wanted = [](const fs::path& p) {
+    const auto ext = p.extension().string();
+    return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+  };
+  std::error_code ec;
+  if (fs::is_directory(root, ec)) {
+    for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+         it.increment(ec)) {
+      if (!ec && it->is_regular_file() && wanted(it->path())) {
+        files.push_back(it->path().generic_string());
+      }
+    }
+  } else {
+    files.push_back(root);
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const auto& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      findings.push_back({file, 0, "io-error", "cannot read file"});
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto file_findings = lint_source(file, buf.str());
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+}  // namespace mmog::util::lint

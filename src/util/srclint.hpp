@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mmog::util::lint {
+
+/// One rule violation at a source line.
+struct Finding {
+  std::string path;
+  std::size_t line = 0;  ///< 1-based
+  std::string rule;      ///< catalog name, e.g. "wall-clock"
+  std::string message;
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+/// One entry of the rule catalog (for --list-rules and docs).
+struct RuleInfo {
+  std::string_view name;
+  bool deterministic_only;  ///< enforced only under core/ dc/ predict/ nn/ emu/
+  std::string_view summary;
+};
+
+/// The determinism-lint catalog, in reporting order:
+///   rand                 ban rand()/srand(): libc PRNG with hidden global
+///                        state — use util::Rng with a plumbed seed
+///   random-device        ban std::random_device: per-run entropy breaks
+///                        bit-reproducibility
+///   wall-clock           ban std::chrono::system_clock, time(), gettimeofday,
+///                        localtime/gmtime/ctime/asctime: wall-clock reads
+///                        make runs time-of-day dependent (steady_clock for
+///                        measured durations is fine — values only)
+///   seed-literal         ban constructing an RNG engine (util::Rng,
+///                        std::mt19937[_64], std::default_random_engine,
+///                        std::minstd_rand) or calling .seed() with a bare
+///                        integer literal: seeds must be plumbed from
+///                        configuration, not invented at the call site
+///   unordered-container  [deterministic paths only] ban std::unordered_map /
+///                        std::unordered_set (and multi variants): their
+///                        iteration order is implementation-defined, which
+///                        leaks nondeterminism into any loop over them — use
+///                        std::map / sorted vectors in simulation code
+const std::vector<RuleInfo>& rule_catalog();
+
+/// True when `path` has a directory component that places it in a
+/// bit-deterministic simulation layer (core, dc, predict, nn, emu).
+bool is_deterministic_path(std::string_view path);
+
+/// Lints one file's contents. Comments and string/char literals are stripped
+/// before matching, so prose and log text never trip a rule. A comment
+/// `// mmog-lint: allow(rule[,rule...])` suppresses those rules on its own
+/// line — or, when the comment stands alone, on the following line.
+/// Deterministic-only rules run when is_deterministic_path(path) holds.
+std::vector<Finding> lint_source(std::string_view path,
+                                 std::string_view content);
+
+/// Recursively lints every .hpp/.cpp/.h/.cc file under `root` (a file path
+/// is linted directly). Paths that cannot be read produce a finding with
+/// rule "io-error". Results are sorted by path then line.
+std::vector<Finding> lint_tree(const std::string& root);
+
+}  // namespace mmog::util::lint

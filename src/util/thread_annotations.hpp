@@ -1,0 +1,97 @@
+#pragma once
+
+// Clang Thread Safety Analysis attribute macros (the canonical mock-header
+// vocabulary: CAPABILITY / GUARDED_BY / REQUIRES / ACQUIRE / RELEASE, see
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). On compilers
+// without the attributes (GCC, MSVC) every macro expands to nothing, so the
+// annotations are free documentation there and compile-time race proofs
+// under `clang -Wthread-safety` (promoted to errors by MMOG_WERROR).
+//
+// Annotate with these via util::Mutex / util::MutexLock (util/mutex.hpp);
+// a bare std::mutex is invisible to the analysis.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define MMOG_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define MMOG_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+#ifndef CAPABILITY
+#define CAPABILITY(x) MMOG_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+#endif
+
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY MMOG_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+#endif
+
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) MMOG_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+#endif
+
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) MMOG_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+#endif
+
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) \
+  MMOG_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) \
+  MMOG_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+#endif
+
+#ifndef REQUIRES
+#define REQUIRES(...) \
+  MMOG_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#endif
+
+#ifndef REQUIRES_SHARED
+#define REQUIRES_SHARED(...) \
+  MMOG_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE
+#define ACQUIRE(...) \
+  MMOG_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE_SHARED
+#define ACQUIRE_SHARED(...) \
+  MMOG_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE
+#define RELEASE(...) \
+  MMOG_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE_SHARED
+#define RELEASE_SHARED(...) \
+  MMOG_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+  MMOG_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef EXCLUDES
+#define EXCLUDES(...) MMOG_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+#endif
+
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) \
+  MMOG_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+#endif
+
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) \
+  MMOG_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+#endif
+
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS \
+  MMOG_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+#endif

@@ -1,13 +1,14 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mmog::util {
 
@@ -33,7 +34,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     auto fut = task->get_future();
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       queue_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -46,10 +47,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  std::queue<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  bool stopping_ GUARDED_BY(mutex_) = false;
+  CondVar cv_;
 };
 
 /// Runs fn(i) for i in [0, n) across the pool and blocks until all complete.

@@ -21,7 +21,10 @@ trace::WorldTrace flat_workload(std::size_t groups, std::size_t steps,
   region.name = "Europe";
   for (std::size_t g = 0; g < groups; ++g) {
     trace::ServerGroupTrace group;
-    group.name = "G" + std::to_string(g);
+    // Built with += rather than operator+ to sidestep GCC 12's -Wrestrict
+    // false positive on inlined string concatenation (GCC bug 105329).
+    group.name = "G";
+    group.name += std::to_string(g);
     group.players = util::TimeSeries(
         util::kSampleStepSeconds, std::vector<double>(steps, players));
     region.groups.push_back(std::move(group));

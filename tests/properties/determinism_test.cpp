@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <numbers>
+#include <string>
+
+#include "core/simulation.hpp"
+#include "obs/recorder.hpp"
+#include "predict/simple.hpp"
+
+// Runtime twin of the mmog_lint rules: the linter proves no nondeterminism
+// *source* exists in the simulation layers; this property test proves the
+// *outcome* — two runs with identical seeds produce byte-identical results
+// and byte-identical metrics snapshots, with live telemetry on or off.
+
+namespace mmog::core {
+namespace {
+
+using util::ResourceKind;
+
+trace::WorldTrace sine_workload(std::size_t groups, std::size_t steps) {
+  trace::WorldTrace world;
+  trace::RegionalTrace region;
+  region.name = "Europe";
+  for (std::size_t g = 0; g < groups; ++g) {
+    trace::ServerGroupTrace group;
+    group.name = "G";
+    group.name += std::to_string(g);
+    group.players = util::TimeSeries(util::kSampleStepSeconds);
+    for (std::size_t t = 0; t < steps; ++t) {
+      const double phase =
+          2.0 * std::numbers::pi * static_cast<double>(t + 37 * g) / 720.0;
+      group.players.push_back(500.0 + 450.0 * (1.0 - std::cos(phase)));
+    }
+    region.groups.push_back(std::move(group));
+  }
+  world.regions.push_back(std::move(region));
+  return world;
+}
+
+SimulationConfig base_config(std::size_t groups, std::size_t steps) {
+  SimulationConfig cfg;
+  dc::DataCenterSpec d;
+  d.name = "NL";
+  d.country = "Netherlands";
+  d.continent = "Europe";
+  d.location = {52.37, 4.90};
+  d.machines = 30;
+  d.policy = dc::HostingPolicy::preset(1);
+  cfg.datacenters = {d};
+  GameSpec game;
+  game.name = "TestGame";
+  game.load = LoadModel{UpdateModel::kQuadratic, 2000.0};
+  game.latency_tolerance = dc::DistanceClass::kVeryFar;
+  game.workload = sine_workload(groups, steps);
+  cfg.games.push_back(std::move(game));
+  cfg.predictor = [] {
+    return std::make_unique<predict::LastValuePredictor>();
+  };
+  return cfg;
+}
+
+// Hexfloat so equal strings mean equal bits, not equal roundings.
+void put(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a,", v);
+  out += buf;
+}
+void put(std::string& out, std::size_t v) {
+  out += std::to_string(v);
+  out += ',';
+}
+void put(std::string& out, const util::ResourceVector& v) {
+  put(out, v.cpu());
+  put(out, v.memory());
+  put(out, v.net_in());
+  put(out, v.net_out());
+}
+void put(std::string& out, const SlaStats& s) {
+  put(out, s.steps);
+  put(out, s.downtime_steps);
+  put(out, s.shed_steps);
+  put(out, s.breach_episodes);
+  put(out, s.recoveries);
+  put(out, s.longest_breach_steps);
+  put(out, s.mean_time_to_recover_steps);
+  put(out, s.max_time_to_recover_steps);
+}
+
+/// Every numeric field of the result, per step, bit for bit.
+std::string serialize(const SimulationResult& result) {
+  std::string out;
+  put(out, result.steps);
+  put(out, result.unplaced_cpu_unit_steps);
+  put(out, result.total_cost);
+  put(out, result.sla);
+  for (const auto& step : result.metrics.step_metrics()) {
+    put(out, step.allocated);
+    put(out, step.used);
+    put(out, step.shortfall);
+    put(out, step.machines);
+    out += '\n';
+  }
+  for (const auto& d : result.datacenters) {
+    out += d.name;
+    out += ',';
+    put(out, d.capacity_cpu);
+    put(out, d.avg_allocated_cpu);
+    put(out, d.peak_allocated_cpu);
+    for (const auto& [origin, cpu] : d.avg_allocated_by_origin) {
+      out += origin;
+      out += ',';
+      put(out, cpu);
+    }
+    out += '\n';
+  }
+  for (const auto& g : result.games) {
+    out += g.name;
+    out += ',';
+    put(out, g.metrics.avg_over_allocation_pct(ResourceKind::kCpu));
+    put(out, g.metrics.avg_under_allocation_pct(ResourceKind::kCpu));
+    put(out, g.metrics.significant_events());
+    put(out, g.sla);
+    out += '\n';
+  }
+  return out;
+}
+
+/// Snapshot minus the wall-clock-derived histograms ("phase.*_us",
+/// "predictor.inference_us"): everything else must be bit-deterministic.
+std::string deterministic_snapshot_json(const obs::Recorder& rec) {
+  obs::Snapshot snap = rec.snapshot();
+  for (auto it = snap.histograms.begin(); it != snap.histograms.end();) {
+    if (it->first.size() >= 3 &&
+        it->first.compare(it->first.size() - 3, 3, "_us") == 0) {
+      it = snap.histograms.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return snap.to_json();
+}
+
+void enable_live(obs::Recorder& rec, const SimulationConfig& cfg) {
+  rec.enable_timeseries(64);
+  rec.enable_alerts(obs::default_alert_rules(cfg.event_threshold_pct));
+}
+
+TEST(DeterminismTest, IdenticalSeedsGiveByteIdenticalResults) {
+  auto cfg = base_config(3, 240);
+  const auto first = simulate(cfg);
+  const auto second = simulate(cfg);
+  EXPECT_EQ(serialize(first), serialize(second));
+}
+
+TEST(DeterminismTest, TelemetryOnAndOffGiveByteIdenticalResults) {
+  auto cfg = base_config(3, 240);
+  const auto plain = simulate(cfg);
+
+  obs::Recorder rec(obs::TraceLevel::kSteps);
+  enable_live(rec, cfg);
+  cfg.recorder = &rec;
+  const auto observed = simulate(cfg);
+
+  // The whole result, every step, every field — not just the summary
+  // statistics: telemetry must be a pure observer.
+  EXPECT_EQ(serialize(plain), serialize(observed));
+}
+
+TEST(DeterminismTest, MetricsSnapshotsAreByteIdenticalAcrossRuns) {
+  auto cfg = base_config(3, 240);
+
+  obs::Recorder rec_a(obs::TraceLevel::kSteps);
+  enable_live(rec_a, cfg);
+  cfg.recorder = &rec_a;
+  simulate(cfg);
+
+  obs::Recorder rec_b(obs::TraceLevel::kSteps);
+  enable_live(rec_b, cfg);
+  cfg.recorder = &rec_b;
+  simulate(cfg);
+
+  // Counters, gauges, and non-timing histograms must match byte for byte;
+  // so must the downsampled time-series rings and the alert state machine.
+  EXPECT_EQ(deterministic_snapshot_json(rec_a),
+            deterministic_snapshot_json(rec_b));
+  ASSERT_NE(rec_a.timeseries(), nullptr);
+  ASSERT_NE(rec_b.timeseries(), nullptr);
+  EXPECT_EQ(rec_a.timeseries()->to_json(), rec_b.timeseries()->to_json());
+  EXPECT_EQ(rec_a.timeseries()->to_csv(), rec_b.timeseries()->to_csv());
+  ASSERT_NE(rec_a.alerts(), nullptr);
+  ASSERT_NE(rec_b.alerts(), nullptr);
+  EXPECT_EQ(rec_a.alerts()->to_json(), rec_b.alerts()->to_json());
+}
+
+TEST(DeterminismTest, SnapshotCsvIsByteIdenticalAcrossRuns) {
+  auto cfg = base_config(2, 120);
+
+  obs::Recorder rec_a(obs::TraceLevel::kOff);
+  cfg.recorder = &rec_a;
+  simulate(cfg);
+
+  obs::Recorder rec_b(obs::TraceLevel::kOff);
+  cfg.recorder = &rec_b;
+  simulate(cfg);
+
+  auto csv_without_timings = [](const obs::Recorder& rec) {
+    obs::Snapshot snap = rec.snapshot();
+    snap.histograms.clear();  // timing-only in core::simulate
+    return snap.to_csv();
+  };
+  EXPECT_EQ(csv_without_timings(rec_a), csv_without_timings(rec_b));
+}
+
+}  // namespace
+}  // namespace mmog::core

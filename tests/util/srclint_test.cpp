@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/srclint.hpp"
+
+namespace mmog::util::lint {
+namespace {
+
+std::vector<std::string> rules_of(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const auto& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+TEST(SrcLintTest, DeterministicPathDetection) {
+  EXPECT_TRUE(is_deterministic_path("src/core/simulation.cpp"));
+  EXPECT_TRUE(is_deterministic_path("/root/repo/src/dc/ledger.hpp"));
+  EXPECT_TRUE(is_deterministic_path("src/predict/ar.cpp"));
+  EXPECT_TRUE(is_deterministic_path("src/nn/mlp.cpp"));
+  EXPECT_TRUE(is_deterministic_path("src/emu/emulator.cpp"));
+  EXPECT_FALSE(is_deterministic_path("src/obs/registry.cpp"));
+  EXPECT_FALSE(is_deterministic_path("src/util/rng.cpp"));
+  // Substrings of component names must not count.
+  EXPECT_FALSE(is_deterministic_path("src/dcache/foo.cpp"));
+  EXPECT_FALSE(is_deterministic_path("src/encore/foo.cpp"));
+}
+
+TEST(SrcLintTest, RandRuleFires) {
+  const auto findings =
+      lint_source("src/util/x.cpp", "int r = rand();\nsrand(7);\n");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "rand");
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_EQ(findings[1].rule, "rand");
+  EXPECT_EQ(findings[1].line, 2u);
+}
+
+TEST(SrcLintTest, RandRuleIgnoresSubstrings) {
+  EXPECT_TRUE(lint_source("src/util/x.cpp",
+                          "int operand(int);\nint x = operand(3);\n"
+                          "double strand(double);\n")
+                  .empty());
+}
+
+TEST(SrcLintTest, RandomDeviceRuleFires) {
+  const auto findings =
+      lint_source("src/util/x.cpp", "std::random_device rd;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "random-device");
+}
+
+TEST(SrcLintTest, WallClockRuleFires) {
+  const auto findings = lint_source(
+      "src/util/x.cpp",
+      "auto now = std::chrono::system_clock::now();\n"
+      "std::time_t t = std::time(nullptr);\n"
+      "struct tm* lt = localtime(&t);\n");
+  EXPECT_EQ(rules_of(findings),
+            (std::vector<std::string>{"wall-clock", "wall-clock",
+                                      "wall-clock"}));
+}
+
+TEST(SrcLintTest, WallClockAllowsSteadyClockAndTimeWords) {
+  EXPECT_TRUE(lint_source("src/util/x.cpp",
+                          "auto t0 = std::chrono::steady_clock::now();\n"
+                          "std::chrono::steady_clock::time_point start_;\n"
+                          "double run_time(int steps);\n")
+                  .empty());
+}
+
+TEST(SrcLintTest, SeedLiteralRuleFires) {
+  const auto findings = lint_source(
+      "src/util/x.cpp",
+      "util::Rng rng(42);\n"
+      "std::mt19937 gen{12345};\n"
+      "std::mt19937_64 gen64(0xdeadbeef);\n"
+      "engine.seed(7);\n");
+  EXPECT_EQ(rules_of(findings),
+            (std::vector<std::string>{"seed-literal", "seed-literal",
+                                      "seed-literal", "seed-literal"}));
+}
+
+TEST(SrcLintTest, SeedLiteralAllowsPlumbedSeeds) {
+  EXPECT_TRUE(lint_source("src/util/x.cpp",
+                          "util::Rng rng(config.seed);\n"
+                          "std::mt19937 gen(seed);\n"
+                          "explicit Rng(std::uint64_t seed = 99) noexcept;\n"
+                          "engine.seed(derive(base, 3));\n")
+                  .empty());
+}
+
+TEST(SrcLintTest, UnorderedContainerRuleFiresOnlyInDeterministicPaths) {
+  const std::string code =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> m;\n"
+      "std::unordered_set<int> s;\n";
+  const auto det = lint_source("src/core/x.cpp", code);
+  EXPECT_EQ(rules_of(det),
+            (std::vector<std::string>{"unordered-container",
+                                      "unordered-container",
+                                      "unordered-container"}));
+  // The same code outside the deterministic layers is fine (the obs registry
+  // legitimately shards into unordered maps and merges into ordered ones).
+  EXPECT_TRUE(lint_source("src/obs/x.cpp", code).empty());
+}
+
+TEST(SrcLintTest, CommentsAndStringsNeverTrip) {
+  EXPECT_TRUE(lint_source("src/core/x.cpp",
+                          "// rand() and std::random_device in prose\n"
+                          "/* std::chrono::system_clock discussion */\n"
+                          "const char* msg = \"do not call rand()\";\n"
+                          "const char* m2 = \"unordered_map is banned\";\n")
+                  .empty());
+}
+
+TEST(SrcLintTest, SameLineAllowSuppresses) {
+  const auto findings = lint_source(
+      "src/util/x.cpp",
+      "int r = rand();  // mmog-lint: allow(rand)\n"
+      "int s = rand();  // mmog-lint: allow(wall-clock)\n");
+  // Line 1 suppressed; line 2's allow names a different rule.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_EQ(findings[0].rule, "rand");
+}
+
+TEST(SrcLintTest, StandaloneAllowCoversNextLine) {
+  const auto findings = lint_source(
+      "src/util/x.cpp",
+      "// mmog-lint: allow(random-device)\n"
+      "std::random_device rd;\n"
+      "std::random_device rd2;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST(SrcLintTest, AllowListAcceptsMultipleRules) {
+  EXPECT_TRUE(lint_source("src/util/x.cpp",
+                          "int r = rand(); std::random_device rd;  "
+                          "// mmog-lint: allow(rand, random-device)\n")
+                  .empty());
+}
+
+TEST(SrcLintTest, RuleCatalogMatchesImplementedRules) {
+  std::vector<std::string> names;
+  for (const auto& rule : rule_catalog()) names.emplace_back(rule.name);
+  EXPECT_EQ(names, (std::vector<std::string>{"rand", "random-device",
+                                             "wall-clock", "seed-literal",
+                                             "unordered-container"}));
+}
+
+}  // namespace
+}  // namespace mmog::util::lint

@@ -47,16 +47,16 @@ int main() {
     auto nn = std::make_shared<const predict::NeuralModel>(
         predict::NeuralModel::fit(ncfg, histories));
 
-    const double ar_err = predict::zones_prediction_error(
+    const double ar_err = *predict::zones_prediction_error(
         [ar] { return std::make_unique<predict::ArPredictor>(ar); }, zones,
         start);
-    const double nn_err = predict::zones_prediction_error(
+    const double nn_err = *predict::zones_prediction_error(
         [nn] { return std::make_unique<predict::NeuralPredictor>(nn); },
         zones, start);
-    const double lv_err = predict::zones_prediction_error(
+    const double lv_err = *predict::zones_prediction_error(
         [] { return std::make_unique<predict::LastValuePredictor>(); },
         zones, start);
-    const double es_err = predict::zones_prediction_error(
+    const double es_err = *predict::zones_prediction_error(
         [] {
           return std::make_unique<predict::ExponentialSmoothingPredictor>(
               0.5);

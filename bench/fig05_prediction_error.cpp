@@ -65,10 +65,13 @@ int main() {
          }});
 
     for (const auto& nf : lineup) {
-      const double err =
-          predict::zones_prediction_error(nf.factory, zones, start);
+      // nullopt marks an all-zero evaluation window (error undefined); it
+      // must not enter the per-set list, or the mean column would average
+      // in a fake perfect score.
+      const auto err = predict::zones_prediction_error(nf.factory, zones, start);
+      if (!err.has_value()) continue;
       if (errors.find(nf.name) == errors.end()) names.push_back(nf.name);
-      errors[nf.name].push_back(err);
+      errors[nf.name].push_back(*err);
     }
   }
 

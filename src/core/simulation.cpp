@@ -1,5 +1,7 @@
 #include "core/simulation.hpp"
 
+#include "core/predict_phase.hpp"
+
 #include <algorithm>
 #include <climits>
 #include <cmath>
@@ -42,26 +44,6 @@ struct DemandUnit {
   int priority = 0;
 };
 
-/// The resources one offer grants against `need` under `policy`, capped by
-/// the data center's remaining capacity: whole bundles for the policy's
-/// bulk-constrained resources (the hoster's quantum, §II-B) plus exact
-/// amounts for the unconstrained ones.
-util::ResourceVector offer_amount(const util::ResourceVector& need,
-                                  const util::ResourceVector& free,
-                                  const dc::HostingPolicy& policy) noexcept {
-  util::ResourceVector out{};
-  if (policy.has_bundles()) {
-    const std::size_t k = std::min(policy.bundles_needed(need),
-                                   policy.bundles_fitting(free));
-    out = policy.bundle_amount(k);
-  }
-  for (std::size_t i = 0; i < util::kResourceKinds; ++i) {
-    if (policy.bulk.v[i] > 0.0) continue;  // covered by bundles
-    out.v[i] = std::min(std::max(0.0, need.v[i]), std::max(0.0, free.v[i]));
-  }
-  return out;
-}
-
 /// Up-front configuration validation: every inconsistency fails loudly
 /// here instead of silently no-opting deep in the run.
 void validate_config(const SimulationConfig& config) {
@@ -103,6 +85,22 @@ void validate_config(const SimulationConfig& config) {
 }
 
 }  // namespace
+
+util::ResourceVector offer_amount(const util::ResourceVector& need,
+                                  const util::ResourceVector& free,
+                                  const dc::HostingPolicy& policy) noexcept {
+  util::ResourceVector out{};
+  if (policy.has_bundles()) {
+    const std::size_t k = std::min(policy.bundles_needed(need),
+                                   policy.bundles_fitting(free));
+    out = policy.bundle_amount(k);
+  }
+  for (std::size_t i = 0; i < util::kResourceKinds; ++i) {
+    if (policy.bulk.v[i] > 0.0) continue;  // covered by bundles
+    out.v[i] = std::min(std::max(0.0, need.v[i]), std::max(0.0, free.v[i]));
+  }
+  return out;
+}
 
 SimulationResult simulate(const SimulationConfig& config) {
   validate_config(config);
@@ -203,6 +201,30 @@ SimulationResult simulate(const SimulationConfig& config) {
                      [&](std::size_t a, std::size_t b) {
                        return units[a].priority > units[b].priority;
                      });
+  }
+
+  // Predict-phase scheduler: a flat, service-ordered view of every group
+  // stream, sharded contiguously across `config.threads` workers. Each
+  // worker writes only its own slots' `last_prediction`; the pad phase
+  // below reduces them serially in fixed index order, so any thread count
+  // reproduces the serial run bit for bit. Pointers stay valid because
+  // `units` and each `unit.groups` are fully built above and never resized
+  // again.
+  ParallelPredictor predict_runner(
+      config.mode == AllocationMode::kDynamic ? config.threads : 1);
+  std::vector<PredictSlot> predict_slots;
+  if (config.mode == AllocationMode::kDynamic) {
+    predict_slots.reserve(total_groups);
+    for (const std::size_t idx : order) {
+      for (auto& stream : units[idx].groups) {
+        predict_slots.push_back(
+            {stream.predictor.get(), &stream.last_prediction});
+      }
+    }
+  }
+  if (rec) {
+    rec->gauge("sim.predict_threads",
+               static_cast<double>(predict_runner.threads()));
   }
 
   std::size_t next_allocation_id = 1;
@@ -463,19 +485,12 @@ SimulationResult simulate(const SimulationConfig& config) {
 
     if (config.mode == AllocationMode::kDynamic) {
       {
-        // Phase 1 — predict: one online prediction per server group (§IV-B).
+        // Phase 1 — predict: one online prediction per server group (§IV-B),
+        // sharded across workers when config.threads > 1 (the phase is the
+        // provisioning loop's scaling bottleneck, Fig. 6). run() joins all
+        // shards before returning, so phase 2 always reads complete slots.
         const obs::PhaseScope scope(rec, "predict", t);
-        for (std::size_t idx : order) {
-          for (auto& stream : units[idx].groups) {
-            if (rec) {
-              const obs::Stopwatch watch;
-              stream.last_prediction = stream.predictor->predict();
-              rec->observe_us("predictor.inference_us", watch.elapsed_us());
-            } else {
-              stream.last_prediction = stream.predictor->predict();
-            }
-          }
-        }
+        predict_runner.run(predict_slots, rec);
         if (rec) rec->count("predict.issued", static_cast<double>(total_groups));
       }
 

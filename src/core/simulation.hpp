@@ -68,6 +68,15 @@ struct SimulationConfig {
   predict::PredictorFactory predictor;
   /// Steps to simulate; 0 = the full workload length.
   std::size_t steps = 0;
+  /// Worker threads for the per-step predict phase (§IV-B predicts every
+  /// sub-zone independently, which makes the phase embarrassingly parallel
+  /// and, per Fig. 6, the scaling bottleneck of the provisioning loop).
+  /// 1 (the default) keeps the historical serial code path with no thread
+  /// pool at all; 0 resolves to the hardware concurrency. Results are
+  /// bit-identical for every thread count: workers write disjoint
+  /// preallocated slots and the demand reduction stays serial in fixed
+  /// index order.
+  std::size_t threads = 1;
   /// Serve games in priority order within each step (extension; off
   /// reproduces the paper's first-come matching).
   bool prioritize_by_interaction = false;
@@ -127,6 +136,15 @@ struct SimulationResult {
   /// expanded, legacy outages folded in), sorted by start step.
   std::vector<fault::FaultEvent> fault_events;
 };
+
+/// The resources one offer grants against `need` under `policy`, capped by
+/// the data center's remaining capacity: whole bundles for the policy's
+/// bulk-constrained resources (the hoster's quantum, §II-B) plus exact
+/// amounts for the unconstrained ones. Exposed for testing; simulate() is
+/// the production caller.
+util::ResourceVector offer_amount(const util::ResourceVector& need,
+                                  const util::ResourceVector& free,
+                                  const dc::HostingPolicy& policy) noexcept;
 
 /// Runs the trace-driven provisioning simulation (§V). Deterministic.
 /// Throws std::invalid_argument for inconsistent configurations — no games,

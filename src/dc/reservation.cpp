@@ -57,7 +57,13 @@ bool ReservationCalendar::cancel(std::size_t id) {
 std::optional<std::size_t> ReservationCalendar::earliest_fit(
     const util::ResourceVector& amount, std::size_t from,
     std::size_t duration) const {
-  if (duration == 0) return from;
+  // A zero-duration request books nothing, but its start must still be a
+  // schedulable step: returning a past-horizon `from` would hand callers a
+  // start that available_at() throws on.
+  if (duration == 0) {
+    if (from >= usage_.size()) return std::nullopt;
+    return from;
+  }
   if (from + duration > usage_.size()) return std::nullopt;
   for (std::size_t start = from; start + duration <= usage_.size(); ++start) {
     if (fits(amount, start, start + duration)) return start;

@@ -40,7 +40,9 @@ class ReservationCalendar {
   bool cancel(std::size_t id);
 
   /// Earliest start >= `from` such that [start, start+duration) fits;
-  /// std::nullopt when the schedule has no such window.
+  /// std::nullopt when the schedule has no such window. Every returned
+  /// start is inside the horizon (valid for available_at()), including for
+  /// duration == 0.
   std::optional<std::size_t> earliest_fit(const util::ResourceVector& amount,
                                           std::size_t from,
                                           std::size_t duration) const;

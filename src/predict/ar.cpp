@@ -74,30 +74,36 @@ ArModel ArModel::fit(std::size_t order,
 }
 
 double ArModel::predict_next(std::span<const double> recent) const {
-  if (recent.empty()) return mean_;
+  return predict_next(recent, {});
+}
+
+double ArModel::predict_next(std::span<const double> older,
+                             std::span<const double> newer) const {
+  const std::size_t n = older.size() + newer.size();
+  if (n == 0) return mean_;
+  // Logical oldest-first index into the split window.
+  const auto at = [&](std::size_t i) {
+    return i < older.size() ? older[i] : newer[i - older.size()];
+  };
   double pred = mean_;
   for (std::size_t k = 0; k < coeffs_.size(); ++k) {
-    const double x = k < recent.size() ? recent[recent.size() - 1 - k]
-                                       : recent.front();
+    const double x = k < n ? at(n - 1 - k) : at(0);
     pred += coeffs_[k] * (x - mean_);
   }
   return std::max(0.0, pred);
 }
 
 ArPredictor::ArPredictor(std::shared_ptr<const ArModel> model)
-    : model_(std::move(model)) {
+    : model_(std::move(model)),
+      history_(model_ ? std::max<std::size_t>(1, model_->order()) : 1) {
   if (!model_) throw std::invalid_argument("ArPredictor: null model");
 }
 
-void ArPredictor::observe(double value) {
-  history_.push_back(value);
-  while (history_.size() > model_->order()) history_.pop_front();
-}
+void ArPredictor::observe(double value) { history_.push(value); }
 
 double ArPredictor::predict() const {
   if (history_.empty()) return 0.0;  // predictor contract: no data, no guess
-  const std::vector<double> recent(history_.begin(), history_.end());
-  return model_->predict_next(recent);
+  return model_->predict_next(history_.first(), history_.second());
 }
 
 std::unique_ptr<Predictor> ArPredictor::make_fresh() const {

@@ -1,11 +1,11 @@
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "predict/predictor.hpp"
+#include "util/ring_buffer.hpp"
 #include "util/timeseries.hpp"
 
 namespace mmog::predict {
@@ -27,6 +27,13 @@ class ArModel {
   /// Predicts the next value from the most recent raw samples.
   double predict_next(std::span<const double> recent) const;
 
+  /// Same prediction over a history split into two contiguous pieces whose
+  /// logical concatenation is `older` then `newer` — the shape a wrapped
+  /// util::RingBuffer exposes, so the online hot path never copies its
+  /// window into a temporary.
+  double predict_next(std::span<const double> older,
+                      std::span<const double> newer) const;
+
   std::size_t order() const noexcept { return coeffs_.size(); }
   std::span<const double> coefficients() const noexcept { return coeffs_; }
   double mean() const noexcept { return mean_; }
@@ -38,7 +45,10 @@ class ArModel {
   double mean_ = 0.0;
 };
 
-/// Online per-zone wrapper sharing a fitted ArModel.
+/// Online per-zone wrapper sharing a fitted ArModel. The recent-sample
+/// window lives in a fixed-capacity ring buffer sized to the model order,
+/// so observe() and predict() are allocation-free — one prediction per
+/// group per 2-minute step is the provisioning loop's hot path.
 class ArPredictor final : public Predictor {
  public:
   explicit ArPredictor(std::shared_ptr<const ArModel> model);
@@ -50,7 +60,7 @@ class ArPredictor final : public Predictor {
 
  private:
   std::shared_ptr<const ArModel> model_;
-  std::deque<double> history_;
+  util::RingBuffer<double> history_;
 };
 
 }  // namespace mmog::predict

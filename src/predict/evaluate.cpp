@@ -7,8 +7,9 @@
 
 namespace mmog::predict {
 
-double series_prediction_error(Predictor& p, std::span<const double> series,
-                               std::size_t start) {
+std::optional<double> series_prediction_error(Predictor& p,
+                                              std::span<const double> series,
+                                              std::size_t start) {
   if (series.size() < 2 || start == 0 || start >= series.size()) {
     throw std::invalid_argument("series_prediction_error: bad range");
   }
@@ -21,13 +22,13 @@ double series_prediction_error(Predictor& p, std::span<const double> series,
     total += series[t];
     p.observe(series[t]);
   }
-  if (total <= 0.0) return 0.0;
+  if (total <= 0.0) return std::nullopt;  // undefined: no demand to score
   return abs_err / total * 100.0;
 }
 
-double zones_prediction_error(const PredictorFactory& factory,
-                              std::span<const util::TimeSeries> zones,
-                              std::size_t start) {
+std::optional<double> zones_prediction_error(
+    const PredictorFactory& factory, std::span<const util::TimeSeries> zones,
+    std::size_t start) {
   if (zones.empty()) {
     throw std::invalid_argument("zones_prediction_error: no zones");
   }
@@ -52,7 +53,7 @@ double zones_prediction_error(const PredictorFactory& factory,
       preds[z]->observe(zones[z][t]);
     }
   }
-  if (total <= 0.0) return 0.0;
+  if (total <= 0.0) return std::nullopt;  // undefined: no demand to score
   return abs_err / total * 100.0;
 }
 

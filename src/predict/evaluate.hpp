@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -14,16 +15,23 @@ namespace mmog::predict {
 /// of absolute sample prediction errors and the sum of all samples,
 /// expressed as a percentage. Evaluated over samples [start, size); the
 /// predictor observes (but is not scored on) the samples before `start`.
-double series_prediction_error(Predictor& p, std::span<const double> series,
-                               std::size_t start = 1);
+/// Returns std::nullopt when the evaluation window sums to zero demand —
+/// the metric is undefined there, and reporting 0 % would silently conflate
+/// "no demand" with "perfect prediction" even when the predictor was wrong
+/// on every sample.
+std::optional<double> series_prediction_error(Predictor& p,
+                                              std::span<const double> series,
+                                              std::size_t start = 1);
 
 /// Per-sub-zone evaluation (§IV-B/§IV-D2): one fresh predictor per zone
 /// series, each step predicting its zone's next entity count. Every
 /// (zone, step) pair is one sample; the error is the sum of per-sample
 /// absolute errors over the sum of all samples, as a percentage.
-double zones_prediction_error(const PredictorFactory& factory,
-                              std::span<const util::TimeSeries> zones,
-                              std::size_t start);
+/// std::nullopt when the window's samples sum to zero (see
+/// series_prediction_error).
+std::optional<double> zones_prediction_error(
+    const PredictorFactory& factory, std::span<const util::TimeSeries> zones,
+    std::size_t start);
 
 /// Times individual predict() calls (after observing `series` progressively)
 /// and returns the per-call durations in microseconds; used by the Fig 6

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace mmog::util {
+
+/// Fixed-capacity ring buffer: push() overwrites the oldest element once
+/// full, and the stored window is readable as at most two contiguous spans
+/// (oldest-first), so hot-path consumers can walk the history without
+/// copying it out — the allocation happens once, at construction.
+///
+/// Built for the online predictors' recent-sample windows: the provisioning
+/// loop calls predict() once per server group per step, and a deque (or a
+/// per-call std::vector copy) puts an allocation on that path.
+template <typename T>
+class RingBuffer {
+ public:
+  /// Throws std::invalid_argument on a zero capacity.
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("RingBuffer: zero capacity");
+    }
+  }
+
+  std::size_t capacity() const noexcept { return buf_.size(); }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  bool full() const noexcept { return size_ == buf_.size(); }
+
+  /// Appends `value`, evicting the oldest element when full.
+  void push(const T& value) {
+    buf_[(head_ + size_) % buf_.size()] = value;
+    if (size_ == buf_.size()) {
+      head_ = (head_ + 1) % buf_.size();
+    } else {
+      ++size_;
+    }
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Element at logical index `i` (0 = oldest). No bounds check.
+  const T& operator[](std::size_t i) const noexcept {
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
+  /// Oldest element. Undefined when empty.
+  const T& front() const noexcept { return buf_[head_]; }
+  /// Newest element. Undefined when empty.
+  const T& back() const noexcept {
+    return buf_[(head_ + size_ - 1) % buf_.size()];
+  }
+
+  /// The stored window as two contiguous oldest-first pieces: the logical
+  /// content is first() followed by second() (second() is empty while the
+  /// buffer has not wrapped).
+  std::span<const T> first() const noexcept {
+    return {buf_.data() + head_, std::min(size_, buf_.size() - head_)};
+  }
+  std::span<const T> second() const noexcept {
+    const std::size_t head_run = std::min(size_, buf_.size() - head_);
+    return {buf_.data(), size_ - head_run};
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;  ///< index of the oldest element
+  std::size_t size_ = 0;
+};
+
+}  // namespace mmog::util

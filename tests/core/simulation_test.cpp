@@ -284,6 +284,53 @@ TEST(SimulationTest, TotalCostScalesWithHorizon) {
   EXPECT_GT(long_run.total_cost, 2.0 * short_run.total_cost);
 }
 
+TEST(OfferAmountTest, UnconstrainedPolicyOffersExactOverlap) {
+  // With every bulk "n/a" there are no bundles: the offer is exactly the
+  // component-wise overlap of need and free capacity.
+  dc::HostingPolicy exact;
+  exact.bulk = {};
+  const auto need = util::ResourceVector::of(3.0, 8.0, 2.0, 1.0);
+  const auto free = util::ResourceVector::of(5.0, 4.0, 2.0, 0.0);
+  const auto offer = offer_amount(need, free, exact);
+  EXPECT_DOUBLE_EQ(offer.cpu(), 3.0);      // need-limited
+  EXPECT_DOUBLE_EQ(offer.memory(), 4.0);   // free-limited
+  EXPECT_DOUBLE_EQ(offer.net_in(), 2.0);   // exact overlap
+  EXPECT_DOUBLE_EQ(offer.net_out(), 0.0);  // nothing free
+}
+
+TEST(OfferAmountTest, ClampsNegativeComponentsToZero) {
+  dc::HostingPolicy exact;
+  exact.bulk = {};
+  const auto offer = offer_amount(util::ResourceVector::of(-2.0, 1.0, 0, 0),
+                                  util::ResourceVector::of(5.0, -3.0, 0, 0),
+                                  exact);
+  EXPECT_DOUBLE_EQ(offer.cpu(), 0.0);
+  EXPECT_DOUBLE_EQ(offer.memory(), 0.0);
+}
+
+TEST(OfferAmountTest, BundledResourcesComeInBulkMultiples) {
+  // HP-3 constrains CPU (0.22) and memory (2.0): those components arrive as
+  // whole bundles, while the unconstrained network kinds stay exact.
+  const auto hp3 = dc::HostingPolicy::preset(3);
+  const auto need = util::ResourceVector::of(0.5, 1.0, 3.0, 0.5);
+  const auto free = util::ResourceVector::of(10.0, 100.0, 2.0, 2.0);
+  const auto offer = offer_amount(need, free, hp3);
+  // bundles_needed = max(ceil(.5/.22)=3, ceil(1/2)=1) = 3 bundles.
+  EXPECT_NEAR(offer.cpu(), 3 * 0.22, 1e-9);
+  EXPECT_DOUBLE_EQ(offer.memory(), 3 * 2.0);
+  EXPECT_DOUBLE_EQ(offer.net_in(), 2.0);   // exact, free-limited
+  EXPECT_DOUBLE_EQ(offer.net_out(), 0.5);  // exact, need-limited
+}
+
+TEST(OfferAmountTest, BundleCountLimitedByFreeCapacity) {
+  const auto hp3 = dc::HostingPolicy::preset(3);
+  const auto need = util::ResourceVector::of(2.2, 1.0, 0, 0);  // wants 10
+  const auto free = util::ResourceVector::of(0.5, 100.0, 0, 0);  // fits 2
+  const auto offer = offer_amount(need, free, hp3);
+  EXPECT_NEAR(offer.cpu(), 2 * 0.22, 1e-9);
+  EXPECT_DOUBLE_EQ(offer.memory(), 2 * 2.0);
+}
+
 TEST(NeuralFactoryTest, BuildsWorkingPredictors) {
   const auto workload = sine_workload(3, 400);
   predict::NeuralConfig cfg;

@@ -75,6 +75,30 @@ TEST(HostingPolicyTest, TimeBulkStepsRoundsUpTwoMinuteSamples) {
   EXPECT_EQ(hp11.time_bulk_steps(), 1440u);
 }
 
+TEST(HostingPolicyTest, NoBundlesWhenNothingBulkConstrained) {
+  // A policy whose bulks are all "n/a" sells exact amounts: no bundle
+  // arithmetic applies, whatever the free capacity.
+  HostingPolicy exact;
+  exact.bulk = {};
+  EXPECT_FALSE(exact.has_bundles());
+  EXPECT_EQ(exact.bundles_needed(util::ResourceVector::of(5, 5, 5, 5)), 0u);
+  EXPECT_EQ(exact.bundles_fitting(util::ResourceVector::of(100, 100, 100, 100)),
+            0u);
+  EXPECT_EQ(exact.bundle_amount(7), util::ResourceVector::of(0, 0, 0, 0));
+}
+
+TEST(HostingPolicyTest, BundlesFittingCoversOnlyConstrainedResources) {
+  // HP-3 constrains CPU (0.22) and memory (2.0) but not the network kinds:
+  // the fit count must ignore the unconstrained components entirely.
+  const auto hp3 = HostingPolicy::preset(3);
+  const auto free = util::ResourceVector::of(2.2, 8.0, 0.0, 0.0);
+  // CPU fits 10 bundles, memory fits 4 -> the binding resource wins.
+  EXPECT_EQ(hp3.bundles_fitting(free), 4u);
+  // Zero free space on a constrained resource means zero bundles.
+  EXPECT_EQ(hp3.bundles_fitting(util::ResourceVector::of(2.2, 0.0, 99, 99)),
+            0u);
+}
+
 TEST(HostingPolicyTest, GranularityOrdersPoliciesByCpuBulkThenTime) {
   // HP-3 (0.22) is finer than HP-7 (1.11); HP-5 (180 min) finer than the
   // same-bulk HP-9 (720 min).

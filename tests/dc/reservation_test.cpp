@@ -102,6 +102,25 @@ TEST(ReservationTest, EarliestFitReturnsNulloptWhenImpossible) {
       cal.earliest_fit(ResourceVector::of(1, 0, 0, 0), 0, 10).has_value());
 }
 
+TEST(ReservationTest, ZeroDurationFitIsClampedToTheHorizon) {
+  auto cal = calendar(10.0, 100);
+  // Inside the horizon a zero-duration request trivially fits at `from`...
+  const auto inside = cal.earliest_fit(ResourceVector::of(1, 0, 0, 0), 42, 0);
+  ASSERT_TRUE(inside.has_value());
+  EXPECT_EQ(*inside, 42u);
+  // ...but past it there is no schedulable step: the old code returned
+  // `from` unchecked, handing callers a start that available_at() throws on.
+  EXPECT_FALSE(
+      cal.earliest_fit(ResourceVector::of(1, 0, 0, 0), 100, 0).has_value());
+  EXPECT_FALSE(
+      cal.earliest_fit(ResourceVector::of(1, 0, 0, 0), 5000, 0).has_value());
+  // Boundary: the last step of the horizon is still valid.
+  const auto last = cal.earliest_fit(ResourceVector::of(1, 0, 0, 0), 99, 0);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(*last, 99u);
+  EXPECT_NO_THROW(cal.available_at(*last));
+}
+
 TEST(ReservationTest, MultiResourceConstraintsAllApply) {
   auto cal = calendar();
   // Memory capacity is 40; a 35-memory booking blocks a second one even

@@ -152,8 +152,10 @@ TEST(EndToEndTest, EmulatorFeedsPredictorEvaluation) {
   const predict::PredictorFactory average = [] {
     return std::make_unique<predict::AveragePredictor>();
   };
-  const double last_err = predict::zones_prediction_error(last, zones, 120);
-  const double avg_err = predict::zones_prediction_error(average, zones, 120);
+  const double last_err =
+      predict::zones_prediction_error(last, zones, 120).value();
+  const double avg_err =
+      predict::zones_prediction_error(average, zones, 120).value();
   EXPECT_GT(last_err, 0.0);
   EXPECT_LT(last_err, 100.0);
   EXPECT_GT(avg_err, 0.0);

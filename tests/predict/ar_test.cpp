@@ -92,6 +92,40 @@ TEST(ArPredictorTest, BeatsMeanPredictionOnAr1Signal) {
   EXPECT_LT(ar_err, 0.8 * mean_err);
 }
 
+TEST(ArPredictorTest, HistoryShorterThanOrderMatchesSpanPrediction) {
+  // With fewer observations than the model order, the predictor must hand
+  // the model exactly the window it has — not stale or uninitialized slots.
+  const auto series = ar1_series(4000, 0.8, 50.0, 23);
+  std::vector<util::TimeSeries> hist = {series};
+  auto model = std::make_shared<const ArModel>(ArModel::fit(3, hist));
+  ArPredictor p(model);
+  p.observe(70.0);
+  const std::vector<double> one = {70.0};
+  EXPECT_DOUBLE_EQ(p.predict(), model->predict_next(one));
+  p.observe(55.0);
+  const std::vector<double> two = {70.0, 55.0};
+  EXPECT_DOUBLE_EQ(p.predict(), model->predict_next(two));
+}
+
+TEST(ArPredictorTest, KeepsExactlyTheLastOrderObservations) {
+  // The ring window slides: after many observations, predict() must agree
+  // bit for bit with handing the model the last `order` values directly —
+  // including after the ring has wrapped several times.
+  const auto series = ar1_series(4000, 0.8, 50.0, 29);
+  std::vector<util::TimeSeries> hist = {series};
+  auto model = std::make_shared<const ArModel>(ArModel::fit(3, hist));
+  ArPredictor p(model);
+  std::vector<double> seen;
+  for (int t = 0; t < 17; ++t) {
+    const double v = 40.0 + 3.0 * t;
+    p.observe(v);
+    seen.push_back(v);
+    const std::size_t n = std::min<std::size_t>(seen.size(), 3);
+    const std::vector<double> window(seen.end() - n, seen.end());
+    ASSERT_DOUBLE_EQ(p.predict(), model->predict_next(window)) << "t=" << t;
+  }
+}
+
 TEST(ArPredictorTest, MakeFreshSharesModelNotHistory) {
   const auto series = ar1_series(500, 0.7, 10.0, 19);
   std::vector<util::TimeSeries> hist = {series};

@@ -15,7 +15,7 @@ TEST(SeriesErrorTest, PerfectPredictorScoresZero) {
   // A constant series is predicted perfectly by Last value after warm-up.
   LastValuePredictor p;
   const std::vector<double> series(100, 50.0);
-  EXPECT_DOUBLE_EQ(series_prediction_error(p, series, 1), 0.0);
+  EXPECT_DOUBLE_EQ(series_prediction_error(p, series, 1).value(), 0.0);
 }
 
 TEST(SeriesErrorTest, KnownErrorValue) {
@@ -26,7 +26,7 @@ TEST(SeriesErrorTest, KnownErrorValue) {
   for (int i = 0; i < 10; ++i) series.push_back(i % 2 == 0 ? 10.0 : 20.0);
   // From t=1..9: |err| = 10 each (9 errors); actual sum = 5*20 + 4*10 = 140.
   const double expected = 9.0 * 10.0 / 140.0 * 100.0;
-  EXPECT_NEAR(series_prediction_error(p, series, 1), expected, 1e-9);
+  EXPECT_NEAR(series_prediction_error(p, series, 1).value(), expected, 1e-9);
 }
 
 TEST(SeriesErrorTest, RejectsBadRanges) {
@@ -38,10 +38,22 @@ TEST(SeriesErrorTest, RejectsBadRanges) {
   EXPECT_THROW(series_prediction_error(p, single, 1), std::invalid_argument);
 }
 
-TEST(SeriesErrorTest, ZeroSeriesYieldsZeroError) {
+TEST(SeriesErrorTest, ZeroDemandWindowIsUndefined) {
+  // An all-zero window used to score 0 % — indistinguishable from a perfect
+  // prediction even when the predictor was wrong on every sample. The metric
+  // is undefined there and must say so.
   LastValuePredictor p;
   const std::vector<double> series(10, 0.0);
-  EXPECT_DOUBLE_EQ(series_prediction_error(p, series, 1), 0.0);
+  EXPECT_FALSE(series_prediction_error(p, series, 1).has_value());
+}
+
+TEST(SeriesErrorTest, ZeroWindowAfterNonZeroWarmupIsUndefined) {
+  // Warm-up demand is not scored, so a non-zero prefix must not rescue a
+  // zero evaluation window. Last value predicts 10 at t=1 (|err| = 10), yet
+  // the window total is 0 — the old code reported 0 % here.
+  LastValuePredictor p;
+  const std::vector<double> series = {10.0, 0.0, 0.0};
+  EXPECT_FALSE(series_prediction_error(p, series, 1).has_value());
 }
 
 TEST(ZonesErrorTest, ScoresEveryZoneSample) {
@@ -60,8 +72,8 @@ TEST(ZonesErrorTest, ScoresEveryZoneSample) {
     return std::make_unique<LastValuePredictor>();
   };
   // Every zone sample is off by 10 against an average value of 15.
-  EXPECT_NEAR(zones_prediction_error(factory, zones, 1), 10.0 / 15.0 * 100.0,
-              1e-9);
+  EXPECT_NEAR(zones_prediction_error(factory, zones, 1).value(),
+              10.0 / 15.0 * 100.0, 1e-9);
 }
 
 TEST(ZonesErrorTest, MatchesSingleSeriesWhenOneZone) {
@@ -75,8 +87,18 @@ TEST(ZonesErrorTest, MatchesSingleSeriesWhenOneZone) {
     return std::make_unique<LastValuePredictor>();
   };
   LastValuePredictor single;
-  EXPECT_NEAR(zones_prediction_error(factory, zones, 5),
-              series_prediction_error(single, values, 5), 1e-9);
+  EXPECT_NEAR(zones_prediction_error(factory, zones, 5).value(),
+              series_prediction_error(single, values, 5).value(), 1e-9);
+}
+
+TEST(ZonesErrorTest, AllZeroZonesAreUndefined) {
+  std::vector<util::TimeSeries> zones = {
+      util::TimeSeries(120.0, std::vector<double>(20, 0.0)),
+      util::TimeSeries(120.0, std::vector<double>(20, 0.0))};
+  const PredictorFactory factory = [] {
+    return std::make_unique<LastValuePredictor>();
+  };
+  EXPECT_FALSE(zones_prediction_error(factory, zones, 1).has_value());
 }
 
 TEST(ZonesErrorTest, RejectsEmptyInput) {

@@ -99,6 +99,39 @@ TEST(HoltWintersTest, BehavesLikeHoltBeforeFirstSeason) {
   EXPECT_NEAR(hw.predict(), holt.predict(), 1e-9);
 }
 
+TEST(HoltWintersTest, SeasonalIndexAlignsAtTheWarmupBoundary) {
+  // Season {100, 0, 0, 0}: after exactly one season the seasonal offsets
+  // initialize to {75, -25, -25, -25} around a level of 25. The very first
+  // post-warm-up prediction is for phase 0 — the spike — and must be large;
+  // one step later the forecast is for a quiet phase and must be small. An
+  // off-by-one in the seasonal index flips both assertions.
+  HoltWintersPredictor p(4);
+  for (double v : {100.0, 0.0, 0.0, 0.0}) p.observe(v);
+  ASSERT_TRUE(p.seasonal_ready());
+  EXPECT_GT(p.predict(), 50.0);
+  p.observe(100.0);
+  EXPECT_LT(p.predict(), 50.0);
+}
+
+TEST(HoltWintersTest, SeasonalIndexStaysAlignedThroughSecondSeason) {
+  // Same property at a non-zero phase: spike at phase 2 of a length-4
+  // season. Walking through the second season, the forecast must be large
+  // exactly when the next observation is the spike.
+  HoltWintersPredictor p(4);
+  const std::vector<double> season = {0.0, 0.0, 100.0, 0.0};
+  for (double v : season) p.observe(v);
+  ASSERT_TRUE(p.seasonal_ready());
+  for (int t = 4; t < 12; ++t) {
+    const double next = season[static_cast<std::size_t>(t) % 4];
+    if (next > 50.0) {
+      EXPECT_GT(p.predict(), 50.0) << "t=" << t;
+    } else {
+      EXPECT_LT(p.predict(), 50.0) << "t=" << t;
+    }
+    p.observe(next);
+  }
+}
+
 TEST(HoltWintersTest, PredictionsAreNonNegative) {
   HoltWintersPredictor p(4, 0.9, 0.5, 0.9);
   for (double v : {10.0, 0.0, 0.0, 0.0, 0.0, 0.0}) p.observe(v);

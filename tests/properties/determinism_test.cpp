@@ -148,6 +148,37 @@ void enable_live(obs::Recorder& rec, const SimulationConfig& cfg) {
   rec.enable_alerts(obs::default_alert_rules(cfg.event_threshold_pct));
 }
 
+/// Multi-game, multi-group config so the parallel predict phase has enough
+/// slots to shard across workers.
+SimulationConfig parallel_config(std::size_t threads) {
+  auto cfg = base_config(6, 240);
+  GameSpec second;
+  second.name = "SecondGame";
+  second.load = LoadModel{UpdateModel::kQuadratic, 2000.0};
+  second.latency_tolerance = dc::DistanceClass::kVeryFar;
+  second.workload = sine_workload(5, 240);
+  cfg.games.push_back(std::move(second));
+  cfg.threads = threads;
+  return cfg;
+}
+
+/// Like deterministic_snapshot_json, additionally dropping the one gauge
+/// that legitimately differs across thread counts (it reports the thread
+/// count itself).
+std::string thread_agnostic_snapshot_json(const obs::Recorder& rec) {
+  obs::Snapshot snap = rec.snapshot();
+  for (auto it = snap.histograms.begin(); it != snap.histograms.end();) {
+    if (it->first.size() >= 3 &&
+        it->first.compare(it->first.size() - 3, 3, "_us") == 0) {
+      it = snap.histograms.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  snap.gauges.erase("sim.predict_threads");
+  return snap.to_json();
+}
+
 TEST(DeterminismTest, IdenticalSeedsGiveByteIdenticalResults) {
   auto cfg = base_config(3, 240);
   const auto first = simulate(cfg);
@@ -193,6 +224,66 @@ TEST(DeterminismTest, MetricsSnapshotsAreByteIdenticalAcrossRuns) {
   ASSERT_NE(rec_a.alerts(), nullptr);
   ASSERT_NE(rec_b.alerts(), nullptr);
   EXPECT_EQ(rec_a.alerts()->to_json(), rec_b.alerts()->to_json());
+}
+
+// ---------------------------------------------------------------------------
+// Parallel predict phase: for any worker count, the simulation must be
+// bit-identical to the serial path — workers write disjoint slots and the
+// pad/match reduction happens serially in fixed order, so thread scheduling
+// can reorder only the *timing* of predictions, never their values.
+
+TEST(ParallelDeterminismTest, ThreadCountDoesNotChangeResults) {
+  const auto baseline = [&] {
+    auto cfg = parallel_config(1);
+    return serialize(simulate(cfg));
+  }();
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    auto cfg = parallel_config(threads);
+    EXPECT_EQ(serialize(simulate(cfg)), baseline) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminismTest, HardwareThreadCountMatchesSerial) {
+  auto serial_cfg = parallel_config(1);
+  const auto serial = simulate(serial_cfg);
+  auto hw_cfg = parallel_config(0);  // 0 = hardware concurrency
+  const auto parallel = simulate(hw_cfg);
+  EXPECT_EQ(serialize(serial), serialize(parallel));
+}
+
+TEST(ParallelDeterminismTest, ThreadCountDoesNotChangeTelemetry) {
+  // With live telemetry on, every counter, gauge (minus the thread-count
+  // gauge itself), non-timing histogram, time-series ring, and alert state
+  // must match the serial run byte for byte.
+  auto serial_cfg = parallel_config(1);
+  obs::Recorder rec_serial(obs::TraceLevel::kSteps);
+  enable_live(rec_serial, serial_cfg);
+  serial_cfg.recorder = &rec_serial;
+  const auto serial = simulate(serial_cfg);
+
+  auto parallel_cfg = parallel_config(4);
+  obs::Recorder rec_parallel(obs::TraceLevel::kSteps);
+  enable_live(rec_parallel, parallel_cfg);
+  parallel_cfg.recorder = &rec_parallel;
+  const auto parallel = simulate(parallel_cfg);
+
+  EXPECT_EQ(serialize(serial), serialize(parallel));
+  EXPECT_EQ(thread_agnostic_snapshot_json(rec_serial),
+            thread_agnostic_snapshot_json(rec_parallel));
+  ASSERT_NE(rec_serial.timeseries(), nullptr);
+  ASSERT_NE(rec_parallel.timeseries(), nullptr);
+  EXPECT_EQ(rec_serial.timeseries()->to_json(),
+            rec_parallel.timeseries()->to_json());
+  ASSERT_NE(rec_serial.alerts(), nullptr);
+  ASSERT_NE(rec_parallel.alerts(), nullptr);
+  EXPECT_EQ(rec_serial.alerts()->to_json(), rec_parallel.alerts()->to_json());
+}
+
+TEST(ParallelDeterminismTest, RepeatedParallelRunsAreByteIdentical) {
+  auto cfg = parallel_config(4);
+  const auto first = simulate(cfg);
+  const auto second = simulate(cfg);
+  EXPECT_EQ(serialize(first), serialize(second));
 }
 
 TEST(DeterminismTest, SnapshotCsvIsByteIdenticalAcrossRuns) {

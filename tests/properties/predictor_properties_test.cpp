@@ -128,7 +128,7 @@ TEST_P(PredictorContract, BoundedErrorOnSlowSinusoid) {
     series.push_back(500.0 +
                      250.0 * std::sin(2.0 * std::numbers::pi * t / 240.0));
   }
-  const double err = series_prediction_error(*p, series, 300);
+  const double err = series_prediction_error(*p, series, 300).value();
   EXPECT_LT(err, 100.0) << GetParam().name;
   EXPECT_GE(err, 0.0) << GetParam().name;
 }

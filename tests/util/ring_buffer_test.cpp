@@ -1,0 +1,117 @@
+#include "util/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace mmog::util {
+namespace {
+
+/// Logical content of the buffer, oldest first, via the two span views.
+std::vector<int> contents(const RingBuffer<int>& rb) {
+  std::vector<int> out;
+  for (int v : rb.first()) out.push_back(v);
+  for (int v : rb.second()) out.push_back(v);
+  return out;
+}
+
+TEST(RingBufferTest, RejectsZeroCapacity) {
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(RingBufferTest, StartsEmpty) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.full());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 4u);
+  EXPECT_TRUE(rb.first().empty());
+  EXPECT_TRUE(rb.second().empty());
+}
+
+TEST(RingBufferTest, FillsOldestFirst) {
+  RingBuffer<int> rb(4);
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_FALSE(rb.full());
+  EXPECT_EQ(rb.front(), 1);
+  EXPECT_EQ(rb.back(), 3);
+  EXPECT_EQ(rb[0], 1);
+  EXPECT_EQ(rb[2], 3);
+  // Before any wrap the whole window is one contiguous span.
+  EXPECT_EQ(contents(rb), (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(rb.second().empty());
+}
+
+TEST(RingBufferTest, OverwritesOldestWhenFull) {
+  RingBuffer<int> rb(3);
+  for (int v : {1, 2, 3, 4, 5}) rb.push(v);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.front(), 3);
+  EXPECT_EQ(rb.back(), 5);
+  EXPECT_EQ(contents(rb), (std::vector<int>{3, 4, 5}));
+}
+
+TEST(RingBufferTest, SpansSplitAtTheWrapPoint) {
+  RingBuffer<int> rb(4);
+  for (int v : {1, 2, 3, 4, 5, 6}) rb.push(v);
+  // Window is {3,4,5,6}; storage is [5,6,3,4] with head at index 2, so the
+  // views must be first()={3,4}, second()={5,6}.
+  EXPECT_EQ(rb.first().size(), 2u);
+  EXPECT_EQ(rb.second().size(), 2u);
+  EXPECT_EQ(contents(rb), (std::vector<int>{3, 4, 5, 6}));
+}
+
+TEST(RingBufferTest, OperatorIndexIsLogicalOrderAcrossWrap) {
+  RingBuffer<int> rb(3);
+  for (int v : {10, 20, 30, 40}) rb.push(v);
+  EXPECT_EQ(rb[0], 20);
+  EXPECT_EQ(rb[1], 30);
+  EXPECT_EQ(rb[2], 40);
+}
+
+TEST(RingBufferTest, ClearResets) {
+  RingBuffer<int> rb(3);
+  for (int v : {1, 2, 3, 4}) rb.push(v);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_TRUE(rb.first().empty());
+  EXPECT_TRUE(rb.second().empty());
+  rb.push(9);
+  EXPECT_EQ(rb.front(), 9);
+  EXPECT_EQ(contents(rb), (std::vector<int>{9}));
+}
+
+TEST(RingBufferTest, CapacityOneKeepsOnlyTheNewest) {
+  RingBuffer<int> rb(1);
+  rb.push(1);
+  rb.push(2);
+  EXPECT_EQ(rb.size(), 1u);
+  EXPECT_EQ(rb.front(), 2);
+  EXPECT_EQ(rb.back(), 2);
+  EXPECT_EQ(contents(rb), (std::vector<int>{2}));
+}
+
+TEST(RingBufferTest, LongPushSequenceMatchesSlidingWindow) {
+  // Property: after pushing 0..n-1 into a capacity-k ring, the window reads
+  // exactly the last k values in order — for every prefix length.
+  constexpr int kCap = 5;
+  RingBuffer<int> rb(kCap);
+  std::vector<int> expected;
+  for (int v = 0; v < 37; ++v) {
+    rb.push(v);
+    expected.push_back(v);
+    const std::size_t start =
+        expected.size() > kCap ? expected.size() - kCap : 0;
+    const std::vector<int> window(expected.begin() + start, expected.end());
+    ASSERT_EQ(contents(rb), window) << "after push " << v;
+    ASSERT_EQ(rb.first().size() + rb.second().size(), rb.size());
+  }
+}
+
+}  // namespace
+}  // namespace mmog::util

@@ -11,7 +11,7 @@
 //   mmog_chaos [--in FILE | --days D --trace-seed S]
 //              [--fault "SPEC[;SPEC...]"] [--seeds N]
 //              [--model n|nlogn|n2|n2logn|n3] [--tolerance 0..4]
-//              [--safety F] [--reserve K] [--shed]
+//              [--safety F] [--reserve K] [--shed] [--threads N]
 //
 // Each sweep iteration i clones every fault spec with seed+i, so one
 // invocation samples N independent but reproducible fault histories.
@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
         "usage: %s [--in FILE | --days D --trace-seed S]\n"
         "          [--fault \"SPEC[;SPEC...]\"] [--seeds N]\n"
         "          [--model n|nlogn|n2|n2logn|n3] [--tolerance 0..4]\n"
-        "          [--safety F] [--reserve K] [--shed]\n",
+        "          [--safety F] [--reserve K] [--shed] [--threads N]\n",
         args.program().c_str());
     return 0;
   }
@@ -110,6 +110,9 @@ int main(int argc, char** argv) {
     game.workload = std::move(workload);
     base.games.push_back(std::move(game));
     base.safety_factor = args.get_double("safety", 0.5);
+    const long threads = args.get_long("threads", 1);
+    if (threads < 0) throw std::invalid_argument("--threads must be >= 0");
+    base.threads = static_cast<std::size_t>(threads);
 
     auto spec_text = args.get("fault", "");
     if (spec_text.empty()) {

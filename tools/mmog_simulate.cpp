@@ -7,7 +7,7 @@
 //                              expsmooth|holt|holtwinters]
 //                 [--world table3|policy] [--policy N] [--machines M]
 //                 [--model n|nlogn|n2|n2logn|n3] [--tolerance 0..4]
-//                 [--safety F] [--lead-in-days D]
+//                 [--safety F] [--lead-in-days D] [--threads N]
 //                 [--fault "SPEC[;SPEC...]"] [--resilience]
 //                 [--reserve K] [--shed]
 //                 [--metrics-out FILE.{json,csv}]
@@ -29,6 +29,11 @@
 // same-step re-placement with exponential backoff; --reserve K requests an
 // N+k standby reserve of K full servers per demand unit; --shed sacrifices
 // lower-priority games when supply cannot cover demand.
+//
+// --threads N runs the per-step predict phase on N worker threads (0 =
+// hardware concurrency; default 1 = serial). Results are bit-identical for
+// any N; the speedup shows up in the phase.predict_us histogram of
+// --metrics-out / the /metrics endpoint.
 //
 // --serve starts the live telemetry endpoint on 127.0.0.1:PORT (0 picks an
 // ephemeral port; the bound port is printed to stderr): GET /metrics
@@ -123,7 +128,7 @@ int main(int argc, char** argv) {
         "usage: %s --in FILE [--mode dynamic|static] [--predictor NAME]\n"
         "          [--world table3|policy] [--policy N] [--machines M]\n"
         "          [--model n|nlogn|n2|n2logn|n3] [--tolerance 0..4]\n"
-        "          [--safety F] [--lead-in-days D]\n"
+        "          [--safety F] [--lead-in-days D] [--threads N]\n"
         "          [--fault \"SPEC[;SPEC...]\"] [--resilience]\n"
         "          [--reserve K] [--shed]\n"
         "          [--metrics-out FILE.{json,csv}]\n"
@@ -167,6 +172,9 @@ int main(int argc, char** argv) {
     cfg.games.push_back(std::move(game));
 
     cfg.safety_factor = args.get_double("safety", 0.5);
+    const long threads = args.get_long("threads", 1);
+    if (threads < 0) throw std::invalid_argument("--threads must be >= 0");
+    cfg.threads = static_cast<std::size_t>(threads);
     cfg.faults = fault::parse_fault_specs(args.get("fault", ""));
     cfg.resilience.enabled =
         args.has("resilience") || args.has("reserve") || args.has("shed");

@@ -1,0 +1,126 @@
+#include "core/run_report.hpp"
+
+#include <string_view>
+#include <utility>
+
+#include "obs/jsonio.hpp"
+#include "obs/recorder.hpp"
+
+namespace mmog::core {
+namespace {
+
+/// Extracts "<name>" from a histogram called "phase.<name>_us"; empty
+/// string_view when the name has another shape.
+std::string_view phase_name(std::string_view histogram) {
+  constexpr std::string_view kPrefix = "phase.";
+  constexpr std::string_view kSuffix = "_us";
+  if (histogram.size() <= kPrefix.size() + kSuffix.size() ||
+      histogram.substr(0, kPrefix.size()) != kPrefix ||
+      histogram.substr(histogram.size() - kSuffix.size()) != kSuffix) {
+    return {};
+  }
+  return histogram.substr(kPrefix.size(),
+                          histogram.size() - kPrefix.size() - kSuffix.size());
+}
+
+}  // namespace
+
+obs::RunReport make_run_report(
+    const SimulationConfig& config, const SimulationResult& result,
+    std::string tool, std::string label, double wall_seconds,
+    std::map<std::string, std::string> extra_config) {
+  obs::RunReport report;
+  report.tool = std::move(tool);
+  report.label = std::move(label);
+
+  auto& conf = report.config;
+  conf["mode"] =
+      config.mode == AllocationMode::kStatic ? "static" : "dynamic";
+  conf["steps"] = std::to_string(config.steps);
+  conf["safety_factor"] = obs::json_double(config.safety_factor);
+  conf["event_threshold_pct"] = obs::json_double(config.event_threshold_pct);
+  conf["provisioning_delay_steps"] =
+      std::to_string(config.provisioning_delay_steps);
+  conf["prioritize_by_interaction"] =
+      config.prioritize_by_interaction ? "true" : "false";
+  conf["games"] = std::to_string(config.games.size());
+  conf["datacenters"] = std::to_string(config.datacenters.size());
+  conf["faults"] = std::to_string(config.faults.size());
+  conf["outages"] = std::to_string(config.outages.size());
+  conf["resilience.enabled"] = config.resilience.enabled ? "true" : "false";
+  conf["resilience.base_backoff_steps"] =
+      std::to_string(config.resilience.base_backoff_steps);
+  conf["resilience.max_backoff_steps"] =
+      std::to_string(config.resilience.max_backoff_steps);
+  conf["resilience.standby_reserve_servers"] =
+      obs::json_double(config.resilience.standby_reserve_servers);
+  conf["resilience.shed_low_priority"] =
+      config.resilience.shed_low_priority ? "true" : "false";
+  for (auto& [key, value] : extra_config) {
+    conf[key] = std::move(value);
+  }
+
+  auto& outcome = report.outcome;
+  outcome.steps = result.steps;
+  outcome.over_allocation_pct =
+      result.metrics.avg_over_allocation_pct(util::ResourceKind::kCpu);
+  outcome.under_allocation_pct =
+      result.metrics.avg_under_allocation_pct(util::ResourceKind::kCpu);
+  outcome.significant_events =
+      result.metrics.significant_events(config.event_threshold_pct);
+  outcome.unplaced_cpu_unit_steps = result.unplaced_cpu_unit_steps;
+  outcome.total_cost = result.total_cost;
+  outcome.fault_windows = result.fault_events.size();
+  outcome.availability_pct = result.sla.availability_pct();
+  outcome.sla_steps = result.sla.steps;
+  outcome.downtime_steps = result.sla.downtime_steps;
+  outcome.shed_steps = result.sla.shed_steps;
+  outcome.breach_episodes = result.sla.breach_episodes;
+  outcome.longest_breach_steps = result.sla.longest_breach_steps;
+  outcome.recoveries = result.sla.recoveries;
+  outcome.mean_time_to_recover_steps = result.sla.mean_time_to_recover_steps;
+  outcome.max_time_to_recover_steps = result.sla.max_time_to_recover_steps;
+
+  report.threads = config.threads;
+  report.wall_seconds = wall_seconds;
+  report.peak_rss_kb = obs::current_peak_rss_kb();
+
+  const obs::Recorder* const rec = config.recorder;
+  if (rec == nullptr) return report;
+
+  if (const obs::AlertEngine* engine = rec->alerts()) {
+    for (const auto& status : engine->statuses()) {
+      outcome.alerts_fired += status.fired_count;
+      outcome.alerts_resolved += status.resolved_count;
+      if (status.state == obs::AlertState::kFiring) ++outcome.alerts_firing;
+    }
+  }
+  if (const obs::AuditTrail* trail = rec->audit()) {
+    outcome.audit_records = trail->size();
+  }
+
+  const obs::Snapshot snap = rec->snapshot();
+  outcome.counters = snap.counters;
+  // The actually-used predict worker count (0 resolves to the hardware
+  // concurrency inside simulate(), so config.threads may understate it).
+  if (const auto it = snap.gauges.find("sim.predict_threads");
+      it != snap.gauges.end() && it->second >= 1.0) {
+    report.threads = static_cast<std::uint64_t>(it->second);
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    const std::string_view phase = phase_name(name);
+    if (phase.empty() || hist.count == 0) continue;
+    obs::RunReport::PhaseStats stats;
+    stats.name = std::string(phase);
+    stats.count = hist.count;
+    stats.mean_us = hist.mean();
+    stats.p50_us = hist.quantile(0.5);
+    stats.p90_us = hist.quantile(0.9);
+    stats.p99_us = hist.quantile(0.99);
+    stats.max_us = hist.max;
+    report.phases.push_back(std::move(stats));
+  }
+  return report;
+}
+
+}  // namespace mmog::core

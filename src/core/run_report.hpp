@@ -1,0 +1,29 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/simulation.hpp"
+#include "obs/report.hpp"
+
+namespace mmog::core {
+
+/// Builds the canonical obs::RunReport for one finished simulate() call:
+/// the outcome-determining knobs of `config` become the report's config
+/// map (fingerprint input), the SimulationResult and the recorder's
+/// registry supply the outcome section, and the `phase.*_us` histograms
+/// become the timing quantiles. `extra_config` lets the CLI add its own
+/// outcome-determining inputs (workload file, predictor name, fault spec,
+/// seeds); entries there win over the derived ones on key collision.
+///
+/// `config.threads` deliberately stays OUT of the config map: the thread
+/// count must not change the outcome, so it is reported in the timing
+/// section instead — two same-seed runs at --threads 1 and --threads 4
+/// produce reports whose config/fingerprint and outcome sections are
+/// byte-identical.
+obs::RunReport make_run_report(
+    const SimulationConfig& config, const SimulationResult& result,
+    std::string tool, std::string label, double wall_seconds,
+    std::map<std::string, std::string> extra_config = {});
+
+}  // namespace mmog::core

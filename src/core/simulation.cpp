@@ -106,6 +106,7 @@ SimulationResult simulate(const SimulationConfig& config) {
   validate_config(config);
 
   obs::Recorder* const rec = config.recorder;
+  obs::AuditTrail* const audit = rec ? rec->audit() : nullptr;
   const auto& res_policy = config.resilience;
   const bool resilient = res_policy.enabled;
 
@@ -256,22 +257,49 @@ SimulationResult simulate(const SimulationConfig& config) {
     return base + penalty > static_cast<std::size_t>(unit.tolerance);
   };
 
+  // Decision-audit scratch (only touched when the recorder has an audit
+  // trail attached): the step's records in occurrence order. Actual player
+  // counts are backfilled per unit once the step's load materializes in the
+  // account phase, then the batch is flushed to the trail in one lock
+  // acquisition. Everything runs on the simulation thread, so trails are
+  // byte-identical at any `config.threads` value.
+  std::vector<obs::AuditRecord> audit_batch;
+  std::vector<std::vector<std::size_t>> audit_backfill(units.size());
+  std::vector<double> audit_predicted(units.size(), 0.0);
+  std::vector<double> audit_margin(units.size(), 0.0);
+
+  // `ar` collects one AuditOffer per visited candidate (nullptr = audit
+  // off: the walk pays one pointer test per branch).
   auto try_allocate = [&](DemandUnit& unit, const util::ResourceVector& need_in,
-                          std::size_t step, std::size_t hold_steps) {
+                          std::size_t step, std::size_t hold_steps,
+                          obs::AuditRecord* ar) {
     util::ResourceVector need = need_in.clamped_non_negative();
     for (std::size_t cand : unit.candidates) {
+      const auto dc32 = static_cast<std::uint32_t>(cand);
       if (have_faults && schedule.outage_at(cand, step)) {
         if (rec) rec->count("offer.rejected.outage");
+        if (ar) {
+          ar->offers.push_back(
+              {dc32, obs::OfferOutcome::kRejectedOutage, 0.0, 0});
+        }
         continue;
       }
       if (have_faults && latency_violated(unit, cand, step)) {
         // Matching criterion 2 re-evaluated under degradation: the center
         // is temporarily too far for this game.
         if (rec) rec->count("offer.rejected.latency_degraded");
+        if (ar) {
+          ar->offers.push_back(
+              {dc32, obs::OfferOutcome::kRejectedLatencyDegraded, 0.0, 0});
+        }
         continue;
       }
       if (resilient && unit.backoff.excluded(cand, step)) {
         if (rec) rec->count("offer.rejected.backoff");
+        if (ar) {
+          ar->offers.push_back({dc32, obs::OfferOutcome::kRejectedBackoff,
+                                0.0, unit.backoff.excluded_until(cand)});
+        }
         continue;
       }
       double outstanding = 0.0;
@@ -286,24 +314,41 @@ SimulationResult simulate(const SimulationConfig& config) {
         // Matching criterion 3 (§II-C, offer granularity): the policy's CPU
         // bulk cannot produce a usable offer from this center's free pool.
         if (rec) rec->count("offer.rejected.bulk");
+        if (ar) {
+          ar->offers.push_back(
+              {dc32, obs::OfferOutcome::kRejectedBulk, 0.0, 0});
+        }
         continue;
       }
       double total = 0.0;
       for (double v : amount.v) total += v;
       if (total <= 1e-9) {
         if (rec) rec->count("offer.rejected.amount");
+        if (ar) {
+          ar->offers.push_back(
+              {dc32, obs::OfferOutcome::kRejectedAmount, 0.0, 0});
+        }
         continue;
       }
       if (have_faults && schedule.flap_at(cand, step)) {
         // Transient grant failure: the offer was accepted but the rented
         // resources never materialize. The request retries elsewhere.
         if (rec) rec->count("alloc.grant_failed.transient");
-        if (resilient) unit.backoff.record_failure(cand, step);
+        std::size_t until = 0;
+        if (resilient) until = unit.backoff.record_failure(cand, step);
+        if (ar) {
+          ar->offers.push_back(
+              {dc32, obs::OfferOutcome::kGrantFlapped, 0.0, until});
+        }
         continue;
       }
       if (!ledger.grant(amount)) {
         // Matching criterion 1 (§II-C, amount fit): nothing left to offer.
         if (rec) rec->count("offer.rejected.amount");
+        if (ar) {
+          ar->offers.push_back(
+              {dc32, obs::OfferOutcome::kRejectedAmount, 0.0, 0});
+        }
         continue;
       }
       dc::Allocation alloc;
@@ -322,6 +367,14 @@ SimulationResult simulate(const SimulationConfig& config) {
       unit.allocated += amount;
       need = (need - amount).clamped_non_negative();
       if (resilient) unit.backoff.record_success(cand);
+      if (ar) {
+        ar->offers.push_back(
+            {dc32, obs::OfferOutcome::kGranted, amount.cpu(), 0});
+        if (ar->dc == obs::kAuditNoDc) {
+          ar->dc = static_cast<std::int32_t>(cand);
+        }
+        ar->granted_cpu += amount.cpu();
+      }
       if (rec) {
         rec->count("offer.matched");
         rec->count("alloc.granted");
@@ -342,6 +395,19 @@ SimulationResult simulate(const SimulationConfig& config) {
     DemandUnit& unit = units[unit_index];
     const auto alloc = unit.allocations[alloc_index];
     ledgers[alloc.dc_index].release(alloc.amount);
+    if (audit) {
+      obs::AuditRecord ar;
+      ar.step = step;
+      ar.kind = obs::AuditKind::kForceRelease;
+      ar.game = static_cast<std::uint32_t>(unit.game_id);
+      ar.region = unit.region_name;
+      ar.held_cpu = unit.allocated.cpu();
+      ar.released_cpu = alloc.amount.cpu();
+      ar.dc = static_cast<std::int32_t>(alloc.dc_index);
+      ar.cause = reason;
+      ar.alloc_id = alloc.id;
+      audit_batch.push_back(std::move(ar));
+    }
     if (rec) {
       rec->count("alloc.force_released");
       rec->instant("alloc.force_released", "alloc", step,
@@ -417,11 +483,27 @@ SimulationResult simulate(const SimulationConfig& config) {
       const auto& load = config.games[unit.game_id].load;
       const auto full_servers = load.demand(load.reference_players) *
                                 static_cast<double>(unit.groups.size());
+      obs::AuditRecord ar;
+      if (audit) {
+        ar.kind = obs::AuditKind::kStatic;
+        ar.game = static_cast<std::uint32_t>(unit.game_id);
+        ar.region = unit.region_name;
+        ar.predicted_players = load.reference_players *
+                               static_cast<double>(unit.groups.size());
+        ar.demand_cpu = full_servers.cpu();
+        ar.requested_cpu = full_servers.cpu();
+      }
       const auto unmet =
           try_allocate(unit, full_servers, 0,
-                       std::numeric_limits<std::size_t>::max());
+                       std::numeric_limits<std::size_t>::max(),
+                       audit ? &ar : nullptr);
       result.unplaced_cpu_unit_steps +=
           unmet.cpu() * static_cast<double>(steps);
+      if (audit) {
+        ar.unmet_cpu = unmet.cpu();
+        audit_backfill[idx].push_back(audit_batch.size());
+        audit_batch.push_back(std::move(ar));
+      }
     }
   }
 
@@ -516,6 +598,19 @@ SimulationResult simulate(const SimulationConfig& config) {
                       res_policy.standby_reserve_servers;
           }
           demands[idx] = demand;
+          if (audit) {
+            // The safety margin (§V-C) is whatever the padding added on top
+            // of the raw prediction through the load model — including the
+            // N+k standby reserve when enabled.
+            double predicted = 0.0;
+            util::ResourceVector raw{};
+            for (const auto& stream : unit.groups) {
+              predicted += stream.last_prediction;
+              raw += load.demand(stream.last_prediction);
+            }
+            audit_predicted[idx] = predicted;
+            audit_margin[idx] = demand.cpu() - raw.cpu();
+          }
           if (rec) {
             rec->count("request.padded");
             rec->detail_instant("request.padded", "demand", t,
@@ -532,6 +627,17 @@ SimulationResult simulate(const SimulationConfig& config) {
         for (std::size_t idx : order) {
           DemandUnit& unit = units[idx];
           const auto& demand = demands[idx];
+          obs::AuditRecord ar;
+          if (audit) {
+            ar.step = t;
+            ar.kind = obs::AuditKind::kMatch;
+            ar.game = static_cast<std::uint32_t>(unit.game_id);
+            ar.region = unit.region_name;
+            ar.predicted_players = audit_predicted[idx];
+            ar.margin_cpu = audit_margin[idx];
+            ar.demand_cpu = demand.cpu();
+            ar.held_cpu = unit.allocated.cpu();
+          }
 
           // Release expired allocations no longer needed (largest first so
           // coarse chunks go back to the pool as soon as possible).
@@ -569,22 +675,34 @@ SimulationResult simulate(const SimulationConfig& config) {
               unit.allocations.erase(unit.allocations.begin() +
                                      static_cast<std::ptrdiff_t>(best));
               released = true;
+              if (audit) ar.released_cpu += amount.cpu();
             }
           }
 
           // Acquire what the prediction says is missing.
           if (!unit.allocated.covers(demand)) {
             const auto need = demand - unit.allocated;
-            auto unmet = try_allocate(unit, need, t, 1);
+            if (audit) {
+              ar.requested_cpu = need.clamped_non_negative().cpu();
+            }
+            auto unmet = try_allocate(unit, need, t, 1, audit ? &ar : nullptr);
             if (unmet.cpu() > 1e-9 && resilient &&
                 res_policy.shed_low_priority) {
               // Total supply cannot cover demand: degrade lower-priority
               // games to keep this one whole.
               if (shed_for(unit, unmet, t)) {
-                unmet = try_allocate(unit, unmet, t, 1);
+                unmet = try_allocate(unit, unmet, t, 1,
+                                     audit ? &ar : nullptr);
               }
             }
+            if (audit) ar.unmet_cpu = unmet.cpu();
             result.unplaced_cpu_unit_steps += unmet.cpu();
+          }
+          // Only decisions that acted make a record — a unit whose holding
+          // already matches its demand stays silent, keeping trails compact.
+          if (audit && (ar.released_cpu > 0.0 || ar.requested_cpu > 0.0)) {
+            audit_backfill[idx].push_back(audit_batch.size());
+            audit_batch.push_back(std::move(ar));
           }
         }
       }
@@ -651,16 +769,35 @@ SimulationResult simulate(const SimulationConfig& config) {
           const auto& demand = demands[idx];
           if (unit.allocated.covers(demand)) continue;
           if (rec) rec->count("resilience.retry");
-          auto unmet = try_allocate(unit, demand - unit.allocated, t, 1);
+          obs::AuditRecord ar;
+          if (audit) {
+            ar.step = t;
+            ar.kind = obs::AuditKind::kReplace;
+            ar.game = static_cast<std::uint32_t>(unit.game_id);
+            ar.region = unit.region_name;
+            ar.predicted_players = audit_predicted[idx];
+            ar.margin_cpu = audit_margin[idx];
+            ar.demand_cpu = demand.cpu();
+            ar.held_cpu = unit.allocated.cpu();
+            ar.requested_cpu =
+                (demand - unit.allocated).clamped_non_negative().cpu();
+          }
+          auto unmet = try_allocate(unit, demand - unit.allocated, t, 1,
+                                    audit ? &ar : nullptr);
           if (unmet.cpu() > 1e-9 && res_policy.shed_low_priority) {
             if (shed_for(unit, unmet, t)) {
-              unmet = try_allocate(unit, unmet, t, 1);
+              unmet = try_allocate(unit, unmet, t, 1, audit ? &ar : nullptr);
             }
           }
           if (unmet.cpu() <= 1e-9) {
             if (rec) rec->count("resilience.replaced");
           }
           result.unplaced_cpu_unit_steps += unmet.cpu();
+          if (audit) {
+            ar.unmet_cpu = unmet.cpu();
+            audit_backfill[idx].push_back(audit_batch.size());
+            audit_batch.push_back(std::move(ar));
+          }
         }
       }
     }
@@ -671,11 +808,14 @@ SimulationResult simulate(const SimulationConfig& config) {
     StepMetrics step_metrics;
     step_metrics.machines = total_groups;
     std::vector<StepMetrics> per_game(config.games.size());
-    for (auto& unit : units) {
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      DemandUnit& unit = units[u];
       const auto& load = config.games[unit.game_id].load;
       util::ResourceVector lambda{};
+      double actual_players_total = 0.0;
       for (auto& stream : unit.groups) {
         const double actual = (*stream.players)[t];
+        actual_players_total += actual;
         lambda += load.demand(actual);
         if (stream.predictor) {
           constexpr double kErrorEwmaAlpha = 0.05;
@@ -691,6 +831,13 @@ SimulationResult simulate(const SimulationConfig& config) {
         usable = {};
         for (const auto& alloc : unit.allocations) {
           if (alloc.usable_at(t)) usable += alloc.amount;
+        }
+      }
+      if (audit) {
+        // The step's decisions were made on predictions; now the actual
+        // load is known, close the loop in their records.
+        for (const std::size_t rec_idx : audit_backfill[u]) {
+          audit_batch[rec_idx].actual_players = actual_players_total;
         }
       }
       step_metrics.allocated += usable;
@@ -777,6 +924,10 @@ SimulationResult simulate(const SimulationConfig& config) {
       for (const auto& alloc : unit.allocations) {
         dc_origin_sum[alloc.dc_index][unit.region_name] += alloc.amount.cpu();
       }
+    }
+    if (audit) {
+      audit->append_batch(audit_batch);
+      for (auto& list : audit_backfill) list.clear();
     }
   }
 

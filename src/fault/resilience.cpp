@@ -4,13 +4,15 @@
 
 namespace mmog::fault {
 
-void BackoffTracker::record_failure(std::size_t dc, std::size_t step) {
+std::size_t BackoffTracker::record_failure(std::size_t dc,
+                                           std::size_t step) {
   Entry& e = entries_[dc];
   ++e.failures;
   std::size_t window = base_;
   for (std::size_t i = 1; i < e.failures && window < max_; ++i) window *= 2;
   window = std::min(window, max_);
   e.until = std::max(e.until, step + window);
+  return e.until;
 }
 
 void BackoffTracker::record_success(std::size_t dc) noexcept {

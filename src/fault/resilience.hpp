@@ -40,7 +40,10 @@ class BackoffTracker {
         max_(max_steps < base_ ? base_ : max_steps) {}
 
   /// Records a failed grant (or a force-release) observed at `step`.
-  void record_failure(std::size_t dc, std::size_t step);
+  /// Returns the exclusive end of the resulting exclusion window — the
+  /// first step at which `dc` becomes eligible again — so callers (the
+  /// decision audit trail) can report *until when* the center is out.
+  std::size_t record_failure(std::size_t dc, std::size_t step);
 
   /// A successful grant clears the center's failure history.
   void record_success(std::size_t dc) noexcept;

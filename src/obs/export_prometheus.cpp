@@ -42,6 +42,27 @@ std::string sanitize_prometheus_name(std::string_view name) {
 
 std::string to_prometheus(const Snapshot& snapshot) {
   std::string out;
+  // Which metric (as "<section> <registry name>") owns each exported
+  // Prometheus name. Two distinct metrics whose names sanitize to the same
+  // string would otherwise produce duplicate series that a scraper merges
+  // or rejects silently; instead the later one (exporter order is
+  // deterministic: counters, gauges, histograms, each name-sorted) gets a
+  // numbered "_2"/"_3" suffix and a comment line pointing at the original.
+  std::map<std::string, std::string> owner_by_prom;
+  auto resolve = [&](std::string_view section, const std::string& name) {
+    const std::string owner = std::string(section) + ' ' + name;
+    std::string prom = sanitize_prometheus_name(name);
+    if (owner_by_prom.emplace(prom, owner).second) return prom;
+    for (std::size_t i = 2;; ++i) {
+      std::string candidate = prom + '_' + std::to_string(i);
+      if (owner_by_prom.emplace(candidate, owner).second) {
+        out += "# NOTE " + candidate + " renamed from " + owner +
+               ": sanitized name " + prom + " already taken by " +
+               owner_by_prom.at(prom) + '\n';
+        return candidate;
+      }
+    }
+  };
   auto type_line = [&out](const std::string& name, std::string_view type) {
     out += "# TYPE ";
     out += name;
@@ -50,17 +71,17 @@ std::string to_prometheus(const Snapshot& snapshot) {
     out += '\n';
   };
   for (const auto& [name, value] : snapshot.counters) {
-    const auto prom = sanitize_prometheus_name(name);
+    const auto prom = resolve("counter", name);
     type_line(prom, "counter");
     out += prom + ' ' + format_value(value) + '\n';
   }
   for (const auto& [name, value] : snapshot.gauges) {
-    const auto prom = sanitize_prometheus_name(name);
+    const auto prom = resolve("gauge", name);
     type_line(prom, "gauge");
     out += prom + ' ' + format_value(value) + '\n';
   }
   for (const auto& [name, h] : snapshot.histograms) {
-    const auto prom = sanitize_prometheus_name(name);
+    const auto prom = resolve("histogram", name);
     type_line(prom, "histogram");
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < h.bounds.size(); ++i) {

@@ -11,7 +11,8 @@ namespace mmog::obs {
 /// [a-zA-Z_:][a-zA-Z0-9_:]*: every disallowed byte becomes '_' and a name
 /// whose first byte would still be invalid (e.g. a leading digit) gains a
 /// '_' prefix. "phase.step_us" -> "phase_step_us". Distinct registry names
-/// can collide after sanitization; the exporter emits both series as-is.
+/// can collide after sanitization ("a.b" and "a_b"); to_prometheus()
+/// detects that and disambiguates rather than emitting duplicate series.
 std::string sanitize_prometheus_name(std::string_view name);
 
 /// Serializes a Snapshot to the Prometheus text exposition format v0.0.4.
@@ -24,6 +25,13 @@ std::string sanitize_prometheus_name(std::string_view name);
 /// ordered), ends with a newline, and is accepted verbatim by a
 /// Prometheus scraper; serve it with content type
 /// "text/plain; version=0.0.4".
+///
+/// When two distinct registry metrics sanitize to the same Prometheus
+/// name, the first keeps it and each later one is deterministically
+/// renamed by appending "_2", "_3", ... (in the exporter's fixed
+/// counters -> gauges -> histograms, name-sorted order), with a comment
+/// line naming the original metric — duplicate series are never emitted
+/// silently.
 std::string to_prometheus(const Snapshot& snapshot);
 
 }  // namespace mmog::obs

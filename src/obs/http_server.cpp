@@ -171,6 +171,14 @@ HttpServer::Response TelemetryService::handle(
     return {200, "application/json",
             store ? store->to_json() : "{\"series\":[]}"};
   }
+  if (request.path == "/audit") {
+    // JSONL: one decision record per line, a consistent prefix of a live
+    // run (the trail snapshots under its own mutex). Empty body when the
+    // run has no audit trail enabled.
+    const AuditTrail* trail = recorder.audit();
+    return {200, "application/x-ndjson; charset=utf-8",
+            trail ? trail->to_jsonl() : std::string()};
+  }
   return {404, "text/plain; charset=utf-8", "not found\n"};
 }
 

@@ -66,6 +66,8 @@ class HttpServer {
 ///   GET /healthz           {"status":"ok","step":N,"alerts":{...}}
 ///   GET /alerts            alert-rule states (AlertEngine::to_json)
 ///   GET /timeseries.json   per-metric downsampled step series
+///   GET /audit             decision-audit trail as JSONL (one record per
+///                          line; empty when auditing is not enabled)
 ///
 /// Every route reads mutex-guarded snapshots (the registry merges shards;
 /// the store and engine copy under their own locks), so scrapes never

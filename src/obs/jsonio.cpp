@@ -1,0 +1,297 @@
+#include "obs/jsonio.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mmog::obs {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
+}
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) throw std::invalid_argument("json: not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::kNumber) {
+    throw std::invalid_argument("json: not a number");
+  }
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) {
+    throw std::invalid_argument("json: not a string");
+  }
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  if (kind_ != Kind::kArray) throw std::invalid_argument("json: not an array");
+  return array_;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  if (const JsonValue* v = find(key)) return *v;
+  throw std::invalid_argument("json: missing key \"" + std::string(key) +
+                              "\"");
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) {
+    throw std::invalid_argument("json: not an object");
+  }
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (kind_ != Kind::kObject) {
+    throw std::invalid_argument("json: not an object");
+  }
+  return object_;
+}
+
+JsonValue JsonValue::make_null() { return {}; }
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double n) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::make_object(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing garbage");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("json: " + what + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue::make_string(parse_string());
+      case 't':
+        if (consume("true")) return JsonValue::make_bool(true);
+        fail("bad literal");
+      case 'f':
+        if (consume("false")) return JsonValue::make_bool(false);
+        fail("bad literal");
+      case 'n':
+        if (consume("null")) return JsonValue::make_null();
+        fail("bad literal");
+      default: return JsonValue::make_number(parse_number());
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    std::vector<std::pair<std::string, JsonValue>> members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(members));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    expect('}');
+    return JsonValue::make_object(std::move(members));
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(items));
+    }
+    for (;;) {
+      items.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    expect(']');
+    return JsonValue::make_array(std::move(items));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("dangling escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          const auto res = std::from_chars(s_.data() + pos_,
+                                           s_.data() + pos_ + 4, code, 16);
+          if (res.ptr != s_.data() + pos_ + 4) fail("bad \\u escape");
+          pos_ += 4;
+          // The repo's writers only emit \u00XX for control bytes; wider
+          // code points pass through as a single truncated byte.
+          out += static_cast<char>(code & 0xff);
+          break;
+        }
+        default: fail("unsupported escape");
+      }
+    }
+    if (pos_ >= s_.size()) fail("unterminated string");
+    ++pos_;
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    const std::size_t begin = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (begin == pos_) fail("expected number");
+    double value = 0.0;
+    const auto res =
+        std::from_chars(s_.data() + begin, s_.data() + pos_, value);
+    if (res.ec != std::errc() || res.ptr != s_.data() + pos_) {
+      fail("malformed number");
+    }
+    return value;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace mmog::obs

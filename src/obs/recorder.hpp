@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "obs/alerts.hpp"
+#include "obs/audit.hpp"
 #include "obs/registry.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/tracer.hpp"
@@ -93,6 +94,16 @@ class Recorder {
     alerts_.store(alerts_owner_.get(), std::memory_order_release);
   }
 
+  /// Keep a structured decision-audit trail (PR 6). Same contract as the
+  /// other enable_*(): one-shot, published release/acquire so a concurrent
+  /// `GET /audit` scrape sees a fully constructed trail or nullptr. A
+  /// Recorder without enable_audit() costs instrumented sites one pointer
+  /// test per decision.
+  void enable_audit() {
+    audit_owner_ = std::make_unique<AuditTrail>();
+    audit_.store(audit_owner_.get(), std::memory_order_release);
+  }
+
   TimeSeriesStore* timeseries() noexcept {
     return timeseries_.load(std::memory_order_acquire);
   }
@@ -104,6 +115,12 @@ class Recorder {
   }
   const AlertEngine* alerts() const noexcept {
     return alerts_.load(std::memory_order_acquire);
+  }
+  AuditTrail* audit() noexcept {
+    return audit_.load(std::memory_order_acquire);
+  }
+  const AuditTrail* audit() const noexcept {
+    return audit_.load(std::memory_order_acquire);
   }
 
   /// True when per-step sampling has a consumer (store or alert engine).
@@ -146,8 +163,10 @@ class Recorder {
   TraceLevel level_;
   std::unique_ptr<TimeSeriesStore> timeseries_owner_;
   std::unique_ptr<AlertEngine> alerts_owner_;
+  std::unique_ptr<AuditTrail> audit_owner_;
   std::atomic<TimeSeriesStore*> timeseries_{nullptr};
   std::atomic<AlertEngine*> alerts_{nullptr};
+  std::atomic<AuditTrail*> audit_{nullptr};
   std::atomic<std::uint64_t> last_step_{0};
 };
 

@@ -1,0 +1,448 @@
+#include "obs/report.hpp"
+
+#include <sys/resource.h>
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+
+#include "obs/jsonio.hpp"
+
+namespace mmog::obs {
+namespace {
+
+std::uint64_t fnv1a64(std::string_view data, std::uint64_t hash) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  for (char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+std::string quoted(std::string_view s) {
+  std::string out = "\"";
+  append_json_escaped(out, s);
+  out += '"';
+  return out;
+}
+
+void append_string_map(std::string& out,
+                       const std::map<std::string, std::string>& map) {
+  out += '{';
+  bool sep = false;
+  for (const auto& [key, value] : map) {
+    if (sep) out += ',';
+    out += quoted(key) + ':' + quoted(value);
+    sep = true;
+  }
+  out += '}';
+}
+
+void append_counter_map(std::string& out,
+                        const std::map<std::string, double>& map) {
+  out += '{';
+  bool sep = false;
+  for (const auto& [key, value] : map) {
+    if (sep) out += ',';
+    out += quoted(key) + ':' + json_double(value);
+    sep = true;
+  }
+  out += '}';
+}
+
+std::uint64_t as_u64(const JsonValue& v) {
+  return static_cast<std::uint64_t>(v.as_number());
+}
+
+std::string format_line(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+std::string format_line(const char* fmt, ...) {
+  char buf[160];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return buf;
+}
+
+/// One exact-match comparison between two doubles parsed from reports:
+/// shortest-round-trip serialization makes bit equality the right test.
+void compare_number(std::vector<std::string>& notes, bool& identical,
+                    std::string_view field, double a, double b) {
+  if (a == b) return;
+  identical = false;
+  notes.push_back("outcome." + std::string(field) + ": " + json_double(a) +
+                  " != " + json_double(b));
+}
+
+void compare_count(std::vector<std::string>& notes, bool& identical,
+                   std::string_view field, std::uint64_t a, std::uint64_t b) {
+  if (a == b) return;
+  identical = false;
+  notes.push_back("outcome." + std::string(field) + ": " +
+                  std::to_string(a) + " != " + std::to_string(b));
+}
+
+}  // namespace
+
+std::string RunReport::fingerprint() const {
+  std::uint64_t hash = 14695981039346656037ull;  // FNV offset basis
+  for (const auto& [key, value] : config) {
+    hash = fnv1a64(key, hash);
+    hash = fnv1a64("=", hash);
+    hash = fnv1a64(value, hash);
+    hash = fnv1a64("\n", hash);
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+std::string RunReport::to_json() const {
+  std::string out;
+  out.reserve(2048);
+  out += "{\"schema\":" + std::to_string(kSchemaVersion);
+  out += ",\"tool\":" + quoted(tool);
+  out += ",\"label\":" + quoted(label);
+  out += ",\"config\":";
+  append_string_map(out, config);
+  out += ",\"fingerprint\":" + quoted(fingerprint());
+  out += ",\"outcome\":{";
+  out += "\"steps\":" + std::to_string(outcome.steps);
+  out += ",\"over_allocation_pct\":" + json_double(outcome.over_allocation_pct);
+  out += ",\"under_allocation_pct\":" +
+         json_double(outcome.under_allocation_pct);
+  out += ",\"significant_events\":" +
+         std::to_string(outcome.significant_events);
+  out += ",\"unplaced_cpu_unit_steps\":" +
+         json_double(outcome.unplaced_cpu_unit_steps);
+  out += ",\"total_cost\":" + json_double(outcome.total_cost);
+  out += ",\"fault_windows\":" + std::to_string(outcome.fault_windows);
+  out += ",\"sla\":{";
+  out += "\"availability_pct\":" + json_double(outcome.availability_pct);
+  out += ",\"steps\":" + std::to_string(outcome.sla_steps);
+  out += ",\"downtime_steps\":" + std::to_string(outcome.downtime_steps);
+  out += ",\"shed_steps\":" + std::to_string(outcome.shed_steps);
+  out += ",\"breach_episodes\":" + std::to_string(outcome.breach_episodes);
+  out += ",\"longest_breach_steps\":" +
+         std::to_string(outcome.longest_breach_steps);
+  out += ",\"recoveries\":" + std::to_string(outcome.recoveries);
+  out += ",\"mean_time_to_recover_steps\":" +
+         json_double(outcome.mean_time_to_recover_steps);
+  out += ",\"max_time_to_recover_steps\":" +
+         std::to_string(outcome.max_time_to_recover_steps);
+  out += "},\"alerts\":{";
+  out += "\"fired\":" + std::to_string(outcome.alerts_fired);
+  out += ",\"resolved\":" + std::to_string(outcome.alerts_resolved);
+  out += ",\"firing\":" + std::to_string(outcome.alerts_firing);
+  out += "},\"audit_records\":" + std::to_string(outcome.audit_records);
+  out += ",\"counters\":";
+  append_counter_map(out, outcome.counters);
+  out += "},\"timing\":{";
+  out += "\"threads\":" + std::to_string(threads);
+  out += ",\"wall_seconds\":" + json_double(wall_seconds);
+  out += ",\"peak_rss_kb\":" + std::to_string(peak_rss_kb);
+  out += ",\"phases\":[";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const PhaseStats& phase = phases[i];
+    if (i) out += ',';
+    out += "{\"name\":" + quoted(phase.name);
+    out += ",\"count\":" + std::to_string(phase.count);
+    out += ",\"mean_us\":" + json_double(phase.mean_us);
+    out += ",\"p50_us\":" + json_double(phase.p50_us);
+    out += ",\"p90_us\":" + json_double(phase.p90_us);
+    out += ",\"p99_us\":" + json_double(phase.p99_us);
+    out += ",\"max_us\":" + json_double(phase.max_us);
+    out += '}';
+  }
+  out += "]}}";
+  return out;
+}
+
+std::string RunReport::summary_text() const {
+  std::string out;
+  out += format_line("steps                  %llu\n",
+                     static_cast<unsigned long long>(outcome.steps));
+  out += format_line("CPU over-allocation    %.2f %%\n",
+                     outcome.over_allocation_pct);
+  out += format_line("CPU under-allocation   %.3f %%\n",
+                     outcome.under_allocation_pct);
+  out += format_line(
+      "|Υ|>1%% events          %llu\n",
+      static_cast<unsigned long long>(outcome.significant_events));
+  out += format_line("unplaced CPU unit-steps %.1f\n",
+                     outcome.unplaced_cpu_unit_steps);
+  out += format_line("renting cost           %.1f\n", outcome.total_cost);
+  // The SLA outcome matters whenever a breach (or fault exposure) actually
+  // happened, not only on fault-injection runs.
+  if (outcome.fault_windows > 0 || outcome.breach_episodes > 0 ||
+      outcome.downtime_steps > 0) {
+    out += "\nFault injection / SLA:\n";
+    out += format_line("  fault windows        %llu\n",
+                       static_cast<unsigned long long>(outcome.fault_windows));
+    out += format_line("  availability         %.3f %%\n",
+                       outcome.availability_pct);
+    out += format_line(
+        "  downtime steps       %llu / %llu\n",
+        static_cast<unsigned long long>(outcome.downtime_steps),
+        static_cast<unsigned long long>(outcome.sla_steps));
+    out += format_line(
+        "  breach episodes      %llu (longest %llu steps)\n",
+        static_cast<unsigned long long>(outcome.breach_episodes),
+        static_cast<unsigned long long>(outcome.longest_breach_steps));
+    if (outcome.recoveries > 0) {
+      out += format_line(
+          "  time to recover      mean %.1f / max %llu steps\n",
+          outcome.mean_time_to_recover_steps,
+          static_cast<unsigned long long>(
+              outcome.max_time_to_recover_steps));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+RunReport report_from_value(const JsonValue& doc) {
+  if (static_cast<int>(doc.at("schema").as_number()) !=
+      RunReport::kSchemaVersion) {
+    throw std::invalid_argument("report: unsupported schema version");
+  }
+  RunReport report;
+  report.tool = doc.at("tool").as_string();
+  report.label = doc.at("label").as_string();
+  for (const auto& [key, value] : doc.at("config").members()) {
+    report.config[key] = value.as_string();
+  }
+  const JsonValue& outcome = doc.at("outcome");
+  report.outcome.steps = as_u64(outcome.at("steps"));
+  report.outcome.over_allocation_pct =
+      outcome.at("over_allocation_pct").as_number();
+  report.outcome.under_allocation_pct =
+      outcome.at("under_allocation_pct").as_number();
+  report.outcome.significant_events = as_u64(outcome.at("significant_events"));
+  report.outcome.unplaced_cpu_unit_steps =
+      outcome.at("unplaced_cpu_unit_steps").as_number();
+  report.outcome.total_cost = outcome.at("total_cost").as_number();
+  report.outcome.fault_windows = as_u64(outcome.at("fault_windows"));
+  const JsonValue& sla = outcome.at("sla");
+  report.outcome.availability_pct = sla.at("availability_pct").as_number();
+  report.outcome.sla_steps = as_u64(sla.at("steps"));
+  report.outcome.downtime_steps = as_u64(sla.at("downtime_steps"));
+  report.outcome.shed_steps = as_u64(sla.at("shed_steps"));
+  report.outcome.breach_episodes = as_u64(sla.at("breach_episodes"));
+  report.outcome.longest_breach_steps =
+      as_u64(sla.at("longest_breach_steps"));
+  report.outcome.recoveries = as_u64(sla.at("recoveries"));
+  report.outcome.mean_time_to_recover_steps =
+      sla.at("mean_time_to_recover_steps").as_number();
+  report.outcome.max_time_to_recover_steps =
+      as_u64(sla.at("max_time_to_recover_steps"));
+  const JsonValue& alerts = outcome.at("alerts");
+  report.outcome.alerts_fired = as_u64(alerts.at("fired"));
+  report.outcome.alerts_resolved = as_u64(alerts.at("resolved"));
+  report.outcome.alerts_firing = as_u64(alerts.at("firing"));
+  report.outcome.audit_records = as_u64(outcome.at("audit_records"));
+  for (const auto& [key, value] : outcome.at("counters").members()) {
+    report.outcome.counters[key] = value.as_number();
+  }
+  const JsonValue& timing = doc.at("timing");
+  report.threads = as_u64(timing.at("threads"));
+  report.wall_seconds = timing.at("wall_seconds").as_number();
+  report.peak_rss_kb = as_u64(timing.at("peak_rss_kb"));
+  for (const JsonValue& item : timing.at("phases").as_array()) {
+    RunReport::PhaseStats phase;
+    phase.name = item.at("name").as_string();
+    phase.count = as_u64(item.at("count"));
+    phase.mean_us = item.at("mean_us").as_number();
+    phase.p50_us = item.at("p50_us").as_number();
+    phase.p90_us = item.at("p90_us").as_number();
+    phase.p99_us = item.at("p99_us").as_number();
+    phase.max_us = item.at("max_us").as_number();
+    report.phases.push_back(std::move(phase));
+  }
+  return report;
+}
+
+}  // namespace
+
+RunReport RunReport::parse(std::string_view json) {
+  return report_from_value(parse_json(json));
+}
+
+std::vector<RunReport> parse_report_file(std::string_view json) {
+  const JsonValue doc = parse_json(json);
+  std::vector<RunReport> reports;
+  if (doc.kind() == JsonValue::Kind::kObject) {
+    reports.push_back(report_from_value(doc));
+    return reports;
+  }
+  if (doc.kind() == JsonValue::Kind::kArray) {
+    for (const JsonValue& item : doc.as_array()) {
+      reports.push_back(report_from_value(item));
+    }
+    return reports;
+  }
+  throw std::invalid_argument("report: expected an object or array");
+}
+
+std::string reports_to_json(const std::vector<RunReport>& reports) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i) out += ",\n ";
+    out += reports[i].to_json();
+  }
+  out += "]\n";
+  return out;
+}
+
+DiffResult diff_reports(const RunReport& a, const RunReport& b,
+                        double timing_tolerance_pct) {
+  DiffResult result;
+  auto& notes = result.notes;
+  if (a.config != b.config) {
+    result.outcome_identical = false;
+    for (const auto& [key, value] : a.config) {
+      const auto it = b.config.find(key);
+      if (it == b.config.end()) {
+        notes.push_back("config." + key + ": only in first (" + value + ")");
+      } else if (it->second != value) {
+        notes.push_back("config." + key + ": \"" + value + "\" != \"" +
+                        it->second + "\"");
+      }
+    }
+    for (const auto& [key, value] : b.config) {
+      if (a.config.find(key) == a.config.end()) {
+        notes.push_back("config." + key + ": only in second (" + value + ")");
+      }
+    }
+  }
+  bool& ok = result.outcome_identical;
+  const auto& oa = a.outcome;
+  const auto& ob = b.outcome;
+  compare_count(notes, ok, "steps", oa.steps, ob.steps);
+  compare_number(notes, ok, "over_allocation_pct", oa.over_allocation_pct,
+                 ob.over_allocation_pct);
+  compare_number(notes, ok, "under_allocation_pct", oa.under_allocation_pct,
+                 ob.under_allocation_pct);
+  compare_count(notes, ok, "significant_events", oa.significant_events,
+                ob.significant_events);
+  compare_number(notes, ok, "unplaced_cpu_unit_steps",
+                 oa.unplaced_cpu_unit_steps, ob.unplaced_cpu_unit_steps);
+  compare_number(notes, ok, "total_cost", oa.total_cost, ob.total_cost);
+  compare_count(notes, ok, "fault_windows", oa.fault_windows,
+                ob.fault_windows);
+  compare_number(notes, ok, "sla.availability_pct", oa.availability_pct,
+                 ob.availability_pct);
+  compare_count(notes, ok, "sla.steps", oa.sla_steps, ob.sla_steps);
+  compare_count(notes, ok, "sla.downtime_steps", oa.downtime_steps,
+                ob.downtime_steps);
+  compare_count(notes, ok, "sla.shed_steps", oa.shed_steps, ob.shed_steps);
+  compare_count(notes, ok, "sla.breach_episodes", oa.breach_episodes,
+                ob.breach_episodes);
+  compare_count(notes, ok, "sla.longest_breach_steps",
+                oa.longest_breach_steps, ob.longest_breach_steps);
+  compare_count(notes, ok, "sla.recoveries", oa.recoveries, ob.recoveries);
+  compare_number(notes, ok, "sla.mean_time_to_recover_steps",
+                 oa.mean_time_to_recover_steps,
+                 ob.mean_time_to_recover_steps);
+  compare_count(notes, ok, "sla.max_time_to_recover_steps",
+                oa.max_time_to_recover_steps, ob.max_time_to_recover_steps);
+  compare_count(notes, ok, "alerts.fired", oa.alerts_fired, ob.alerts_fired);
+  compare_count(notes, ok, "alerts.resolved", oa.alerts_resolved,
+                ob.alerts_resolved);
+  compare_count(notes, ok, "alerts.firing", oa.alerts_firing,
+                ob.alerts_firing);
+  compare_count(notes, ok, "audit_records", oa.audit_records,
+                ob.audit_records);
+  if (oa.counters != ob.counters) {
+    ok = false;
+    for (const auto& [key, value] : oa.counters) {
+      const auto it = ob.counters.find(key);
+      if (it == ob.counters.end()) {
+        notes.push_back("counter " + key + ": only in first (" +
+                        json_double(value) + ")");
+      } else if (it->second != value) {
+        notes.push_back("counter " + key + ": " + json_double(value) +
+                        " != " + json_double(it->second));
+      }
+    }
+    for (const auto& [key, value] : ob.counters) {
+      if (oa.counters.find(key) == oa.counters.end()) {
+        notes.push_back("counter " + key + ": only in second (" +
+                        json_double(value) + ")");
+      }
+    }
+  }
+  if (timing_tolerance_pct >= 0.0) {
+    for (const auto& pa : a.phases) {
+      const RunReport::PhaseStats* pb = nullptr;
+      for (const auto& candidate : b.phases) {
+        if (candidate.name == pa.name) {
+          pb = &candidate;
+          break;
+        }
+      }
+      if (pb == nullptr) {
+        notes.push_back("timing: phase " + pa.name + " only in first");
+        continue;
+      }
+      const double base = pa.p50_us;
+      const double delta = std::fabs(pb->p50_us - base);
+      const double rel_pct = base > 0.0 ? 100.0 * delta / base
+                             : (delta > 0.0 ? 100.0 : 0.0);
+      if (rel_pct > timing_tolerance_pct) {
+        result.timing_ok = false;
+        notes.push_back(format_line(
+            "timing: phase %s p50 %.1f us -> %.1f us (%.1f %% > %.1f %% "
+            "tolerance)",
+            pa.name.c_str(), base, pb->p50_us, rel_pct,
+            timing_tolerance_pct));
+      }
+    }
+  }
+  return result;
+}
+
+DiffResult diff_audits(const std::vector<AuditRecord>& a,
+                       const std::vector<AuditRecord>& b,
+                       std::size_t max_notes) {
+  DiffResult result;
+  if (a.size() != b.size()) {
+    result.outcome_identical = false;
+    result.notes.push_back("audit: record count " + std::to_string(a.size()) +
+                           " != " + std::to_string(b.size()));
+  }
+  const std::size_t common = a.size() < b.size() ? a.size() : b.size();
+  std::size_t reported = 0;
+  for (std::size_t i = 0; i < common; ++i) {
+    if (a[i] == b[i]) continue;
+    result.outcome_identical = false;
+    if (reported++ >= max_notes) continue;
+    result.notes.push_back(
+        "audit: record " + std::to_string(i) + " (step " +
+        std::to_string(a[i].step) + ", game " + std::to_string(a[i].game) +
+        ", region " + a[i].region + ") differs:\n  first:  " +
+        audit_record_to_json(a[i]) + "\n  second: " +
+        audit_record_to_json(b[i]));
+  }
+  if (reported > max_notes) {
+    result.notes.push_back("audit: ... and " +
+                           std::to_string(reported - max_notes) +
+                           " more differing records");
+  }
+  return result;
+}
+
+std::uint64_t current_peak_rss_kb() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return usage.ru_maxrss > 0 ? static_cast<std::uint64_t>(usage.ru_maxrss)
+                             : 0;
+}
+
+}  // namespace mmog::obs

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/audit.hpp"
+
+namespace mmog::obs {
+
+/// The canonical, stable-schema description of one simulation run, built so
+/// every `mmog_simulate` / `mmog_chaos` invocation (and CI) can publish a
+/// `BENCH_core.json` and `tools/mmog_diff` can compare two of them.
+///
+/// The report splits cleanly into:
+///   * `config`   — the outcome-determining inputs (mode, predictor, seed,
+///                  safety factor, fault specs, ...). `fingerprint()`
+///                  hashes exactly these, so two reports with equal
+///                  fingerprints claim to describe the same experiment.
+///                  Execution details that must NOT change the outcome
+///                  (thread count) go in the timing section instead.
+///   * `outcome`  — deterministic results: byte-identical for same-seed,
+///                  same-config runs at any `--threads` value.
+///   * timing     — measured wall-clock quantities (phase quantiles from
+///                  the `phase.*_us` histograms, wall seconds, peak RSS):
+///                  machine-dependent, compared only against a tolerance.
+struct RunReport {
+  static constexpr int kSchemaVersion = 1;
+
+  std::string tool;   ///< producing binary, e.g. "mmog_simulate"
+  std::string label;  ///< scenario label for multi-run sweeps ("" = only run)
+  /// Outcome-determining configuration, sorted by key.
+  std::map<std::string, std::string> config;
+
+  /// Deterministic outcome totals (the §V headline numbers plus SLA and
+  /// alert accounting).
+  struct Outcome {
+    std::uint64_t steps = 0;
+    double over_allocation_pct = 0.0;
+    double under_allocation_pct = 0.0;
+    std::uint64_t significant_events = 0;
+    double unplaced_cpu_unit_steps = 0.0;
+    double total_cost = 0.0;
+    std::uint64_t fault_windows = 0;
+    // Whole-run SLA outcome over the global breach signal.
+    double availability_pct = 100.0;
+    std::uint64_t sla_steps = 0;
+    std::uint64_t downtime_steps = 0;
+    std::uint64_t shed_steps = 0;
+    std::uint64_t breach_episodes = 0;
+    std::uint64_t longest_breach_steps = 0;
+    std::uint64_t recoveries = 0;
+    double mean_time_to_recover_steps = 0.0;
+    std::uint64_t max_time_to_recover_steps = 0;
+    // Alert engine totals (all zero when no engine was attached).
+    std::uint64_t alerts_fired = 0;
+    std::uint64_t alerts_resolved = 0;
+    std::uint64_t alerts_firing = 0;
+    std::uint64_t audit_records = 0;
+    /// Every registry counter (offer.*, alloc.*, event.*, ...): counters
+    /// are event counts and therefore deterministic.
+    std::map<std::string, double> counters;
+
+    friend bool operator==(const Outcome&, const Outcome&) = default;
+  } outcome;
+
+  /// Summary quantiles of one `phase.<name>_us` histogram.
+  struct PhaseStats {
+    std::string name;  ///< phase name without the "phase."/"_us" wrapping
+    std::uint64_t count = 0;
+    double mean_us = 0.0;
+    double p50_us = 0.0;
+    double p90_us = 0.0;
+    double p99_us = 0.0;
+    double max_us = 0.0;
+  };
+  std::vector<PhaseStats> phases;  ///< sorted by name
+  double wall_seconds = 0.0;
+  std::uint64_t peak_rss_kb = 0;
+  std::uint64_t threads = 1;  ///< execution detail; outcome-neutral
+
+  /// FNV-1a 64 hash (hex) over the sorted config key/value pairs.
+  std::string fingerprint() const;
+
+  /// Stable-schema JSON: fixed key set and order, shortest round-trip
+  /// number rendering — the outcome section's bytes are a pure function of
+  /// the outcome values.
+  std::string to_json() const;
+
+  /// The human run summary the CLI tools print, rendered from the report's
+  /// own fields so the two can never disagree.
+  std::string summary_text() const;
+
+  /// Parses to_json() output (schema version 1). Throws
+  /// std::invalid_argument on malformed or wrong-schema input.
+  static RunReport parse(std::string_view json);
+};
+
+/// Parses a file that holds either one report object or an array of
+/// labeled reports (mmog_chaos sweeps).
+std::vector<RunReport> parse_report_file(std::string_view json);
+
+/// Serializes several labeled reports as a JSON array of to_json() objects.
+std::string reports_to_json(const std::vector<RunReport>& reports);
+
+/// Outcome of comparing two runs.
+struct DiffResult {
+  bool outcome_identical = true;  ///< config + outcome byte/bit identical
+  bool timing_ok = true;          ///< within tolerance (true when unchecked)
+  std::vector<std::string> notes; ///< human-readable differences, in order
+
+  bool regression() const noexcept {
+    return !outcome_identical || !timing_ok;
+  }
+};
+
+/// Compares two reports: every config entry and outcome field must match
+/// exactly; phase timings (p50) are compared only when
+/// `timing_tolerance_pct >= 0`, failing when the relative difference
+/// exceeds the tolerance. The `threads` field and wall/RSS numbers are
+/// never compared — they are execution details.
+DiffResult diff_reports(const RunReport& a, const RunReport& b,
+                        double timing_tolerance_pct = -1.0);
+
+/// Compares two audit trails record by record; reports the first
+/// `max_notes` divergences with step/region context.
+DiffResult diff_audits(const std::vector<AuditRecord>& a,
+                       const std::vector<AuditRecord>& b,
+                       std::size_t max_notes = 5);
+
+/// Peak resident set size of this process in KiB (getrusage), 0 when
+/// unavailable. A recorded value only — never fed back into control flow.
+std::uint64_t current_peak_rss_kb();
+
+}  // namespace mmog::obs

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -334,6 +335,39 @@ std::vector<TraceEvent> read_trace_jsonl(std::istream& in) {
     events.push_back(LineParser(line).parse());
   }
   return events;
+}
+
+TraceFileGuard::TraceFileGuard(const Tracer* tracer, std::string path,
+                               Format format)
+    : tracer_(tracer), path_(std::move(path)), format_(format) {
+  if (tracer_ == nullptr || path_.empty()) done_ = true;
+}
+
+TraceFileGuard::~TraceFileGuard() {
+  if (done_) return;
+  // Unwinding (or the caller forgot to flush): best effort, never throw.
+  try {
+    write();
+  } catch (...) {
+  }
+}
+
+void TraceFileGuard::flush() {
+  if (done_) return;
+  write();
+  done_ = true;
+}
+
+void TraceFileGuard::write() const {
+  std::ofstream out(path_);
+  if (!out) throw std::runtime_error("trace: cannot write " + path_);
+  if (format_ == Format::kJsonl) {
+    tracer_->write_jsonl(out);
+  } else {
+    tracer_->write_chrome_trace(out);
+  }
+  out.flush();
+  if (!out) throw std::runtime_error("trace: write to " + path_ + " failed");
 }
 
 }  // namespace mmog::obs

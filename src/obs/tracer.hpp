@@ -82,4 +82,35 @@ class Tracer {
 /// skipped). Covers the subset of JSON the writer emits.
 std::vector<TraceEvent> read_trace_jsonl(std::istream& in);
 
+/// RAII trace-file writer: guarantees the tracer's events reach `path`
+/// even when the guarded code (core::simulate) exits via exception.
+/// Construct before the run; call flush() on the happy path to write
+/// eagerly and surface I/O errors (std::runtime_error). If flush() was
+/// never reached — an exception is unwinding — the destructor writes the
+/// file and swallows any error, so a crashed run still leaves its partial
+/// trace behind for diagnosis.
+class TraceFileGuard {
+ public:
+  enum class Format { kJsonl, kChromeTrace };
+
+  /// Arms the guard; a null tracer or empty path makes it a no-op.
+  TraceFileGuard(const Tracer* tracer, std::string path, Format format);
+  ~TraceFileGuard();
+
+  TraceFileGuard(const TraceFileGuard&) = delete;
+  TraceFileGuard& operator=(const TraceFileGuard&) = delete;
+
+  /// Writes the trace now and disarms the destructor. Throws
+  /// std::runtime_error when the file cannot be written.
+  void flush();
+
+ private:
+  void write() const;
+
+  const Tracer* tracer_;
+  std::string path_;
+  Format format_;
+  bool done_ = false;
+};
+
 }  // namespace mmog::obs

@@ -69,6 +69,19 @@ TEST(BackoffTrackerTest, DegenerateParametersAreSanitized) {
   EXPECT_EQ(zero_base.excluded_until(0), 7u);
 }
 
+TEST(BackoffTrackerTest, RecordFailureReturnsTheWindowEnd) {
+  // The return value feeds the decision audit trail ("excluded until step
+  // N"), so it must always equal what excluded_until reports afterwards.
+  BackoffTracker tracker(2, 8);
+  EXPECT_EQ(tracker.record_failure(0, 10), 12u);
+  EXPECT_EQ(tracker.excluded_until(0), 12u);
+  EXPECT_EQ(tracker.record_failure(0, 12), 16u);  // doubled window
+  EXPECT_EQ(tracker.excluded_until(0), 16u);
+  // A stale failure cannot shrink the window; the return value still
+  // reflects the effective end.
+  EXPECT_EQ(tracker.record_failure(0, 2), 16u);
+}
+
 TEST(ResiliencePolicyTest, DefaultsAreInert) {
   const ResiliencePolicy policy;
   EXPECT_FALSE(policy.enabled);

@@ -80,5 +80,35 @@ TEST(PrometheusExportTest, EmptySnapshotSerializesToEmptyString) {
   EXPECT_EQ(to_prometheus(reg.snapshot()), "");
 }
 
+// Two registry names that sanitize onto the same Prometheus name must not
+// silently merge into one series: the exporter walks counters, gauges,
+// histograms (each name-sorted), so the later metric deterministically gets
+// a numbered suffix and a comment naming the metric that owns the original.
+TEST(PrometheusExportTest, CollidingSanitizedNamesAreDisambiguated) {
+  Registry reg;
+  reg.add("alloc-granted", 1.0);
+  reg.add("alloc.granted", 2.0);  // same sanitized name "alloc_granted"
+  reg.set("alloc_granted", 3.0);  // gauge collides with both counters
+  const auto text = to_prometheus(reg.snapshot());
+  // "alloc-granted" sorts first and keeps the bare name.
+  EXPECT_NE(text.find("# TYPE alloc_granted counter\n"
+                      "alloc_granted 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# NOTE alloc_granted_2 renamed from counter "
+                      "alloc.granted"),
+            std::string::npos);
+  EXPECT_NE(text.find("alloc_granted_2 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE alloc_granted_3 gauge\n"
+                      "alloc_granted_3 3\n"),
+            std::string::npos);
+  // Exactly one bare series line: no duplicate exposition.
+  std::size_t bare = 0, pos = 0;
+  while ((pos = text.find("\nalloc_granted ", pos)) != std::string::npos) {
+    ++bare;
+    ++pos;
+  }
+  EXPECT_EQ(bare, 1u);
+}
+
 }  // namespace
 }  // namespace mmog::obs

@@ -57,6 +57,21 @@ TEST(RecorderTest, DetailInstantsGatedByLevel) {
   EXPECT_EQ(detail.tracer().size(), 2u);
 }
 
+TEST(RecorderTest, AuditTrailFollowsTheNullRecorderContract) {
+  Recorder rec(TraceLevel::kOff);
+  // Not enabled: instrumentation sites see nullptr and skip all audit work.
+  EXPECT_EQ(rec.audit(), nullptr);
+  rec.enable_audit();
+  ASSERT_NE(rec.audit(), nullptr);
+  EXPECT_EQ(rec.audit()->size(), 0u);
+  AuditRecord record;
+  record.step = 7;
+  rec.audit()->append(std::move(record));
+  const Recorder& view = rec;
+  ASSERT_NE(view.audit(), nullptr);
+  EXPECT_EQ(view.audit()->size(), 1u);
+}
+
 TEST(RecorderTest, StopwatchMeasuresForward) {
   Stopwatch watch;
   const double a = watch.elapsed_us();

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 namespace mmog::obs {
 namespace {
@@ -108,6 +111,84 @@ TEST(TracerTest, NowIsMonotonicNonNegative) {
   const double b = tracer.now_us();
   EXPECT_GE(a, 0.0);
   EXPECT_GE(b, a);
+}
+
+// ---------------------------------------------------------------------------
+// TraceFileGuard: the CLI arms one before core::simulate so a trace file is
+// written even when the run unwinds through an exception.
+
+class TempTracePath {
+ public:
+  TempTracePath() {
+    path_ = ::testing::TempDir() + "mmog_trace_guard_test.jsonl";
+    std::remove(path_.c_str());
+  }
+  ~TempTracePath() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+  std::string contents() const {
+    std::ifstream in(path_);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+ private:
+  std::string path_;
+};
+
+TEST(TraceFileGuardTest, FlushWritesOnceAndDisarmsDestructor) {
+  Tracer tracer;
+  tracer.instant("alloc.granted", "alloc", 1);
+  const TempTracePath tmp;
+  {
+    TraceFileGuard guard(&tracer, tmp.path(), TraceFileGuard::Format::kJsonl);
+    guard.flush();
+    const auto after_flush = tmp.contents();
+    EXPECT_NE(after_flush.find("alloc.granted"), std::string::npos);
+    // More events after flush: the destructor must not rewrite the file.
+    tracer.instant("late.event", "alloc", 2);
+  }
+  EXPECT_EQ(tmp.contents().find("late.event"), std::string::npos);
+}
+
+TEST(TraceFileGuardTest, ExceptionalExitStillWritesTheTrace) {
+  Tracer tracer;
+  tracer.instant("alloc.granted", "alloc", 1);
+  const TempTracePath tmp;
+  try {
+    TraceFileGuard guard(&tracer, tmp.path(), TraceFileGuard::Format::kJsonl);
+    throw std::runtime_error("simulated failure mid-run");
+  } catch (const std::runtime_error&) {
+  }
+  std::ifstream in(tmp.path());
+  const auto events = read_trace_jsonl(in);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "alloc.granted");
+}
+
+TEST(TraceFileGuardTest, FlushThrowsOnUnwritablePathButUnwindDoesNot) {
+  Tracer tracer;
+  tracer.instant("a", "c", 0);
+  const std::string bad = ::testing::TempDir() + "no_such_dir/t.jsonl";
+  {
+    TraceFileGuard guard(&tracer, bad, TraceFileGuard::Format::kJsonl);
+    EXPECT_THROW(guard.flush(), std::runtime_error);
+  }
+  // Destructor path on the same bad target: best-effort, never throws.
+  try {
+    TraceFileGuard guard(&tracer, bad, TraceFileGuard::Format::kJsonl);
+    throw std::runtime_error("unwind");
+  } catch (const std::runtime_error&) {
+  }
+}
+
+TEST(TraceFileGuardTest, NullTracerOrEmptyPathIsInert) {
+  const TempTracePath tmp;
+  { TraceFileGuard guard(nullptr, tmp.path(), TraceFileGuard::Format::kJsonl); }
+  EXPECT_TRUE(tmp.contents().empty());
+  Tracer tracer;
+  tracer.instant("a", "c", 0);
+  { TraceFileGuard guard(&tracer, "", TraceFileGuard::Format::kJsonl); }
 }
 
 }  // namespace

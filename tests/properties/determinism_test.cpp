@@ -6,8 +6,10 @@
 #include <numbers>
 #include <string>
 
+#include "core/run_report.hpp"
 #include "core/simulation.hpp"
 #include "obs/recorder.hpp"
+#include "obs/report.hpp"
 #include "predict/simple.hpp"
 
 // Runtime twin of the mmog_lint rules: the linter proves no nondeterminism
@@ -277,6 +279,61 @@ TEST(ParallelDeterminismTest, ThreadCountDoesNotChangeTelemetry) {
   ASSERT_NE(rec_serial.alerts(), nullptr);
   ASSERT_NE(rec_parallel.alerts(), nullptr);
   EXPECT_EQ(rec_serial.alerts()->to_json(), rec_parallel.alerts()->to_json());
+}
+
+TEST(ParallelDeterminismTest, AuditTrailIsByteIdenticalAcrossThreadCounts) {
+  // The decision audit trail is outcome data: same seed, same config, any
+  // thread count -> the same JSONL bytes. This is what CI's mmog_diff
+  // threads-1-vs-4 check enforces end to end.
+  auto serial_cfg = parallel_config(1);
+  obs::Recorder rec_serial(obs::TraceLevel::kOff);
+  rec_serial.enable_audit();
+  serial_cfg.recorder = &rec_serial;
+  simulate(serial_cfg);
+
+  auto parallel_cfg = parallel_config(4);
+  obs::Recorder rec_parallel(obs::TraceLevel::kOff);
+  rec_parallel.enable_audit();
+  parallel_cfg.recorder = &rec_parallel;
+  simulate(parallel_cfg);
+
+  ASSERT_NE(rec_serial.audit(), nullptr);
+  ASSERT_NE(rec_parallel.audit(), nullptr);
+  ASSERT_GT(rec_serial.audit()->size(), 0u);
+  EXPECT_EQ(rec_serial.audit()->to_jsonl(), rec_parallel.audit()->to_jsonl());
+}
+
+TEST(ParallelDeterminismTest, RunReportOutcomeIsThreadAgnostic) {
+  // Canonical reports from a threads=1 and a threads=4 run must agree on
+  // config, fingerprint and every outcome field; only the timing section
+  // may differ. diff_reports is exactly mmog_diff's comparison.
+  auto serial_cfg = parallel_config(1);
+  obs::Recorder rec_serial(obs::TraceLevel::kOff);
+  rec_serial.enable_audit();
+  serial_cfg.recorder = &rec_serial;
+  const auto serial = simulate(serial_cfg);
+  const auto report_serial =
+      make_run_report(serial_cfg, serial, "test", "run", 0.0);
+
+  auto parallel_cfg = parallel_config(4);
+  obs::Recorder rec_parallel(obs::TraceLevel::kOff);
+  rec_parallel.enable_audit();
+  parallel_cfg.recorder = &rec_parallel;
+  const auto parallel = simulate(parallel_cfg);
+  const auto report_parallel =
+      make_run_report(parallel_cfg, parallel, "test", "run", 0.0);
+
+  EXPECT_EQ(report_serial.fingerprint(), report_parallel.fingerprint());
+  EXPECT_EQ(report_serial.outcome, report_parallel.outcome);
+  const auto diff = obs::diff_reports(report_serial, report_parallel);
+  EXPECT_FALSE(diff.regression()) << [&] {
+    std::string joined;
+    for (const auto& note : diff.notes) joined += note + '\n';
+    return joined;
+  }();
+  // The thread count is reported, but as an execution detail.
+  EXPECT_EQ(report_serial.threads, 1u);
+  EXPECT_EQ(report_parallel.threads, 4u);
 }
 
 TEST(ParallelDeterminismTest, RepeatedParallelRunsAreByteIdentical) {

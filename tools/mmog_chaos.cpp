@@ -12,19 +12,28 @@
 //              [--fault "SPEC[;SPEC...]"] [--seeds N]
 //              [--model n|nlogn|n2|n2logn|n3] [--tolerance 0..4]
 //              [--safety F] [--reserve K] [--shed] [--threads N]
+//              [--report-out FILE.json]
 //
 // Each sweep iteration i clones every fault spec with seed+i, so one
 // invocation samples N independent but reproducible fault histories.
 // Without --fault a default stochastic outage on the busiest center of the
 // Table III ecosystem is injected.
+//
+// --report-out writes one canonical RunReport per (seed, scenario) cell as
+// a JSON array, labeled "seed<S>/<scenario>" — mmog_diff pairs two such
+// files by label and verdicts outcome drift across the whole sweep.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "core/run_report.hpp"
 #include "core/simulation.hpp"
 #include "fault/parse.hpp"
 #include "predict/simple.hpp"
@@ -75,7 +84,8 @@ int main(int argc, char** argv) {
         "usage: %s [--in FILE | --days D --trace-seed S]\n"
         "          [--fault \"SPEC[;SPEC...]\"] [--seeds N]\n"
         "          [--model n|nlogn|n2|n2logn|n3] [--tolerance 0..4]\n"
-        "          [--safety F] [--reserve K] [--shed] [--threads N]\n",
+        "          [--safety F] [--reserve K] [--shed] [--threads N]\n"
+        "          [--report-out FILE.json]\n",
         args.program().c_str());
     return 0;
   }
@@ -146,33 +156,61 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
 
+    const auto report_out = args.get("report-out", "");
+    std::vector<obs::RunReport> reports;
+
     util::TextTable table({"Seed", "Scenario", "Under %", "Events",
                            "Avail %", "Down", "MTTR", "Worst lag"});
     for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
       auto specs = base_specs;
       for (auto& spec : specs) spec.seed += sweep;
+      const auto fault_seed = base_specs.front().seed + sweep;
 
       std::vector<ScenarioOutcome> outcomes;
+      // Run one scenario cell, tabulate it and (under --report-out) emit a
+      // canonical RunReport labeled "seed<S>/<scenario>" so two sweep runs
+      // can be paired cell-by-cell with mmog_diff.
+      auto run_scenario = [&](const char* name,
+                              const core::SimulationConfig& cfg) {
+        const auto start = std::chrono::steady_clock::now();
+        auto result = core::simulate(cfg);
+        if (!report_out.empty()) {
+          const double wall =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+          std::map<std::string, std::string> extra;
+          extra["scenario"] = name;
+          extra["fault_spec"] = spec_text;
+          extra["fault_seed"] = std::to_string(fault_seed);
+          extra["model"] = args.get("model", "n2");
+          extra["tolerance"] = std::to_string(tolerance);
+          reports.push_back(core::make_run_report(
+              cfg, result, "mmog_chaos",
+              "seed" + std::to_string(fault_seed) + "/" + name, wall,
+              std::move(extra)));
+        }
+        outcomes.push_back({name, std::move(result)});
+      };
 
       auto static_cfg = base;
       static_cfg.mode = core::AllocationMode::kStatic;
       static_cfg.faults = specs;
-      outcomes.push_back({"static", core::simulate(static_cfg)});
+      run_scenario("static", static_cfg);
 
       auto dynamic_cfg = base;
       dynamic_cfg.faults = specs;
       dynamic_cfg.predictor = [] {
         return std::make_unique<predict::LastValuePredictor>();
       };
-      outcomes.push_back({"dynamic", core::simulate(dynamic_cfg)});
+      run_scenario("dynamic", dynamic_cfg);
 
       auto resilient_cfg = dynamic_cfg;
       resilient_cfg.resilience.enabled = true;
       resilient_cfg.resilience.standby_reserve_servers =
           args.get_double("reserve", 0.0);
       resilient_cfg.resilience.shed_low_priority = args.has("shed");
-      outcomes.push_back({"dynamic+resilient",
-                          core::simulate(resilient_cfg)});
+      run_scenario("dynamic+resilient", resilient_cfg);
 
       for (const auto& [name, result] : outcomes) {
         table.add_row(
@@ -187,6 +225,19 @@ int main(int argc, char** argv) {
              worst_lag_string(result, base.event_threshold_pct)});
       }
     }
+    if (!report_out.empty()) {
+      std::ofstream out(report_out);
+      if (!out) {
+        throw std::runtime_error("cannot write " + report_out);
+      }
+      out << obs::reports_to_json(reports) << '\n';
+      if (!out) {
+        throw std::runtime_error("error writing " + report_out);
+      }
+      std::fprintf(stderr, "mmog_chaos: wrote %zu run report(s) to %s\n",
+                   reports.size(), report_out.c_str());
+    }
+
     std::printf("%s\n", table.to_string().c_str());
     std::printf(
         "Down = steps with |Y| above the %.1f %% threshold; MTTR and the\n"

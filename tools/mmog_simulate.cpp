@@ -12,6 +12,7 @@
 //                 [--reserve K] [--shed]
 //                 [--metrics-out FILE.{json,csv}]
 //                 [--trace-out FILE[.jsonl]] [--trace-detail]
+//                 [--audit-out FILE.jsonl] [--report-out FILE.json]
 //                 [--serve PORT] [--serve-hold SEC]
 //                 [--alert "SPEC[;SPEC...]"] [--no-default-alerts]
 //
@@ -19,8 +20,21 @@
 // histograms, offer/allocation counters) as JSON (.json) or CSV (anything
 // else). --trace-out writes per-step spans and allocation events as JSONL
 // (.jsonl) or Chrome trace_event JSON loadable in chrome://tracing and
-// ui.perfetto.dev (any other extension). --trace-detail adds per-unit
-// prediction/padding point events.
+// ui.perfetto.dev (any other extension); the file is also written when the
+// run dies on an exception, so a crashed run leaves its partial trace.
+// --trace-detail adds per-unit prediction/padding point events.
+//
+// --audit-out records one structured decision-audit record per
+// provisioning decision (predicted vs. actual demand, safety margin, every
+// candidate offer considered and why it was taken or rejected, fault /
+// backoff / shed causes) as JSONL. Trails are byte-identical for same-seed
+// runs at any --threads value. With --serve the live trail is also
+// queryable at GET /audit.
+//
+// --report-out writes the canonical RunReport JSON (config fingerprint,
+// deterministic outcome totals, per-phase timing quantiles, peak RSS) —
+// the BENCH_core.json input of tools/mmog_diff. The end-of-run summary
+// printed below is rendered from this same report.
 //
 // --fault injects failures: each ';'-separated spec is
 // kind:key=value,... with kind outage|capacity|latency|flap, e.g.
@@ -57,6 +71,7 @@
 #include <string_view>
 #include <thread>
 
+#include "core/run_report.hpp"
 #include "core/simulation.hpp"
 #include "fault/parse.hpp"
 #include "obs/alert_parse.hpp"
@@ -133,6 +148,7 @@ int main(int argc, char** argv) {
         "          [--reserve K] [--shed]\n"
         "          [--metrics-out FILE.{json,csv}]\n"
         "          [--trace-out FILE[.jsonl]] [--trace-detail]\n"
+        "          [--audit-out FILE.jsonl] [--report-out FILE.json]\n"
         "          [--serve PORT] [--serve-hold SEC]\n"
         "          [--alert \"SPEC[;SPEC...]\"] [--no-default-alerts]\n",
         args.program().c_str());
@@ -192,10 +208,13 @@ int main(int argc, char** argv) {
 
     const auto metrics_out = args.get("metrics-out", "");
     const auto trace_out = args.get("trace-out", "");
+    const auto audit_out = args.get("audit-out", "");
+    const auto report_out = args.get("report-out", "");
     const bool serve = args.has("serve");
     const bool live = serve || args.has("alert");
     std::unique_ptr<obs::Recorder> recorder;
-    if (!metrics_out.empty() || !trace_out.empty() || live) {
+    if (!metrics_out.empty() || !trace_out.empty() || !audit_out.empty() ||
+        !report_out.empty() || live) {
       auto level = obs::TraceLevel::kOff;
       if (!trace_out.empty()) {
         level = args.has("trace-detail") ? obs::TraceLevel::kDetail
@@ -203,6 +222,9 @@ int main(int argc, char** argv) {
       }
       recorder = std::make_unique<obs::Recorder>(level);
       cfg.recorder = recorder.get();
+      // The decision trail costs one record per acting decision; keep it
+      // on whenever it has a consumer (--audit-out file or GET /audit).
+      if (!audit_out.empty() || serve) recorder->enable_audit();
     }
     if (live) {
       recorder->enable_timeseries();
@@ -225,10 +247,24 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "mmog_simulate: serving telemetry on "
                    "http://127.0.0.1:%u (/metrics /healthz /alerts "
-                   "/timeseries.json)\n",
+                   "/timeseries.json /audit)\n",
                    telemetry->port());
       std::fflush(stderr);
     }
+
+    auto ends_with = [](const std::string& s, std::string_view suffix) {
+      return s.size() >= suffix.size() &&
+             s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+    };
+    // The trace survives an exception inside simulate(): the guard's
+    // destructor writes the (partial) file during unwinding; the explicit
+    // flush() below covers the happy path and surfaces I/O errors.
+    obs::TraceFileGuard trace_guard(
+        recorder && !trace_out.empty() ? &recorder->tracer() : nullptr,
+        trace_out,
+        ends_with(trace_out, ".jsonl")
+            ? obs::TraceFileGuard::Format::kJsonl
+            : obs::TraceFileGuard::Format::kChromeTrace);
 
     const auto wall_start = std::chrono::steady_clock::now();
     const auto result = core::simulate(cfg);
@@ -237,10 +273,6 @@ int main(int argc, char** argv) {
                                       wall_start)
             .count();
 
-    auto ends_with = [](const std::string& s, std::string_view suffix) {
-      return s.size() >= suffix.size() &&
-             s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-    };
     if (!metrics_out.empty()) {
       std::ofstream out(metrics_out);
       if (!out) throw std::runtime_error("cannot write " + metrics_out);
@@ -248,78 +280,62 @@ int main(int argc, char** argv) {
       out << (ends_with(metrics_out, ".json") ? snap.to_json()
                                               : snap.to_csv());
     }
-    if (!trace_out.empty()) {
-      std::ofstream out(trace_out);
-      if (!out) throw std::runtime_error("cannot write " + trace_out);
-      if (ends_with(trace_out, ".jsonl")) {
-        recorder->tracer().write_jsonl(out);
-      } else {
-        recorder->tracer().write_chrome_trace(out);
-      }
+    trace_guard.flush();
+    if (!audit_out.empty()) {
+      std::ofstream out(audit_out);
+      if (!out) throw std::runtime_error("cannot write " + audit_out);
+      recorder->audit()->write_jsonl(out);
     }
 
-    std::size_t alerts_fired = 0;
-    std::size_t alerts_resolved = 0;
-    std::size_t alerts_firing = 0;
+    // The canonical report is the single source of truth for the run's
+    // totals: BENCH_core.json (--report-out), the stdout summary and the
+    // stderr one-liner all render from it.
+    std::map<std::string, std::string> extra;
+    extra["in"] = in_path;
+    extra["world"] = world_kind;
+    extra["model"] = args.get("model", "n2");
+    extra["tolerance"] = std::to_string(tolerance);
+    extra["predictor"] =
+        cfg.mode == core::AllocationMode::kStatic
+            ? ""
+            : args.get("predictor", "lastvalue");
+    extra["lead_in_steps"] = std::to_string(lead_in);
+    extra["fault_spec"] = args.get("fault", "");
+    if (world_kind == "policy") {
+      extra["policy"] = std::to_string(args.get_long("policy", 1));
+      extra["machines"] = std::to_string(args.get_long("machines", 40));
+    }
+    const auto report = core::make_run_report(
+        cfg, result, "mmog_simulate", "", wall_seconds, std::move(extra));
+    if (!report_out.empty()) {
+      std::ofstream out(report_out);
+      if (!out) throw std::runtime_error("cannot write " + report_out);
+      out << report.to_json() << '\n';
+    }
+
     const obs::AlertEngine* engine =
         recorder ? recorder->alerts() : nullptr;
-    if (engine) {
-      for (const auto& status : engine->statuses()) {
-        alerts_fired += status.fired_count;
-        alerts_resolved += status.resolved_count;
-        if (status.state == obs::AlertState::kFiring) ++alerts_firing;
-      }
-    }
-
     if (engine) {
       std::fprintf(stderr,
                    "mmog_simulate: %zu steps, %zu game(s), %zu data "
                    "center(s), %.2f s wall, alerts: %zu fired / %zu "
                    "resolved / %zu still firing\n",
-                   result.steps, cfg.games.size(), cfg.datacenters.size(),
-                   wall_seconds, alerts_fired, alerts_resolved,
-                   alerts_firing);
+                   static_cast<std::size_t>(report.outcome.steps),
+                   cfg.games.size(), cfg.datacenters.size(),
+                   report.wall_seconds,
+                   static_cast<std::size_t>(report.outcome.alerts_fired),
+                   static_cast<std::size_t>(report.outcome.alerts_resolved),
+                   static_cast<std::size_t>(report.outcome.alerts_firing));
     } else {
       std::fprintf(stderr,
                    "mmog_simulate: %zu steps, %zu game(s), %zu data "
                    "center(s), %.2f s wall\n",
-                   result.steps, cfg.games.size(), cfg.datacenters.size(),
-                   wall_seconds);
+                   static_cast<std::size_t>(report.outcome.steps),
+                   cfg.games.size(), cfg.datacenters.size(),
+                   report.wall_seconds);
     }
 
-    std::printf("steps                  %zu\n", result.steps);
-    std::printf("CPU over-allocation    %.2f %%\n",
-                result.metrics.avg_over_allocation_pct(ResourceKind::kCpu));
-    std::printf("CPU under-allocation   %.3f %%\n",
-                result.metrics.avg_under_allocation_pct(ResourceKind::kCpu));
-    std::printf("|Υ|>1%% events          %zu\n",
-                result.metrics.significant_events());
-    std::printf("unplaced CPU unit-steps %.1f\n",
-                result.unplaced_cpu_unit_steps);
-    std::printf("renting cost           %.1f\n", result.total_cost);
-    // The SLA outcome matters whenever a breach actually happened, not
-    // only on fault-injection runs: a plain under-provisioned run has SLA
-    // consequences too.
-    bool any_breach = result.sla.breach_episodes > 0;
-    for (const auto& game : result.games) {
-      any_breach = any_breach || game.sla.breach_episodes > 0;
-    }
-    if (!result.fault_events.empty() || any_breach) {
-      std::printf("\nFault injection / SLA:\n");
-      std::printf("  fault windows        %zu\n", result.fault_events.size());
-      std::printf("  availability         %.3f %%\n",
-                  result.sla.availability_pct());
-      std::printf("  downtime steps       %zu / %zu\n",
-                  result.sla.downtime_steps, result.sla.steps);
-      std::printf("  breach episodes      %zu (longest %zu steps)\n",
-                  result.sla.breach_episodes,
-                  result.sla.longest_breach_steps);
-      if (result.sla.recoveries > 0) {
-        std::printf("  time to recover      mean %.1f / max %zu steps\n",
-                    result.sla.mean_time_to_recover_steps,
-                    result.sla.max_time_to_recover_steps);
-      }
-    }
+    std::fputs(report.summary_text().c_str(), stdout);
     std::printf("\nPer data center (avg CPU units):\n");
     for (const auto& usage : result.datacenters) {
       if (usage.avg_allocated_cpu < 0.005) continue;

@@ -1,0 +1,890 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "obs/audit.hpp"
+#include "obs/jsonio.hpp"
+#include "util/atomic_file.hpp"
+#include "util/units.hpp"
+
+namespace mmog::ckpt {
+
+namespace {
+
+constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
+
+[[noreturn]] void bad(const std::string& what) {
+  throw CheckpointError("checkpoint: " + what);
+}
+
+// ---------------------------------------------------------------- writing
+
+void append_resources(std::string& out, const util::ResourceVector& v) {
+  out += '[';
+  for (std::size_t i = 0; i < util::kResourceKinds; ++i) {
+    if (i) out += ',';
+    out += obs::json_double(v.v[i]);
+  }
+  out += ']';
+}
+
+/// Steps that can be the kNever sentinel (hold-forever allocations) render
+/// as -1: SIZE_MAX does not survive a round-trip through a JSON double.
+void append_step_or_never(std::string& out, std::size_t v) {
+  out += v == kNever ? std::string("-1") : std::to_string(v);
+}
+
+void append_sla(std::string& out, const core::SlaTracker::State& s) {
+  out += "\"stats\":{\"steps\":" + std::to_string(s.stats.steps);
+  out += ",\"downtime_steps\":" + std::to_string(s.stats.downtime_steps);
+  out += ",\"shed_steps\":" + std::to_string(s.stats.shed_steps);
+  out += ",\"breach_episodes\":" + std::to_string(s.stats.breach_episodes);
+  out += ",\"recoveries\":" + std::to_string(s.stats.recoveries);
+  out +=
+      ",\"longest_breach_steps\":" + std::to_string(s.stats.longest_breach_steps);
+  out += ",\"mean_time_to_recover_steps\":" +
+         obs::json_double(s.stats.mean_time_to_recover_steps);
+  out += ",\"max_time_to_recover_steps\":" +
+         std::to_string(s.stats.max_time_to_recover_steps);
+  out += "},\"streak\":" + std::to_string(s.streak);
+  out += ",\"recovered_steps_sum\":" + obs::json_double(s.recovered_steps_sum);
+}
+
+void append_metrics_rows(std::string& out,
+                         const std::vector<core::StepMetrics>& rows) {
+  out += "\"rows\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& m = rows[i];
+    if (i) out += ',';
+    out += '[';
+    for (std::size_t r = 0; r < util::kResourceKinds; ++r) {
+      out += obs::json_double(m.allocated.v[r]);
+      out += ',';
+    }
+    for (std::size_t r = 0; r < util::kResourceKinds; ++r) {
+      out += obs::json_double(m.used.v[r]);
+      out += ',';
+    }
+    for (std::size_t r = 0; r < util::kResourceKinds; ++r) {
+      out += obs::json_double(m.shortfall.v[r]);
+      out += ',';
+    }
+    out += std::to_string(m.machines);
+    out += ']';
+  }
+  out += ']';
+}
+
+std::string hash_hex(std::uint64_t h) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (std::size_t i = 0; i < 16; ++i) {
+    out[15 - i] = kDigits[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- parsing
+
+double require_number(const obs::JsonValue& obj, const char* key,
+                      const char* where) {
+  const obs::JsonValue* v = obj.find(key);
+  if (v == nullptr || v->kind() != obs::JsonValue::Kind::kNumber) {
+    bad(std::string(where) + ": missing numeric field \"" + key + "\"");
+  }
+  return v->as_number();
+}
+
+std::size_t require_index(const obs::JsonValue& obj, const char* key,
+                          const char* where) {
+  const double d = require_number(obj, key, where);
+  if (d < 0 || d != std::floor(d) || d > 9.007199254740992e15) {
+    bad(std::string(where) + ": field \"" + key +
+        "\" is not a non-negative integer");
+  }
+  return static_cast<std::size_t>(d);
+}
+
+std::size_t require_step_or_never(const obs::JsonValue& obj, const char* key,
+                                  const char* where) {
+  const double d = require_number(obj, key, where);
+  if (d == -1.0) return kNever;
+  if (d < 0 || d != std::floor(d)) {
+    bad(std::string(where) + ": field \"" + key + "\" is not a step");
+  }
+  return static_cast<std::size_t>(d);
+}
+
+const std::string& require_string(const obs::JsonValue& obj, const char* key,
+                                  const char* where) {
+  const obs::JsonValue* v = obj.find(key);
+  if (v == nullptr || v->kind() != obs::JsonValue::Kind::kString) {
+    bad(std::string(where) + ": missing string field \"" + key + "\"");
+  }
+  return v->as_string();
+}
+
+const std::vector<obs::JsonValue>& require_array(const obs::JsonValue& obj,
+                                                 const char* key,
+                                                 const char* where) {
+  const obs::JsonValue* v = obj.find(key);
+  if (v == nullptr || v->kind() != obs::JsonValue::Kind::kArray) {
+    bad(std::string(where) + ": missing array field \"" + key + "\"");
+  }
+  return v->as_array();
+}
+
+const obs::JsonValue& require_object(const obs::JsonValue& obj,
+                                     const char* key, const char* where) {
+  const obs::JsonValue* v = obj.find(key);
+  if (v == nullptr || v->kind() != obs::JsonValue::Kind::kObject) {
+    bad(std::string(where) + ": missing object field \"" + key + "\"");
+  }
+  return *v;
+}
+
+const obs::JsonValue& require_field(const obs::JsonValue& obj,
+                                    const char* key, const char* where) {
+  const obs::JsonValue* v = obj.find(key);
+  if (v == nullptr) {
+    bad(std::string(where) + ": missing field \"" + key + "\"");
+  }
+  return *v;
+}
+
+util::ResourceVector parse_resources(const obs::JsonValue& v,
+                                     const char* where) {
+  if (v.kind() != obs::JsonValue::Kind::kArray ||
+      v.as_array().size() != util::kResourceKinds) {
+    bad(std::string(where) + ": resource vector must be an array of " +
+        std::to_string(util::kResourceKinds) + " numbers");
+  }
+  util::ResourceVector out{};
+  for (std::size_t i = 0; i < util::kResourceKinds; ++i) {
+    out.v[i] = v.as_array()[i].as_number();
+  }
+  return out;
+}
+
+fault::FaultKind parse_fault_kind(const std::string& name) {
+  if (name == "outage") return fault::FaultKind::kOutage;
+  if (name == "capacity") return fault::FaultKind::kCapacityLoss;
+  if (name == "latency") return fault::FaultKind::kLatencyDegradation;
+  if (name == "flap") return fault::FaultKind::kGrantFlap;
+  bad("unknown fault kind \"" + name + "\"");
+}
+
+core::SlaTracker::State parse_sla(const obs::JsonValue& obj,
+                                  const char* where) {
+  core::SlaTracker::State s;
+  const obs::JsonValue& stats = require_object(obj, "stats", where);
+  s.stats.steps = require_index(stats, "steps", where);
+  s.stats.downtime_steps = require_index(stats, "downtime_steps", where);
+  s.stats.shed_steps = require_index(stats, "shed_steps", where);
+  s.stats.breach_episodes = require_index(stats, "breach_episodes", where);
+  s.stats.recoveries = require_index(stats, "recoveries", where);
+  s.stats.longest_breach_steps =
+      require_index(stats, "longest_breach_steps", where);
+  s.stats.mean_time_to_recover_steps =
+      require_number(stats, "mean_time_to_recover_steps", where);
+  s.stats.max_time_to_recover_steps =
+      require_index(stats, "max_time_to_recover_steps", where);
+  s.streak = require_index(obj, "streak", where);
+  s.recovered_steps_sum = require_number(obj, "recovered_steps_sum", where);
+  return s;
+}
+
+std::vector<core::StepMetrics> parse_metrics_rows(const obs::JsonValue& obj,
+                                                  const char* where) {
+  std::vector<core::StepMetrics> out;
+  const auto& rows = require_array(obj, "rows", where);
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    if (row.kind() != obs::JsonValue::Kind::kArray ||
+        row.as_array().size() != 3 * util::kResourceKinds + 1) {
+      bad(std::string(where) + ": malformed metrics row");
+    }
+    const auto& cells = row.as_array();
+    core::StepMetrics m;
+    std::size_t c = 0;
+    for (std::size_t r = 0; r < util::kResourceKinds; ++r) {
+      m.allocated.v[r] = cells[c++].as_number();
+    }
+    for (std::size_t r = 0; r < util::kResourceKinds; ++r) {
+      m.used.v[r] = cells[c++].as_number();
+    }
+    for (std::size_t r = 0; r < util::kResourceKinds; ++r) {
+      m.shortfall.v[r] = cells[c++].as_number();
+    }
+    const double machines = cells[c].as_number();
+    if (machines < 0 || machines != std::floor(machines)) {
+      bad(std::string(where) + ": malformed machine count");
+    }
+    m.machines = static_cast<std::size_t>(machines);
+    out.push_back(m);
+  }
+  return out;
+}
+
+/// Sequential cursor over the file's lines; every section is demanded in
+/// its fixed position so a reordered or truncated file fails loudly.
+class LineCursor {
+ public:
+  LineCursor(std::string_view text, std::size_t end)
+      : text_(text), end_(end) {}
+
+  bool done() const noexcept { return pos_ >= end_; }
+  std::size_t line_number() const noexcept { return line_; }
+
+  std::string_view next_raw(const char* expected) {
+    if (done()) {
+      bad(std::string("truncated: expected ") + expected +
+          " after line " + std::to_string(line_));
+    }
+    const std::size_t eol = text_.find('\n', pos_);
+    const std::size_t stop = eol == std::string_view::npos
+                                 ? end_
+                                 : std::min(eol, end_);
+    std::string_view raw = text_.substr(pos_, stop - pos_);
+    pos_ = eol == std::string_view::npos ? end_ : stop + 1;
+    ++line_;
+    return raw;
+  }
+
+  obs::JsonValue next(const char* expected) {
+    const std::string_view raw = next_raw(expected);
+    try {
+      return obs::parse_json(raw);
+    } catch (const std::invalid_argument& e) {
+      bad("line " + std::to_string(line_) + " (" + expected +
+          "): " + e.what());
+    }
+  }
+
+  /// The next line, which must be a section object with the given name.
+  obs::JsonValue section(const char* name) {
+    obs::JsonValue v = next(name);
+    if (v.kind() != obs::JsonValue::Kind::kObject) {
+      bad("line " + std::to_string(line_) + ": expected a JSON object");
+    }
+    const obs::JsonValue* s = v.find("section");
+    if (s == nullptr || s->kind() != obs::JsonValue::Kind::kString ||
+        s->as_string() != name) {
+      bad("line " + std::to_string(line_) + ": expected section \"" +
+          name + "\"");
+    }
+    return v;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t end_ = 0;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 0;
+};
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string to_jsonl(const CheckpointFile& file) {
+  const core::CheckpointState& st = file.state;
+  std::string out;
+  out.reserve(4096);
+
+  // Header: identity, position, and the counts the parser walks by.
+  out += "{\"magic\":\"";
+  out += kMagic;
+  out += "\",\"version\":" + std::to_string(kFormatVersion);
+  out += ",\"next_step\":" + std::to_string(st.next_step);
+  out += ",\"steps\":" + std::to_string(st.steps);
+  out += ",\"units\":" + std::to_string(st.units.size());
+  out += ",\"games\":" + std::to_string(st.game_step_metrics.size());
+  out += "}\n";
+
+  out += "{\"section\":\"extras\",\"data\":{";
+  bool first = true;
+  for (const auto& [key, value] : file.extras) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    obs::append_json_escaped(out, key);
+    out += "\":\"";
+    obs::append_json_escaped(out, value);
+    out += '"';
+  }
+  out += "}}\n";
+
+  out += "{\"section\":\"sim\",\"next_allocation_id\":" +
+         std::to_string(st.next_allocation_id);
+  out += ",\"unplaced_cpu_unit_steps\":" +
+         obs::json_double(st.unplaced_cpu_unit_steps);
+  out += ",\"total_cost\":" + obs::json_double(st.total_cost);
+  out += "}\n";
+
+  out += "{\"section\":\"faults\",\"events\":[";
+  for (std::size_t i = 0; i < st.fault_events.size(); ++i) {
+    const auto& e = st.fault_events[i];
+    if (i) out += ',';
+    out += "{\"kind\":\"";
+    out += fault::fault_kind_name(e.kind);
+    out += "\",\"dc\":" + std::to_string(e.dc_index);
+    out += ",\"from\":" + std::to_string(e.from_step);
+    out += ",\"to\":" + std::to_string(e.to_step);
+    out += ",\"severity\":" + obs::json_double(e.severity);
+    out += '}';
+  }
+  out += "]}\n";
+
+  out += "{\"section\":\"ledgers\",\"items\":[";
+  for (std::size_t i = 0; i < st.ledgers.size(); ++i) {
+    const auto& l = st.ledgers[i];
+    if (i) out += ',';
+    out += "{\"in_use\":";
+    append_resources(out, l.in_use);
+    out += ",\"capacity_fraction\":" + obs::json_double(l.capacity_fraction);
+    out += ",\"cpu_sum\":" + obs::json_double(l.cpu_sum);
+    out += ",\"cpu_peak\":" + obs::json_double(l.cpu_peak);
+    out += ",\"origin_sum\":{";
+    bool first_origin = true;
+    for (const auto& [region, sum] : l.origin_sum) {
+      if (!first_origin) out += ',';
+      first_origin = false;
+      out += '"';
+      obs::append_json_escaped(out, region);
+      out += "\":" + obs::json_double(sum);
+    }
+    out += "}}";
+  }
+  out += "]}\n";
+
+  for (std::size_t i = 0; i < st.units.size(); ++i) {
+    const auto& u = st.units[i];
+    out += "{\"section\":\"unit\",\"index\":" + std::to_string(i);
+    out += ",\"game\":" + std::to_string(u.game_id);
+    out += ",\"region\":\"";
+    obs::append_json_escaped(out, u.region);
+    out += "\",\"allocated\":";
+    append_resources(out, u.allocated);
+    out += ",\"allocations\":[";
+    for (std::size_t a = 0; a < u.allocations.size(); ++a) {
+      const auto& al = u.allocations[a];
+      if (a) out += ',';
+      out += "{\"id\":" + std::to_string(al.id);
+      out += ",\"dc\":" + std::to_string(al.dc_index);
+      out += ",\"game\":" + std::to_string(al.game_id);
+      out += ",\"group\":" + std::to_string(al.group_id);
+      out += ",\"region_id\":" + std::to_string(al.region_id);
+      out += ",\"amount\":";
+      append_resources(out, al.amount);
+      out += ",\"start\":" + std::to_string(al.start_step);
+      out += ",\"usable\":" + std::to_string(al.usable_step);
+      out += ",\"release\":";
+      append_step_or_never(out, al.earliest_release_step);
+      out += '}';
+    }
+    out += "],\"backoff\":[";
+    for (std::size_t b = 0; b < u.backoff.size(); ++b) {
+      const auto& e = u.backoff[b];
+      if (b) out += ',';
+      out += "{\"dc\":" + std::to_string(e.dc);
+      out += ",\"failures\":" + std::to_string(e.failures);
+      out += ",\"until\":" + std::to_string(e.until);
+      out += '}';
+    }
+    out += "],\"groups\":[";
+    for (std::size_t g = 0; g < u.groups.size(); ++g) {
+      const auto& gr = u.groups[g];
+      if (g) out += ',';
+      out += "{\"predictor\":\"";
+      obs::append_json_escaped(out, gr.predictor);
+      out += "\",\"state\":[";
+      for (std::size_t s = 0; s < gr.state.size(); ++s) {
+        if (s) out += ',';
+        out += obs::json_double(gr.state[s]);
+      }
+      out += "],\"last_prediction\":" + obs::json_double(gr.last_prediction);
+      out += ",\"abs_error_ewma\":" + obs::json_double(gr.abs_error_ewma);
+      out += '}';
+    }
+    out += "]}\n";
+  }
+
+  out += "{\"section\":\"metrics\",\"scope\":\"global\",";
+  append_metrics_rows(out, st.step_metrics);
+  out += "}\n";
+  for (std::size_t g = 0; g < st.game_step_metrics.size(); ++g) {
+    out += "{\"section\":\"metrics\",\"scope\":\"game\",\"index\":" +
+           std::to_string(g) + ",";
+    append_metrics_rows(out, st.game_step_metrics[g]);
+    out += "}\n";
+  }
+
+  out += "{\"section\":\"sla\",\"scope\":\"global\",";
+  append_sla(out, st.overall_sla);
+  out += "}\n";
+  for (std::size_t g = 0; g < st.game_sla.size(); ++g) {
+    out += "{\"section\":\"sla\",\"scope\":\"game\",\"index\":" +
+           std::to_string(g) + ",";
+    append_sla(out, st.game_sla[g]);
+    out += "}\n";
+  }
+
+  out += "{\"section\":\"counters\",\"data\":{";
+  first = true;
+  for (const auto& [name, value] : st.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    obs::append_json_escaped(out, name);
+    out += "\":" + obs::json_double(value);
+  }
+  out += "}}\n";
+
+  out += "{\"section\":\"audit\",\"count\":" +
+         std::to_string(st.audit_records.size()) + "}\n";
+  for (const auto& record : st.audit_records) {
+    out += obs::audit_record_to_json(record);
+    out += '\n';
+  }
+
+  // Footer: FNV-1a 64 over every byte above, including the last newline.
+  out += "{\"footer\":\"fnv1a64\",\"hash\":\"" + hash_hex(fnv1a64(out)) +
+         "\"}\n";
+  return out;
+}
+
+CheckpointFile parse_jsonl(std::string_view text) {
+  if (text.empty()) bad("empty file");
+
+  // Locate the footer: the last non-empty line. Everything before its
+  // first byte is the checksummed region.
+  std::size_t end = text.size();
+  while (end > 0 && text[end - 1] == '\n') --end;
+  if (end == 0) bad("empty file");
+  const std::size_t last_nl = text.rfind('\n', end - 1);
+  const std::size_t footer_start = last_nl == std::string_view::npos
+                                       ? 0
+                                       : last_nl + 1;
+  if (footer_start == 0) bad("truncated: no footer line");
+
+  obs::JsonValue footer = obs::JsonValue::make_null();
+  try {
+    footer = obs::parse_json(text.substr(footer_start, end - footer_start));
+  } catch (const std::invalid_argument&) {
+    bad("malformed footer line (file truncated?)");
+  }
+  if (footer.kind() != obs::JsonValue::Kind::kObject ||
+      footer.find("footer") == nullptr) {
+    bad("missing footer line (file truncated?)");
+  }
+  if (require_string(footer, "footer", "footer") != "fnv1a64") {
+    bad("unknown footer checksum kind");
+  }
+  const std::string& want = require_string(footer, "hash", "footer");
+  const std::string got = hash_hex(fnv1a64(text.substr(0, footer_start)));
+  if (want != got) {
+    bad("checksum mismatch (file corrupted): footer " + want +
+        ", content " + got);
+  }
+
+  LineCursor cur(text, footer_start);
+  CheckpointFile file;
+  core::CheckpointState& st = file.state;
+
+  const obs::JsonValue header = cur.next("header");
+  if (header.kind() != obs::JsonValue::Kind::kObject ||
+      header.find("magic") == nullptr ||
+      header.at("magic").kind() != obs::JsonValue::Kind::kString ||
+      header.at("magic").as_string() != kMagic) {
+    bad("not a checkpoint file (bad magic)");
+  }
+  const std::size_t version = require_index(header, "version", "header");
+  if (version != kFormatVersion) {
+    bad("unsupported version " + std::to_string(version) + " (expected " +
+        std::to_string(kFormatVersion) + ")");
+  }
+  st.next_step = require_index(header, "next_step", "header");
+  st.steps = require_index(header, "steps", "header");
+  const std::size_t n_units = require_index(header, "units", "header");
+  const std::size_t n_games = require_index(header, "games", "header");
+
+  const obs::JsonValue extras = cur.section("extras");
+  for (const auto& [key, value] :
+       require_object(extras, "data", "extras").members()) {
+    if (value.kind() != obs::JsonValue::Kind::kString) {
+      bad("extras: value of \"" + key + "\" is not a string");
+    }
+    file.extras.emplace(key, value.as_string());
+  }
+
+  const obs::JsonValue sim = cur.section("sim");
+  st.next_allocation_id = require_index(sim, "next_allocation_id", "sim");
+  st.unplaced_cpu_unit_steps =
+      require_number(sim, "unplaced_cpu_unit_steps", "sim");
+  st.total_cost = require_number(sim, "total_cost", "sim");
+
+  const obs::JsonValue faults = cur.section("faults");
+  for (const auto& ev : require_array(faults, "events", "faults")) {
+    fault::FaultEvent e;
+    e.kind = parse_fault_kind(require_string(ev, "kind", "faults"));
+    e.dc_index = require_index(ev, "dc", "faults");
+    e.from_step = require_index(ev, "from", "faults");
+    e.to_step = require_index(ev, "to", "faults");
+    e.severity = require_number(ev, "severity", "faults");
+    st.fault_events.push_back(e);
+  }
+
+  const obs::JsonValue ledgers = cur.section("ledgers");
+  for (const auto& item : require_array(ledgers, "items", "ledgers")) {
+    core::LedgerCheckpoint l;
+    l.in_use = parse_resources(require_field(item, "in_use", "ledgers"),
+                               "ledgers");
+    l.capacity_fraction = require_number(item, "capacity_fraction", "ledgers");
+    l.cpu_sum = require_number(item, "cpu_sum", "ledgers");
+    l.cpu_peak = require_number(item, "cpu_peak", "ledgers");
+    for (const auto& [region, sum] :
+         require_object(item, "origin_sum", "ledgers").members()) {
+      l.origin_sum.emplace(region, sum.as_number());
+    }
+    st.ledgers.push_back(std::move(l));
+  }
+
+  st.units.reserve(n_units);
+  for (std::size_t i = 0; i < n_units; ++i) {
+    const obs::JsonValue unit = cur.section("unit");
+    if (require_index(unit, "index", "unit") != i) {
+      bad("unit sections out of order");
+    }
+    core::UnitCheckpoint u;
+    u.game_id = require_index(unit, "game", "unit");
+    u.region = require_string(unit, "region", "unit");
+    u.allocated =
+        parse_resources(require_field(unit, "allocated", "unit"), "unit");
+    for (const auto& av : require_array(unit, "allocations", "unit")) {
+      dc::Allocation al;
+      al.id = require_index(av, "id", "unit");
+      al.dc_index = require_index(av, "dc", "unit");
+      al.game_id = require_index(av, "game", "unit");
+      al.group_id = require_index(av, "group", "unit");
+      al.region_id = require_index(av, "region_id", "unit");
+      al.amount =
+          parse_resources(require_field(av, "amount", "unit"), "unit");
+      al.start_step = require_index(av, "start", "unit");
+      al.usable_step = require_index(av, "usable", "unit");
+      al.earliest_release_step = require_step_or_never(av, "release", "unit");
+      u.allocations.push_back(al);
+    }
+    for (const auto& bv : require_array(unit, "backoff", "unit")) {
+      fault::BackoffTracker::EntryView e;
+      e.dc = require_index(bv, "dc", "unit");
+      e.failures = require_index(bv, "failures", "unit");
+      e.until = require_index(bv, "until", "unit");
+      u.backoff.push_back(e);
+    }
+    for (const auto& gv : require_array(unit, "groups", "unit")) {
+      core::GroupCheckpoint g;
+      g.predictor = require_string(gv, "predictor", "unit");
+      for (const auto& s : require_array(gv, "state", "unit")) {
+        g.state.push_back(s.as_number());
+      }
+      g.last_prediction = require_number(gv, "last_prediction", "unit");
+      g.abs_error_ewma = require_number(gv, "abs_error_ewma", "unit");
+      u.groups.push_back(std::move(g));
+    }
+    st.units.push_back(std::move(u));
+  }
+
+  const obs::JsonValue metrics = cur.section("metrics");
+  if (require_string(metrics, "scope", "metrics") != "global") {
+    bad("expected the global metrics section first");
+  }
+  st.step_metrics = parse_metrics_rows(metrics, "metrics");
+  st.game_step_metrics.reserve(n_games);
+  for (std::size_t g = 0; g < n_games; ++g) {
+    const obs::JsonValue gm = cur.section("metrics");
+    if (require_string(gm, "scope", "metrics") != "game" ||
+        require_index(gm, "index", "metrics") != g) {
+      bad("game metrics sections out of order");
+    }
+    st.game_step_metrics.push_back(parse_metrics_rows(gm, "metrics"));
+  }
+
+  const obs::JsonValue sla = cur.section("sla");
+  if (require_string(sla, "scope", "sla") != "global") {
+    bad("expected the global sla section first");
+  }
+  st.overall_sla = parse_sla(sla, "sla");
+  st.game_sla.reserve(n_games);
+  for (std::size_t g = 0; g < n_games; ++g) {
+    const obs::JsonValue gs = cur.section("sla");
+    if (require_string(gs, "scope", "sla") != "game" ||
+        require_index(gs, "index", "sla") != g) {
+      bad("game sla sections out of order");
+    }
+    st.game_sla.push_back(parse_sla(gs, "sla"));
+  }
+
+  const obs::JsonValue counters = cur.section("counters");
+  for (const auto& [name, value] :
+       require_object(counters, "data", "counters").members()) {
+    st.counters.emplace(name, value.as_number());
+  }
+
+  const obs::JsonValue audit = cur.section("audit");
+  const std::size_t n_audit = require_index(audit, "count", "audit");
+  std::string audit_lines;
+  for (std::size_t i = 0; i < n_audit; ++i) {
+    audit_lines += cur.next_raw("audit record");
+    audit_lines += '\n';
+  }
+  try {
+    std::istringstream in(audit_lines);
+    st.audit_records = obs::read_audit_jsonl(in);
+  } catch (const std::exception& e) {
+    bad(std::string("malformed audit record: ") + e.what());
+  }
+  if (st.audit_records.size() != n_audit) {
+    bad("audit record count mismatch");
+  }
+
+  if (!cur.done()) {
+    bad("trailing content after the audit section");
+  }
+  return file;
+}
+
+void write_checkpoint_file(const std::string& path,
+                           const CheckpointFile& file) {
+  util::AtomicFileWriter writer(path);
+  writer.stream() << to_jsonl(file);
+  writer.commit(/*keep_previous=*/true);
+}
+
+namespace {
+
+/// Reads a whole file; returns false (with a note) when it cannot be read.
+bool slurp(const std::string& path, std::string& out, std::string& note) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    note = path + ": cannot open";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    note = path + ": read error";
+    return false;
+  }
+  out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+LoadedCheckpoint load_newest_valid(const std::string& path) {
+  LoadedCheckpoint result;
+  const std::string candidates[] = {path, path + ".prev"};
+  for (const std::string& candidate : candidates) {
+    std::string text;
+    std::string note;
+    if (!slurp(candidate, text, note)) {
+      result.notes.push_back(note);
+      continue;
+    }
+    try {
+      result.file = parse_jsonl(text);
+      result.path = candidate;
+      return result;
+    } catch (const CheckpointError& e) {
+      result.notes.push_back(candidate + ": " + e.what());
+    }
+  }
+  std::string message = "no valid checkpoint at " + path;
+  for (const std::string& note : result.notes) {
+    message += "; " + note;
+  }
+  throw CheckpointError(message);
+}
+
+// ------------------------------------------------------------------ diff
+
+namespace {
+
+std::string brief(const obs::JsonValue& v) {
+  switch (v.kind()) {
+    case obs::JsonValue::Kind::kNull:
+      return "null";
+    case obs::JsonValue::Kind::kBool:
+      return v.as_bool() ? "true" : "false";
+    case obs::JsonValue::Kind::kNumber:
+      return obs::json_double(v.as_number());
+    case obs::JsonValue::Kind::kString:
+      return "\"" + v.as_string() + "\"";
+    case obs::JsonValue::Kind::kArray:
+      return "<array of " + std::to_string(v.as_array().size()) + ">";
+    case obs::JsonValue::Kind::kObject:
+      return "<object of " + std::to_string(v.members().size()) + ">";
+  }
+  return "?";
+}
+
+class Differ {
+ public:
+  explicit Differ(std::size_t max_notes) : max_notes_(max_notes) {}
+
+  void note(const std::string& text) {
+    ++total_;
+    if (notes_.size() < max_notes_) notes_.push_back(text);
+  }
+
+  void compare(const obs::JsonValue& a, const obs::JsonValue& b,
+               const std::string& path) {
+    if (a.kind() != b.kind()) {
+      note(path + ": " + brief(a) + " vs " + brief(b));
+      return;
+    }
+    switch (a.kind()) {
+      case obs::JsonValue::Kind::kNull:
+        return;
+      case obs::JsonValue::Kind::kBool:
+      case obs::JsonValue::Kind::kNumber:
+      case obs::JsonValue::Kind::kString: {
+        const std::string sa = brief(a);
+        const std::string sb = brief(b);
+        if (sa != sb) note(path + ": " + sa + " vs " + sb);
+        return;
+      }
+      case obs::JsonValue::Kind::kArray: {
+        const auto& va = a.as_array();
+        const auto& vb = b.as_array();
+        if (va.size() != vb.size()) {
+          note(path + ": " + std::to_string(va.size()) + " vs " +
+               std::to_string(vb.size()) + " elements");
+        }
+        const std::size_t n = std::min(va.size(), vb.size());
+        for (std::size_t i = 0; i < n; ++i) {
+          compare(va[i], vb[i], path + "[" + std::to_string(i) + "]");
+        }
+        return;
+      }
+      case obs::JsonValue::Kind::kObject: {
+        for (const auto& [key, value] : a.members()) {
+          const obs::JsonValue* other = b.find(key);
+          if (other == nullptr) {
+            note(path + "." + key + ": only in first");
+            continue;
+          }
+          compare(value, *other, path + "." + key);
+        }
+        for (const auto& [key, value] : b.members()) {
+          if (a.find(key) == nullptr) {
+            note(path + "." + key + ": only in second");
+          }
+        }
+        return;
+      }
+    }
+  }
+
+  obs::DiffResult finish() {
+    obs::DiffResult result;
+    if (total_ > notes_.size()) {
+      notes_.push_back("... and " + std::to_string(total_ - notes_.size()) +
+                       " more differences");
+    }
+    result.notes = std::move(notes_);
+    result.outcome_identical = total_ == 0;
+    return result;
+  }
+
+ private:
+  std::size_t max_notes_;
+  std::size_t total_ = 0;
+  std::vector<std::string> notes_;
+};
+
+/// Section-keyed view of a checkpoint's lines: pairs sections by identity
+/// ("unit[3]", "sla.game[1]", "audit[17]") so runs of different shapes
+/// still diff meaningfully instead of misaligning every later line.
+std::vector<std::pair<std::string, obs::JsonValue>> keyed_lines(
+    std::string_view text) {
+  std::vector<std::pair<std::string, obs::JsonValue>> out;
+  std::size_t end = text.size();
+  while (end > 0 && text[end - 1] == '\n') --end;
+  const std::size_t last_nl = text.rfind('\n', end - 1);
+  const std::size_t footer_start =
+      last_nl == std::string_view::npos ? 0 : last_nl + 1;
+  LineCursor cur(text, footer_start);
+  bool saw_header = false;
+  std::size_t audit_index = 0;
+  while (!cur.done()) {
+    obs::JsonValue v = cur.next("line");
+    std::string key;
+    const obs::JsonValue* section =
+        v.kind() == obs::JsonValue::Kind::kObject ? v.find("section")
+                                                  : nullptr;
+    if (!saw_header) {
+      key = "header";
+      saw_header = true;
+    } else if (section == nullptr) {
+      key = "audit[" + std::to_string(audit_index++) + "]";
+    } else {
+      key = section->as_string();
+      if (const obs::JsonValue* scope = v.find("scope")) {
+        key += "." + scope->as_string();
+      }
+      if (const obs::JsonValue* index = v.find("index")) {
+        key += "[" + obs::json_double(index->as_number()) + "]";
+      }
+    }
+    out.emplace_back(std::move(key), std::move(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+obs::DiffResult diff_checkpoints(std::string_view text_a,
+                                 std::string_view text_b,
+                                 std::size_t max_notes) {
+  // Both sides must be intact checkpoints before fields are compared.
+  (void)parse_jsonl(text_a);
+  (void)parse_jsonl(text_b);
+
+  const auto lines_a = keyed_lines(text_a);
+  const auto lines_b = keyed_lines(text_b);
+  Differ differ(max_notes);
+
+  std::map<std::string, const obs::JsonValue*> index_b;
+  for (const auto& [key, value] : lines_b) index_b.emplace(key, &value);
+  std::map<std::string, bool> seen;
+  for (const auto& [key, value] : lines_a) {
+    seen[key] = true;
+    const auto it = index_b.find(key);
+    if (it == index_b.end()) {
+      differ.note(key + ": only in first");
+      continue;
+    }
+    differ.compare(value, *it->second, key);
+  }
+  for (const auto& [key, value] : lines_b) {
+    if (!seen.contains(key)) differ.note(key + ": only in second");
+  }
+  return differ.finish();
+}
+
+}  // namespace mmog::ckpt

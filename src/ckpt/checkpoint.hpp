@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "obs/report.hpp"
+
+namespace mmog::ckpt {
+
+/// Bumped whenever the on-disk layout changes; readers refuse anything
+/// else (a checkpoint is a resume token, not an archival format).
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Magic of the header line; identifies the file type before any parsing.
+inline constexpr std::string_view kMagic = "mmog-ckpt";
+
+/// Any way a checkpoint file can be unusable: bad magic, unsupported
+/// version, truncation, checksum mismatch, malformed section. The message
+/// names the first problem found.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One complete checkpoint: the simulator's state plus tool-level payloads
+/// that ride along (mmog_simulate stores its config echo and the serialized
+/// neural model here so a restore never retrains). Extras are a sorted map
+/// so serialization order is deterministic.
+struct CheckpointFile {
+  core::CheckpointState state;
+  std::map<std::string, std::string> extras;
+};
+
+/// Serializes to the fixed-key JSONL format: a magic/version header line,
+/// one line per section, and an FNV-1a-64 integrity footer over every
+/// preceding byte. Doubles render via obs::json_double (shortest exact
+/// form), so equal texts <=> equal states and the output is byte-stable
+/// across save -> load -> save.
+std::string to_jsonl(const CheckpointFile& file);
+
+/// Parses and validates a serialized checkpoint. Throws CheckpointError on
+/// bad magic, version mismatch, checksum mismatch, truncation or any
+/// malformed section — a damaged checkpoint is never partially loaded.
+CheckpointFile parse_jsonl(std::string_view text);
+
+/// Writes atomically (temp file + fsync + rename) and keeps the previous
+/// generation at "<path>.prev", so a crash mid-write leaves either the old
+/// file or the new one — never a torn mix — and a corrupted newest file
+/// still has a fallback. Throws std::runtime_error on I/O failure.
+void write_checkpoint_file(const std::string& path, const CheckpointFile& file);
+
+/// Result of load_newest_valid: the checkpoint plus where it came from and
+/// why any newer candidate was skipped.
+struct LoadedCheckpoint {
+  CheckpointFile file;
+  std::string path;  ///< the candidate actually loaded
+  /// One message per skipped candidate (missing / failed validation), in
+  /// the order tried; callers surface these so corruption is never silent.
+  std::vector<std::string> notes;
+};
+
+/// Loads `path`, falling back to "<path>.prev" when the newest generation
+/// is missing or fails validation. Throws CheckpointError when no
+/// candidate is valid (the message lists every failure).
+LoadedCheckpoint load_newest_valid(const std::string& path);
+
+/// Field-for-field comparison of two serialized checkpoints (mmog_diff's
+/// --kind checkpoint). Both must parse — validation failures throw
+/// CheckpointError. Differences are reported as path-annotated notes like
+/// "units[3].groups[2].state[17]: 1.5 vs 2". At most `max_notes` notes are
+/// collected; a final note reports how many more differences were found.
+obs::DiffResult diff_checkpoints(std::string_view text_a,
+                                 std::string_view text_b,
+                                 std::size_t max_notes = 32);
+
+/// FNV-1a 64-bit over `bytes` — the footer checksum. Exposed for tests
+/// that forge corrupted files.
+std::uint64_t fnv1a64(std::string_view bytes);
+
+}  // namespace mmog::ckpt

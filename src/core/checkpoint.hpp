@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "dc/datacenter.hpp"
+#include "fault/model.hpp"
+#include "fault/resilience.hpp"
+#include "obs/audit.hpp"
+#include "util/units.hpp"
+
+namespace mmog::core {
+
+/// One server group's online-prediction state.
+struct GroupCheckpoint {
+  std::string predictor;      ///< Predictor::name(), verified on restore
+  std::vector<double> state;  ///< Predictor::save_state payload
+  double last_prediction = 0.0;
+  double abs_error_ewma = 0.0;
+};
+
+/// One demand unit's holdings and retry bookkeeping.
+struct UnitCheckpoint {
+  std::size_t game_id = 0;
+  std::string region;  ///< identity check against the rebuilt unit
+  util::ResourceVector allocated{};
+  std::vector<dc::Allocation> allocations;
+  std::vector<fault::BackoffTracker::EntryView> backoff;
+  std::vector<GroupCheckpoint> groups;
+};
+
+/// One data center's ledger plus its usage accumulators.
+struct LedgerCheckpoint {
+  util::ResourceVector in_use{};
+  double capacity_fraction = 1.0;
+  double cpu_sum = 0.0;   ///< Σ over completed steps of granted CPU
+  double cpu_peak = 0.0;  ///< max over completed steps of granted CPU
+  std::map<std::string, double> origin_sum;  ///< Σ granted CPU by region
+};
+
+/// The complete mutable state of core::simulate at a step boundary: every
+/// loop-carried value the remaining steps depend on, plus the accumulators
+/// that become the RunReport. The invariant this buys: restoring at any
+/// step k and running to the end yields a result, report and audit trail
+/// byte-identical to the uninterrupted run, at any thread count.
+///
+/// This is a plain data struct — serialization, checksums and file I/O
+/// live in mmog::ckpt, which depends on core and not the other way around.
+struct CheckpointState {
+  std::size_t next_step = 0;  ///< steps [0, next_step) are complete
+  std::size_t steps = 0;      ///< the run's resolved horizon
+  std::size_t next_allocation_id = 1;
+  double unplaced_cpu_unit_steps = 0.0;
+  double total_cost = 0.0;
+  /// The expanded fault schedule the producing run saw. Restore regenerates
+  /// the schedule from its own config (expansion is deterministic) and
+  /// refuses to resume when the two disagree — the cheap, complete guard
+  /// against restoring under a divergent configuration.
+  std::vector<fault::FaultEvent> fault_events;
+  std::vector<LedgerCheckpoint> ledgers;
+  std::vector<UnitCheckpoint> units;
+  std::vector<StepMetrics> step_metrics;  ///< global accumulator content
+  std::vector<std::vector<StepMetrics>> game_step_metrics;  ///< per game
+  SlaTracker::State overall_sla;
+  std::vector<SlaTracker::State> game_sla;
+  /// Registry counter totals at the boundary. Restore applies the *delta*
+  /// against the fresh process's counters, so counts emitted while
+  /// rebuilding config-derived structures (unit-build offer rejections)
+  /// are not double-applied.
+  std::map<std::string, double> counters;
+  /// Decision-audit prefix: every record of steps [0, next_step). Restore
+  /// preloads the fresh trail with these, reproducing identical sequence
+  /// numbers for the remaining steps' records.
+  std::vector<obs::AuditRecord> audit_records;
+};
+
+}  // namespace mmog::core

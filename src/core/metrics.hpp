@@ -90,11 +90,27 @@ class SlaTracker {
  public:
   enum class Transition { kNone, kBreachBegan, kRecovered };
 
+  /// The tracker's complete internal state, exposed for checkpointing.
+  /// `stats` here is the *raw* accumulator (mean_time_to_recover_steps
+  /// unset), unlike stats() which derives the mean on read.
+  struct State {
+    SlaStats stats;
+    std::size_t streak = 0;
+    double recovered_steps_sum = 0.0;
+  };
+
   /// Records one step; `shed` marks deliberate degradation (the resilience
   /// policy sacrificing this game for a higher-priority one).
   Transition observe(bool breached, bool shed = false);
 
   SlaStats stats() const noexcept;
+
+  State state() const noexcept { return {s_, streak_, recovered_steps_sum_}; }
+  void restore(const State& state) noexcept {
+    s_ = state.stats;
+    streak_ = state.streak;
+    recovered_steps_sum_ = state.recovered_steps_sum;
+  }
 
  private:
   SlaStats s_;

@@ -468,10 +468,106 @@ SimulationResult simulate(const SimulationConfig& config) {
     return freed;
   };
 
+  // Resume from a checkpoint: every config-derived structure above was
+  // rebuilt normally; now overwrite each loop-carried value with the
+  // snapshot and start the loop at the saved boundary. Geometry and the
+  // expanded fault schedule are verified first — a checkpoint from a
+  // different configuration must fail loudly, never resume quietly.
+  std::size_t start_step = 0;
+  if (config.restore_from != nullptr) {
+    const CheckpointState& st = *config.restore_from;
+    const auto mismatch = [](const std::string& what) {
+      throw std::invalid_argument(
+          "simulate: checkpoint does not match the configuration (" + what +
+          ")");
+    };
+    if (st.steps != steps || st.next_step > steps) mismatch("horizon");
+    if (st.fault_events != schedule.events()) mismatch("fault schedule");
+    if (st.ledgers.size() != ledgers.size()) mismatch("data centers");
+    if (st.units.size() != units.size()) mismatch("demand units");
+    if (st.game_sla.size() != config.games.size() ||
+        st.game_step_metrics.size() != config.games.size()) {
+      mismatch("games");
+    }
+    if (st.step_metrics.size() != st.next_step) mismatch("metrics length");
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      const auto& uc = st.units[u];
+      if (uc.game_id != units[u].game_id ||
+          uc.region != units[u].region_name ||
+          uc.groups.size() != units[u].groups.size()) {
+        mismatch("unit " + std::to_string(u));
+      }
+    }
+    for (std::size_t d = 0; d < ledgers.size(); ++d) {
+      ledgers[d].restore(st.ledgers[d].in_use,
+                         st.ledgers[d].capacity_fraction);
+      dc_cpu_sum[d] = st.ledgers[d].cpu_sum;
+      dc_cpu_peak[d] = st.ledgers[d].cpu_peak;
+      dc_origin_sum[d] = st.ledgers[d].origin_sum;
+    }
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      DemandUnit& unit = units[u];
+      const auto& uc = st.units[u];
+      unit.allocations = uc.allocations;
+      unit.allocated = uc.allocated;
+      unit.backoff.restore_entries(uc.backoff);
+      for (std::size_t s = 0; s < unit.groups.size(); ++s) {
+        auto& stream = unit.groups[s];
+        const auto& gc = uc.groups[s];
+        if (stream.predictor) {
+          if (gc.predictor != stream.predictor->name()) {
+            mismatch("predictor of unit " + std::to_string(u));
+          }
+          stream.predictor->load_state(gc.state);
+        } else if (!gc.predictor.empty() || !gc.state.empty()) {
+          mismatch("predictor of unit " + std::to_string(u));
+        }
+        stream.last_prediction = gc.last_prediction;
+        stream.abs_error_ewma = gc.abs_error_ewma;
+      }
+    }
+    next_allocation_id = st.next_allocation_id;
+    result.unplaced_cpu_unit_steps = st.unplaced_cpu_unit_steps;
+    result.total_cost = st.total_cost;
+    for (const auto& m : st.step_metrics) result.metrics.add(m);
+    result.games.resize(config.games.size());
+    for (std::size_t g = 0; g < config.games.size(); ++g) {
+      result.games[g].name = config.games[g].name;
+      if (st.game_step_metrics[g].size() != st.next_step) {
+        mismatch("metrics length of game " + std::to_string(g));
+      }
+      for (const auto& m : st.game_step_metrics[g]) {
+        result.games[g].metrics.add(m);
+      }
+      game_sla[g].restore(st.game_sla[g]);
+    }
+    overall_sla.restore(st.overall_sla);
+    if (rec) {
+      // Apply counter *deltas*: this process already emitted the same
+      // pre-loop counts the producing run did (unit-build offer
+      // rejections), so adding totals verbatim would double them.
+      const auto current = rec->snapshot().counters;
+      for (const auto& [name, value] : st.counters) {
+        const auto it = current.find(name);
+        const double have = it == current.end() ? 0.0 : it->second;
+        if (value > have) rec->count(name, value - have);
+      }
+    }
+    if (audit && !st.audit_records.empty()) {
+      // append_batch reassigns consecutive sequence numbers from 0, so the
+      // preloaded prefix and every later record keep the original seqs.
+      auto prefix = st.audit_records;
+      audit->append_batch(prefix);
+    }
+    start_step = st.next_step;
+  }
+
   // Static mode: the industry practice the paper compares against — every
   // server group gets a dedicated machine sized for a full game server
   // (capacity for `reference_players`), provisioned once and held forever.
-  if (config.mode == AllocationMode::kStatic) {
+  // A restored run skips it: the one-shot allocations are in the snapshot.
+  if (config.mode == AllocationMode::kStatic &&
+      config.restore_from == nullptr) {
     if (have_faults) {
       for (std::size_t d = 0; d < ledgers.size(); ++d) {
         ledgers[d].set_capacity_fraction(schedule.capacity_fraction_at(d, 0));
@@ -529,10 +625,68 @@ SimulationResult simulate(const SimulationConfig& config) {
     }
   }
 
+  // Snapshot every loop-carried value at a step boundary (`next_step`
+  // steps are complete) and hand it to the sink. Runs on the simulation
+  // thread between steps, so no state is mid-mutation.
+  auto capture_checkpoint = [&](std::size_t next_step) {
+    CheckpointState st;
+    st.next_step = next_step;
+    st.steps = steps;
+    st.next_allocation_id = next_allocation_id;
+    st.unplaced_cpu_unit_steps = result.unplaced_cpu_unit_steps;
+    st.total_cost = result.total_cost;
+    st.fault_events = schedule.events();
+    st.ledgers.reserve(ledgers.size());
+    for (std::size_t d = 0; d < ledgers.size(); ++d) {
+      LedgerCheckpoint lc;
+      lc.in_use = ledgers[d].in_use();
+      lc.capacity_fraction = ledgers[d].capacity_fraction();
+      lc.cpu_sum = dc_cpu_sum[d];
+      lc.cpu_peak = dc_cpu_peak[d];
+      lc.origin_sum = dc_origin_sum[d];
+      st.ledgers.push_back(std::move(lc));
+    }
+    st.units.reserve(units.size());
+    for (const auto& unit : units) {
+      UnitCheckpoint uc;
+      uc.game_id = unit.game_id;
+      uc.region = unit.region_name;
+      uc.allocated = unit.allocated;
+      uc.allocations = unit.allocations;
+      uc.backoff = unit.backoff.entries();
+      uc.groups.reserve(unit.groups.size());
+      for (const auto& stream : unit.groups) {
+        GroupCheckpoint gc;
+        if (stream.predictor) {
+          gc.predictor = std::string(stream.predictor->name());
+          stream.predictor->save_state(gc.state);
+        }
+        gc.last_prediction = stream.last_prediction;
+        gc.abs_error_ewma = stream.abs_error_ewma;
+        uc.groups.push_back(std::move(gc));
+      }
+      st.units.push_back(std::move(uc));
+    }
+    st.step_metrics = result.metrics.step_metrics();
+    st.game_step_metrics.reserve(result.games.size());
+    for (const auto& game : result.games) {
+      st.game_step_metrics.push_back(game.metrics.step_metrics());
+    }
+    st.overall_sla = overall_sla.state();
+    st.game_sla.reserve(game_sla.size());
+    for (const auto& tracker : game_sla) {
+      st.game_sla.push_back(tracker.state());
+    }
+    if (rec) st.counters = rec->snapshot().counters;
+    if (audit) st.audit_records = audit->records();
+    config.checkpoint_sink(st);
+  };
+
   // Reused per-step scratch: the padded demand of every unit.
   std::vector<util::ResourceVector> demands(units.size());
 
-  for (std::size_t t = 0; t < steps; ++t) {
+  std::size_t completed = steps;
+  for (std::size_t t = start_step; t < steps; ++t) {
     const obs::PhaseScope step_scope(rec, "step", t, "step");
     if (have_faults) {
       // Apply this step's fault state: capacity fractions on every ledger,
@@ -929,8 +1083,26 @@ SimulationResult simulate(const SimulationConfig& config) {
       audit->append_batch(audit_batch);
       for (auto& list : audit_backfill) list.clear();
     }
+
+    // Step t is complete (audit flushed, accumulators final): a clean
+    // boundary for checkpoint capture and cooperative shutdown.
+    const bool stop_requested =
+        config.stop_flag != nullptr &&
+        config.stop_flag->load(std::memory_order_relaxed);
+    if (config.checkpoint_sink &&
+        ((config.checkpoint_every_steps > 0 &&
+          (t + 1) % config.checkpoint_every_steps == 0) ||
+         stop_requested)) {
+      capture_checkpoint(t + 1);
+    }
+    if (stop_requested) {
+      completed = t + 1;
+      result.interrupted = true;
+      break;
+    }
   }
 
+  result.steps = completed;
   result.sla = overall_sla.stats();
   for (std::size_t g = 0;
        g < config.games.size() && g < result.games.size(); ++g) {
@@ -942,11 +1114,11 @@ SimulationResult simulate(const SimulationConfig& config) {
     DataCenterUsage usage;
     usage.name = ledgers[d].spec().name;
     usage.capacity_cpu = ledgers[d].spec().total_capacity().cpu();
-    usage.avg_allocated_cpu = dc_cpu_sum[d] / static_cast<double>(steps);
+    usage.avg_allocated_cpu = dc_cpu_sum[d] / static_cast<double>(completed);
     usage.peak_allocated_cpu = dc_cpu_peak[d];
     for (const auto& [origin, sum] : dc_origin_sum[d]) {
       usage.avg_allocated_by_origin[origin] =
-          sum / static_cast<double>(steps);
+          sum / static_cast<double>(completed);
     }
     result.datacenters.push_back(std::move(usage));
   }
@@ -973,7 +1145,7 @@ std::vector<std::size_t> recovery_lag_steps(
   return lags;
 }
 
-predict::PredictorFactory neural_factory_from_workload(
+std::shared_ptr<const predict::NeuralModel> neural_model_from_workload(
     const trace::WorldTrace& workload, std::size_t lead_in_steps,
     predict::NeuralConfig config, std::size_t max_training_groups) {
   std::vector<util::TimeSeries> histories;
@@ -988,11 +1160,25 @@ predict::PredictorFactory neural_factory_from_workload(
     throw std::invalid_argument(
         "neural_factory_from_workload: empty workload");
   }
-  auto model = std::make_shared<const predict::NeuralModel>(
+  return std::make_shared<const predict::NeuralModel>(
       predict::NeuralModel::fit(config, histories));
-  return [model] {
+}
+
+predict::PredictorFactory neural_factory_from_model(
+    std::shared_ptr<const predict::NeuralModel> model) {
+  if (!model) {
+    throw std::invalid_argument("neural_factory_from_model: null model");
+  }
+  return [model = std::move(model)] {
     return std::make_unique<predict::NeuralPredictor>(model);
   };
+}
+
+predict::PredictorFactory neural_factory_from_workload(
+    const trace::WorldTrace& workload, std::size_t lead_in_steps,
+    predict::NeuralConfig config, std::size_t max_training_groups) {
+  return neural_factory_from_model(neural_model_from_workload(
+      workload, lead_in_steps, config, max_training_groups));
 }
 
 }  // namespace mmog::core

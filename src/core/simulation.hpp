@@ -1,10 +1,14 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/load_model.hpp"
 #include "core/matcher.hpp"
 #include "core/metrics.hpp"
@@ -99,6 +103,27 @@ struct SimulationConfig {
   /// configuration; measured wall-clock durations are recorded values and
   /// never influence control flow.
   obs::Recorder* recorder = nullptr;
+  /// Checkpointing: with a sink set, the simulator snapshots its complete
+  /// mutable state after every `checkpoint_every_steps` completed steps
+  /// (and, regardless of the interval, after the step a cooperative stop
+  /// lands on) and hands the snapshot to the sink on the simulation
+  /// thread. 0 disables periodic capture. Capture is observational: runs
+  /// with and without a sink are bit-identical.
+  std::size_t checkpoint_every_steps = 0;
+  std::function<void(const CheckpointState&)> checkpoint_sink;
+  /// Resume: when set, the run starts at `restore_from->next_step` with
+  /// every loop-carried value overwritten from the snapshot instead of
+  /// running steps from 0. The configuration must be the one that produced
+  /// the snapshot — geometry and the expanded fault schedule are verified
+  /// and a mismatch throws std::invalid_argument. Not owned; must outlive
+  /// simulate().
+  const CheckpointState* restore_from = nullptr;
+  /// Cooperative stop (graceful shutdown): polled once per step boundary.
+  /// When true the loop finishes the current step, emits a final
+  /// checkpoint through the sink (if any), and returns the partial result
+  /// with `interrupted` set. Not owned; may be flipped from a signal
+  /// handler or another thread.
+  const std::atomic<bool>* stop_flag = nullptr;
 };
 
 /// Aggregated per-data-center outcome.
@@ -135,6 +160,9 @@ struct SimulationResult {
   /// The concrete fault windows the run was exposed to (stochastic specs
   /// expanded, legacy outages folded in), sorted by start step.
   std::vector<fault::FaultEvent> fault_events;
+  /// True when a cooperative stop ended the run early; `steps` then holds
+  /// the number of steps actually completed.
+  bool interrupted = false;
 };
 
 /// The resources one offer grants against `need` under `policy`, capped by
@@ -174,5 +202,17 @@ std::vector<std::size_t> recovery_lag_steps(
 predict::PredictorFactory neural_factory_from_workload(
     const trace::WorldTrace& workload, std::size_t lead_in_steps,
     predict::NeuralConfig config = {}, std::size_t max_training_groups = 8);
+
+/// The training half of neural_factory_from_workload, exposed so tools can
+/// serialize the shared model into checkpoints (NeuralModel::save) and
+/// restore it without retraining.
+std::shared_ptr<const predict::NeuralModel> neural_model_from_workload(
+    const trace::WorldTrace& workload, std::size_t lead_in_steps,
+    predict::NeuralConfig config = {}, std::size_t max_training_groups = 8);
+
+/// The factory half: per-group online predictors sharing an already
+/// trained (or deserialized) model.
+predict::PredictorFactory neural_factory_from_model(
+    std::shared_ptr<const predict::NeuralModel> model);
 
 }  // namespace mmog::core

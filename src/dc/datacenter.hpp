@@ -111,6 +111,15 @@ class DataCenterLedger {
   /// Fraction of CPU capacity in use, in [0,1].
   double cpu_utilization() const noexcept;
 
+  /// Overwrites the mutable ledger state from a checkpoint. Unlike grant()
+  /// this never rejects: a restored ledger may legitimately be over
+  /// effective capacity (a capacity cut whose evictions happen next step).
+  void restore(const util::ResourceVector& in_use,
+               double capacity_fraction) noexcept {
+    in_use_ = in_use;
+    set_capacity_fraction(capacity_fraction);
+  }
+
  private:
   DataCenterSpec spec_;
   util::ResourceVector in_use_{};

@@ -79,4 +79,33 @@ std::size_t ReservationCalendar::active_bookings() const noexcept {
   return n;
 }
 
+std::vector<ReservationCalendar::BookingView> ReservationCalendar::bookings()
+    const {
+  std::vector<BookingView> out;
+  out.reserve(bookings_.size());
+  for (const auto& b : bookings_) {
+    out.push_back({b.amount, b.from, b.to, b.active});
+  }
+  return out;
+}
+
+ReservationCalendar ReservationCalendar::restore(
+    util::ResourceVector capacity, std::size_t horizon_steps,
+    std::vector<BookingView> bookings) {
+  ReservationCalendar cal(capacity, horizon_steps);
+  for (const auto& b : bookings) {
+    if (b.to > horizon_steps || b.from > b.to) {
+      throw std::invalid_argument(
+          "ReservationCalendar::restore: booking outside horizon");
+    }
+    cal.bookings_.push_back(Booking{b.amount, b.from, b.to, b.active});
+    if (b.active) {
+      for (std::size_t s = b.from; s < b.to; ++s) {
+        cal.usage_[s] += b.amount;
+      }
+    }
+  }
+  return cal;
+}
+
 }  // namespace mmog::dc

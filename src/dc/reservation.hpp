@@ -49,6 +49,26 @@ class ReservationCalendar {
 
   std::size_t active_bookings() const noexcept;
 
+  /// One booking record, exposed for checkpointing. The index in the
+  /// bookings() vector is the reservation id (cancelled bookings stay in
+  /// place so ids remain stable).
+  struct BookingView {
+    util::ResourceVector amount{};
+    std::size_t from = 0;
+    std::size_t to = 0;
+    bool active = false;
+  };
+
+  /// Every booking ever made, in id order (including cancelled ones).
+  std::vector<BookingView> bookings() const;
+
+  /// Rebuilds a calendar from checkpointed bookings; per-step usage is
+  /// recomputed from the active ones. Throws std::invalid_argument when a
+  /// booking lies outside the horizon.
+  static ReservationCalendar restore(util::ResourceVector capacity,
+                                     std::size_t horizon_steps,
+                                     std::vector<BookingView> bookings);
+
  private:
   struct Booking {
     util::ResourceVector amount{};

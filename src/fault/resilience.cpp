@@ -35,4 +35,20 @@ std::size_t BackoffTracker::excluded_until(std::size_t dc) const noexcept {
   return it == entries_.end() ? 0 : it->second.until;
 }
 
+std::vector<BackoffTracker::EntryView> BackoffTracker::entries() const {
+  std::vector<EntryView> out;
+  out.reserve(entries_.size());
+  for (const auto& [dc, e] : entries_) {
+    out.push_back({dc, e.failures, e.until});
+  }
+  return out;
+}
+
+void BackoffTracker::restore_entries(std::span<const EntryView> entries) {
+  entries_.clear();
+  for (const auto& e : entries) {
+    entries_[e.dc] = Entry{e.failures, e.until};
+  }
+}
+
 }  // namespace mmog::fault

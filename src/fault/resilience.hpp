@@ -2,6 +2,8 @@
 
 #include <cstddef>
 #include <map>
+#include <span>
+#include <vector>
 
 namespace mmog::fault {
 
@@ -56,6 +58,20 @@ class BackoffTracker {
 
   /// First step at which `dc` becomes eligible again (0 when not excluded).
   std::size_t excluded_until(std::size_t dc) const noexcept;
+
+  /// One center's exclusion record, exposed for checkpointing.
+  struct EntryView {
+    std::size_t dc = 0;
+    std::size_t failures = 0;
+    std::size_t until = 0;  ///< exclusive end of the exclusion window
+  };
+
+  /// All entries in ascending `dc` order.
+  std::vector<EntryView> entries() const;
+
+  /// Replaces the failure history with checkpointed entries; base/max stay
+  /// as constructed (they come from the ResiliencePolicy, not the state).
+  void restore_entries(std::span<const EntryView> entries);
 
  private:
   struct Entry {

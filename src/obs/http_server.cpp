@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
@@ -158,7 +159,17 @@ HttpServer::Response TelemetryService::handle(
     } else {
       body += "\"rules\":0,\"pending\":0,\"firing\":0,\"resolved\":0";
     }
-    body += "}}";
+    body += "}";
+    const Recorder::CheckpointInfo ckpt = recorder.last_checkpoint();
+    if (ckpt.any) {
+      char age[32];
+      std::snprintf(age, sizeof(age), "%.3f", ckpt.age_seconds);
+      body += ",\"checkpoint\":{\"step\":" + std::to_string(ckpt.step) +
+              ",\"age_seconds\":" + age + "}";
+    } else {
+      body += ",\"checkpoint\":null";
+    }
+    body += "}";
     return {200, "application/json", std::move(body)};
   }
   if (request.path == "/alerts") {

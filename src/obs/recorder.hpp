@@ -133,6 +133,38 @@ class Recorder {
     return last_step_.load(std::memory_order_relaxed);
   }
 
+  /// What /healthz reports about checkpointing: the last durable
+  /// checkpoint's step and how long ago it was written. `any` is false
+  /// until the first note_checkpoint() call.
+  struct CheckpointInfo {
+    bool any = false;
+    std::uint64_t step = 0;
+    double age_seconds = 0.0;
+  };
+
+  /// Marks a checkpoint durably written at `step` (called on the
+  /// simulation thread right after the file rename lands).
+  void note_checkpoint(std::uint64_t step) noexcept {
+    last_checkpoint_step_.store(step, std::memory_order_relaxed);
+    last_checkpoint_us_.store(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count(),
+        std::memory_order_release);
+  }
+
+  CheckpointInfo last_checkpoint() const noexcept {
+    const std::int64_t at_us =
+        last_checkpoint_us_.load(std::memory_order_acquire);
+    if (at_us < 0) return {};
+    const std::int64_t now_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    return {true, last_checkpoint_step_.load(std::memory_order_relaxed),
+            static_cast<double>(now_us - at_us) / 1e6};
+  }
+
   /// Records one step's live samples: publishes each as a gauge (so a
   /// /metrics scrape sees the current value), appends to the time-series
   /// store, and feeds the alert engine — firing/resolve edges become
@@ -168,6 +200,8 @@ class Recorder {
   std::atomic<AlertEngine*> alerts_{nullptr};
   std::atomic<AuditTrail*> audit_{nullptr};
   std::atomic<std::uint64_t> last_step_{0};
+  std::atomic<std::uint64_t> last_checkpoint_step_{0};
+  std::atomic<std::int64_t> last_checkpoint_us_{-1};  ///< -1 = none yet
 };
 
 /// Monotonic microsecond stopwatch for timing instrumented sections.

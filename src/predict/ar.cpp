@@ -110,4 +110,24 @@ std::unique_ptr<Predictor> ArPredictor::make_fresh() const {
   return std::make_unique<ArPredictor>(model_);
 }
 
+void ArPredictor::save_state(std::vector<double>& out) const {
+  out.push_back(static_cast<double>(history_.size()));
+  const auto older = history_.first();
+  const auto newer = history_.second();
+  out.insert(out.end(), older.begin(), older.end());
+  out.insert(out.end(), newer.begin(), newer.end());
+}
+
+void ArPredictor::load_state(std::span<const double> in) {
+  if (in.empty()) {
+    throw std::invalid_argument("ArPredictor: bad state size");
+  }
+  const auto n = static_cast<std::size_t>(in[0]);
+  if (n > history_.capacity() || in.size() != 1 + n) {
+    throw std::invalid_argument("ArPredictor: bad state size");
+  }
+  history_.clear();
+  for (std::size_t i = 0; i < n; ++i) history_.push(in[1 + i]);
+}
+
 }  // namespace mmog::predict

@@ -57,6 +57,11 @@ class ArPredictor final : public Predictor {
   void observe(double value) override;
   double predict() const override;
   std::unique_ptr<Predictor> make_fresh() const override;
+  /// The window is saved oldest-first and restored by re-pushing, which
+  /// normalizes the ring's internal split; predictions stay bit-identical
+  /// because ArModel::predict_next walks the logical window by index.
+  void save_state(std::vector<double>& out) const override;
+  void load_state(std::span<const double> in) override;
 
  private:
   std::shared_ptr<const ArModel> model_;

@@ -34,6 +34,21 @@ std::unique_ptr<Predictor> HoltPredictor::make_fresh() const {
   return std::make_unique<HoltPredictor>(alpha_, beta_);
 }
 
+void HoltPredictor::save_state(std::vector<double>& out) const {
+  out.push_back(level_);
+  out.push_back(trend_);
+  out.push_back(static_cast<double>(observed_));
+}
+
+void HoltPredictor::load_state(std::span<const double> in) {
+  if (in.size() != 3) {
+    throw std::invalid_argument("HoltPredictor: bad state size");
+  }
+  level_ = in[0];
+  trend_ = in[1];
+  observed_ = static_cast<std::size_t>(in[2]);
+}
+
 HoltWintersPredictor::HoltWintersPredictor(std::size_t season_length,
                                            double alpha, double beta,
                                            double gamma)
@@ -99,6 +114,39 @@ std::unique_ptr<Predictor> HoltWintersPredictor::make_fresh() const {
                                                 gamma_);
 }
 
+void HoltWintersPredictor::save_state(std::vector<double>& out) const {
+  out.push_back(level_);
+  out.push_back(trend_);
+  out.push_back(static_cast<double>(observed_));
+  out.push_back(seasonal_ready_ ? 1.0 : 0.0);
+  out.push_back(static_cast<double>(first_season_.size()));
+  out.insert(out.end(), first_season_.begin(), first_season_.end());
+  out.push_back(static_cast<double>(seasonal_.size()));
+  out.insert(out.end(), seasonal_.begin(), seasonal_.end());
+}
+
+void HoltWintersPredictor::load_state(std::span<const double> in) {
+  if (in.size() < 5) {
+    throw std::invalid_argument("HoltWintersPredictor: bad state size");
+  }
+  const bool ready = in[3] != 0.0;
+  const auto fs_n = static_cast<std::size_t>(in[4]);
+  if (fs_n >= season_ || in.size() < 6 + fs_n) {
+    throw std::invalid_argument("HoltWintersPredictor: bad state size");
+  }
+  const auto s_n = static_cast<std::size_t>(in[5 + fs_n]);
+  if ((ready && s_n != season_) || (!ready && s_n != 0) ||
+      in.size() != 6 + fs_n + s_n) {
+    throw std::invalid_argument("HoltWintersPredictor: bad state size");
+  }
+  level_ = in[0];
+  trend_ = in[1];
+  observed_ = static_cast<std::size_t>(in[2]);
+  seasonal_ready_ = ready;
+  first_season_.assign(in.begin() + 5, in.begin() + 5 + fs_n);
+  seasonal_.assign(in.begin() + 6 + fs_n, in.end());
+}
+
 void DriftPredictor::observe(double value) {
   if (observed_ == 0) first_ = value;
   last_ = value;
@@ -111,6 +159,21 @@ double DriftPredictor::predict() const {
   const double slope =
       (last_ - first_) / static_cast<double>(observed_ - 1);
   return std::max(0.0, last_ + slope);
+}
+
+void DriftPredictor::save_state(std::vector<double>& out) const {
+  out.push_back(first_);
+  out.push_back(last_);
+  out.push_back(static_cast<double>(observed_));
+}
+
+void DriftPredictor::load_state(std::span<const double> in) {
+  if (in.size() != 3) {
+    throw std::invalid_argument("DriftPredictor: bad state size");
+  }
+  first_ = in[0];
+  last_ = in[1];
+  observed_ = static_cast<std::size_t>(in[2]);
 }
 
 }  // namespace mmog::predict

@@ -21,6 +21,8 @@ class HoltPredictor final : public Predictor {
   void observe(double value) override;
   double predict() const override;
   std::unique_ptr<Predictor> make_fresh() const override;
+  void save_state(std::vector<double>& out) const override;
+  void load_state(std::span<const double> in) override;
 
   double level() const noexcept { return level_; }
   double trend() const noexcept { return trend_; }
@@ -51,6 +53,8 @@ class HoltWintersPredictor final : public Predictor {
   void observe(double value) override;
   double predict() const override;
   std::unique_ptr<Predictor> make_fresh() const override;
+  void save_state(std::vector<double>& out) const override;
+  void load_state(std::span<const double> in) override;
 
   bool seasonal_ready() const noexcept { return seasonal_ready_; }
   std::size_t season_length() const noexcept { return season_; }
@@ -78,6 +82,8 @@ class DriftPredictor final : public Predictor {
   std::unique_ptr<Predictor> make_fresh() const override {
     return std::make_unique<DriftPredictor>();
   }
+  void save_state(std::vector<double>& out) const override;
+  void load_state(std::span<const double> in) override;
 
  private:
   double first_ = 0.0;

@@ -1,8 +1,14 @@
 #include "predict/neural.hpp"
 
 #include <algorithm>
+#include <array>
+#include <iomanip>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
+#include <string>
 
+#include "nn/serialize.hpp"
 #include "util/rng.hpp"
 
 namespace mmog::predict {
@@ -121,6 +127,80 @@ double NeuralModel::predict_next(std::span<const double> recent) const {
   return std::max(0.0, normalizer_.inverse(out[0]));
 }
 
+namespace {
+constexpr const char* kNeuralMagic = "mmog-neural-v1";
+}
+
+void NeuralModel::save(std::ostream& out) const {
+  out << kNeuralMagic << '\n';
+  out << std::setprecision(17);
+  out << config_.input_window << ' ' << config_.hidden_units << ' '
+      << config_.smoother_degree << ' ' << config_.smoother_window << ' '
+      << config_.train_fraction << ' ' << config_.seed << ' '
+      << (config_.predict_delta ? 1 : 0) << ' '
+      << (config_.include_raw_input ? 1 : 0) << '\n';
+  out << config_.train.max_eras << ' ' << config_.train.learning_rate << ' '
+      << config_.train.momentum << ' ' << config_.train.target_rmse << ' '
+      << config_.train.patience << ' ' << (config_.train.shuffle ? 1 : 0)
+      << ' ' << config_.train.shuffle_seed << '\n';
+  out << normalizer_.lo() << ' ' << normalizer_.hi() << ' ' << delta_scale_
+      << '\n';
+  out << result_.eras << ' ' << result_.train_rmse << ' '
+      << result_.test_rmse << ' ' << (result_.converged ? 1 : 0) << '\n';
+  nn::save_mlp(out, net_);
+}
+
+NeuralModel NeuralModel::load(std::istream& in) {
+  std::string magic;
+  if (!(in >> magic) || magic != kNeuralMagic) {
+    throw std::runtime_error("NeuralModel::load: bad magic");
+  }
+  NeuralConfig config;
+  int predict_delta = 0;
+  int include_raw = 0;
+  if (!(in >> config.input_window >> config.hidden_units >>
+        config.smoother_degree >> config.smoother_window >>
+        config.train_fraction >> config.seed >> predict_delta >>
+        include_raw)) {
+    throw std::runtime_error("NeuralModel::load: truncated config");
+  }
+  config.predict_delta = predict_delta != 0;
+  config.include_raw_input = include_raw != 0;
+  int shuffle = 0;
+  if (!(in >> config.train.max_eras >> config.train.learning_rate >>
+        config.train.momentum >> config.train.target_rmse >>
+        config.train.patience >> shuffle >> config.train.shuffle_seed)) {
+    throw std::runtime_error("NeuralModel::load: truncated train config");
+  }
+  config.train.shuffle = shuffle != 0;
+  double lo = 0.0;
+  double hi = 1.0;
+  double delta_scale = 1.0;
+  if (!(in >> lo >> hi >> delta_scale) || !(hi > lo)) {
+    throw std::runtime_error("NeuralModel::load: bad normalizer range");
+  }
+  // fit() on the saved endpoints restores lo/hi exactly: the saved range
+  // always satisfies hi > lo, so fit applies no adjustment.
+  nn::MinMaxNormalizer normalizer;
+  const std::array<double, 2> range{lo, hi};
+  normalizer.fit(range);
+  nn::TrainResult result;
+  int converged = 0;
+  if (!(in >> result.eras >> result.train_rmse >> result.test_rmse >>
+        converged)) {
+    throw std::runtime_error("NeuralModel::load: truncated train result");
+  }
+  result.converged = converged != 0;
+  nn::Mlp net = nn::load_mlp(in);
+  if (net.layer_sizes() !=
+      std::vector<std::size_t>{config.input_window, config.hidden_units,
+                               1}) {
+    throw std::runtime_error("NeuralModel::load: network shape mismatch");
+  }
+  return NeuralModel(config, std::move(net), normalizer, delta_scale,
+                     result);
+}
+
 NeuralPredictor::NeuralPredictor(std::shared_ptr<const NeuralModel> model)
     : model_(std::move(model)) {
   if (!model_) throw std::invalid_argument("NeuralPredictor: null model");
@@ -141,6 +221,24 @@ double NeuralPredictor::predict() const {
 
 std::unique_ptr<Predictor> NeuralPredictor::make_fresh() const {
   return std::make_unique<NeuralPredictor>(model_);
+}
+
+void NeuralPredictor::save_state(std::vector<double>& out) const {
+  out.push_back(static_cast<double>(history_.size()));
+  out.insert(out.end(), history_.begin(), history_.end());
+}
+
+void NeuralPredictor::load_state(std::span<const double> in) {
+  if (in.empty()) {
+    throw std::invalid_argument("NeuralPredictor: bad state size");
+  }
+  const auto n = static_cast<std::size_t>(in[0]);
+  const std::size_t keep =
+      model_->config().input_window + model_->config().smoother_window;
+  if (n > keep || in.size() != 1 + n) {
+    throw std::invalid_argument("NeuralPredictor: bad state size");
+  }
+  history_.assign(in.begin() + 1, in.end());
 }
 
 }  // namespace mmog::predict

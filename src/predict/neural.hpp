@@ -1,6 +1,7 @@
 #pragma once
 
 #include <deque>
+#include <iosfwd>
 #include <memory>
 #include <span>
 #include <vector>
@@ -60,6 +61,17 @@ class NeuralModel {
   const NeuralConfig& config() const noexcept { return config_; }
   const nn::TrainResult& train_result() const noexcept { return result_; }
 
+  /// Writes the trained artifact as text: a magic/version line, the config,
+  /// the normalizer range, the delta scale and training outcome, then the
+  /// network via nn::save_mlp. Full-precision formatting makes
+  /// save -> load -> save byte-identical, so checkpoints embedding a model
+  /// can be compared byte-for-byte.
+  void save(std::ostream& out) const;
+
+  /// Reads a model written by save(); restoring skips the offline training
+  /// phase entirely. Throws std::runtime_error on a malformed stream.
+  static NeuralModel load(std::istream& in);
+
  private:
   NeuralModel(NeuralConfig config, nn::Mlp net,
               nn::MinMaxNormalizer normalizer, double delta_scale,
@@ -84,6 +96,8 @@ class NeuralPredictor final : public Predictor {
   void observe(double value) override;
   double predict() const override;
   std::unique_ptr<Predictor> make_fresh() const override;
+  void save_state(std::vector<double>& out) const override;
+  void load_state(std::span<const double> in) override;
 
  private:
   std::shared_ptr<const NeuralModel> model_;

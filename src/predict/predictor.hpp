@@ -2,8 +2,11 @@
 
 #include <functional>
 #include <memory>
+#include <span>
+#include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace mmog::predict {
 
@@ -30,6 +33,26 @@ class Predictor {
   /// Fresh instance of the same algorithm with empty history. Trained
   /// models (the neural predictor) share their immutable trained state.
   virtual std::unique_ptr<Predictor> make_fresh() const = 0;
+
+  /// Appends the predictor's mutable online state to `out` as a flat list
+  /// of doubles (checkpointing). The contract is exact round-tripping: on a
+  /// fresh instance built with the same configuration and shared model,
+  /// load_state() of a saved payload must make every subsequent predict()
+  /// and save_state() bit-identical to the original's. Counts are encoded
+  /// as doubles (exact below 2^53 — far beyond any run length). Immutable
+  /// trained artifacts (AR coefficients, NN weights) are *not* part of this
+  /// payload; they are restored by reconstructing the shared model. The
+  /// default implementation is for stateless predictors and saves nothing.
+  virtual void save_state(std::vector<double>& out) const { (void)out; }
+
+  /// Restores state captured by save_state(). Throws std::invalid_argument
+  /// when the payload does not match this predictor's configuration.
+  virtual void load_state(std::span<const double> in) {
+    if (!in.empty()) {
+      throw std::invalid_argument(
+          "Predictor::load_state: unexpected state for stateless predictor");
+    }
+  }
 };
 
 /// Creates fresh predictor instances; used to spawn one per sub-zone.

@@ -27,6 +27,24 @@ double MovingAveragePredictor::predict() const {
   return sum_ / static_cast<double>(values_.size());
 }
 
+void MovingAveragePredictor::save_state(std::vector<double>& out) const {
+  out.push_back(sum_);
+  out.push_back(static_cast<double>(values_.size()));
+  out.insert(out.end(), values_.begin(), values_.end());
+}
+
+void MovingAveragePredictor::load_state(std::span<const double> in) {
+  if (in.size() < 2) {
+    throw std::invalid_argument("MovingAveragePredictor: bad state size");
+  }
+  const auto n = static_cast<std::size_t>(in[1]);
+  if (n > window_ || in.size() != 2 + n) {
+    throw std::invalid_argument("MovingAveragePredictor: bad state size");
+  }
+  sum_ = in[0];
+  values_.assign(in.begin() + 2, in.end());
+}
+
 SlidingWindowMedianPredictor::SlidingWindowMedianPredictor(std::size_t window)
     : window_(window) {
   if (window_ == 0) {
@@ -48,6 +66,22 @@ double SlidingWindowMedianPredictor::predict() const {
                     : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
 }
 
+void SlidingWindowMedianPredictor::save_state(std::vector<double>& out) const {
+  out.push_back(static_cast<double>(values_.size()));
+  out.insert(out.end(), values_.begin(), values_.end());
+}
+
+void SlidingWindowMedianPredictor::load_state(std::span<const double> in) {
+  if (in.empty()) {
+    throw std::invalid_argument("SlidingWindowMedianPredictor: bad state");
+  }
+  const auto n = static_cast<std::size_t>(in[0]);
+  if (n > window_ || in.size() != 1 + n) {
+    throw std::invalid_argument("SlidingWindowMedianPredictor: bad state");
+  }
+  values_.assign(in.begin() + 1, in.end());
+}
+
 ExponentialSmoothingPredictor::ExponentialSmoothingPredictor(double alpha)
     : alpha_(alpha) {
   if (alpha_ <= 0.0 || alpha_ > 1.0) {
@@ -65,6 +99,20 @@ void ExponentialSmoothingPredictor::observe(double value) {
   } else {
     state_ = alpha_ * value + (1.0 - alpha_) * state_;
   }
+}
+
+void ExponentialSmoothingPredictor::save_state(
+    std::vector<double>& out) const {
+  out.push_back(state_);
+  out.push_back(primed_ ? 1.0 : 0.0);
+}
+
+void ExponentialSmoothingPredictor::load_state(std::span<const double> in) {
+  if (in.size() != 2 || (in[1] != 0.0 && in[1] != 1.0)) {
+    throw std::invalid_argument("ExponentialSmoothingPredictor: bad state");
+  }
+  state_ = in[0];
+  primed_ = in[1] != 0.0;
 }
 
 }  // namespace mmog::predict

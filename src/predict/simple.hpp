@@ -17,6 +17,15 @@ class LastValuePredictor final : public Predictor {
   std::unique_ptr<Predictor> make_fresh() const override {
     return std::make_unique<LastValuePredictor>();
   }
+  void save_state(std::vector<double>& out) const override {
+    out.push_back(last_);
+  }
+  void load_state(std::span<const double> in) override {
+    if (in.size() != 1) {
+      throw std::invalid_argument("LastValuePredictor: bad state size");
+    }
+    last_ = in[0];
+  }
 
  private:
   double last_ = 0.0;
@@ -37,6 +46,17 @@ class AveragePredictor final : public Predictor {
   std::unique_ptr<Predictor> make_fresh() const override {
     return std::make_unique<AveragePredictor>();
   }
+  void save_state(std::vector<double>& out) const override {
+    out.push_back(sum_);
+    out.push_back(static_cast<double>(count_));
+  }
+  void load_state(std::span<const double> in) override {
+    if (in.size() != 2) {
+      throw std::invalid_argument("AveragePredictor: bad state size");
+    }
+    sum_ = in[0];
+    count_ = static_cast<std::size_t>(in[1]);
+  }
 
  private:
   double sum_ = 0.0;
@@ -53,6 +73,10 @@ class MovingAveragePredictor final : public Predictor {
   std::unique_ptr<Predictor> make_fresh() const override {
     return std::make_unique<MovingAveragePredictor>(window_);
   }
+  /// The running sum is saved verbatim, not recomputed from the window:
+  /// it is path-dependent floating-point state and must survive bit-exact.
+  void save_state(std::vector<double>& out) const override;
+  void load_state(std::span<const double> in) override;
 
  private:
   std::size_t window_;
@@ -73,6 +97,8 @@ class SlidingWindowMedianPredictor final : public Predictor {
   std::unique_ptr<Predictor> make_fresh() const override {
     return std::make_unique<SlidingWindowMedianPredictor>(window_);
   }
+  void save_state(std::vector<double>& out) const override;
+  void load_state(std::span<const double> in) override;
 
  private:
   std::size_t window_;
@@ -91,6 +117,8 @@ class ExponentialSmoothingPredictor final : public Predictor {
     return std::make_unique<ExponentialSmoothingPredictor>(alpha_);
   }
   double alpha() const noexcept { return alpha_; }
+  void save_state(std::vector<double>& out) const override;
+  void load_state(std::span<const double> in) override;
 
  private:
   double alpha_;

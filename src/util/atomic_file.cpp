@@ -1,0 +1,102 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace mmog::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("AtomicFileWriter: " + what + " " + path + ": " +
+                           std::strerror(errno));
+}
+
+/// Writes the whole buffer to an fd, retrying on short writes / EINTR.
+void write_all(int fd, std::string_view content, const std::string& path) {
+  const char* data = content.data();
+  std::size_t left = content.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      fail("cannot write", path);
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Best-effort fsync of the directory containing `path`, so the rename
+/// itself is durable across power loss (not just process crash).
+void sync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)) {
+  if (path_.empty()) {
+    throw std::invalid_argument("AtomicFileWriter: empty path");
+  }
+}
+
+void AtomicFileWriter::commit(bool keep_previous) {
+  if (committed_) {
+    throw std::logic_error("AtomicFileWriter: already committed " + path_);
+  }
+  const std::string tmp = path_ + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot open", tmp);
+  const std::string content = buf_.str();
+  write_all(fd, content, tmp);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail("cannot fsync", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail("cannot close", tmp);
+  }
+  if (keep_previous) {
+    // Displace the live generation to "<path>.prev"; a missing target just
+    // means this is the first commit.
+    if (::rename(path_.c_str(), (path_ + ".prev").c_str()) != 0 &&
+        errno != ENOENT) {
+      ::unlink(tmp.c_str());
+      fail("cannot retire previous generation of", path_);
+    }
+  }
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail("cannot publish", path_);
+  }
+  sync_parent_dir(path_);
+  committed_ = true;
+}
+
+void write_file_atomic(const std::string& path, std::string_view content,
+                       bool keep_previous) {
+  AtomicFileWriter writer(path);
+  writer.stream() << content;
+  writer.commit(keep_previous);
+}
+
+}  // namespace mmog::util

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace mmog::util {
+
+/// Crash-safe file writer: content is buffered in memory and only reaches
+/// the target path through a temp-file + fsync + rename commit, so readers
+/// never observe a truncated or half-written artifact — an interrupted run
+/// leaves either the previous file or the new one, never a torn mix.
+///
+/// With `keep_previous`, the displaced generation survives the commit at
+/// "<path>.prev", giving checkpoint consumers a fallback when the newest
+/// file turns out corrupt.
+///
+/// Usage:
+///   AtomicFileWriter w(path);
+///   w.stream() << payload;
+///   w.commit();
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path);
+
+  /// Buffer to write the file's content into before commit().
+  std::ostream& stream() { return buf_; }
+
+  /// Publishes the buffered content at the target path: writes
+  /// "<path>.tmp", fsyncs it, then renames over the target (atomically
+  /// replacing any existing file). When `keep_previous` is set and the
+  /// target already exists, that file is first renamed to "<path>.prev".
+  /// Throws std::runtime_error on any I/O failure; the target is left
+  /// untouched when the commit fails before the final rename.
+  void commit(bool keep_previous = false);
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::ostringstream buf_;
+  bool committed_ = false;
+};
+
+/// One-shot helper: atomically writes `content` at `path`.
+void write_file_atomic(const std::string& path, std::string_view content,
+                       bool keep_previous = false);
+
+}  // namespace mmog::util

@@ -22,20 +22,38 @@
 // --report-out writes one canonical RunReport per (seed, scenario) cell as
 // a JSON array, labeled "seed<S>/<scenario>" — mmog_diff pairs two such
 // files by label and verdicts outcome drift across the whole sweep.
+//
+// Kill/restart mode (--kill-restart --simulate-bin PATH) exercises the
+// checkpoint/restore crash-safety end to end: it runs an uninterrupted
+// reference via the real mmog_simulate binary, SIGKILLs a second run mid
+// flight once its newest valid checkpoint passes --kill-at-step, restarts
+// from that checkpoint, and verdicts the restarted run's report and audit
+// trail against the reference with the mmog_diff comparators. All
+// artifacts land in --workdir (default ".") so CI can re-diff them. Exit
+// 0 = byte-identical recovery, 1 = drift or a failed child run.
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "ckpt/checkpoint.hpp"
 #include "core/run_report.hpp"
 #include "core/simulation.hpp"
 #include "fault/parse.hpp"
+#include "obs/audit.hpp"
+#include "obs/report.hpp"
 #include "predict/simple.hpp"
 #include "trace/io.hpp"
 #include "trace/runescape_model.hpp"
@@ -61,6 +79,144 @@ struct ScenarioOutcome {
   core::SimulationResult result;
 };
 
+// ------------------------------------------------------- kill/restart mode
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Starts `argv` as a child process (argv[0] is the binary path).
+pid_t spawn(const std::vector<std::string>& argv) {
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+  const pid_t pid = fork();
+  if (pid < 0) throw std::runtime_error("fork failed");
+  if (pid == 0) {
+    execv(cargv[0], cargv.data());
+    std::perror("mmog_chaos: execv");
+    _exit(127);
+  }
+  return pid;
+}
+
+int wait_exit(pid_t pid) {
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid) {
+    throw std::runtime_error("waitpid failed");
+  }
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+}
+
+/// The end-to-end crash-safety scenario: reference run, SIGKILL a second
+/// run once its checkpoint passes `kill_at`, restart from the checkpoint,
+/// verdict the restarted artifacts against the reference.
+int run_kill_restart(const std::string& bin, const std::string& csv,
+                     const std::string& spec_text, long threads,
+                     long checkpoint_every, std::size_t kill_at,
+                     const std::string& workdir) {
+  const std::string ck = workdir + "/kill-restart-ck.jsonl";
+  const std::string ref_report = workdir + "/kill-restart-ref-report.json";
+  const std::string ref_audit = workdir + "/kill-restart-ref-audit.jsonl";
+  const std::string res_report = workdir + "/kill-restart-res-report.json";
+  const std::string res_audit = workdir + "/kill-restart-res-audit.jsonl";
+
+  std::vector<std::string> common = {bin,       "--in",
+                                     csv,       "--predictor",
+                                     "lastvalue", "--threads",
+                                     std::to_string(threads)};
+  if (!spec_text.empty()) {
+    common.push_back("--fault");
+    common.push_back(spec_text);
+  }
+
+  std::printf("kill/restart: reference run...\n");
+  auto ref = common;
+  ref.insert(ref.end(), {"--report-out", ref_report, "--audit-out",
+                         ref_audit});
+  if (const int rc = wait_exit(spawn(ref)); rc != 0) {
+    throw std::runtime_error("reference run failed (exit " +
+                             std::to_string(rc) + ")");
+  }
+
+  std::printf("kill/restart: victim run, SIGKILL once checkpoint >= %zu\n",
+              kill_at);
+  auto victim = common;
+  victim.insert(victim.end(),
+                {"--checkpoint-out", ck, "--checkpoint-every",
+                 std::to_string(checkpoint_every)});
+  const pid_t pid = spawn(victim);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(300);
+  for (;;) {
+    int status = 0;
+    if (waitpid(pid, &status, WNOHANG) == pid) {
+      throw std::runtime_error(
+          "victim run finished before the kill landed — lower "
+          "--kill-at-step or --checkpoint-every");
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      kill(pid, SIGKILL);
+      waitpid(pid, &status, 0);
+      throw std::runtime_error("victim run made no checkpoint progress");
+    }
+    std::size_t at = 0;
+    try {
+      at = ckpt::load_newest_valid(ck).file.state.next_step;
+    } catch (const ckpt::CheckpointError&) {
+      // No (valid) checkpoint yet — keep polling.
+    }
+    if (at >= kill_at) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  kill(pid, SIGKILL);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+    throw std::runtime_error("victim did not die from SIGKILL");
+  }
+
+  const auto loaded = ckpt::load_newest_valid(ck);
+  std::printf("kill/restart: killed; newest valid checkpoint at step %zu "
+              "(%s), restarting\n",
+              loaded.file.state.next_step, loaded.path.c_str());
+  auto resume = common;
+  resume.insert(resume.end(), {"--restore", ck, "--report-out", res_report,
+                               "--audit-out", res_audit});
+  if (const int rc = wait_exit(spawn(resume)); rc != 0) {
+    throw std::runtime_error("restarted run failed (exit " +
+                             std::to_string(rc) + ")");
+  }
+
+  const auto reports_a = obs::parse_report_file(slurp(ref_report));
+  const auto reports_b = obs::parse_report_file(slurp(res_report));
+  if (reports_a.size() != 1 || reports_b.size() != 1) {
+    throw std::runtime_error("expected exactly one report per run");
+  }
+  const auto report_diff = obs::diff_reports(reports_a[0], reports_b[0]);
+  std::ifstream audit_a(ref_audit), audit_b(res_audit);
+  const auto diff_audit = obs::diff_audits(obs::read_audit_jsonl(audit_a),
+                                           obs::read_audit_jsonl(audit_b));
+  bool ok = true;
+  for (const auto* diff : {&report_diff, &diff_audit}) {
+    if (!diff->regression()) continue;
+    ok = false;
+    for (const auto& note : diff->notes) {
+      std::printf("  %s\n", note.c_str());
+    }
+  }
+  std::printf(ok ? "kill/restart: OK — restarted run byte-identical to the "
+                   "reference\n"
+                 : "kill/restart: REGRESSION — restarted run drifted from "
+                   "the reference\n");
+  return ok ? 0 : 1;
+}
+
 std::string worst_lag_string(const core::SimulationResult& result,
                              double threshold_pct) {
   const auto lags = core::recovery_lag_steps(result.metrics,
@@ -85,7 +241,9 @@ int main(int argc, char** argv) {
         "          [--fault \"SPEC[;SPEC...]\"] [--seeds N]\n"
         "          [--model n|nlogn|n2|n2logn|n3] [--tolerance 0..4]\n"
         "          [--safety F] [--reserve K] [--shed] [--threads N]\n"
-        "          [--report-out FILE.json]\n",
+        "          [--report-out FILE.json]\n"
+        "          [--kill-restart --simulate-bin PATH [--workdir DIR]\n"
+        "           [--kill-at-step N] [--checkpoint-every N]]\n",
         args.program().c_str());
     return 0;
   }
@@ -101,6 +259,35 @@ int main(int argc, char** argv) {
       model.seed = static_cast<std::uint64_t>(
           args.get_long("trace-seed", 2008));
       workload = trace::generate(model);
+    }
+
+    if (args.has("kill-restart")) {
+      const auto bin = args.get("simulate-bin", "");
+      if (bin.empty()) {
+        throw std::invalid_argument(
+            "--kill-restart needs --simulate-bin PATH (the mmog_simulate "
+            "binary to crash and restart)");
+      }
+      const auto workdir = args.get("workdir", ".");
+      std::string csv = in_path;
+      if (csv.empty()) {
+        csv = workdir + "/kill-restart-workload.csv";
+        trace::write_world_csv_file(csv, workload);
+      }
+      // A fixed stochastic outage by default: the point is exercising
+      // recovery under active fault windows, not finding the busiest DC.
+      auto spec = args.get("fault", "outage:dc=2,mtbf=1d,mttr=3h,seed=9");
+      const long threads = args.get_long("threads", 1);
+      const long every = args.get_long("checkpoint-every", 25);
+      if (every <= 0) {
+        throw std::invalid_argument("--checkpoint-every must be > 0");
+      }
+      const long kill_at_arg = args.get_long("kill-at-step", 0);
+      const std::size_t kill_at = kill_at_arg > 0
+                                      ? static_cast<std::size_t>(kill_at_arg)
+                                      : workload.steps() / 2;
+      return run_kill_restart(bin, csv, spec, threads, every, kill_at,
+                              workdir);
     }
 
     const auto sweeps =

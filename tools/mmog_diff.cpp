@@ -1,11 +1,13 @@
-// mmog-diff: regression verdict between two canonical run reports (or two
-// decision-audit trails) produced by mmog_simulate / mmog_chaos.
+// mmog-diff: regression verdict between two canonical run reports, two
+// decision-audit trails, or two checkpoint files produced by
+// mmog_simulate / mmog_chaos.
 //
 // Usage:
-//   mmog_diff A B [--kind report|audit] [--timing-tolerance PCT]
-//            [--quiet]
+//   mmog_diff A B [--kind report|audit|checkpoint]
+//            [--timing-tolerance PCT] [--quiet]
 //
 // Report mode (default; a ".jsonl" extension on both inputs selects audit
+// mode, and files beginning with the "mmog-ckpt" magic select checkpoint
 // mode): each input holds one RunReport object (--report-out) or a JSON
 // array of labeled reports (mmog_chaos --report-out). Reports are paired
 // by label; every config entry and outcome field must match EXACTLY —
@@ -18,6 +20,11 @@
 // Audit mode: both inputs are JSONL decision trails (--audit-out or
 // GET /audit). Trails must match record for record.
 //
+// Checkpoint mode: both inputs are --checkpoint-out files. Each side is
+// first validated (magic, version, FNV footer — a corrupted file is a
+// usage error, exit 2), then compared field for field; differences are
+// reported with their full path, e.g. "unit[3].groups[2].state[17]".
+//
 // Exit status: 0 = no regression, 1 = regression (any outcome/config
 // difference, or timing beyond tolerance), 2 = usage or I/O error. The
 // verdict and the first differences are printed to stdout.
@@ -29,6 +36,7 @@
 #include <string>
 #include <string_view>
 
+#include "ckpt/checkpoint.hpp"
 #include "obs/report.hpp"
 #include "util/args.hpp"
 
@@ -124,14 +132,28 @@ int diff_audit_files(const std::string& path_a, const std::string& path_b,
   return finish(diff, "audit trail", quiet);
 }
 
+int diff_checkpoint_files(const std::string& path_a,
+                          const std::string& path_b, bool quiet) {
+  const auto diff = ckpt::diff_checkpoints(slurp(path_a), slurp(path_b));
+  return finish(diff, "checkpoint", quiet);
+}
+
+/// A checkpoint file starts with its magic on the first line; extensions
+/// are not distinctive enough (checkpoints are JSONL too).
+bool looks_like_checkpoint(const std::string& text) {
+  return text.starts_with("{\"magic\":\"") &&
+         text.find(ckpt::kMagic) != std::string::npos &&
+         text.find(ckpt::kMagic) < 32;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
   if (args.has("help") || args.positional().size() != 2) {
     std::printf(
-        "usage: %s A B [--kind report|audit] [--timing-tolerance PCT] "
-        "[--quiet]\n",
+        "usage: %s A B [--kind report|audit|checkpoint] "
+        "[--timing-tolerance PCT] [--quiet]\n",
         args.program().c_str());
     return args.has("help") ? 0 : 2;
   }
@@ -140,11 +162,19 @@ int main(int argc, char** argv) {
     const std::string& path_b = args.positional()[1];
     std::string kind = args.get("kind", "");
     if (kind.empty()) {
-      kind = ends_with(path_a, ".jsonl") && ends_with(path_b, ".jsonl")
-                 ? "audit"
-                 : "report";
+      if (looks_like_checkpoint(slurp(path_a)) &&
+          looks_like_checkpoint(slurp(path_b))) {
+        kind = "checkpoint";
+      } else {
+        kind = ends_with(path_a, ".jsonl") && ends_with(path_b, ".jsonl")
+                   ? "audit"
+                   : "report";
+      }
     }
     const bool quiet = args.has("quiet");
+    if (kind == "checkpoint") {
+      return diff_checkpoint_files(path_a, path_b, quiet);
+    }
     if (kind == "audit") {
       return diff_audit_files(path_a, path_b, quiet);
     }

@@ -13,8 +13,21 @@
 //                 [--metrics-out FILE.{json,csv}]
 //                 [--trace-out FILE[.jsonl]] [--trace-detail]
 //                 [--audit-out FILE.jsonl] [--report-out FILE.json]
+//                 [--checkpoint-out FILE] [--checkpoint-every N]
+//                 [--restore FILE]
 //                 [--serve PORT] [--serve-hold SEC]
 //                 [--alert "SPEC[;SPEC...]"] [--no-default-alerts]
+//
+// --checkpoint-out writes a versioned, checksummed snapshot of the
+// complete provisioning state every --checkpoint-every steps (default 30;
+// 0 = only on shutdown). Writes are atomic (temp file + rename) and the
+// previous generation is kept at FILE.prev, so a kill mid-write can never
+// leave a torn newest-and-only checkpoint. --restore resumes from a
+// checkpoint (falling back to FILE.prev when FILE is damaged) and runs to
+// the end; the resulting report and audit trail are byte-identical to the
+// uninterrupted run's, at any --threads. SIGINT/SIGTERM stop the run
+// gracefully: the current step completes, a final checkpoint and every
+// requested artifact are flushed, and the exit code is 3.
 //
 // --metrics-out snapshots the observability registry (per-phase duration
 // histograms, offer/allocation counters) as JSON (.json) or CSV (anything
@@ -63,24 +76,32 @@
 // Firing/resolve edges land in the trace (category "alert"), the
 // `alert.fired`/`alert.resolved` counters, and the end-of-run summary.
 
+#include <csignal>
+
+#include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <memory>
+#include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <string_view>
 #include <thread>
 
+#include "ckpt/checkpoint.hpp"
 #include "core/run_report.hpp"
 #include "core/simulation.hpp"
 #include "fault/parse.hpp"
 #include "obs/alert_parse.hpp"
 #include "obs/http_server.hpp"
+#include "obs/jsonio.hpp"
 #include "obs/recorder.hpp"
 #include "predict/holt_winters.hpp"
+#include "predict/neural.hpp"
 #include "predict/simple.hpp"
 #include "trace/io.hpp"
 #include "util/args.hpp"
+#include "util/atomic_file.hpp"
 
 using namespace mmog;
 using util::ResourceKind;
@@ -96,15 +117,9 @@ core::UpdateModel parse_model(const std::string& name) {
   throw std::invalid_argument("unknown --model " + name);
 }
 
-predict::PredictorFactory parse_predictor(const std::string& name,
-                                          const trace::WorldTrace& workload,
-                                          std::size_t lead_in) {
-  if (name == "neural") {
-    predict::NeuralConfig cfg;
-    cfg.train.max_eras = 40;
-    cfg.train.patience = 8;
-    return core::neural_factory_from_workload(workload, lead_in, cfg, 6);
-  }
+// The neural predictor is handled in main (the shared model is trained or
+// restored there so checkpoints can carry it); this covers the rest.
+predict::PredictorFactory parse_predictor(const std::string& name) {
   if (name == "lastvalue") {
     return [] { return std::make_unique<predict::LastValuePredictor>(); };
   }
@@ -133,6 +148,21 @@ predict::PredictorFactory parse_predictor(const std::string& name,
   throw std::invalid_argument("unknown --predictor " + name);
 }
 
+// Cooperative shutdown: SIGINT/SIGTERM flip the flag, the simulation loop
+// finishes its current step, writes a final checkpoint (when configured)
+// and the tool flushes every artifact before exiting with code 3.
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int) { g_stop.store(true); }
+
+void install_stop_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = handle_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -149,6 +179,8 @@ int main(int argc, char** argv) {
         "          [--metrics-out FILE.{json,csv}]\n"
         "          [--trace-out FILE[.jsonl]] [--trace-detail]\n"
         "          [--audit-out FILE.jsonl] [--report-out FILE.json]\n"
+        "          [--checkpoint-out FILE] [--checkpoint-every N]\n"
+        "          [--restore FILE]\n"
         "          [--serve PORT] [--serve-hold SEC]\n"
         "          [--alert \"SPEC[;SPEC...]\"] [--no-default-alerts]\n",
         args.program().c_str());
@@ -156,6 +188,12 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // SIGINT/SIGTERM land as a cooperative stop: the run finishes its
+    // current step, writes a final checkpoint (with --checkpoint-out),
+    // flushes every requested artifact and exits with code 3. Installed
+    // before the workload load so an early signal is not fatal either.
+    install_stop_handlers();
+
     auto workload = trace::read_world_csv_file(in_path);
     const auto lead_in = util::samples_per_days(
         args.get_double("lead-in-days", 1.0));
@@ -197,24 +235,94 @@ int main(int argc, char** argv) {
     cfg.resilience.standby_reserve_servers = args.get_double("reserve", 0.0);
     cfg.resilience.shed_low_priority = args.has("shed");
     const auto mode = args.get("mode", "dynamic");
-    if (mode == "static") {
-      cfg.mode = core::AllocationMode::kStatic;
-    } else if (mode == "dynamic") {
-      cfg.predictor = parse_predictor(args.get("predictor", "lastvalue"),
-                                      cfg.games[0].workload, lead_in);
-    } else {
+    if (mode != "static" && mode != "dynamic") {
       throw std::invalid_argument("unknown --mode " + mode);
+    }
+    if (mode == "static") cfg.mode = core::AllocationMode::kStatic;
+    const auto predictor_name =
+        mode == "static" ? std::string() : args.get("predictor", "lastvalue");
+
+    // The configuration echo stored in checkpoints and verified on
+    // --restore: resuming under a different workload, world, predictor or
+    // fault plan is refused up front (simulate() additionally verifies the
+    // geometry and the expanded fault schedule). These same entries feed
+    // the run report's config block.
+    std::map<std::string, std::string> config_echo;
+    config_echo["in"] = in_path;
+    config_echo["world"] = world_kind;
+    config_echo["model"] = args.get("model", "n2");
+    config_echo["tolerance"] = std::to_string(tolerance);
+    config_echo["predictor"] = predictor_name;
+    config_echo["lead_in_steps"] = std::to_string(lead_in);
+    config_echo["fault_spec"] = args.get("fault", "");
+    config_echo["mode"] = mode;
+    config_echo["safety"] = obs::json_double(cfg.safety_factor);
+    if (world_kind == "policy") {
+      config_echo["policy"] = std::to_string(args.get_long("policy", 1));
+      config_echo["machines"] = std::to_string(args.get_long("machines", 40));
+    }
+
+    const auto restore_path = args.get("restore", "");
+    std::optional<ckpt::LoadedCheckpoint> restored;
+    if (!restore_path.empty()) {
+      restored = ckpt::load_newest_valid(restore_path);
+      for (const auto& note : restored->notes) {
+        std::fprintf(stderr, "mmog_simulate: skipped checkpoint: %s\n",
+                     note.c_str());
+      }
+      for (const auto& [key, value] : config_echo) {
+        const auto it = restored->file.extras.find(key);
+        if (it == restored->file.extras.end() || it->second != value) {
+          throw std::invalid_argument(
+              "--restore: checkpoint was produced under a different "
+              "configuration (key \"" +
+              key + "\": checkpoint \"" +
+              (it == restored->file.extras.end() ? std::string("<absent>")
+                                                 : it->second) +
+              "\", this run \"" + value + "\")");
+        }
+      }
+      cfg.restore_from = &restored->file.state;
+      std::fprintf(stderr, "mmog_simulate: restoring at step %zu from %s\n",
+                   restored->file.state.next_step, restored->path.c_str());
+    }
+
+    // The neural predictor's shared model rides inside checkpoints, so a
+    // restore never retrains: same weights, bit-identical predictions.
+    std::string nn_model_text;
+    if (mode == "dynamic") {
+      if (predictor_name == "neural") {
+        std::shared_ptr<const predict::NeuralModel> model;
+        if (restored && restored->file.extras.contains("nn_model")) {
+          std::istringstream saved(restored->file.extras.at("nn_model"));
+          model = std::make_shared<const predict::NeuralModel>(
+              predict::NeuralModel::load(saved));
+        } else {
+          predict::NeuralConfig ncfg;
+          ncfg.train.max_eras = 40;
+          ncfg.train.patience = 8;
+          model = core::neural_model_from_workload(cfg.games[0].workload,
+                                                   lead_in, ncfg, 6);
+        }
+        std::ostringstream serialized;
+        model->save(serialized);
+        nn_model_text = serialized.str();
+        cfg.predictor = core::neural_factory_from_model(std::move(model));
+      } else {
+        cfg.predictor = parse_predictor(predictor_name);
+      }
     }
 
     const auto metrics_out = args.get("metrics-out", "");
     const auto trace_out = args.get("trace-out", "");
     const auto audit_out = args.get("audit-out", "");
     const auto report_out = args.get("report-out", "");
+    const auto checkpoint_out = args.get("checkpoint-out", "");
     const bool serve = args.has("serve");
     const bool live = serve || args.has("alert");
     std::unique_ptr<obs::Recorder> recorder;
     if (!metrics_out.empty() || !trace_out.empty() || !audit_out.empty() ||
-        !report_out.empty() || live) {
+        !report_out.empty() || !checkpoint_out.empty() || live) {
       auto level = obs::TraceLevel::kOff;
       if (!trace_out.empty()) {
         level = args.has("trace-detail") ? obs::TraceLevel::kDetail
@@ -223,8 +331,12 @@ int main(int argc, char** argv) {
       recorder = std::make_unique<obs::Recorder>(level);
       cfg.recorder = recorder.get();
       // The decision trail costs one record per acting decision; keep it
-      // on whenever it has a consumer (--audit-out file or GET /audit).
-      if (!audit_out.empty() || serve) recorder->enable_audit();
+      // on whenever it has a consumer: an --audit-out file, GET /audit, or
+      // a checkpoint (which must carry the trail prefix so a restarted run
+      // reproduces the full trail with identical sequence numbers).
+      if (!audit_out.empty() || serve || !checkpoint_out.empty()) {
+        recorder->enable_audit();
+      }
     }
     if (live) {
       recorder->enable_timeseries();
@@ -252,6 +364,27 @@ int main(int argc, char** argv) {
       std::fflush(stderr);
     }
 
+    const long checkpoint_every = args.get_long("checkpoint-every", 30);
+    if (checkpoint_every < 0) {
+      throw std::invalid_argument("--checkpoint-every must be >= 0");
+    }
+    std::map<std::string, std::string> ckpt_extras = config_echo;
+    if (!nn_model_text.empty()) ckpt_extras["nn_model"] = nn_model_text;
+    if (!checkpoint_out.empty()) {
+      cfg.checkpoint_every_steps =
+          static_cast<std::size_t>(checkpoint_every);
+      obs::Recorder* rec = recorder.get();
+      cfg.checkpoint_sink = [&ckpt_extras, checkpoint_out,
+                             rec](const core::CheckpointState& st) {
+        ckpt::CheckpointFile file;
+        file.state = st;
+        file.extras = ckpt_extras;
+        ckpt::write_checkpoint_file(checkpoint_out, file);
+        if (rec) rec->note_checkpoint(st.next_step);
+      };
+    }
+    cfg.stop_flag = &g_stop;
+
     auto ends_with = [](const std::string& s, std::string_view suffix) {
       return s.size() >= suffix.size() &&
              s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
@@ -273,44 +406,31 @@ int main(int argc, char** argv) {
                                       wall_start)
             .count();
 
+    // Artifacts land via temp-file + rename: a crash or full disk while
+    // writing leaves the previous file intact, never a torn half-report.
     if (!metrics_out.empty()) {
-      std::ofstream out(metrics_out);
-      if (!out) throw std::runtime_error("cannot write " + metrics_out);
+      util::AtomicFileWriter out(metrics_out);
       const auto snap = recorder->snapshot();
-      out << (ends_with(metrics_out, ".json") ? snap.to_json()
-                                              : snap.to_csv());
+      out.stream() << (ends_with(metrics_out, ".json") ? snap.to_json()
+                                                       : snap.to_csv());
+      out.commit();
     }
     trace_guard.flush();
     if (!audit_out.empty()) {
-      std::ofstream out(audit_out);
-      if (!out) throw std::runtime_error("cannot write " + audit_out);
-      recorder->audit()->write_jsonl(out);
+      util::AtomicFileWriter out(audit_out);
+      recorder->audit()->write_jsonl(out.stream());
+      out.commit();
     }
 
     // The canonical report is the single source of truth for the run's
     // totals: BENCH_core.json (--report-out), the stdout summary and the
     // stderr one-liner all render from it.
-    std::map<std::string, std::string> extra;
-    extra["in"] = in_path;
-    extra["world"] = world_kind;
-    extra["model"] = args.get("model", "n2");
-    extra["tolerance"] = std::to_string(tolerance);
-    extra["predictor"] =
-        cfg.mode == core::AllocationMode::kStatic
-            ? ""
-            : args.get("predictor", "lastvalue");
-    extra["lead_in_steps"] = std::to_string(lead_in);
-    extra["fault_spec"] = args.get("fault", "");
-    if (world_kind == "policy") {
-      extra["policy"] = std::to_string(args.get_long("policy", 1));
-      extra["machines"] = std::to_string(args.get_long("machines", 40));
-    }
     const auto report = core::make_run_report(
-        cfg, result, "mmog_simulate", "", wall_seconds, std::move(extra));
+        cfg, result, "mmog_simulate", "", wall_seconds, config_echo);
     if (!report_out.empty()) {
-      std::ofstream out(report_out);
-      if (!out) throw std::runtime_error("cannot write " + report_out);
-      out << report.to_json() << '\n';
+      util::AtomicFileWriter out(report_out);
+      out.stream() << report.to_json() << '\n';
+      out.commit();
     }
 
     const obs::AlertEngine* engine =
@@ -364,6 +484,15 @@ int main(int argc, char** argv) {
         std::this_thread::sleep_for(std::chrono::duration<double>(hold));
       }
       telemetry->stop();
+    }
+    if (result.interrupted) {
+      std::fprintf(stderr,
+                   "mmog_simulate: interrupted after %zu steps; artifacts "
+                   "flushed%s\n",
+                   result.steps,
+                   checkpoint_out.empty() ? ""
+                                          : ", final checkpoint written");
+      return 3;
     }
     return 0;
   } catch (const std::exception& e) {

@@ -84,6 +84,9 @@ obs::RunReport make_run_report(
   report.threads = config.threads;
   report.wall_seconds = wall_seconds;
   report.peak_rss_kb = obs::current_peak_rss_kb();
+  if (wall_seconds > 0.0) {
+    report.steps_per_sec = static_cast<double>(result.steps) / wall_seconds;
+  }
 
   const obs::Recorder* const rec = config.recorder;
   if (rec == nullptr) return report;
@@ -107,6 +110,12 @@ obs::RunReport make_run_report(
       it != snap.gauges.end() && it->second >= 1.0) {
     report.threads = static_cast<std::uint64_t>(it->second);
   }
+  // The profiler's throughput gauge measures the step loop alone (no
+  // trace generation or predictor training), so prefer it to steps/wall.
+  if (const auto it = snap.gauges.find("sim.steps_per_sec");
+      it != snap.gauges.end() && it->second > 0.0) {
+    report.steps_per_sec = it->second;
+  }
   for (const auto& [name, hist] : snap.histograms) {
     const std::string_view phase = phase_name(name);
     if (phase.empty() || hist.count == 0) continue;
@@ -118,6 +127,18 @@ obs::RunReport make_run_report(
     stats.p90_us = hist.quantile(0.9);
     stats.p99_us = hist.quantile(0.99);
     stats.max_us = hist.max;
+    // Join the profiler's allocation histograms (absent without an
+    // attached ResourceProfiler — the means default to zero).
+    if (const auto ha =
+            snap.histograms.find("phase." + stats.name + "_allocs");
+        ha != snap.histograms.end() && ha->second.count > 0) {
+      stats.allocs_mean = ha->second.mean();
+    }
+    if (const auto hb =
+            snap.histograms.find("phase." + stats.name + "_alloc_bytes");
+        hb != snap.histograms.end() && hb->second.count > 0) {
+      stats.alloc_bytes_mean = hb->second.mean();
+    }
     report.phases.push_back(std::move(stats));
   }
   return report;

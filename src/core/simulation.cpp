@@ -228,6 +228,13 @@ SimulationResult simulate(const SimulationConfig& config) {
                static_cast<double>(predict_runner.threads()));
   }
 
+  // Resource profiler (PR 8): throughput and RSS sampled once per step.
+  // Observational only — attached or not, outcomes are byte-identical.
+  obs::ResourceProfiler* const profiler = rec ? rec->profiler() : nullptr;
+  if (profiler) {
+    profiler->begin_run(static_cast<std::uint64_t>(total_groups));
+  }
+
   std::size_t next_allocation_id = 1;
   SimulationResult result;
   result.steps = steps;
@@ -1082,6 +1089,10 @@ SimulationResult simulate(const SimulationConfig& config) {
     if (audit) {
       audit->append_batch(audit_batch);
       for (auto& list : audit_backfill) list.clear();
+    }
+    if (profiler) {
+      profiler->note_step(rec->registry(),
+                          static_cast<std::uint64_t>(t + 1 - start_step));
     }
 
     // Step t is complete (audit flushed, accumulators final): a clean

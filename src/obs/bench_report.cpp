@@ -1,0 +1,401 @@
+#include "obs/bench_report.hpp"
+
+#include <sys/utsname.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "obs/jsonio.hpp"
+#include "util/table.hpp"
+
+namespace mmog::obs {
+namespace {
+
+std::uint64_t fnv1a64(std::string_view data, std::uint64_t hash) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  for (char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+std::string quoted(std::string_view s) {
+  std::string out = "\"";
+  append_json_escaped(out, s);
+  out += '"';
+  return out;
+}
+
+std::uint64_t as_u64(const JsonValue& v) {
+  return static_cast<std::uint64_t>(v.as_number());
+}
+
+/// Relative drift of `candidate` vs `base` in percent; 0 when both zero.
+double rel_pct(double base, double candidate) {
+  const double delta = std::fabs(candidate - base);
+  if (base != 0.0) return 100.0 * delta / std::fabs(base);
+  return delta > 0.0 ? 100.0 : 0.0;
+}
+
+std::string fmt(const char* format, double a, double b, double pct) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf, format, a, b, pct);
+  return buf;
+}
+
+}  // namespace
+
+std::string BenchMachine::fingerprint() const {
+  std::uint64_t hash = 14695981039346656037ull;  // FNV offset basis
+  for (const std::string& part :
+       {os, release, arch, std::to_string(cpus),
+        std::to_string(page_size)}) {
+    hash = fnv1a64(part, hash);
+    hash = fnv1a64("\n", hash);
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+BenchMachine collect_bench_machine() {
+  BenchMachine m;
+  utsname u{};
+  if (uname(&u) == 0) {
+    m.os = u.sysname;
+    m.release = u.release;
+    m.arch = u.machine;
+  }
+  const long cpus = sysconf(_SC_NPROCESSORS_ONLN);
+  m.cpus = cpus > 0 ? static_cast<std::uint64_t>(cpus) : 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  m.page_size = page > 0 ? static_cast<std::uint64_t>(page) : 0;
+  return m;
+}
+
+std::vector<MicroResult> parse_google_benchmark_json(std::string_view json) {
+  const JsonValue doc = parse_json(json);
+  std::vector<MicroResult> out;
+  const JsonValue* benchmarks = doc.find("benchmarks");
+  if (benchmarks == nullptr) {
+    throw std::invalid_argument(
+        "google-benchmark json: missing \"benchmarks\" array");
+  }
+  for (const JsonValue& item : benchmarks->as_array()) {
+    // Repetition aggregates (run_type "aggregate": _mean/_median/_stddev
+    // rows) would double-count the plain iteration rows.
+    if (const JsonValue* run_type = item.find("run_type");
+        run_type != nullptr && run_type->as_string() != "iteration") {
+      continue;
+    }
+    MicroResult r;
+    r.name = item.at("name").as_string();
+    r.iterations = as_u64(item.at("iterations"));
+    double scale = 1.0;  // google-benchmark defaults to nanoseconds
+    if (const JsonValue* unit = item.find("time_unit")) {
+      const std::string& u = unit->as_string();
+      if (u == "ns") {
+        scale = 1e-3;
+      } else if (u == "us") {
+        scale = 1.0;
+      } else if (u == "ms") {
+        scale = 1e3;
+      } else if (u == "s") {
+        scale = 1e6;
+      }
+    } else {
+      scale = 1e-3;
+    }
+    r.real_time_us = item.at("real_time").as_number() * scale;
+    r.cpu_time_us = item.at("cpu_time").as_number() * scale;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::string BenchReport::to_json() const {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"schema\":" + std::to_string(kSchemaVersion);
+  out += ",\"kind\":" + quoted(kKind);
+  out += ",\"tool\":" + quoted(tool);
+  out += ",\"machine\":{";
+  out += "\"os\":" + quoted(machine.os);
+  out += ",\"release\":" + quoted(machine.release);
+  out += ",\"arch\":" + quoted(machine.arch);
+  out += ",\"cpus\":" + std::to_string(machine.cpus);
+  out += ",\"page_size\":" + std::to_string(machine.page_size);
+  out += ",\"fingerprint\":" + quoted(machine.fingerprint());
+  out += "},\"runs\":[";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const BenchRun& run = runs[i];
+    if (i) out += ',';
+    out += "{\"label\":" + quoted(run.label);
+    out += ",\"groups\":" + std::to_string(run.groups);
+    out += ",\"threads\":" + std::to_string(run.threads);
+    out += ",\"steps\":" + std::to_string(run.steps);
+    out += ",\"wall_seconds\":" + json_double(run.wall_seconds);
+    out += ",\"steps_per_sec\":" + json_double(run.steps_per_sec);
+    out += ",\"group_steps_per_sec\":" +
+           json_double(run.group_steps_per_sec);
+    out += ",\"allocs_per_step\":" + json_double(run.allocs_per_step);
+    out += ",\"alloc_bytes_per_step\":" +
+           json_double(run.alloc_bytes_per_step);
+    out += ",\"peak_rss_kb\":" + std::to_string(run.peak_rss_kb);
+    out += ",\"phases\":[";
+    for (std::size_t p = 0; p < run.phases.size(); ++p) {
+      const BenchPhase& phase = run.phases[p];
+      if (p) out += ',';
+      out += "{\"name\":" + quoted(phase.name);
+      out += ",\"count\":" + std::to_string(phase.count);
+      out += ",\"p50_us\":" + json_double(phase.p50_us);
+      out += ",\"p95_us\":" + json_double(phase.p95_us);
+      out += ",\"mean_us\":" + json_double(phase.mean_us);
+      out += ",\"max_us\":" + json_double(phase.max_us);
+      out += ",\"allocs_per_step\":" + json_double(phase.allocs_per_step);
+      out += ",\"alloc_bytes_per_step\":" +
+             json_double(phase.alloc_bytes_per_step);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "],\"micro\":[";
+  for (std::size_t i = 0; i < micro.size(); ++i) {
+    const MicroResult& m = micro[i];
+    if (i) out += ',';
+    out += "{\"name\":" + quoted(m.name);
+    out += ",\"iterations\":" + std::to_string(m.iterations);
+    out += ",\"real_time_us\":" + json_double(m.real_time_us);
+    out += ",\"cpu_time_us\":" + json_double(m.cpu_time_us);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string BenchReport::summary_table() const {
+  std::string out;
+  util::TextTable table({"Run", "Groups", "Threads", "Steps", "Steps/s",
+                         "Group-steps/s", "Allocs/step", "KiB/step",
+                         "Peak RSS MiB"});
+  for (const BenchRun& run : runs) {
+    table.add_row({run.label, std::to_string(run.groups),
+                   std::to_string(run.threads), std::to_string(run.steps),
+                   util::TextTable::num(run.steps_per_sec, 1),
+                   util::TextTable::num(run.group_steps_per_sec, 0),
+                   util::TextTable::num(run.allocs_per_step, 1),
+                   util::TextTable::num(run.alloc_bytes_per_step / 1024.0,
+                                        1),
+                   util::TextTable::num(
+                       static_cast<double>(run.peak_rss_kb) / 1024.0, 1)});
+  }
+  out += table.to_string();
+  if (!micro.empty()) {
+    util::TextTable micro_table(
+        {"Micro benchmark", "Iterations", "Real us", "CPU us"});
+    for (const MicroResult& m : micro) {
+      micro_table.add_row({m.name, std::to_string(m.iterations),
+                           util::TextTable::num(m.real_time_us, 3),
+                           util::TextTable::num(m.cpu_time_us, 3)});
+    }
+    out += '\n';
+    out += micro_table.to_string();
+  }
+  return out;
+}
+
+BenchReport BenchReport::parse(std::string_view json) {
+  const JsonValue doc = parse_json(json);
+  if (static_cast<int>(doc.at("schema").as_number()) != kSchemaVersion) {
+    throw std::invalid_argument("bench: unsupported schema version");
+  }
+  if (doc.at("kind").as_string() != kKind) {
+    throw std::invalid_argument("bench: not a " + std::string(kKind) +
+                                " artifact");
+  }
+  BenchReport report;
+  report.tool = doc.at("tool").as_string();
+  const JsonValue& machine = doc.at("machine");
+  report.machine.os = machine.at("os").as_string();
+  report.machine.release = machine.at("release").as_string();
+  report.machine.arch = machine.at("arch").as_string();
+  report.machine.cpus = as_u64(machine.at("cpus"));
+  report.machine.page_size = as_u64(machine.at("page_size"));
+  for (const JsonValue& item : doc.at("runs").as_array()) {
+    BenchRun run;
+    run.label = item.at("label").as_string();
+    run.groups = as_u64(item.at("groups"));
+    run.threads = as_u64(item.at("threads"));
+    run.steps = as_u64(item.at("steps"));
+    run.wall_seconds = item.at("wall_seconds").as_number();
+    run.steps_per_sec = item.at("steps_per_sec").as_number();
+    run.group_steps_per_sec = item.at("group_steps_per_sec").as_number();
+    run.allocs_per_step = item.at("allocs_per_step").as_number();
+    run.alloc_bytes_per_step = item.at("alloc_bytes_per_step").as_number();
+    run.peak_rss_kb = as_u64(item.at("peak_rss_kb"));
+    for (const JsonValue& pj : item.at("phases").as_array()) {
+      BenchPhase phase;
+      phase.name = pj.at("name").as_string();
+      phase.count = as_u64(pj.at("count"));
+      phase.p50_us = pj.at("p50_us").as_number();
+      phase.p95_us = pj.at("p95_us").as_number();
+      phase.mean_us = pj.at("mean_us").as_number();
+      phase.max_us = pj.at("max_us").as_number();
+      phase.allocs_per_step = pj.at("allocs_per_step").as_number();
+      phase.alloc_bytes_per_step =
+          pj.at("alloc_bytes_per_step").as_number();
+      run.phases.push_back(std::move(phase));
+    }
+    report.runs.push_back(std::move(run));
+  }
+  for (const JsonValue& item : doc.at("micro").as_array()) {
+    MicroResult m;
+    m.name = item.at("name").as_string();
+    m.iterations = as_u64(item.at("iterations"));
+    m.real_time_us = item.at("real_time_us").as_number();
+    m.cpu_time_us = item.at("cpu_time_us").as_number();
+    report.micro.push_back(std::move(m));
+  }
+  return report;
+}
+
+DiffResult diff_bench(const BenchReport& baseline,
+                      const BenchReport& candidate,
+                      const BenchDiffOptions& options) {
+  DiffResult result;
+  auto& notes = result.notes;
+  if (baseline.machine.fingerprint() != candidate.machine.fingerprint()) {
+    notes.push_back("machine: " + baseline.machine.fingerprint() + " (" +
+                    baseline.machine.arch + "/" +
+                    std::to_string(baseline.machine.cpus) + " cpus) vs " +
+                    candidate.machine.fingerprint() + " (" +
+                    candidate.machine.arch + "/" +
+                    std::to_string(candidate.machine.cpus) +
+                    " cpus) — timing numbers are not comparable");
+  }
+
+  // Allocation drift: machine-independent, gated in both directions (a
+  // large "improvement" usually means the workload silently changed).
+  auto check_allocs = [&](const std::string& what, double base,
+                          double cand) {
+    if (options.alloc_tolerance_pct < 0.0) return;
+    const double pct = rel_pct(base, cand);
+    if (pct > options.alloc_tolerance_pct) {
+      result.outcome_identical = false;
+      notes.push_back(what + ": " +
+                      fmt("%.1f -> %.1f (%.1f %% drift)", base, cand, pct) +
+                      " beyond " +
+                      json_double(options.alloc_tolerance_pct) +
+                      " % alloc tolerance");
+    }
+  };
+  // Timing: only the regression direction fails, and only when enabled.
+  auto check_slower = [&](const std::string& what, double base_better,
+                          double cand_worse, double pct) {
+    if (options.timing_tolerance_pct < 0.0) return;
+    if (pct > options.timing_tolerance_pct) {
+      result.timing_ok = false;
+      notes.push_back(what + ": " +
+                      fmt("%.2f -> %.2f (%.1f %% slower)", base_better,
+                          cand_worse, pct) +
+                      " beyond " +
+                      json_double(options.timing_tolerance_pct) +
+                      " % timing tolerance");
+    }
+  };
+
+  std::size_t paired = 0;
+  for (const BenchRun& base : baseline.runs) {
+    const BenchRun* cand = nullptr;
+    for (const BenchRun& c : candidate.runs) {
+      if (c.label == base.label) {
+        cand = &c;
+        break;
+      }
+    }
+    if (cand == nullptr) {
+      result.outcome_identical = false;
+      notes.push_back("run \"" + base.label +
+                      "\": only in baseline (sweep shrank)");
+      continue;
+    }
+    ++paired;
+    const std::string prefix = "run \"" + base.label + "\" ";
+    check_allocs(prefix + "allocs/step", base.allocs_per_step,
+                 cand->allocs_per_step);
+    check_allocs(prefix + "bytes/step", base.alloc_bytes_per_step,
+                 cand->alloc_bytes_per_step);
+    if (cand->steps_per_sec < base.steps_per_sec) {
+      check_slower(prefix + "steps/s", base.steps_per_sec,
+                   cand->steps_per_sec,
+                   rel_pct(base.steps_per_sec, cand->steps_per_sec));
+    }
+    for (const BenchPhase& bp : base.phases) {
+      const BenchPhase* cp = nullptr;
+      for (const BenchPhase& c : cand->phases) {
+        if (c.name == bp.name) {
+          cp = &c;
+          break;
+        }
+      }
+      if (cp == nullptr) continue;  // phase sets may differ across modes
+      check_allocs(prefix + "phase " + bp.name + " allocs/step",
+                   bp.allocs_per_step, cp->allocs_per_step);
+      if (cp->p50_us > bp.p50_us) {
+        check_slower(prefix + "phase " + bp.name + " p50", bp.p50_us,
+                     cp->p50_us, rel_pct(bp.p50_us, cp->p50_us));
+      }
+    }
+    if (options.rss_tolerance_pct >= 0.0 &&
+        cand->peak_rss_kb > base.peak_rss_kb) {
+      const double pct = rel_pct(static_cast<double>(base.peak_rss_kb),
+                                 static_cast<double>(cand->peak_rss_kb));
+      if (pct > options.rss_tolerance_pct) {
+        result.timing_ok = false;
+        notes.push_back(prefix + "peak RSS: " +
+                        std::to_string(base.peak_rss_kb) + " KiB -> " +
+                        std::to_string(cand->peak_rss_kb) + " KiB (" +
+                        json_double(pct) + " % growth) beyond " +
+                        json_double(options.rss_tolerance_pct) +
+                        " % rss tolerance");
+      }
+    }
+  }
+  if (paired < candidate.runs.size()) {
+    for (const BenchRun& c : candidate.runs) {
+      bool found = false;
+      for (const BenchRun& base : baseline.runs) {
+        found = found || base.label == c.label;
+      }
+      if (!found) {
+        notes.push_back("run \"" + c.label +
+                        "\": only in candidate (new sweep cell)");
+      }
+    }
+  }
+  for (const MicroResult& base : baseline.micro) {
+    const MicroResult* cand = nullptr;
+    for (const MicroResult& c : candidate.micro) {
+      if (c.name == base.name) {
+        cand = &c;
+        break;
+      }
+    }
+    if (cand == nullptr) {
+      notes.push_back("micro \"" + base.name + "\": only in baseline");
+      continue;
+    }
+    if (cand->real_time_us > base.real_time_us) {
+      check_slower("micro \"" + base.name + "\" real time",
+                   base.real_time_us, cand->real_time_us,
+                   rel_pct(base.real_time_us, cand->real_time_us));
+    }
+  }
+  return result;
+}
+
+}  // namespace mmog::obs

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/report.hpp"
+
+namespace mmog::obs {
+
+/// The stable-schema scale-sweep benchmark artifact (`BENCH_scale.json`),
+/// written by `tools/mmog_bench` and compared by `mmog_diff --kind bench`.
+///
+/// The schema splits metrics by portability:
+///   * allocations per step are a deterministic property of the code and
+///     the workload — machine-independent, hence the hard CI gate;
+///   * timings, throughput and RSS depend on the machine (fingerprinted in
+///     the `machine` section) — compared only against opt-in tolerances.
+
+/// Identity of the machine that produced a bench artifact, so cross-host
+/// timing comparisons are recognizable as apples-to-oranges.
+struct BenchMachine {
+  std::string os;       ///< uname sysname ("Linux")
+  std::string release;  ///< uname release
+  std::string arch;     ///< uname machine ("x86_64")
+  std::uint64_t cpus = 0;
+  std::uint64_t page_size = 0;
+  /// FNV-1a 64 hex over the fields above: equal fingerprints = comparable
+  /// timing numbers (same kernel/arch/core count).
+  std::string fingerprint() const;
+};
+
+/// Collects the current host's identity (uname + sysconf).
+BenchMachine collect_bench_machine();
+
+/// Per-phase slice of one sweep run.
+struct BenchPhase {
+  std::string name;
+  std::uint64_t count = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double mean_us = 0.0;
+  double max_us = 0.0;
+  double allocs_per_step = 0.0;
+  double alloc_bytes_per_step = 0.0;
+};
+
+/// One (groups, threads) cell of the sweep.
+struct BenchRun {
+  std::string label;  ///< stable pairing key, e.g. "g1000/t4"
+  std::uint64_t groups = 0;
+  std::uint64_t threads = 0;  ///< resolved worker count
+  std::uint64_t steps = 0;
+  double wall_seconds = 0.0;
+  double steps_per_sec = 0.0;
+  double group_steps_per_sec = 0.0;
+  double allocs_per_step = 0.0;       ///< heap allocations per sim step
+  double alloc_bytes_per_step = 0.0;  ///< requested bytes per sim step
+  std::uint64_t peak_rss_kb = 0;
+  std::vector<BenchPhase> phases;  ///< sorted by name
+};
+
+/// One google-benchmark result folded into the artifact (satellite: micro
+/// and macro numbers live in one file).
+struct MicroResult {
+  std::string name;
+  std::uint64_t iterations = 0;
+  double real_time_us = 0.0;
+  double cpu_time_us = 0.0;
+};
+
+/// Parses `--benchmark_format=json` output from a google-benchmark binary
+/// into MicroResults (aggregate rows like "_mean" are skipped). Throws
+/// std::invalid_argument on malformed input.
+std::vector<MicroResult> parse_google_benchmark_json(std::string_view json);
+
+struct BenchReport {
+  static constexpr int kSchemaVersion = 1;
+  /// Discriminator for mmog_diff's kind autodetection.
+  static constexpr std::string_view kKind = "mmog-bench";
+
+  std::string tool = "mmog_bench";
+  BenchMachine machine;
+  std::vector<BenchRun> runs;
+  std::vector<MicroResult> micro;
+
+  /// Stable-schema JSON (fixed key order, shortest round-trip numbers).
+  std::string to_json() const;
+
+  /// Human summary: one table row per sweep run plus the micro rows.
+  std::string summary_table() const;
+
+  /// Parses to_json() output. Throws std::invalid_argument on malformed
+  /// or wrong-kind input.
+  static BenchReport parse(std::string_view json);
+};
+
+/// Tolerances for diff_bench. Negative = that dimension is informational
+/// only (a note, never a regression).
+struct BenchDiffOptions {
+  /// Relative drift budget for allocs/step and bytes/step — the
+  /// machine-independent metrics, so this one defaults to a hard gate.
+  double alloc_tolerance_pct = 10.0;
+  /// Budget for steps/s and per-phase p50 regressions (candidate slower
+  /// than baseline; improvements never fail). Off by default: two runs of
+  /// the same build on a shared runner may time differently.
+  double timing_tolerance_pct = -1.0;
+  /// Budget for peak-RSS growth. Off by default.
+  double rss_tolerance_pct = -1.0;
+};
+
+/// Compares a candidate sweep against a baseline: runs pair by label (a
+/// label missing from the candidate is a regression; extra candidate runs
+/// are notes). Allocation drift beyond `alloc_tolerance_pct` in either
+/// direction fails; timing/RSS only fail in the slower/bigger direction
+/// and only when their tolerance is enabled. Micro rows pair by name and
+/// follow the timing tolerance.
+DiffResult diff_bench(const BenchReport& baseline,
+                      const BenchReport& candidate,
+                      const BenchDiffOptions& options = {});
+
+}  // namespace mmog::obs

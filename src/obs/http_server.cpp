@@ -169,6 +169,21 @@ HttpServer::Response TelemetryService::handle(
     } else {
       body += ",\"checkpoint\":null";
     }
+    if (const ResourceProfiler* profiler = recorder.profiler()) {
+      char rate[64];
+      std::snprintf(rate, sizeof(rate),
+                    "{\"steps_per_sec\":%.3f,\"group_steps_per_sec\":%.1f}",
+                    profiler->steps_per_sec(),
+                    profiler->group_steps_per_sec());
+      body += ",\"throughput\":";
+      body += rate;
+      body += ",\"rss\":{\"current_kb\":" +
+              std::to_string(profiler->current_rss_kb()) +
+              ",\"peak_kb\":" + std::to_string(profiler->peak_rss_kb()) +
+              "}";
+    } else {
+      body += ",\"throughput\":null,\"rss\":null";
+    }
     body += "}";
     return {200, "application/json", std::move(body)};
   }

@@ -1,0 +1,55 @@
+#include "obs/profiler.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "obs/registry.hpp"
+#include "obs/report.hpp"
+
+namespace mmog::obs {
+
+void ResourceProfiler::begin_run(std::uint64_t total_groups) noexcept {
+  run_start_ = std::chrono::steady_clock::now();
+  total_groups_ = total_groups;
+}
+
+void ResourceProfiler::note_step(Registry& registry,
+                                 std::uint64_t steps_done) {
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    run_start_)
+          .count();
+  const double steps_per_sec =
+      elapsed_s > 0.0 ? static_cast<double>(steps_done) / elapsed_s : 0.0;
+  const double group_steps_per_sec =
+      steps_per_sec * static_cast<double>(total_groups_);
+  const std::uint64_t current_kb = obs::current_rss_kb();
+  const std::uint64_t peak_kb = current_peak_rss_kb();
+
+  steps_per_sec_.store(steps_per_sec, std::memory_order_relaxed);
+  group_steps_per_sec_.store(group_steps_per_sec, std::memory_order_relaxed);
+  current_rss_kb_.store(current_kb, std::memory_order_relaxed);
+  peak_rss_kb_.store(peak_kb, std::memory_order_relaxed);
+
+  registry.set("sim.steps_per_sec", steps_per_sec);
+  registry.set("sim.group_steps_per_sec", group_steps_per_sec);
+  registry.set("proc.current_rss_kb", static_cast<double>(current_kb));
+  registry.set("proc.peak_rss_kb", static_cast<double>(peak_kb));
+}
+
+std::uint64_t current_rss_kb() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long size_pages = 0;
+  unsigned long long resident_pages = 0;
+  const int matched =
+      std::fscanf(f, "%llu %llu", &size_pages, &resident_pages);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) return 0;
+  return resident_pages * static_cast<unsigned long long>(page) / 1024;
+}
+
+}  // namespace mmog::obs

@@ -10,9 +10,11 @@
 
 #include "obs/alerts.hpp"
 #include "obs/audit.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/tracer.hpp"
+#include "util/alloccount.hpp"
 
 namespace mmog::obs {
 
@@ -104,6 +106,19 @@ class Recorder {
     audit_.store(audit_owner_.get(), std::memory_order_release);
   }
 
+  /// Attach the per-run resource profiler (PR 8): arms the global
+  /// allocation-counting hooks for its lifetime, makes every PhaseScope
+  /// also record `phase.<name>_allocs` / `phase.<name>_alloc_bytes`, and
+  /// publishes throughput/RSS gauges plus the lock-free mirrors /healthz
+  /// reads. Same one-shot release/acquire contract as the other
+  /// enable_*(). Without it, PhaseScope pays one pointer test and every
+  /// heap allocation one relaxed flag load — outcomes stay byte-identical
+  /// (enforced by the determinism property tests).
+  void enable_profiler() {
+    profiler_owner_ = std::make_unique<ResourceProfiler>();
+    profiler_.store(profiler_owner_.get(), std::memory_order_release);
+  }
+
   TimeSeriesStore* timeseries() noexcept {
     return timeseries_.load(std::memory_order_acquire);
   }
@@ -121,6 +136,12 @@ class Recorder {
   }
   const AuditTrail* audit() const noexcept {
     return audit_.load(std::memory_order_acquire);
+  }
+  ResourceProfiler* profiler() noexcept {
+    return profiler_.load(std::memory_order_acquire);
+  }
+  const ResourceProfiler* profiler() const noexcept {
+    return profiler_.load(std::memory_order_acquire);
   }
 
   /// True when per-step sampling has a consumer (store or alert engine).
@@ -196,9 +217,11 @@ class Recorder {
   std::unique_ptr<TimeSeriesStore> timeseries_owner_;
   std::unique_ptr<AlertEngine> alerts_owner_;
   std::unique_ptr<AuditTrail> audit_owner_;
+  std::unique_ptr<ResourceProfiler> profiler_owner_;
   std::atomic<TimeSeriesStore*> timeseries_{nullptr};
   std::atomic<AlertEngine*> alerts_{nullptr};
   std::atomic<AuditTrail*> audit_{nullptr};
+  std::atomic<ResourceProfiler*> profiler_{nullptr};
   std::atomic<std::uint64_t> last_step_{0};
   std::atomic<std::uint64_t> last_checkpoint_step_{0};
   std::atomic<std::int64_t> last_checkpoint_us_{-1};  ///< -1 = none yet
@@ -223,7 +246,10 @@ class Stopwatch {
 
 /// RAII phase profiler: on destruction records the elapsed wall time into
 /// the histogram "phase.<name>_us" and (when tracing) emits a span named
-/// `name`. Null-recorder construction is free: no clock is read.
+/// `name`. With a ResourceProfiler attached it additionally differences
+/// the global allocation totals around the scope into
+/// "phase.<name>_allocs" / "phase.<name>_alloc_bytes" (count-bucket
+/// histograms). Null-recorder construction is free: no clock is read.
 class PhaseScope {
  public:
   PhaseScope(Recorder* recorder, std::string_view name, std::uint64_t step,
@@ -234,12 +260,27 @@ class PhaseScope {
     category_ = category;
     step_ = step;
     if (recorder_->tracing()) span_start_us_ = recorder_->tracer().now_us();
+    if (recorder_->profiler() != nullptr) {
+      profiled_ = true;
+      alloc_start_ = util::alloccount::totals();
+    }
     watch_.reset();
   }
 
   ~PhaseScope() {
     if (!recorder_) return;
     const double us = watch_.elapsed_us();
+    if (profiled_) {
+      // Delta first, record after: the recording strings/locks allocate
+      // too, and those allocations belong to the enclosing scope (the
+      // outer "step" span), not to this phase.
+      const auto delta = util::alloccount::totals() - alloc_start_;
+      Registry& registry = recorder_->registry();
+      registry.observe_count("phase." + name_ + "_allocs",
+                             static_cast<double>(delta.allocs));
+      registry.observe_count("phase." + name_ + "_alloc_bytes",
+                             static_cast<double>(delta.bytes));
+    }
     recorder_->observe_us("phase." + name_ + "_us", us);
     if (recorder_->tracing()) {
       recorder_->tracer().complete_span(name_, category_, step_,
@@ -256,6 +297,8 @@ class PhaseScope {
   std::string category_;
   std::uint64_t step_ = 0;
   double span_start_us_ = 0.0;
+  bool profiled_ = false;
+  util::alloccount::Totals alloc_start_;
   Stopwatch watch_;
 };
 

@@ -122,6 +122,11 @@ const std::vector<double>& duration_buckets_us() {
   return buckets;
 }
 
+const std::vector<double>& count_buckets() {
+  static const std::vector<double> buckets = log_buckets(1.0, 1e9, 4.0);
+  return buckets;
+}
+
 Registry::Registry()
     : id_([] {
         static std::atomic<std::uint64_t> next{1};
@@ -143,14 +148,13 @@ Registry::Shard& Registry::local_shard() const {
 }
 
 std::shared_ptr<const std::vector<double>> Registry::bounds_for(
-    std::string_view name) {
+    std::string_view name, const std::vector<double>& default_bounds) {
   util::MutexLock lock(mutex_);
   if (const auto it = histogram_bounds_.find(name);
       it != histogram_bounds_.end()) {
     return it->second;
   }
-  auto bounds =
-      std::make_shared<const std::vector<double>>(duration_buckets_us());
+  auto bounds = std::make_shared<const std::vector<double>>(default_bounds);
   histogram_bounds_.emplace(std::string(name), bounds);
   return bounds;
 }
@@ -196,6 +200,16 @@ void Registry::define_histogram(std::string_view name,
 }
 
 void Registry::observe(std::string_view histogram, double value) {
+  observe_with_default(histogram, value, duration_buckets_us());
+}
+
+void Registry::observe_count(std::string_view histogram, double value) {
+  observe_with_default(histogram, value, count_buckets());
+}
+
+void Registry::observe_with_default(
+    std::string_view histogram, double value,
+    const std::vector<double>& default_bounds) {
   Shard& shard = local_shard();
   {
     util::MutexLock lock(shard.mutex);
@@ -208,7 +222,7 @@ void Registry::observe(std::string_view histogram, double value) {
   // First observation of this name on this thread: resolve the bounds
   // outside the shard lock (bounds_for takes the registry mutex, which
   // snapshot() holds while collecting shard pointers).
-  auto bounds = bounds_for(histogram);
+  auto bounds = bounds_for(histogram, default_bounds);
   util::MutexLock lock(shard.mutex);
   shard.histograms.emplace(std::string(histogram),
                            LocalHistogram(std::move(bounds)))

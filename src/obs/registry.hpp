@@ -56,6 +56,10 @@ std::vector<double> log_buckets(double lo, double hi, double factor);
 /// Default duration buckets in microseconds: 0.05 us .. ~1 s, log-spaced.
 const std::vector<double>& duration_buckets_us();
 
+/// Default event-count buckets: 1 .. 1e9, log-spaced. For histograms that
+/// count things per observation (allocations, bytes) rather than time them.
+const std::vector<double>& count_buckets();
+
 /// Named counters, gauges and fixed-bucket histograms.
 ///
 /// Counter increments and histogram observations go to a thread-local shard
@@ -87,6 +91,10 @@ class Registry {
   /// duration_buckets_us().
   void observe(std::string_view histogram, double value);
 
+  /// Like observe(), but undefined histograms auto-register with
+  /// count_buckets() — use for per-phase allocation/byte counts.
+  void observe_count(std::string_view histogram, double value);
+
   /// Merges every shard (plus the gauges) into one consistent view. May run
   /// concurrently with writers; each shard is merged atomically.
   Snapshot snapshot() const;
@@ -95,8 +103,11 @@ class Registry {
   struct Shard;
 
   Shard& local_shard() const EXCLUDES(mutex_);
-  std::shared_ptr<const std::vector<double>> bounds_for(std::string_view name)
+  std::shared_ptr<const std::vector<double>> bounds_for(
+      std::string_view name, const std::vector<double>& default_bounds)
       EXCLUDES(mutex_);
+  void observe_with_default(std::string_view histogram, double value,
+                            const std::vector<double>& default_bounds);
 
   const std::uint64_t id_;  ///< process-unique, keys the thread-local cache
   mutable util::Mutex mutex_;

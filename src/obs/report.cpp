@@ -146,6 +146,7 @@ std::string RunReport::to_json() const {
   out += "\"threads\":" + std::to_string(threads);
   out += ",\"wall_seconds\":" + json_double(wall_seconds);
   out += ",\"peak_rss_kb\":" + std::to_string(peak_rss_kb);
+  out += ",\"steps_per_sec\":" + json_double(steps_per_sec);
   out += ",\"phases\":[";
   for (std::size_t i = 0; i < phases.size(); ++i) {
     const PhaseStats& phase = phases[i];
@@ -157,6 +158,8 @@ std::string RunReport::to_json() const {
     out += ",\"p90_us\":" + json_double(phase.p90_us);
     out += ",\"p99_us\":" + json_double(phase.p99_us);
     out += ",\"max_us\":" + json_double(phase.max_us);
+    out += ",\"allocs_mean\":" + json_double(phase.allocs_mean);
+    out += ",\"alloc_bytes_mean\":" + json_double(phase.alloc_bytes_mean);
     out += '}';
   }
   out += "]}}";
@@ -254,6 +257,11 @@ RunReport report_from_value(const JsonValue& doc) {
   report.threads = as_u64(timing.at("threads"));
   report.wall_seconds = timing.at("wall_seconds").as_number();
   report.peak_rss_kb = as_u64(timing.at("peak_rss_kb"));
+  // Additive schema-1 fields (PR 8): reports written before them parse
+  // with the zero default.
+  if (const JsonValue* v = timing.find("steps_per_sec")) {
+    report.steps_per_sec = v->as_number();
+  }
   for (const JsonValue& item : timing.at("phases").as_array()) {
     RunReport::PhaseStats phase;
     phase.name = item.at("name").as_string();
@@ -263,6 +271,12 @@ RunReport report_from_value(const JsonValue& doc) {
     phase.p90_us = item.at("p90_us").as_number();
     phase.p99_us = item.at("p99_us").as_number();
     phase.max_us = item.at("max_us").as_number();
+    if (const JsonValue* v = item.find("allocs_mean")) {
+      phase.allocs_mean = v->as_number();
+    }
+    if (const JsonValue* v = item.find("alloc_bytes_mean")) {
+      phase.alloc_bytes_mean = v->as_number();
+    }
     report.phases.push_back(std::move(phase));
   }
   return report;

@@ -66,7 +66,9 @@ struct RunReport {
     friend bool operator==(const Outcome&, const Outcome&) = default;
   } outcome;
 
-  /// Summary quantiles of one `phase.<name>_us` histogram.
+  /// Summary quantiles of one `phase.<name>_us` histogram, joined with the
+  /// profiler's `phase.<name>_allocs` / `_alloc_bytes` histograms when a
+  /// ResourceProfiler was attached (zero otherwise).
   struct PhaseStats {
     std::string name;  ///< phase name without the "phase."/"_us" wrapping
     std::uint64_t count = 0;
@@ -75,10 +77,15 @@ struct RunReport {
     double p90_us = 0.0;
     double p99_us = 0.0;
     double max_us = 0.0;
+    double allocs_mean = 0.0;       ///< mean heap allocations per scope
+    double alloc_bytes_mean = 0.0;  ///< mean requested bytes per scope
   };
   std::vector<PhaseStats> phases;  ///< sorted by name
   double wall_seconds = 0.0;
   std::uint64_t peak_rss_kb = 0;
+  /// Simulation throughput (completed steps per wall second); from the
+  /// profiler's `sim.steps_per_sec` gauge when attached, else steps/wall.
+  double steps_per_sec = 0.0;
   std::uint64_t threads = 1;  ///< execution detail; outcome-neutral
 
   /// FNV-1a 64 hash (hex) over the sorted config key/value pairs.

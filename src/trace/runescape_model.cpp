@@ -117,6 +117,54 @@ RuneScapeModelConfig RuneScapeModelConfig::paper_default() {
   return c;
 }
 
+std::size_t RuneScapeModelConfig::total_groups() const noexcept {
+  std::size_t total = 0;
+  for (const RegionSpec& r : regions) total += r.server_groups;
+  return total;
+}
+
+void RuneScapeModelConfig::scale_to_groups(std::size_t total_groups) {
+  if (regions.empty() || total_groups == 0) return;
+  if (total_groups < regions.size()) regions.resize(total_groups);
+  const std::size_t current = this->total_groups();
+  if (current == 0 || current == total_groups) return;
+
+  // Largest-remainder apportionment: floor every region's proportional
+  // share (at least 1), then hand the leftover groups to the regions with
+  // the largest fractional remainders, ties to the earlier region so the
+  // result is deterministic.
+  std::vector<double> remainders(regions.size());
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    const double exact = static_cast<double>(regions[i].server_groups) *
+                         static_cast<double>(total_groups) /
+                         static_cast<double>(current);
+    std::size_t share = static_cast<std::size_t>(exact);
+    if (share == 0) share = 1;
+    remainders[i] = exact - static_cast<double>(share);
+    regions[i].server_groups = share;
+    assigned += share;
+  }
+  while (assigned < total_groups) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < regions.size(); ++i) {
+      if (remainders[i] > remainders[best]) best = i;
+    }
+    remainders[best] -= 1.0;
+    ++regions[best].server_groups;
+    ++assigned;
+  }
+  while (assigned > total_groups) {  // over-assignment from the 1-minimums
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < regions.size(); ++i) {
+      if (regions[i].server_groups > regions[best].server_groups) best = i;
+    }
+    if (regions[best].server_groups <= 1) break;
+    --regions[best].server_groups;
+    --assigned;
+  }
+}
+
 namespace {
 
 /// One global activity wave: a triangular surge envelope.

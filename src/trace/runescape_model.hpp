@@ -91,6 +91,17 @@ struct RuneScapeModelConfig {
 
   /// The five-region default world used throughout the paper's evaluation.
   static RuneScapeModelConfig paper_default();
+
+  /// Rescales the per-region `server_groups` so they sum to `total_groups`
+  /// while keeping the regions' relative sizes (largest-remainder
+  /// apportionment; every region keeps at least one group). The per-group
+  /// statistical properties are untouched, so a scaled world is the same
+  /// workload shape at a different fleet size — the knob behind
+  /// `mmog_bench --groups` and `mmog_tracegen --groups`.
+  void scale_to_groups(std::size_t total_groups);
+
+  /// Total server groups across all regions.
+  std::size_t total_groups() const noexcept;
 };
 
 /// Generates the synthetic world trace.

@@ -1,0 +1,200 @@
+// Global operator new/delete replacements that count allocations when armed.
+//
+// Design constraints, in order:
+//   * Zero overhead when disarmed: one relaxed atomic load on the hot path,
+//     no thread-local access, no extra memory traffic. Disarmed binaries
+//     must behave exactly like a build without this file.
+//   * No recursion: the counting path may not allocate. Per-thread counter
+//     blocks therefore come from a fixed static array (never from the
+//     heap), claimed once per thread with an atomic index. If more threads
+//     allocate than there are slots, the extras share one overflow block —
+//     counts stay correct, they just contend a little.
+//   * Sanitizer-friendly: the replacements forward to malloc/free, which
+//     ASan/TSan intercept, so leak checking and poisoning keep working.
+//
+// Blocks are never returned: a thread keeps its slot for the process
+// lifetime (threads in pools outlive many profiling scopes). totals() sums
+// every claimed block plus the overflow block, so allocations made by
+// worker threads inside a profiled phase are attributed to that phase.
+
+#include "util/alloccount.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace mmog::util::alloccount {
+namespace {
+
+struct alignas(64) Block {
+  std::atomic<std::uint64_t> allocs{0};
+  std::atomic<std::uint64_t> frees{0};
+  std::atomic<std::uint64_t> bytes{0};
+};
+
+constexpr std::size_t kMaxBlocks = 256;
+
+// All constant-initialized: no dynamic initializers, so the hooks are safe
+// from the very first allocation of the process.
+std::atomic<int> g_armed{0};
+Block g_blocks[kMaxBlocks];
+Block g_overflow;
+std::atomic<std::size_t> g_next_block{0};
+thread_local Block* tl_block = nullptr;
+
+Block& local_block() noexcept {
+  if (tl_block == nullptr) {
+    const std::size_t idx =
+        g_next_block.fetch_add(1, std::memory_order_relaxed);
+    tl_block = idx < kMaxBlocks ? &g_blocks[idx] : &g_overflow;
+  }
+  return *tl_block;
+}
+
+inline void record_alloc(std::size_t size) noexcept {
+  Block& b = local_block();
+  b.allocs.fetch_add(1, std::memory_order_relaxed);
+  b.bytes.fetch_add(size, std::memory_order_relaxed);
+}
+
+inline void record_free() noexcept {
+  local_block().frees.fetch_add(1, std::memory_order_relaxed);
+}
+
+void* allocate(std::size_t size) {
+  for (;;) {
+    if (void* p = std::malloc(size ? size : 1)) {
+      if (g_armed.load(std::memory_order_relaxed) != 0) record_alloc(size);
+      return p;
+    }
+    const std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+void* allocate_aligned(std::size_t size, std::size_t alignment) {
+  for (;;) {
+    void* p = nullptr;
+    if (posix_memalign(&p, alignment < sizeof(void*) ? sizeof(void*)
+                                                     : alignment,
+                       size ? size : 1) == 0) {
+      if (g_armed.load(std::memory_order_relaxed) != 0) record_alloc(size);
+      return p;
+    }
+    const std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+inline void deallocate(void* p) noexcept {
+  if (p == nullptr) return;
+  if (g_armed.load(std::memory_order_relaxed) != 0) record_free();
+  std::free(p);
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  return g_armed.load(std::memory_order_relaxed) != 0;
+}
+
+void arm() noexcept { g_armed.fetch_add(1, std::memory_order_relaxed); }
+
+void disarm() noexcept { g_armed.fetch_sub(1, std::memory_order_relaxed); }
+
+Totals totals() noexcept {
+  Totals out;
+  const std::size_t claimed = g_next_block.load(std::memory_order_relaxed);
+  const std::size_t n = claimed < kMaxBlocks ? claimed : kMaxBlocks;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.allocs += g_blocks[i].allocs.load(std::memory_order_relaxed);
+    out.frees += g_blocks[i].frees.load(std::memory_order_relaxed);
+    out.bytes += g_blocks[i].bytes.load(std::memory_order_relaxed);
+  }
+  out.allocs += g_overflow.allocs.load(std::memory_order_relaxed);
+  out.frees += g_overflow.frees.load(std::memory_order_relaxed);
+  out.bytes += g_overflow.bytes.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace mmog::util::alloccount
+
+// ---------------------------------------------------------------------------
+// Global replacements. Every form forwards to the two helpers above, so a
+// mismatched pair (e.g. aligned new / sized delete) still balances.
+
+namespace alc = mmog::util::alloccount;
+
+void* operator new(std::size_t size) { return alc::allocate(size); }
+void* operator new[](std::size_t size) { return alc::allocate(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return alc::allocate(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return alc::allocate(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  return alc::allocate_aligned(size, static_cast<std::size_t>(alignment));
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return alc::allocate_aligned(size, static_cast<std::size_t>(alignment));
+}
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  try {
+    return alc::allocate_aligned(size, static_cast<std::size_t>(alignment));
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+  try {
+    return alc::allocate_aligned(size, static_cast<std::size_t>(alignment));
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { alc::deallocate(p); }
+void operator delete[](void* p) noexcept { alc::deallocate(p); }
+void operator delete(void* p, std::size_t) noexcept { alc::deallocate(p); }
+void operator delete[](void* p, std::size_t) noexcept { alc::deallocate(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  alc::deallocate(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  alc::deallocate(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  alc::deallocate(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  alc::deallocate(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  alc::deallocate(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  alc::deallocate(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  alc::deallocate(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  alc::deallocate(p);
+}

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mmog::util::alloccount {
+
+/// Heap-allocation totals accumulated by the global `operator new/delete`
+/// hooks (see alloccount.cpp), summed over every thread that allocated
+/// since counting was armed. Monotonic counters: attribute work to a code
+/// region by differencing two totals() snapshots around it.
+struct Totals {
+  std::uint64_t allocs = 0;  ///< operator new calls observed
+  std::uint64_t frees = 0;   ///< operator delete calls observed
+  std::uint64_t bytes = 0;   ///< sum of requested allocation sizes
+
+  friend Totals operator-(const Totals& a, const Totals& b) noexcept {
+    return {a.allocs - b.allocs, a.frees - b.frees, a.bytes - b.bytes};
+  }
+};
+
+/// True while at least one Scope (or unbalanced arm()) is live. When false
+/// — the default — the hooks cost one relaxed atomic load per allocation
+/// and touch nothing else, so unprofiled runs keep their exact behavior.
+bool enabled() noexcept;
+
+/// Arms/disarms counting (reference counted, so nested scopes compose).
+/// Counters are never reset: totals() keeps growing across scopes.
+void arm() noexcept;
+void disarm() noexcept;
+
+/// Current global totals (all threads, relaxed reads; exact once the
+/// counted threads have quiesced, e.g. after a phase barrier).
+Totals totals() noexcept;
+
+/// RAII arming: counting is enabled for the object's lifetime.
+class Scope {
+ public:
+  Scope() noexcept { arm(); }
+  ~Scope() { disarm(); }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+};
+
+}  // namespace mmog::util::alloccount

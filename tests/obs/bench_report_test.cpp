@@ -1,0 +1,220 @@
+// The scale-sweep bench artifact (BENCH_scale.json): golden JSON
+// round-trip, google-benchmark folding, and the diff semantics the CI perf
+// gate relies on — allocations hard-gated, timing/RSS only by opt-in.
+
+#include "obs/bench_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace mmog::obs {
+namespace {
+
+BenchReport sample_report() {
+  BenchReport report;
+  report.machine.os = "Linux";
+  report.machine.release = "6.0.0";
+  report.machine.arch = "x86_64";
+  report.machine.cpus = 8;
+  report.machine.page_size = 4096;
+  BenchRun run;
+  run.label = "g1000/t4";
+  run.groups = 1000;
+  run.threads = 4;
+  run.steps = 240;
+  run.wall_seconds = 1.5;
+  run.steps_per_sec = 160.0;
+  run.group_steps_per_sec = 160000.0;
+  run.allocs_per_step = 220.5;
+  run.alloc_bytes_per_step = 65536.0;
+  run.peak_rss_kb = 102400;
+  run.phases = {{"predict", 240, 120.0, 180.0, 130.0, 400.0, 80.0, 4096.0},
+                {"match", 240, 300.0, 420.0, 310.0, 900.0, 40.0, 2048.0}};
+  report.runs.push_back(std::move(run));
+  report.micro = {{"BM_Predict/1000", 5000, 12.5, 12.4}};
+  return report;
+}
+
+TEST(BenchReportTest, JsonRoundTripsByteForByte) {
+  const auto report = sample_report();
+  const auto json = report.to_json();
+  EXPECT_EQ(json.find("{\"schema\":1,\"kind\":\"mmog-bench\""), 0u);
+  const auto parsed = BenchReport::parse(json);
+  EXPECT_EQ(parsed.to_json(), json);
+  ASSERT_EQ(parsed.runs.size(), 1u);
+  EXPECT_EQ(parsed.runs[0].label, "g1000/t4");
+  ASSERT_EQ(parsed.runs[0].phases.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.runs[0].phases[1].p95_us, 420.0);
+  ASSERT_EQ(parsed.micro.size(), 1u);
+  EXPECT_EQ(parsed.micro[0].iterations, 5000u);
+}
+
+TEST(BenchReportTest, ParseRejectsWrongKindSchemaAndGarbage) {
+  EXPECT_THROW(BenchReport::parse("nope"), std::invalid_argument);
+  auto json = sample_report().to_json();
+  auto wrong_kind = json;
+  wrong_kind.replace(wrong_kind.find("mmog-bench"), 10, "mmog-wrong");
+  EXPECT_THROW(BenchReport::parse(wrong_kind), std::invalid_argument);
+  json.replace(json.find("\"schema\":1"), 10, "\"schema\":9");
+  EXPECT_THROW(BenchReport::parse(json), std::invalid_argument);
+}
+
+TEST(BenchReportTest, MachineFingerprintHashesTheIdentityFields) {
+  const auto a = sample_report().machine;
+  auto b = a;
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.fingerprint().size(), 16u);
+  b.cpus = 16;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(BenchReportTest, CollectedMachineLooksSane) {
+  const BenchMachine m = collect_bench_machine();
+  EXPECT_FALSE(m.os.empty());
+  EXPECT_GT(m.cpus, 0u);
+  EXPECT_GT(m.page_size, 0u);
+}
+
+TEST(BenchReportTest, SummaryTableListsEveryRunAndMicro) {
+  const auto text = sample_report().summary_table();
+  EXPECT_NE(text.find("g1000/t4"), std::string::npos);
+  EXPECT_NE(text.find("Allocs/step"), std::string::npos);
+  EXPECT_NE(text.find("BM_Predict/1000"), std::string::npos);
+}
+
+TEST(GoogleBenchmarkJsonTest, ParsesIterationRowsAndSkipsAggregates) {
+  const std::string json = R"({
+    "context": {"host_name": "ci"},
+    "benchmarks": [
+      {"name": "BM_A/128", "run_type": "iteration", "iterations": 1000,
+       "real_time": 2500.0, "cpu_time": 2400.0, "time_unit": "ns"},
+      {"name": "BM_A/128_mean", "run_type": "aggregate", "iterations": 3,
+       "real_time": 2510.0, "cpu_time": 2410.0, "time_unit": "ns"},
+      {"name": "BM_B/1", "run_type": "iteration", "iterations": 10,
+       "real_time": 1.25, "cpu_time": 1.20, "time_unit": "ms"}
+    ]})";
+  const auto micro = parse_google_benchmark_json(json);
+  ASSERT_EQ(micro.size(), 2u);
+  EXPECT_EQ(micro[0].name, "BM_A/128");
+  EXPECT_DOUBLE_EQ(micro[0].real_time_us, 2.5);  // ns -> us
+  EXPECT_EQ(micro[1].name, "BM_B/1");
+  EXPECT_DOUBLE_EQ(micro[1].real_time_us, 1250.0);  // ms -> us
+  EXPECT_THROW(parse_google_benchmark_json("{\"context\":{}}"),
+               std::invalid_argument);
+}
+
+TEST(BenchDiffTest, IdenticalReportsPassWithDefaults) {
+  const auto diff = diff_bench(sample_report(), sample_report(), {});
+  EXPECT_FALSE(diff.regression());
+  EXPECT_TRUE(diff.notes.empty());
+}
+
+TEST(BenchDiffTest, AllocationDriftFailsInBothDirections) {
+  const auto base = sample_report();
+  auto worse = sample_report();
+  worse.runs[0].allocs_per_step *= 1.2;  // 20 % vs the 10 % default
+  auto diff = diff_bench(base, worse, {});
+  EXPECT_TRUE(diff.regression());
+  EXPECT_FALSE(diff.outcome_identical);
+  ASSERT_FALSE(diff.notes.empty());
+  EXPECT_NE(diff.notes[0].find("allocs/step"), std::string::npos);
+
+  // A large "improvement" is suspicious too: the workload likely changed.
+  auto better = sample_report();
+  better.runs[0].allocs_per_step *= 0.5;
+  EXPECT_TRUE(diff_bench(base, better, {}).regression());
+
+  // Within tolerance passes.
+  auto small = sample_report();
+  small.runs[0].allocs_per_step *= 1.05;
+  EXPECT_FALSE(diff_bench(base, small, {}).regression());
+}
+
+TEST(BenchDiffTest, PhaseAllocationDriftIsGatedToo) {
+  const auto base = sample_report();
+  auto cand = sample_report();
+  cand.runs[0].phases[0].allocs_per_step *= 2.0;
+  const auto diff = diff_bench(base, cand, {});
+  EXPECT_TRUE(diff.regression());
+  ASSERT_FALSE(diff.notes.empty());
+  EXPECT_NE(diff.notes[0].find("phase predict"), std::string::npos);
+}
+
+TEST(BenchDiffTest, TimingComparedOnlyWhenToleranceEnabled) {
+  const auto base = sample_report();
+  auto cand = sample_report();
+  cand.runs[0].steps_per_sec /= 2.0;
+  cand.runs[0].phases[0].p50_us *= 3.0;
+  // Off by default: two runs of the same build on a noisy runner pass.
+  EXPECT_FALSE(diff_bench(base, cand, {}).regression());
+
+  BenchDiffOptions tight;
+  tight.timing_tolerance_pct = 10.0;
+  const auto diff = diff_bench(base, cand, tight);
+  EXPECT_TRUE(diff.regression());
+  EXPECT_TRUE(diff.outcome_identical);
+  EXPECT_FALSE(diff.timing_ok);
+
+  // Only the slower direction can fail: a faster candidate always passes.
+  auto faster = sample_report();
+  faster.runs[0].steps_per_sec *= 2.0;
+  faster.runs[0].phases[0].p50_us /= 3.0;
+  EXPECT_FALSE(diff_bench(base, faster, tight).regression());
+}
+
+TEST(BenchDiffTest, MicroRowsFollowTheTimingTolerance) {
+  const auto base = sample_report();
+  auto cand = sample_report();
+  cand.micro[0].real_time_us *= 2.0;
+  EXPECT_FALSE(diff_bench(base, cand, {}).regression());
+  BenchDiffOptions tight;
+  tight.timing_tolerance_pct = 25.0;
+  const auto diff = diff_bench(base, cand, tight);
+  EXPECT_TRUE(diff.regression());
+  EXPECT_FALSE(diff.timing_ok);
+}
+
+TEST(BenchDiffTest, PeakRssGatedOnlyWhenEnabledAndOnlyGrowth) {
+  const auto base = sample_report();
+  auto cand = sample_report();
+  cand.runs[0].peak_rss_kb *= 2;
+  EXPECT_FALSE(diff_bench(base, cand, {}).regression());
+  BenchDiffOptions opts;
+  opts.rss_tolerance_pct = 20.0;
+  EXPECT_TRUE(diff_bench(base, cand, opts).regression());
+  // Shrinking RSS never fails.
+  auto smaller = sample_report();
+  smaller.runs[0].peak_rss_kb /= 2;
+  EXPECT_FALSE(diff_bench(base, smaller, opts).regression());
+}
+
+TEST(BenchDiffTest, MissingRunIsARegressionExtraRunIsANote) {
+  const auto base = sample_report();
+  BenchReport cand = sample_report();
+  cand.runs[0].label = "g2000/t4";
+  const auto diff = diff_bench(base, cand, {});
+  EXPECT_TRUE(diff.regression());
+  bool missing_noted = false;
+  bool extra_noted = false;
+  for (const auto& note : diff.notes) {
+    missing_noted |= note.find("only in baseline") != std::string::npos;
+    extra_noted |= note.find("only in candidate") != std::string::npos;
+  }
+  EXPECT_TRUE(missing_noted);
+  EXPECT_TRUE(extra_noted);
+}
+
+TEST(BenchDiffTest, DifferentMachinesAreNotedButDoNotFail) {
+  const auto base = sample_report();
+  auto cand = sample_report();
+  cand.machine.cpus = 128;
+  const auto diff = diff_bench(base, cand, {});
+  EXPECT_FALSE(diff.regression());
+  ASSERT_FALSE(diff.notes.empty());
+  EXPECT_NE(diff.notes[0].find("not comparable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmog::obs

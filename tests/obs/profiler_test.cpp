@@ -1,0 +1,119 @@
+// The per-run resource profiler: PhaseScope allocation attribution,
+// throughput/RSS gauges, and the zero-overhead contract when no profiler
+// is attached.
+
+#include "obs/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "obs/recorder.hpp"
+
+namespace mmog::obs {
+namespace {
+
+TEST(ProfilerTest, PhaseScopeRecordsAllocationHistograms) {
+  Recorder rec(TraceLevel::kOff);
+  rec.enable_profiler();
+  ASSERT_NE(rec.profiler(), nullptr);
+  {
+    PhaseScope scope(&rec, "work", 0);
+    ::operator delete(::operator new(1024));
+    ::operator delete(::operator new(2048));
+  }
+  const Snapshot snap = rec.snapshot();
+  const auto allocs = snap.histograms.find("phase.work_allocs");
+  ASSERT_NE(allocs, snap.histograms.end());
+  EXPECT_EQ(allocs->second.count, 1u);
+  EXPECT_GE(allocs->second.mean(), 2.0);
+  const auto bytes = snap.histograms.find("phase.work_alloc_bytes");
+  ASSERT_NE(bytes, snap.histograms.end());
+  EXPECT_GE(bytes->second.mean(), 3072.0);
+  // The timing histogram is recorded either way.
+  EXPECT_NE(snap.histograms.find("phase.work_us"), snap.histograms.end());
+}
+
+TEST(ProfilerTest, NoAllocationHistogramsWithoutProfiler) {
+  Recorder rec(TraceLevel::kOff);
+  {
+    PhaseScope scope(&rec, "work", 0);
+    ::operator delete(::operator new(1024));
+  }
+  const Snapshot snap = rec.snapshot();
+  EXPECT_EQ(snap.histograms.find("phase.work_allocs"),
+            snap.histograms.end());
+  EXPECT_EQ(snap.histograms.find("phase.work_alloc_bytes"),
+            snap.histograms.end());
+  EXPECT_NE(snap.histograms.find("phase.work_us"), snap.histograms.end());
+}
+
+TEST(ProfilerTest, ProfilerPublishesOnlyGaugesAndHistogramsNeverCounters) {
+  // The determinism contract: RunReport outcome sections carry every
+  // counter, so anything the profiler adds must be a gauge or histogram.
+  Recorder rec(TraceLevel::kOff);
+  rec.enable_profiler();
+  rec.profiler()->begin_run(120);
+  {
+    PhaseScope scope(&rec, "work", 0);
+    ::operator delete(::operator new(64));
+  }
+  rec.profiler()->note_step(rec.registry(), 1);
+  EXPECT_TRUE(rec.snapshot().counters.empty());
+}
+
+TEST(ProfilerTest, NoteStepPublishesThroughputAndRssGauges) {
+  Recorder rec(TraceLevel::kOff);
+  rec.enable_profiler();
+  ResourceProfiler* profiler = rec.profiler();
+  profiler->begin_run(240);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  profiler->note_step(rec.registry(), 10);
+
+  const Snapshot snap = rec.snapshot();
+  const double steps = snap.gauges.at("sim.steps_per_sec");
+  EXPECT_GT(steps, 0.0);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("sim.group_steps_per_sec"),
+                   steps * 240.0);
+  EXPECT_GT(snap.gauges.at("proc.current_rss_kb"), 0.0);
+  EXPECT_GT(snap.gauges.at("proc.peak_rss_kb"), 0.0);
+
+  // The lock-free mirrors /healthz reads agree with the gauges.
+  EXPECT_DOUBLE_EQ(profiler->steps_per_sec(), steps);
+  EXPECT_EQ(static_cast<double>(profiler->peak_rss_kb()),
+            snap.gauges.at("proc.peak_rss_kb"));
+}
+
+TEST(ProfilerTest, BeginRunResetsTheThroughputClock) {
+  Recorder rec(TraceLevel::kOff);
+  rec.enable_profiler();
+  ResourceProfiler* profiler = rec.profiler();
+  profiler->begin_run(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  profiler->note_step(rec.registry(), 1);
+  const double slow = profiler->steps_per_sec();
+  // A fresh begin_run() must not inherit the previous run's elapsed time.
+  profiler->begin_run(1);
+  profiler->note_step(rec.registry(), 1);
+  EXPECT_GE(profiler->steps_per_sec(), slow);
+}
+
+TEST(ProfilerTest, CurrentRssIsReportedOnThisPlatform) {
+  EXPECT_GT(current_rss_kb(), 0u);
+}
+
+TEST(ProfilerTest, EnableProfilerArmsAllocationCounting) {
+  EXPECT_FALSE(util::alloccount::enabled());
+  {
+    Recorder rec(TraceLevel::kOff);
+    rec.enable_profiler();
+    EXPECT_TRUE(util::alloccount::enabled());
+  }
+  // Recorder teardown disarms the hooks again: unprofiled code that runs
+  // after a profiled run is back to the zero-overhead path.
+  EXPECT_FALSE(util::alloccount::enabled());
+}
+
+}  // namespace
+}  // namespace mmog::obs

@@ -38,9 +38,11 @@ RunReport sample_report() {
   report.outcome.audit_records = 1440;
   report.outcome.counters = {{"alloc.granted", 321.0},
                              {"offer.rejected.amount", 7.0}};
-  report.phases = {{"match", 720, 12.5, 11.0, 20.0, 30.0, 45.5}};
+  report.phases = {{"match", 720, 12.5, 11.0, 20.0, 30.0, 45.5, 96.0,
+                    8192.0}};
   report.wall_seconds = 0.25;
   report.peak_rss_kb = 20480;
+  report.steps_per_sec = 2880.0;
   report.threads = 4;
   return report;
 }
@@ -64,7 +66,7 @@ TEST(RunReportTest, GoldenEmptyReportJson) {
       "\"max_time_to_recover_steps\":0},\"alerts\":{\"fired\":0,"
       "\"resolved\":0,\"firing\":0},\"audit_records\":0,\"counters\":{}},"
       "\"timing\":{\"threads\":1,\"wall_seconds\":0,\"peak_rss_kb\":0,"
-      "\"phases\":[]}}");
+      "\"steps_per_sec\":0,\"phases\":[]}}");
 }
 
 TEST(RunReportTest, ParseRoundTripsToIdenticalJson) {
@@ -77,6 +79,25 @@ TEST(RunReportTest, ParseRoundTripsToIdenticalJson) {
   ASSERT_EQ(parsed.phases.size(), 1u);
   EXPECT_EQ(parsed.phases[0].name, "match");
   EXPECT_DOUBLE_EQ(parsed.phases[0].p99_us, 30.0);
+}
+
+TEST(RunReportTest, ParseAcceptsPreProfilerReports) {
+  // The profiler fields are additive within schema 1: a report written
+  // before them must still parse, with zero defaults.
+  auto json = sample_report().to_json();
+  for (const std::string cut :
+       {",\"steps_per_sec\":2880", ",\"allocs_mean\":96",
+        ",\"alloc_bytes_mean\":8192"}) {
+    const auto pos = json.find(cut);
+    ASSERT_NE(pos, std::string::npos) << cut;
+    json.erase(pos, cut.size());
+  }
+  const auto parsed = RunReport::parse(json);
+  EXPECT_DOUBLE_EQ(parsed.steps_per_sec, 0.0);
+  ASSERT_EQ(parsed.phases.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed.phases[0].allocs_mean, 0.0);
+  EXPECT_DOUBLE_EQ(parsed.phases[0].alloc_bytes_mean, 0.0);
+  EXPECT_EQ(parsed.outcome, sample_report().outcome);
 }
 
 TEST(RunReportTest, ParseRejectsWrongSchemaAndGarbage) {

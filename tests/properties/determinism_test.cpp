@@ -343,6 +343,78 @@ TEST(ParallelDeterminismTest, RepeatedParallelRunsAreByteIdentical) {
   EXPECT_EQ(serialize(first), serialize(second));
 }
 
+// ---------------------------------------------------------------------------
+// Resource profiler (PR 8): arming the allocation hooks and publishing
+// throughput/RSS gauges is pure observation. Everything deterministic —
+// the result, the outcome section of the canonical report, the audit
+// trail — must be byte-identical with profiling on or off, at any thread
+// count. This is the invariant that lets mmog_simulate keep the profiler
+// always-on.
+
+TEST(ProfilerDeterminismTest, ProfilerOnAndOffGiveByteIdenticalOutcomes) {
+  for (const std::size_t threads : {1u, 4u}) {
+    auto cfg_off = parallel_config(threads);
+    obs::Recorder rec_off(obs::TraceLevel::kOff);
+    rec_off.enable_audit();
+    cfg_off.recorder = &rec_off;
+    const auto off = simulate(cfg_off);
+    const auto report_off =
+        make_run_report(cfg_off, off, "test", "run", 0.0);
+
+    auto cfg_on = parallel_config(threads);
+    obs::Recorder rec_on(obs::TraceLevel::kOff);
+    rec_on.enable_audit();
+    rec_on.enable_profiler();
+    cfg_on.recorder = &rec_on;
+    const auto on = simulate(cfg_on);
+    const auto report_on = make_run_report(cfg_on, on, "test", "run", 0.0);
+
+    EXPECT_EQ(serialize(off), serialize(on)) << "threads=" << threads;
+    EXPECT_EQ(rec_off.audit()->to_jsonl(), rec_on.audit()->to_jsonl())
+        << "threads=" << threads;
+    // mmog_diff's comparison must see nothing: the profiler publishes
+    // only gauges and histograms, and those live outside the outcome.
+    EXPECT_EQ(report_off.fingerprint(), report_on.fingerprint());
+    EXPECT_EQ(report_off.outcome, report_on.outcome);
+    const auto diff = obs::diff_reports(report_off, report_on);
+    EXPECT_FALSE(diff.regression()) << [&] {
+      std::string joined;
+      for (const auto& note : diff.notes) joined += note + '\n';
+      return joined;
+    }();
+    // The profiled run does carry the extra observability: allocation
+    // histograms next to the timing ones, throughput and RSS gauges.
+    const auto snap = rec_on.snapshot();
+    EXPECT_NE(snap.histograms.find("phase.step_allocs"),
+              snap.histograms.end());
+    EXPECT_GT(snap.gauges.at("sim.steps_per_sec"), 0.0);
+    EXPECT_EQ(rec_off.snapshot().histograms.count("phase.step_allocs"), 0u);
+  }
+}
+
+TEST(ProfilerDeterminismTest, ProfiledCountersMatchUnprofiledByteForByte) {
+  // The registry's counter section (what RunReport folds into the outcome)
+  // must be bit-identical across profiling modes.
+  auto cfg = base_config(3, 240);
+
+  obs::Recorder rec_off(obs::TraceLevel::kOff);
+  cfg.recorder = &rec_off;
+  simulate(cfg);
+
+  obs::Recorder rec_on(obs::TraceLevel::kOff);
+  rec_on.enable_profiler();
+  cfg.recorder = &rec_on;
+  simulate(cfg);
+
+  auto counters_json = [](const obs::Recorder& rec) {
+    obs::Snapshot snap = rec.snapshot();
+    snap.histograms.clear();
+    snap.gauges.clear();
+    return snap.to_json();
+  };
+  EXPECT_EQ(counters_json(rec_off), counters_json(rec_on));
+}
+
 TEST(DeterminismTest, SnapshotCsvIsByteIdenticalAcrossRuns) {
   auto cfg = base_config(2, 120);
 

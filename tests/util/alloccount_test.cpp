@@ -1,0 +1,116 @@
+// The global allocation-counting hooks behind the resource profiler: off
+// by default (one relaxed flag load per allocation), ref-counted arming,
+// monotonic totals covering every operator new/delete form.
+
+#include "util/alloccount.hpp"
+
+#include <gtest/gtest.h>
+
+#include <new>
+#include <thread>
+
+namespace mmog::util::alloccount {
+namespace {
+
+TEST(AllocCountTest, DisabledByDefault) { EXPECT_FALSE(enabled()); }
+
+TEST(AllocCountTest, NothingIsCountedWhileDisarmed) {
+  const Totals before = totals();
+  void* p = ::operator new(256);
+  ::operator delete(p);
+  const Totals delta = totals() - before;
+  EXPECT_EQ(delta.allocs, 0u);
+  EXPECT_EQ(delta.frees, 0u);
+  EXPECT_EQ(delta.bytes, 0u);
+}
+
+// Direct ::operator new calls: unlike new-expressions, these can never be
+// elided by the optimizer, so the expected counts are exact lower bounds.
+TEST(AllocCountTest, ScopeCountsAllocsFreesAndBytes) {
+  Scope scope;
+  EXPECT_TRUE(enabled());
+  const Totals before = totals();
+  void* a = ::operator new(1000);
+  void* b = ::operator new[](2000);
+  ::operator delete(a);
+  ::operator delete[](b);
+  const Totals delta = totals() - before;
+  EXPECT_GE(delta.allocs, 2u);
+  EXPECT_GE(delta.frees, 2u);
+  EXPECT_GE(delta.bytes, 3000u);
+}
+
+TEST(AllocCountTest, NestedScopesCompose) {
+  Scope outer;
+  {
+    Scope inner;
+    EXPECT_TRUE(enabled());
+  }
+  // The inner disarm must not switch counting off under the outer scope.
+  EXPECT_TRUE(enabled());
+  const Totals before = totals();
+  ::operator delete(::operator new(64));
+  EXPECT_GE((totals() - before).allocs, 1u);
+}
+
+TEST(AllocCountTest, CountersAreMonotonicAcrossScopes) {
+  Totals first;
+  {
+    Scope scope;
+    ::operator delete(::operator new(32));
+    first = totals();
+  }
+  {
+    Scope scope;
+    ::operator delete(::operator new(32));
+  }
+  const Totals second = totals();
+  EXPECT_GE(second.allocs, first.allocs + 1);
+  EXPECT_GE(second.frees, first.frees + 1);
+}
+
+TEST(AllocCountTest, AlignedAndNothrowFormsAreCounted) {
+  Scope scope;
+  const Totals before = totals();
+  void* a = ::operator new(512, std::align_val_t(64));
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 64, 0u);
+  ::operator delete(a, std::align_val_t(64));
+  void* b = ::operator new(128, std::nothrow);
+  ASSERT_NE(b, nullptr);
+  ::operator delete(b);
+  void* c = ::operator new[](96, std::align_val_t(32), std::nothrow);
+  ASSERT_NE(c, nullptr);
+  ::operator delete[](c, std::align_val_t(32));
+  const Totals delta = totals() - before;
+  EXPECT_GE(delta.allocs, 3u);
+  EXPECT_GE(delta.frees, 3u);
+  EXPECT_GE(delta.bytes, 512u + 128u + 96u);
+}
+
+TEST(AllocCountTest, WorkerThreadAllocationsLandInTheGlobalTotals) {
+  Scope scope;
+  const Totals before = totals();
+  std::thread worker([] {
+    for (int i = 0; i < 10; ++i) ::operator delete(::operator new(100));
+  });
+  worker.join();  // quiesced: totals() is exact afterwards
+  const Totals delta = totals() - before;
+  EXPECT_GE(delta.allocs, 10u);
+  EXPECT_GE(delta.bytes, 1000u);
+}
+
+TEST(AllocCountTest, DeltaAttributionViaDifferencing) {
+  Scope scope;
+  const Totals t0 = totals();
+  void* p = ::operator new(4096);
+  const Totals t1 = totals();
+  ::operator delete(p);
+  const Totals t2 = totals();
+  EXPECT_GE((t1 - t0).allocs, 1u);
+  EXPECT_GE((t1 - t0).bytes, 4096u);
+  EXPECT_EQ((t1 - t0).frees, 0u);
+  EXPECT_GE((t2 - t1).frees, 1u);
+}
+
+}  // namespace
+}  // namespace mmog::util::alloccount

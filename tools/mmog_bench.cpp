@@ -1,0 +1,300 @@
+// mmog-bench: scale-sweep benchmark harness. Runs the provisioning
+// simulation across a (server groups) x (predict threads) grid with the
+// in-process resource profiler attached and writes one stable-schema
+// artifact (BENCH_scale.json) holding, per sweep cell: steps/s, per-phase
+// duration quantiles, heap allocations per step, and peak RSS — plus the
+// machine fingerprint that makes cross-host timing comparisons detectable.
+//
+// Usage:
+//   mmog_bench [--groups LIST] [--threads LIST] [--steps N] [--seed S]
+//              [--predictor lastvalue|average|movingavg|median|expsmooth]
+//              [--micro FILE] [--out FILE]
+//
+// --groups    comma list of total server-group counts (default 120, the
+//             paper's world; the five regions scale proportionally and the
+//             Table III machine counts scale to match)
+// --threads   comma list of predict worker counts; "hw" = hardware
+//             concurrency (default "1")
+// --steps     simulated 2-minute steps per cell (default 240 = 8 hours)
+// --micro     fold a google-benchmark --benchmark_format=json file into
+//             the artifact so micro and macro numbers ship together
+// --out       artifact path (default BENCH_scale.json; "-" = stdout only)
+//
+// Compare two artifacts with `mmog_diff --kind bench BASE CAND`: the
+// allocation counts are deterministic and machine-independent, so they are
+// gated hard; timings only against opt-in tolerances.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/recorder.hpp"
+#include "predict/simple.hpp"
+#include "trace/runescape_model.hpp"
+#include "util/args.hpp"
+#include "util/atomic_file.hpp"
+
+using namespace mmog;
+
+namespace {
+
+/// The paper_default() world size every sweep is expressed relative to.
+constexpr double kPaperGroups = 120.0;
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream in(csv);
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+predict::PredictorFactory parse_predictor(const std::string& name) {
+  if (name == "lastvalue") {
+    return [] { return std::make_unique<predict::LastValuePredictor>(); };
+  }
+  if (name == "average") {
+    return [] { return std::make_unique<predict::AveragePredictor>(); };
+  }
+  if (name == "movingavg") {
+    return [] { return std::make_unique<predict::MovingAveragePredictor>(5); };
+  }
+  if (name == "median") {
+    return [] {
+      return std::make_unique<predict::SlidingWindowMedianPredictor>(5);
+    };
+  }
+  if (name == "expsmooth") {
+    return [] {
+      return std::make_unique<predict::ExponentialSmoothingPredictor>(0.5);
+    };
+  }
+  throw std::invalid_argument("unknown --predictor " + name +
+                              " (lastvalue|average|movingavg|median|"
+                              "expsmooth)");
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Runs one (groups, threads) sweep cell with a profiling recorder and
+/// reduces the registry snapshot to the artifact's BenchRun row.
+obs::BenchRun run_cell(std::size_t groups, std::size_t threads,
+                       const std::string& thread_token, std::size_t steps,
+                       std::uint64_t seed, const std::string& predictor) {
+  trace::RuneScapeModelConfig tcfg =
+      trace::RuneScapeModelConfig::paper_default();
+  tcfg.scale_to_groups(groups);
+  tcfg.steps = steps;
+  tcfg.seed = seed;
+
+  core::SimulationConfig cfg;
+  cfg.datacenters = dc::paper_ecosystem();
+  // Table III sizes the ecosystem for the 120-group paper world; a larger
+  // sweep would just measure allocation starvation, so machine counts
+  // scale with the fleet.
+  const double factor =
+      static_cast<double>(tcfg.total_groups()) / kPaperGroups;
+  if (factor > 1.0) {
+    for (auto& d : cfg.datacenters) {
+      d.machines = static_cast<std::size_t>(
+          std::ceil(static_cast<double>(d.machines) * factor));
+    }
+  }
+  core::GameSpec game;
+  game.name = "bench";
+  game.load = core::LoadModel{core::UpdateModel::kQuadratic, 2000.0};
+  game.latency_tolerance = dc::DistanceClass::kVeryFar;
+  game.workload = trace::generate(tcfg);
+  cfg.games.push_back(std::move(game));
+  cfg.threads = threads;
+  cfg.predictor = parse_predictor(predictor);
+
+  obs::Recorder recorder(obs::TraceLevel::kOff);
+  recorder.enable_profiler();
+  cfg.recorder = &recorder;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto result = core::simulate(cfg);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  const obs::Snapshot snap = recorder.snapshot();
+  auto gauge = [&snap](const char* name) {
+    const auto it = snap.gauges.find(name);
+    return it == snap.gauges.end() ? 0.0 : it->second;
+  };
+
+  obs::BenchRun run;
+  run.label = "g" + std::to_string(groups) + "/t" + thread_token;
+  run.groups = tcfg.total_groups();
+  const double resolved = gauge("sim.predict_threads");
+  run.threads = resolved >= 1.0 ? static_cast<std::uint64_t>(resolved)
+                                : threads;
+  run.steps = result.steps;
+  run.wall_seconds = wall_seconds;
+  run.steps_per_sec = gauge("sim.steps_per_sec");
+  if (run.steps_per_sec == 0.0 && wall_seconds > 0.0) {
+    run.steps_per_sec = static_cast<double>(result.steps) / wall_seconds;
+  }
+  run.group_steps_per_sec = gauge("sim.group_steps_per_sec");
+  run.peak_rss_kb = static_cast<std::uint64_t>(gauge("proc.peak_rss_kb"));
+
+  constexpr std::string_view kPrefix = "phase.";
+  constexpr std::string_view kSuffix = "_us";
+  auto hist_mean = [&snap](const std::string& name) {
+    const auto it = snap.histograms.find(name);
+    return it == snap.histograms.end() ? 0.0 : it->second.mean();
+  };
+  for (const auto& [name, hist] : snap.histograms) {
+    if (name.size() <= kPrefix.size() + kSuffix.size() ||
+        name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                     kSuffix) != 0 ||
+        hist.count == 0) {
+      continue;
+    }
+    obs::BenchPhase phase;
+    phase.name = name.substr(
+        kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+    phase.count = hist.count;
+    phase.p50_us = hist.quantile(0.5);
+    phase.p95_us = hist.quantile(0.95);
+    phase.mean_us = hist.mean();
+    phase.max_us = hist.max;
+    phase.allocs_per_step = hist_mean("phase." + phase.name + "_allocs");
+    phase.alloc_bytes_per_step =
+        hist_mean("phase." + phase.name + "_alloc_bytes");
+    run.phases.push_back(std::move(phase));
+  }
+  // The "step" scope wraps each whole simulation step, so its allocation
+  // histogram is the fleet-level allocs-per-step number.
+  run.allocs_per_step = hist_mean("phase.step_allocs");
+  run.alloc_bytes_per_step = hist_mean("phase.step_alloc_bytes");
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  if (args.has("help")) {
+    std::printf(
+        "usage: %s [--groups LIST] [--threads LIST] [--steps N] [--seed S]\n"
+        "          [--predictor NAME] [--micro FILE] [--out FILE]\n"
+        "  --groups   comma list of total server-group counts (default 120)\n"
+        "  --threads  comma list of predict worker counts, \"hw\" = all\n"
+        "             cores (default 1)\n"
+        "  --steps    2-minute steps per sweep cell (default 240)\n"
+        "  --micro    google-benchmark JSON file to fold into the artifact\n"
+        "  --out      artifact path (default BENCH_scale.json, - = stdout)\n",
+        args.program().c_str());
+    return 0;
+  }
+
+  try {
+    const long steps = args.get_long("steps", 240);
+    if (steps <= 0) throw std::invalid_argument("--steps must be > 0");
+    const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 2008));
+    const auto predictor = args.get("predictor", "lastvalue");
+    parse_predictor(predictor);  // fail fast, before any sweep work
+
+    const auto parse_count = [](const std::string& token,
+                                const char* flag) -> long {
+      std::size_t used = 0;
+      long value = 0;
+      try {
+        value = std::stol(token, &used);
+      } catch (const std::exception&) {
+        used = 0;
+      }
+      if (used != token.size() || value <= 0) {
+        throw std::invalid_argument(std::string(flag) +
+                                    " expects positive integers, got \"" +
+                                    token + "\"");
+      }
+      return value;
+    };
+
+    std::vector<std::size_t> group_counts;
+    for (const auto& token : split_list(args.get("groups", "120"))) {
+      group_counts.push_back(
+          static_cast<std::size_t>(parse_count(token, "--groups")));
+    }
+    struct ThreadSpec {
+      std::size_t count;
+      std::string token;  ///< label spelling, stable across machines
+    };
+    std::vector<ThreadSpec> thread_specs;
+    for (const auto& token : split_list(args.get("threads", "1"))) {
+      if (token == "hw") {
+        thread_specs.push_back({0, "hw"});
+      } else {
+        const long value = parse_count(token, "--threads");
+        thread_specs.push_back({static_cast<std::size_t>(value), token});
+      }
+    }
+    if (group_counts.empty() || thread_specs.empty()) {
+      throw std::invalid_argument("--groups and --threads must be non-empty");
+    }
+
+    obs::BenchReport report;
+    report.machine = obs::collect_bench_machine();
+    if (const auto micro_path = args.get("micro", ""); !micro_path.empty()) {
+      report.micro = obs::parse_google_benchmark_json(slurp(micro_path));
+    }
+
+    for (const std::size_t groups : group_counts) {
+      for (const ThreadSpec& spec : thread_specs) {
+        std::fprintf(stderr, "mmog_bench: g%zu/t%s ...\n", groups,
+                     spec.token.c_str());
+        report.runs.push_back(run_cell(groups, spec.count, spec.token,
+                                       static_cast<std::size_t>(steps),
+                                       seed, predictor));
+        const obs::BenchRun& run = report.runs.back();
+        std::fprintf(stderr,
+                     "mmog_bench: g%zu/t%s: %.1f steps/s, %.0f allocs/step, "
+                     "peak RSS %.1f MiB (%.2f s wall)\n",
+                     groups, spec.token.c_str(), run.steps_per_sec,
+                     run.allocs_per_step,
+                     static_cast<double>(run.peak_rss_kb) / 1024.0,
+                     run.wall_seconds);
+      }
+    }
+
+    std::fputs(report.summary_table().c_str(), stdout);
+    const auto out_path = args.get("out", "BENCH_scale.json");
+    if (out_path == "-") {
+      std::puts(report.to_json().c_str());
+    } else {
+      util::AtomicFileWriter out(out_path);
+      out.stream() << report.to_json() << '\n';
+      out.commit();
+      std::fprintf(stderr, "mmog_bench: wrote %s (%zu runs, %zu micro)\n",
+                   out_path.c_str(), report.runs.size(),
+                   report.micro.size());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -330,6 +330,9 @@ int main(int argc, char** argv) {
       }
       recorder = std::make_unique<obs::Recorder>(level);
       cfg.recorder = recorder.get();
+      // Per-phase allocation counts, steps/s and RSS gauges. Purely
+      // observational: reports stay byte-identical with or without it.
+      recorder->enable_profiler();
       // The decision trail costs one record per acting decision; keep it
       // on whenever it has a consumer: an --audit-out file, GET /audit, or
       // a checkpoint (which must carry the trail prefix so a restarted run
@@ -438,21 +441,25 @@ int main(int argc, char** argv) {
     if (engine) {
       std::fprintf(stderr,
                    "mmog_simulate: %zu steps, %zu game(s), %zu data "
-                   "center(s), %.2f s wall, alerts: %zu fired / %zu "
-                   "resolved / %zu still firing\n",
+                   "center(s), %.2f s wall, %.1f steps/s, peak RSS %zu "
+                   "KiB, alerts: %zu fired / %zu resolved / %zu still "
+                   "firing\n",
                    static_cast<std::size_t>(report.outcome.steps),
                    cfg.games.size(), cfg.datacenters.size(),
-                   report.wall_seconds,
+                   report.wall_seconds, report.steps_per_sec,
+                   static_cast<std::size_t>(report.peak_rss_kb),
                    static_cast<std::size_t>(report.outcome.alerts_fired),
                    static_cast<std::size_t>(report.outcome.alerts_resolved),
                    static_cast<std::size_t>(report.outcome.alerts_firing));
     } else {
       std::fprintf(stderr,
                    "mmog_simulate: %zu steps, %zu game(s), %zu data "
-                   "center(s), %.2f s wall\n",
+                   "center(s), %.2f s wall, %.1f steps/s, peak RSS %zu "
+                   "KiB\n",
                    static_cast<std::size_t>(report.outcome.steps),
                    cfg.games.size(), cfg.datacenters.size(),
-                   report.wall_seconds);
+                   report.wall_seconds, report.steps_per_sec,
+                   static_cast<std::size_t>(report.peak_rss_kb));
     }
 
     std::fputs(report.summary_text().c_str(), stdout);

@@ -22,7 +22,9 @@ int main(int argc, char** argv) {
   if (args.has("help")) {
     std::printf(
         "usage: %s [--days N] [--seed S] [--world paper|europe]\n"
-        "          [--waves-per-day W] [--out FILE]\n",
+        "          [--groups N] [--waves-per-day W] [--out FILE]\n"
+        "  --groups N  rescale the world to N total server groups\n"
+        "              (regions keep their relative sizes)\n",
         args.program().c_str());
     return 0;
   }
@@ -40,6 +42,9 @@ int main(int argc, char** argv) {
   cfg.steps = util::samples_per_days(args.get_double("days", 2.0));
   cfg.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
   cfg.waves_per_day = args.get_double("waves-per-day", cfg.waves_per_day);
+  if (const long groups = args.get_long("groups", 0); groups > 0) {
+    cfg.scale_to_groups(static_cast<std::size_t>(groups));
+  }
 
   const auto world = trace::generate(cfg);
 

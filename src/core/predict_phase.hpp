@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstddef>
+#include <future>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "obs/recorder.hpp"
 #include "predict/predictor.hpp"
@@ -55,6 +57,11 @@ class ParallelPredictor {
 
   std::size_t threads_ = 1;
   std::unique_ptr<util::ThreadPool> pool_;
+  /// Scratch for the per-run shard futures, reserved once in the
+  /// constructor: run() is called every simulation step, and the predict
+  /// phase must not allocate per step. run() is externally synchronized
+  /// (one simulation thread), so unguarded reuse is safe.
+  std::vector<std::future<void>> futures_;
   mutable util::Mutex mutex_;
   double worst_shard_us_ GUARDED_BY(mutex_) = 0.0;
 };

@@ -138,6 +138,9 @@ SimulationResult simulate(const SimulationConfig& config) {
       }
       unit.backoff = fault::BackoffTracker(res_policy.base_backoff_steps,
                                            res_policy.max_backoff_steps);
+      // Warm-start the holdings vector so the allocate hot path almost
+      // never regrows it mid-step (growth past this stays amortized).
+      unit.allocations.reserve(unit.candidates.size() * 4);
       if (rec) {
         // Matching criterion 2 (§II-C, geographic proximity): centers
         // outside the game's latency tolerance are rejected up front, once
@@ -274,13 +277,16 @@ SimulationResult simulate(const SimulationConfig& config) {
   std::vector<std::vector<std::size_t>> audit_backfill(units.size());
   std::vector<double> audit_predicted(units.size(), 0.0);
   std::vector<double> audit_margin(units.size(), 0.0);
+  if (audit) audit_batch.reserve(units.size() * 2);
 
   // `ar` collects one AuditOffer per visited candidate (nullptr = audit
   // off: the walk pays one pointer test per branch).
+  // mmog-lint: hot-begin(allocate)
   auto try_allocate = [&](DemandUnit& unit, const util::ResourceVector& need_in,
                           std::size_t step, std::size_t hold_steps,
                           obs::AuditRecord* ar) {
     util::ResourceVector need = need_in.clamped_non_negative();
+    if (ar) ar->offers.reserve(unit.candidates.size());
     for (std::size_t cand : unit.candidates) {
       const auto dc32 = static_cast<std::uint32_t>(cand);
       if (have_faults && schedule.outage_at(cand, step)) {
@@ -388,8 +394,8 @@ SimulationResult simulate(const SimulationConfig& config) {
         rec->instant("alloc.granted", "alloc", step,
                      {{"dc", ledger.spec().name},
                       {"region", unit.region_name},
-                      {"cpu", std::to_string(amount.cpu())},
-                      {"id", std::to_string(alloc.id)}});
+                      {"cpu", std::to_string(amount.cpu())},   // mmog-lint: allow(hot-string)
+                      {"id", std::to_string(alloc.id)}});      // mmog-lint: allow(hot-string)
       }
     }
     return need;  // unmet demand
@@ -419,8 +425,8 @@ SimulationResult simulate(const SimulationConfig& config) {
       rec->count("alloc.force_released");
       rec->instant("alloc.force_released", "alloc", step,
                    {{"dc", ledgers[alloc.dc_index].spec().name},
-                    {"cpu", std::to_string(alloc.amount.cpu())},
-                    {"id", std::to_string(alloc.id)},
+                    {"cpu", std::to_string(alloc.amount.cpu())},  // mmog-lint: allow(hot-string)
+                    {"id", std::to_string(alloc.id)},             // mmog-lint: allow(hot-string)
                     {"reason", reason}});
     }
     unit.allocated -= alloc.amount;
@@ -474,6 +480,7 @@ SimulationResult simulate(const SimulationConfig& config) {
     }
     return freed;
   };
+  // mmog-lint: hot-end
 
   // Resume from a checkpoint: every config-derived structure above was
   // rebuilt normally; now overwrite each loop-carried value with the
@@ -689,8 +696,13 @@ SimulationResult simulate(const SimulationConfig& config) {
     config.checkpoint_sink(st);
   };
 
-  // Reused per-step scratch: the padded demand of every unit.
+  // Reused per-step scratch: the padded demand of every unit, the fault
+  // flags of units that lost capacity this step, and the per-game metric
+  // slots — all hoisted out of the loop so the step phases allocate
+  // nothing (see the hot-begin regions and the bench allocs/step gate).
   std::vector<util::ResourceVector> demands(units.size());
+  std::vector<char> lost_capacity(units.size(), 0);
+  std::vector<StepMetrics> per_game(config.games.size());
 
   std::size_t completed = steps;
   for (std::size_t t = start_step; t < steps; ++t) {
@@ -732,15 +744,18 @@ SimulationResult simulate(const SimulationConfig& config) {
         // sharded across workers when config.threads > 1 (the phase is the
         // provisioning loop's scaling bottleneck, Fig. 6). run() joins all
         // shards before returning, so phase 2 always reads complete slots.
+        // mmog-lint: hot-begin(predict)
         const obs::PhaseScope scope(rec, "predict", t);
         predict_runner.run(predict_slots, rec);
         if (rec) rec->count("predict.issued", static_cast<double>(total_groups));
+        // mmog-lint: hot-end
       }
 
       {
         // Phase 2 — safety padding: region demand = sum of per-group
         // predictions through the (nonlinear) load model, each padded by the
         // predictor's own recent error (the §V-C over-allocation mechanism).
+        // mmog-lint: hot-begin(pad)
         const obs::PhaseScope scope(rec, "pad", t);
         for (std::size_t idx : order) {
           DemandUnit& unit = units[idx];
@@ -776,14 +791,16 @@ SimulationResult simulate(const SimulationConfig& config) {
             rec->count("request.padded");
             rec->detail_instant("request.padded", "demand", t,
                                 {{"region", unit.region_name},
-                                 {"cpu", std::to_string(demand.cpu())}});
+                                 {"cpu", std::to_string(demand.cpu())}});  // mmog-lint: allow(hot-string)
           }
         }
+        // mmog-lint: hot-end
       }
 
       {
         // Phase 3 — matching: release what the prediction no longer needs,
         // then acquire the missing difference (§II-C request-offer matching).
+        // mmog-lint: hot-begin(match)
         const obs::PhaseScope scope(rec, "match", t);
         for (std::size_t idx : order) {
           DemandUnit& unit = units[idx];
@@ -828,8 +845,8 @@ SimulationResult simulate(const SimulationConfig& config) {
                     {{"dc", ledgers[unit.allocations[best].dc_index]
                                 .spec()
                                 .name},
-                     {"cpu", std::to_string(amount.cpu())},
-                     {"id", std::to_string(unit.allocations[best].id)}});
+                     {"cpu", std::to_string(amount.cpu())},  // mmog-lint: allow(hot-string)
+                     {"id", std::to_string(unit.allocations[best].id)}});  // mmog-lint: allow(hot-string)
               }
               unit.allocated -= amount;
               unit.allocated = unit.allocated.clamped_non_negative();
@@ -866,6 +883,7 @@ SimulationResult simulate(const SimulationConfig& config) {
             audit_batch.push_back(std::move(ar));
           }
         }
+        // mmog-lint: hot-end
       }
     }
 
@@ -873,7 +891,8 @@ SimulationResult simulate(const SimulationConfig& config) {
     // allocations with it; without the resilience policy the operator can
     // only re-place the demand at the next 2-minute step, which is the
     // shortfall the metrics observe.
-    std::vector<char> lost_capacity(units.size(), 0);
+    // mmog-lint: hot-begin(fault-inject)
+    std::fill(lost_capacity.begin(), lost_capacity.end(), 0);
     if (have_faults) {
       for (std::size_t u = 0; u < units.size(); ++u) {
         DemandUnit& unit = units[u];
@@ -915,6 +934,7 @@ SimulationResult simulate(const SimulationConfig& config) {
         }
       }
     }
+    // mmog-lint: hot-end
 
     // Resilient re-placement: what a fault took this step is re-requested
     // within the same 2-minute interval — the failed center is excluded by
@@ -923,6 +943,7 @@ SimulationResult simulate(const SimulationConfig& config) {
       bool any_lost = false;
       for (const char lost : lost_capacity) any_lost |= (lost != 0);
       if (any_lost) {
+        // mmog-lint: hot-begin(replace)
         const obs::PhaseScope scope(rec, "replace", t);
         for (std::size_t idx : order) {
           if (!lost_capacity[idx]) continue;
@@ -960,15 +981,17 @@ SimulationResult simulate(const SimulationConfig& config) {
             audit_batch.push_back(std::move(ar));
           }
         }
+        // mmog-lint: hot-end
       }
     }
 
     // Phase 4 — metric accounting: the actual load materializes; score the
     // step (globally and per game).
+    // mmog-lint: hot-begin(account)
     const obs::PhaseScope account_scope(rec, "account", t);
     StepMetrics step_metrics;
     step_metrics.machines = total_groups;
-    std::vector<StepMetrics> per_game(config.games.size());
+    std::fill(per_game.begin(), per_game.end(), StepMetrics{});
     for (std::size_t u = 0; u < units.size(); ++u) {
       DemandUnit& unit = units[u];
       const auto& load = config.games[unit.game_id].load;
@@ -1019,7 +1042,7 @@ SimulationResult simulate(const SimulationConfig& config) {
       rec->instant(
           "event.under_allocation", "event", t,
           {{"under_pct",
-            std::to_string(
+            std::to_string(  // mmog-lint: allow(hot-string)
                 step_metrics.under_allocation_pct(util::ResourceKind::kCpu))}});
     }
     result.metrics.add(step_metrics);
@@ -1044,6 +1067,7 @@ SimulationResult simulate(const SimulationConfig& config) {
                      "sla", t, {{"game", config.games[g].name}});
       }
     }
+    // mmog-lint: hot-end
 
     if (live) {
       live_samples[0].value = step_metrics.allocated.cpu();

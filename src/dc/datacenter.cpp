@@ -7,6 +7,9 @@ namespace mmog::dc {
 DataCenterLedger::DataCenterLedger(DataCenterSpec spec)
     : spec_(std::move(spec)) {}
 
+// The ledger operations below run inside the allocate/release walks of
+// every simulation step; the lint region proves they stay allocation-free.
+// mmog-lint: hot-begin(ledger)
 bool DataCenterLedger::fits(const util::ResourceVector& amount) const noexcept {
   const auto cap = effective_capacity();
   for (std::size_t i = 0; i < util::kResourceKinds; ++i) {
@@ -43,5 +46,6 @@ double DataCenterLedger::cpu_utilization() const noexcept {
   if (cap <= 0.0) return 0.0;
   return std::clamp(in_use_.cpu() / cap, 0.0, 1.0);
 }
+// mmog-lint: hot-end
 
 }  // namespace mmog::dc

@@ -3,11 +3,12 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/atomic_file.hpp"
 
 namespace mmog::obs {
 namespace {
@@ -359,15 +360,13 @@ void TraceFileGuard::flush() {
 }
 
 void TraceFileGuard::write() const {
-  std::ofstream out(path_);
-  if (!out) throw std::runtime_error("trace: cannot write " + path_);
+  util::AtomicFileWriter writer(path_);
   if (format_ == Format::kJsonl) {
-    tracer_->write_jsonl(out);
+    tracer_->write_jsonl(writer.stream());
   } else {
-    tracer_->write_chrome_trace(out);
+    tracer_->write_chrome_trace(writer.stream());
   }
-  out.flush();
-  if (!out) throw std::runtime_error("trace: write to " + path_ + " failed");
+  writer.commit();
 }
 
 }  // namespace mmog::obs

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/atomic_file.hpp"
 #include "util/csv.hpp"
 
 namespace mmog::trace {
@@ -26,11 +27,9 @@ void write_world_csv(std::ostream& out, const WorldTrace& world) {
 }
 
 void write_world_csv_file(const std::string& path, const WorldTrace& world) {
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error("write_world_csv_file: cannot open " + path);
-  }
-  write_world_csv(out, world);
+  util::AtomicFileWriter writer(path);
+  write_world_csv(writer.stream(), world);
+  writer.commit();
 }
 
 WorldTrace read_world_csv(std::istream& in) {

@@ -4,8 +4,6 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
-#include <map>
-#include <set>
 #include <sstream>
 
 namespace mmog::util::lint {
@@ -13,6 +11,22 @@ namespace {
 
 bool is_word(char c) noexcept {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool has_path_component(std::string_view path, std::string_view component) {
+  std::size_t begin = 0;
+  while (begin <= path.size()) {
+    std::size_t end = path.find('/', begin);
+    if (end == std::string_view::npos) end = path.size();
+    if (path.substr(begin, end - begin) == component) return true;
+    begin = end + 1;
+  }
+  return false;
 }
 
 /// Result of the comment/string stripper: `code` mirrors the input byte for
@@ -25,6 +39,19 @@ struct Stripped {
   std::vector<std::string> comment_text;
   std::vector<bool> line_has_code;
 };
+
+/// True when the `"` at `in[quote]` opens a raw string literal: the
+/// identifier token ending immediately before it must be exactly one of the
+/// raw-string prefixes R, LR, uR, UR, u8R. An identifier that merely *ends*
+/// in one of these (WER"…", FOO_R"…", macro tails) is an ordinary string
+/// following an identifier, not a raw literal.
+bool is_raw_string_prefix(std::string_view in, std::size_t quote) {
+  std::size_t begin = quote;
+  while (begin > 0 && is_word(in[begin - 1])) --begin;
+  const std::string_view token = in.substr(begin, quote - begin);
+  return token == "R" || token == "LR" || token == "uR" || token == "UR" ||
+         token == "u8R";
+}
 
 Stripped strip(std::string_view in) {
   Stripped out;
@@ -71,13 +98,24 @@ Stripped strip(std::string_view in) {
           comment_line = line;
           blank(c);
           blank(in[++i]);
-        } else if (c == '"' && i > 0 && in[i - 1] == 'R') {
-          // Raw string literal: R"delim( ... )delim"
+        } else if (c == '"' && is_raw_string_prefix(in, i)) {
+          // Raw string literal: R"delim( ... )delim". The delimiter (at most
+          // 16 chars, never a newline or parenthesis per the grammar) is
+          // blanked so columns keep lining up; an unterminated delimiter or
+          // body simply blanks through to EOF.
           state = State::kRaw;
           raw_delim.clear();
           emit(c);
-          while (i + 1 < n && in[i + 1] != '(') raw_delim += in[++i];
-          if (i + 1 < n) ++i;  // consume '('
+          while (i + 1 < n && in[i + 1] != '(' && in[i + 1] != '\n' &&
+                 raw_delim.size() < 16) {
+            raw_delim += in[i + 1];
+            ++i;
+            blank(in[i]);
+          }
+          if (i + 1 < n && in[i + 1] == '(') {
+            ++i;
+            blank(in[i]);
+          }
         } else if (c == '"') {
           state = State::kString;
           emit(c);
@@ -176,6 +214,24 @@ bool has_call(std::string_view line, std::string_view name) {
   return false;
 }
 
+/// True when `std::<name>` appears with a whole-word right boundary (so
+/// "std::string" never matches inside "std::string_view").
+bool has_std_token(std::string_view line, std::string_view name) {
+  std::string qualified;
+  qualified.reserve(5 + name.size());
+  qualified += "std::";
+  qualified += name;
+  for (std::size_t pos = line.find(qualified); pos != std::string_view::npos;
+       pos = line.find(qualified, pos + 1)) {
+    const bool left_ok = pos == 0 || (!is_word(line[pos - 1]) &&
+                                      line[pos - 1] != ':');
+    const std::size_t end = pos + qualified.size();
+    const bool right_ok = end >= line.size() || !is_word(line[end]);
+    if (left_ok && right_ok) return pos != std::string_view::npos;
+  }
+  return false;
+}
+
 /// True when `name` (an RNG engine or .seed) is invoked with a bare integer
 /// literal argument: `seed(0xabc)`, or the declaration forms
 /// `util::Rng rng(42)` / `std::mt19937 gen{12345}` — one intervening
@@ -209,88 +265,225 @@ bool has_literal_seed(std::string_view line, std::string_view name) {
 const std::string_view kDeterministicDirs[] = {"core", "dc", "predict", "nn",
                                                "emu"};
 
-/// Parses every `mmog-lint: allow(rule[, rule...])` directive in a comment.
-std::set<std::string> parse_allows(std::string_view comment) {
-  std::set<std::string> rules;
+/// Every directive a comment can carry for the linter.
+struct Directives {
+  std::set<std::string> allows;
+  std::string hot_begin;  ///< region name; empty = no begin directive
+  bool hot_end = false;
+};
+
+/// Parses `mmog-lint: <directive>` in a comment: allow(rule[,rule...]),
+/// hot-begin(name), hot-end. The key must be the first thing in the comment
+/// (after whitespace and `/`/`*` continuation decoration) so that prose
+/// which merely *mentions* the directive syntax — like the rule catalog's
+/// own documentation — never activates it.
+Directives parse_directives(std::string_view comment) {
+  Directives out;
   static constexpr std::string_view kKey = "mmog-lint:";
-  for (std::size_t at = comment.find(kKey); at != std::string_view::npos;
+  std::size_t lead = 0;
+  while (lead < comment.size() &&
+         (comment[lead] == ' ' || comment[lead] == '\t' ||
+          comment[lead] == '/' || comment[lead] == '*')) {
+    ++lead;
+  }
+  if (comment.compare(lead, kKey.size(), kKey) != 0) return out;
+  for (std::size_t at = lead; at != std::string_view::npos;
        at = comment.find(kKey, at + 1)) {
     std::size_t p = skip_ws(comment, at + kKey.size());
-    if (comment.compare(p, 5, "allow") != 0) continue;
-    p = skip_ws(comment, p + 5);
+    if (comment.compare(p, 7, "hot-end") == 0) {
+      out.hot_end = true;
+      continue;
+    }
+    std::string_view verb;
+    if (comment.compare(p, 9, "hot-begin") == 0) {
+      verb = "hot-begin";
+    } else if (comment.compare(p, 5, "allow") == 0) {
+      verb = "allow";
+    } else {
+      continue;
+    }
+    p = skip_ws(comment, p + verb.size());
     if (p >= comment.size() || comment[p] != '(') continue;
     const std::size_t end = comment.find(')', p);
     if (end == std::string_view::npos) continue;
     std::string name;
     for (std::size_t k = p + 1; k <= end; ++k) {
       const char c = k == end ? ',' : comment[k];
-      if (c == ',' ) {
-        if (!name.empty()) rules.insert(name);
+      if (c == ',') {
+        if (!name.empty()) {
+          if (verb == "allow") {
+            out.allows.insert(name);
+          } else {
+            out.hot_begin = name;
+          }
+        }
         name.clear();
       } else if (!std::isspace(static_cast<unsigned char>(c))) {
         name += c;
       }
     }
   }
-  return rules;
+  return out;
+}
+
+/// Identifier ending at `end` (exclusive) in `line`; empty when the
+/// character run before `end` is not an identifier.
+std::string_view ident_before(std::string_view line, std::size_t end) {
+  std::size_t begin = end;
+  while (begin > 0 && is_word(line[begin - 1])) --begin;
+  return line.substr(begin, end - begin);
+}
+
+/// Collects every identifier that receives a `.reserve(` / `->reserve(`
+/// call anywhere in the stripped code — hot-path push_back on these is
+/// amortized-free and not flagged.
+std::set<std::string> reserved_receivers(std::string_view code) {
+  std::set<std::string> out;
+  for (std::size_t pos = find_token(code, "reserve");
+       pos != std::string_view::npos;
+       pos = find_token(code, "reserve", pos + 1)) {
+    if (skip_ws(code, pos + 7) >= code.size() ||
+        code[skip_ws(code, pos + 7)] != '(') {
+      continue;
+    }
+    std::size_t recv_end = pos;
+    if (recv_end >= 1 && code[recv_end - 1] == '.') {
+      recv_end -= 1;
+    } else if (recv_end >= 2 && code[recv_end - 2] == '-' &&
+               code[recv_end - 1] == '>') {
+      recv_end -= 2;
+    } else {
+      continue;
+    }
+    const auto ident = ident_before(code, recv_end);
+    if (!ident.empty()) out.insert(std::string(ident));
+  }
+  return out;
+}
+
+const std::string_view kHotContainers[] = {
+    "vector", "map",  "multimap", "set",           "multiset",
+    "deque",  "list", "forward_list", "unordered_map", "unordered_set",
+    "unordered_multimap", "unordered_multiset", "basic_string"};
+
+const std::string_view kNakedMutexTypes[] = {
+    "mutex",       "timed_mutex",        "recursive_mutex",
+    "shared_mutex", "lock_guard",        "unique_lock",
+    "scoped_lock", "condition_variable", "condition_variable_any"};
+
+std::string_view scope_label(RuleScope scope) {
+  switch (scope) {
+    case RuleScope::kProduction:
+      return "src+tools+bench+examples";
+    case RuleScope::kDeterministic:
+      return "core/dc/predict/nn/emu";
+    case RuleScope::kHotRegion:
+      return "hot-begin/hot-end regions";
+    case RuleScope::kHeaders:
+      return "all headers";
+    case RuleScope::kArchitecture:
+      return "module include graph";
+  }
+  return "";
 }
 
 }  // namespace
 
 const std::vector<RuleInfo>& rule_catalog() {
   static const std::vector<RuleInfo> kCatalog = {
-      {"rand", false,
+      {"rand", RuleScope::kProduction,
        "rand()/srand() use hidden global state; take a util::Rng instead"},
-      {"random-device", false,
+      {"random-device", RuleScope::kProduction,
        "std::random_device draws fresh entropy every run; plumb a seed"},
-      {"wall-clock", false,
+      {"wall-clock", RuleScope::kProduction,
        "wall-clock reads (system_clock, time(), localtime, ...) make runs "
        "time-of-day dependent; use steady_clock for measured durations"},
-      {"seed-literal", false,
+      {"seed-literal", RuleScope::kProduction,
        "RNG seeded with a bare integer literal; seeds must come from "
        "configuration so experiments stay reproducible end to end"},
-      {"unordered-container", true,
+      {"unordered-container", RuleScope::kDeterministic,
        "unordered container in a deterministic simulation path; iteration "
        "order is implementation-defined — use std::map or a sorted vector"},
+      {"naked-mutex", RuleScope::kProduction,
+       "raw std::mutex/lock primitives are invisible to the thread-safety "
+       "analysis; use the annotated util::Mutex/MutexLock/CondVar wrappers"},
+      {"raw-ofstream", RuleScope::kProduction,
+       "std::ofstream writes can publish torn artifacts on crash; go "
+       "through util::AtomicFileWriter (temp + fsync + rename)"},
+      {"pragma-once", RuleScope::kHeaders,
+       "header missing #pragma once"},
+      {"hot-new", RuleScope::kHotRegion,
+       "heap allocation (new/make_unique/make_shared) in a hot phase "
+       "region; hot phases must stay allocation-free per step"},
+      {"hot-function", RuleScope::kHotRegion,
+       "std::function in a hot phase region type-erases into heap state; "
+       "use a template parameter or function pointer"},
+      {"hot-string", RuleScope::kHotRegion,
+       "std::string/to_string/stringstream temporary in a hot phase "
+       "region allocates per step"},
+      {"hot-container", RuleScope::kHotRegion,
+       "allocating container declared inside a hot phase region; hoist it "
+       "to reused scratch owned outside the per-step loop"},
+      {"hot-push-back", RuleScope::kHotRegion,
+       "push_back/emplace_back in a hot phase region on a receiver that is "
+       "never reserve()d in this file"},
+      {"include-cycle", RuleScope::kArchitecture,
+       "src/ modules include each other in a cycle; the module layering "
+       "must stay a DAG"},
+      {"layer-violation", RuleScope::kArchitecture,
+       "include edge contradicts the layer DAG derived from the CMake "
+       "target link graph"},
   };
   return kCatalog;
 }
 
 bool is_deterministic_path(std::string_view path) {
-  std::size_t begin = 0;
-  while (begin <= path.size()) {
-    std::size_t end = path.find('/', begin);
-    if (end == std::string_view::npos) end = path.size();
-    const std::string_view part = path.substr(begin, end - begin);
-    for (const std::string_view dir : kDeterministicDirs) {
-      if (part == dir) return true;
-    }
-    begin = end + 1;
+  for (const std::string_view dir : kDeterministicDirs) {
+    if (has_path_component(path, dir)) return true;
   }
   return false;
+}
+
+bool is_test_path(std::string_view path) {
+  return has_path_component(path, "tests");
+}
+
+std::string strip_code(std::string_view content) {
+  return strip(content).code;
 }
 
 std::vector<Finding> lint_source(std::string_view path,
                                  std::string_view content) {
   const Stripped stripped = strip(content);
   const bool deterministic = is_deterministic_path(path);
+  const bool test = is_test_path(path);
+  const bool header = ends_with(path, ".hpp") || ends_with(path, ".h");
 
-  // Allow sets per 0-based line, from that line's comments.
-  std::vector<std::set<std::string>> allows(stripped.comment_text.size());
+  // Directives per 0-based line, from that line's comments; hot regions are
+  // the lines strictly between a hot-begin and its hot-end.
+  std::vector<Directives> directives(stripped.comment_text.size());
+  std::vector<std::string> hot(stripped.comment_text.size());
+  std::string region;
   for (std::size_t l = 0; l < stripped.comment_text.size(); ++l) {
     if (!stripped.comment_text[l].empty()) {
-      allows[l] = parse_allows(stripped.comment_text[l]);
+      directives[l] = parse_directives(stripped.comment_text[l]);
     }
+    if (directives[l].hot_end) region.clear();
+    hot[l] = region;
+    if (!directives[l].hot_begin.empty()) region = directives[l].hot_begin;
   }
+
+  const std::set<std::string> reserved = reserved_receivers(stripped.code);
 
   std::vector<Finding> findings;
   auto allowed = [&](std::size_t l, std::string_view rule) {
-    if (l < allows.size() && allows[l].count(std::string(rule)) > 0) {
+    if (l < directives.size() &&
+        directives[l].allows.count(std::string(rule)) > 0) {
       return true;
     }
     // A standalone allow comment (no code on its line) covers the next line.
-    return l > 0 && l - 1 < allows.size() &&
-           allows[l - 1].count(std::string(rule)) > 0 &&
+    return l > 0 && l - 1 < directives.size() &&
+           directives[l - 1].allows.count(std::string(rule)) > 0 &&
            !stripped.line_has_code[l - 1];
   };
   auto report = [&](std::size_t l, std::string_view rule,
@@ -300,10 +493,79 @@ std::vector<Finding> lint_source(std::string_view path,
         {std::string(path), l + 1, std::string(rule), std::move(message)});
   };
 
+  if (header && stripped.code.find("#pragma once") == std::string::npos &&
+      !allowed(0, "pragma-once")) {
+    findings.push_back({std::string(path), 1, "pragma-once",
+                        "header missing #pragma once"});
+  }
+
   std::istringstream lines{stripped.code};
   std::string raw_line;
   for (std::size_t l = 0; std::getline(lines, raw_line); ++l) {
     const std::string_view line = raw_line;
+    const bool in_hot = l < hot.size() && !hot[l].empty();
+    const std::string_view hot_name = in_hot ? hot[l] : std::string_view{};
+
+    // --- hot-path allocation rules: only inside marked regions. ---
+    if (in_hot) {
+      if (find_token(line, "new") != std::string_view::npos ||
+          find_token(line, "make_unique") != std::string_view::npos ||
+          find_token(line, "make_shared") != std::string_view::npos) {
+        report(l, "hot-new",
+               "heap allocation in hot path '" + std::string(hot_name) +
+                   "': the phase must stay allocation-free per step");
+      }
+      if (line.find("std::function") != std::string_view::npos) {
+        report(l, "hot-function",
+               "std::function in hot path '" + std::string(hot_name) +
+                   "' type-erases into heap state; take a template "
+                   "parameter instead");
+      }
+      if (has_std_token(line, "string") || has_call(line, "to_string") ||
+          line.find("ostringstream") != std::string_view::npos ||
+          line.find("stringstream") != std::string_view::npos) {
+        report(l, "hot-string",
+               "string temporary in hot path '" + std::string(hot_name) +
+                   "' allocates per step");
+      }
+      for (const std::string_view container : kHotContainers) {
+        if (has_std_token(line, container)) {
+          report(l, "hot-container",
+                 "std::" + std::string(container) + " in hot path '" +
+                     std::string(hot_name) +
+                     "': hoist it to reused scratch outside the loop");
+          break;
+        }
+      }
+      for (const std::string_view grower : {std::string_view("push_back"),
+                                            std::string_view("emplace_back")}) {
+        for (std::size_t pos = find_token(line, grower);
+             pos != std::string_view::npos;
+             pos = find_token(line, grower, pos + 1)) {
+          std::size_t recv_end = pos;
+          if (recv_end >= 1 && line[recv_end - 1] == '.') {
+            recv_end -= 1;
+          } else if (recv_end >= 2 && line[recv_end - 2] == '-' &&
+                     line[recv_end - 1] == '>') {
+            recv_end -= 2;
+          } else {
+            continue;
+          }
+          const auto ident = ident_before(line, recv_end);
+          if (ident.empty() || reserved.count(std::string(ident)) > 0) {
+            continue;
+          }
+          report(l, "hot-push-back",
+                 std::string(grower) + " on '" + std::string(ident) +
+                     "' in hot path '" + std::string(hot_name) +
+                     "' with no reserve() anywhere in this file");
+          break;
+        }
+      }
+    }
+
+    // --- determinism + discipline rules: production scope only. ---
+    if (test) continue;
 
     if (has_call(line, "rand") || has_call(line, "srand")) {
       report(l, "rand", "rand()/srand() banned: use util::Rng with a "
@@ -341,6 +603,23 @@ std::vector<Finding> lint_source(std::string_view path,
       report(l, "unordered-container",
              "unordered container in a deterministic path: iteration order "
              "is implementation-defined — use std::map or a sorted vector");
+    }
+    if (!ends_with(path, "util/mutex.hpp")) {
+      for (const std::string_view type : kNakedMutexTypes) {
+        if (has_std_token(line, type)) {
+          report(l, "naked-mutex",
+                 "std::" + std::string(type) +
+                     " is invisible to the thread-safety analysis; use "
+                     "util::Mutex / util::MutexLock / util::CondVar");
+          break;
+        }
+      }
+    }
+    if (path.find("util/atomic_file.") == std::string_view::npos &&
+        (has_std_token(line, "ofstream") || has_std_token(line, "fstream"))) {
+      report(l, "raw-ofstream",
+             "raw file stream can publish a torn artifact on crash; write "
+             "through util::AtomicFileWriter");
     }
   }
   return findings;
@@ -381,6 +660,472 @@ std::vector<Finding> lint_tree(const std::string& root) {
                     std::make_move_iterator(file_findings.end()));
   }
   return findings;
+}
+
+// ---------------------------------------------------------------------------
+// Architecture analysis.
+
+namespace {
+
+const std::string_view kConsumerRoots[] = {"tools", "bench", "tests",
+                                           "examples"};
+
+/// `#include "…"` targets with 1-based line numbers. The directive is
+/// matched against the *stripped* code so commented-out includes never
+/// count, but the target text is read back from the raw content at the
+/// same columns — the stripper preserves alignment and blanks string
+/// literal contents, including the include path itself.
+std::vector<std::pair<std::size_t, std::string>> scan_includes(
+    std::string_view raw, std::string_view stripped) {
+  std::vector<std::pair<std::size_t, std::string>> out;
+  std::istringstream stripped_lines{std::string(stripped)};
+  std::istringstream raw_lines{std::string(raw)};
+  std::string line_buf;
+  std::string raw_buf;
+  for (std::size_t l = 1; std::getline(stripped_lines, line_buf) &&
+                          std::getline(raw_lines, raw_buf);
+       ++l) {
+    const std::string_view line = line_buf;
+    const std::size_t hash = skip_ws(line, 0);
+    if (hash >= line.size() || line[hash] != '#') continue;
+    std::size_t p = skip_ws(line, hash + 1);
+    if (line.compare(p, 7, "include") != 0) continue;
+    p = skip_ws(line, p + 7);
+    if (p >= line.size() || line[p] != '"') continue;
+    const std::size_t close = line.find('"', p + 1);
+    if (close == std::string_view::npos || close > raw_buf.size()) continue;
+    out.emplace_back(l, raw_buf.substr(p + 1, close - p - 1));
+  }
+  return out;
+}
+
+/// Parses `add_library(mmog_<x> …)` and `target_link_libraries(mmog_<x> …
+/// mmog_<y> …)` out of one CMakeLists.txt. Target names map to modules by
+/// stripping the mmog_ prefix.
+void parse_cmake_links(std::string_view cmake, const std::string& module,
+                       std::map<std::string, std::set<std::string>>* deps) {
+  static constexpr std::string_view kCall = "target_link_libraries";
+  for (std::size_t at = cmake.find(kCall); at != std::string_view::npos;
+       at = cmake.find(kCall, at + 1)) {
+    const std::size_t open = cmake.find('(', at + kCall.size());
+    if (open == std::string_view::npos) continue;
+    const std::size_t close = cmake.find(')', open);
+    if (close == std::string_view::npos) continue;
+    const std::string_view args = cmake.substr(open + 1, close - open - 1);
+    // Tokenize on whitespace; the first token is the target, the rest are
+    // visibility keywords and dependency targets.
+    std::vector<std::string> tokens;
+    std::string token;
+    for (const char c : args) {
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        if (!token.empty()) tokens.push_back(std::move(token));
+        token.clear();
+      } else {
+        token += c;
+      }
+    }
+    if (!token.empty()) tokens.push_back(std::move(token));
+    if (tokens.empty()) continue;
+    if (tokens[0].rfind("mmog_", 0) != 0) continue;
+    const std::string target_module = tokens[0].substr(5);
+    if (target_module != module) continue;
+    for (std::size_t k = 1; k < tokens.size(); ++k) {
+      if (tokens[k].rfind("mmog_", 0) == 0) {
+        (*deps)[module].insert(tokens[k].substr(5));
+      }
+    }
+  }
+}
+
+std::string join_path(const std::string& root, std::string_view rel) {
+  if (root.empty() || root == ".") return std::string(rel);
+  return root + "/" + std::string(rel);
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+ArchitectureGraph build_architecture_graph(const std::string& repo_root) {
+  namespace fs = std::filesystem;
+  ArchitectureGraph graph;
+  std::error_code ec;
+
+  // Modules = directories under src/ (each builds one mmog_<name> target).
+  const std::string src_root = join_path(repo_root, "src");
+  for (fs::directory_iterator it(src_root, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_directory()) {
+      graph.src_modules.push_back(it->path().filename().string());
+    }
+  }
+  std::sort(graph.src_modules.begin(), graph.src_modules.end());
+
+  // Layer DAG: direct deps from each module's target_link_libraries.
+  for (const auto& module : graph.src_modules) {
+    graph.link_deps[module];  // present even when leaf (util)
+    std::string cmake;
+    if (read_file(src_root + "/" + module + "/CMakeLists.txt", &cmake)) {
+      parse_cmake_links(strip_code(cmake), module, &graph.link_deps);
+    }
+  }
+  // Transitive closure plus self: the set of modules `m` may include.
+  for (const auto& module : graph.src_modules) {
+    std::set<std::string>& closure = graph.allowed[module];
+    std::vector<std::string> frontier{module};
+    while (!frontier.empty()) {
+      const std::string at = std::move(frontier.back());
+      frontier.pop_back();
+      if (!closure.insert(at).second) continue;
+      const auto it = graph.link_deps.find(at);
+      if (it == graph.link_deps.end()) continue;
+      for (const auto& dep : it->second) frontier.push_back(dep);
+    }
+  }
+
+  const std::set<std::string> known(graph.src_modules.begin(),
+                                    graph.src_modules.end());
+
+  // Observed include edges across every scanned root.
+  auto scan_root = [&](const std::string& rel_root,
+                       const std::string& module_hint) {
+    const std::string abs_root = join_path(repo_root, rel_root);
+    std::error_code walk_ec;
+    if (!fs::is_directory(abs_root, walk_ec)) return;
+    std::vector<std::string> files;
+    for (fs::recursive_directory_iterator it(abs_root, walk_ec), end;
+         it != end; it.increment(walk_ec)) {
+      if (walk_ec || !it->is_regular_file()) continue;
+      const auto ext = it->path().extension().string();
+      if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc") {
+        files.push_back(it->path().generic_string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& abs_file : files) {
+      // Repo-relative path for reporting.
+      std::string rel_file = abs_file;
+      const std::string prefix = join_path(repo_root, "");
+      if (repo_root != "." && !repo_root.empty() &&
+          rel_file.rfind(repo_root + "/", 0) == 0) {
+        rel_file = rel_file.substr(repo_root.size() + 1);
+      }
+      std::string from = module_hint;
+      if (from.empty()) {
+        // src/<module>/…
+        const std::size_t slash = rel_file.find('/', 4);
+        from = slash == std::string::npos
+                   ? std::string("src")
+                   : rel_file.substr(4, slash - 4);
+      }
+      std::string content;
+      if (!read_file(abs_file, &content)) {
+        graph.io_errors.push_back({rel_file, 0, "io-error",
+                                   "cannot read file"});
+        continue;
+      }
+      for (const auto& [line, target] :
+           scan_includes(content, strip_code(content))) {
+        const std::size_t slash = target.find('/');
+        std::string to = slash == std::string::npos
+                             ? from  // relative include: same module
+                             : target.substr(0, slash);
+        if (known.count(to) == 0) to = from;  // not a module header
+        if (to == from) continue;
+        graph.sites.push_back({from, to, rel_file, line});
+      }
+    }
+  };
+  scan_root("src", "");
+  for (const std::string_view consumer : kConsumerRoots) {
+    scan_root(std::string(consumer), std::string(consumer));
+  }
+  std::sort(graph.sites.begin(), graph.sites.end(),
+            [](const IncludeSite& a, const IncludeSite& b) {
+              return std::tie(a.from_module, a.to_module, a.file, a.line) <
+                     std::tie(b.from_module, b.to_module, b.file, b.line);
+            });
+  return graph;
+}
+
+std::vector<Finding> lint_architecture(const ArchitectureGraph& graph) {
+  std::vector<Finding> findings;
+  const std::set<std::string> src_modules(graph.src_modules.begin(),
+                                          graph.src_modules.end());
+
+  // Module-level adjacency from the observed include sites (src only).
+  std::map<std::string, std::set<std::string>> adj;
+  for (const auto& site : graph.sites) {
+    if (src_modules.count(site.from_module) > 0 &&
+        src_modules.count(site.to_module) > 0) {
+      adj[site.from_module].insert(site.to_module);
+    }
+  }
+
+  // include-cycle: any module reachable from itself through include edges.
+  // The cycle is reported once per offending module pairlist, anchored at
+  // the first include site that participates.
+  std::set<std::string> in_reported_cycle;
+  for (const auto& module : graph.src_modules) {
+    if (in_reported_cycle.count(module) > 0) continue;
+    // DFS from `module`; a path back to it is a cycle.
+    std::vector<std::string> stack{module};
+    std::set<std::string> visited;
+    std::map<std::string, std::string> parent;
+    bool cyclic = false;
+    std::string last;
+    while (!stack.empty() && !cyclic) {
+      const std::string at = std::move(stack.back());
+      stack.pop_back();
+      if (!visited.insert(at).second) continue;
+      const auto it = adj.find(at);
+      if (it == adj.end()) continue;
+      for (const auto& next : it->second) {
+        if (next == module) {
+          cyclic = true;
+          last = at;
+          break;
+        }
+        if (visited.count(next) == 0) {
+          parent[next] = at;
+          stack.push_back(next);
+        }
+      }
+    }
+    if (!cyclic) continue;
+    // Reconstruct module -> … -> last -> module.
+    std::vector<std::string> cycle{module};
+    for (std::string at = last; at != module; at = parent[at]) {
+      cycle.insert(cycle.begin() + 1, at);
+    }
+    cycle.push_back(module);
+    std::string path_text;
+    for (std::size_t k = 0; k < cycle.size(); ++k) {
+      if (k > 0) path_text += " -> ";
+      path_text += cycle[k];
+      in_reported_cycle.insert(cycle[k]);
+    }
+    // Anchor at the first edge of the cycle.
+    for (const auto& site : graph.sites) {
+      if (site.from_module == cycle[0] && site.to_module == cycle[1]) {
+        findings.push_back({site.file, site.line, "include-cycle",
+                            "include cycle among src modules: " + path_text});
+        break;
+      }
+    }
+  }
+
+  // layer-violation: a src→src include edge the link-graph closure forbids.
+  for (const auto& site : graph.sites) {
+    if (src_modules.count(site.from_module) == 0 ||
+        src_modules.count(site.to_module) == 0) {
+      continue;  // consumer roots may include any module
+    }
+    const auto it = graph.allowed.find(site.from_module);
+    if (it != graph.allowed.end() && it->second.count(site.to_module) > 0) {
+      continue;
+    }
+    std::string allowed_text;
+    if (it != graph.allowed.end()) {
+      for (const auto& dep : it->second) {
+        if (dep == site.from_module) continue;
+        if (!allowed_text.empty()) allowed_text += ", ";
+        allowed_text += dep;
+      }
+    }
+    if (allowed_text.empty()) allowed_text = "nothing";
+    findings.push_back(
+        {site.file, site.line, "layer-violation",
+         "module '" + site.from_module + "' must not include '" +
+             site.to_module + "': the CMake link graph allows only " +
+             allowed_text});
+  }
+
+  findings.insert(findings.end(), graph.io_errors.begin(),
+                  graph.io_errors.end());
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.path, a.line, a.rule) <
+                     std::tie(b.path, b.line, b.rule);
+            });
+  return findings;
+}
+
+std::string to_dot(const ArchitectureGraph& graph) {
+  const std::set<std::string> src_modules(graph.src_modules.begin(),
+                                          graph.src_modules.end());
+  // Edge multiplicity and violation flags.
+  std::map<std::pair<std::string, std::string>, std::size_t> counts;
+  for (const auto& site : graph.sites) {
+    ++counts[{site.from_module, site.to_module}];
+  }
+  std::string dot;
+  dot += "digraph mmog_modules {\n";
+  dot += "  rankdir=BT;\n";
+  dot += "  node [shape=box, fontname=\"Helvetica\"];\n";
+  for (const auto& module : graph.src_modules) {
+    dot += "  \"" + module + "\";\n";
+  }
+  std::set<std::string> consumers;
+  for (const auto& site : graph.sites) {
+    if (src_modules.count(site.from_module) == 0) {
+      consumers.insert(site.from_module);
+    }
+  }
+  for (const auto& consumer : consumers) {
+    dot += "  \"" + consumer + "\" [style=dashed];\n";
+  }
+  for (const auto& [edge, count] : counts) {
+    const auto& [from, to] = edge;
+    bool violation = false;
+    if (src_modules.count(from) > 0 && src_modules.count(to) > 0) {
+      const auto it = graph.allowed.find(from);
+      violation = it == graph.allowed.end() || it->second.count(to) == 0;
+    }
+    dot += "  \"" + from + "\" -> \"" + to + "\" [label=\"" +
+           std::to_string(count) + "\"";
+    if (violation) dot += ", color=red, penwidth=2";
+    dot += "];\n";
+  }
+  dot += "}\n";
+  return dot;
+}
+
+// ---------------------------------------------------------------------------
+// Whole-repository run and output formats.
+
+RepoLintResult lint_repo(const std::string& repo_root) {
+  RepoLintResult result;
+  const std::string prefix =
+      repo_root == "." || repo_root.empty() ? "" : repo_root + "/";
+  auto add_tree = [&](std::string_view rel_root) {
+    const std::string root = prefix.empty() ? std::string(rel_root)
+                                            : prefix + std::string(rel_root);
+    std::error_code ec;
+    if (!std::filesystem::is_directory(root, ec)) return;  // optional root
+    auto part = lint_tree(root);
+    for (auto& finding : part) {
+      if (!prefix.empty() && finding.path.rfind(prefix, 0) == 0) {
+        finding.path = finding.path.substr(prefix.size());
+      }
+      result.findings.push_back(std::move(finding));
+    }
+  };
+  add_tree("src");
+  for (const std::string_view consumer : kConsumerRoots) {
+    add_tree(consumer);
+  }
+  result.graph = build_architecture_graph(repo_root);
+  auto arch = lint_architecture(result.graph);
+  result.findings.insert(result.findings.end(),
+                         std::make_move_iterator(arch.begin()),
+                         std::make_move_iterator(arch.end()));
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.path, a.line, a.rule, a.message) <
+                     std::tie(b.path, b.line, b.rule, b.message);
+            });
+  return result;
+}
+
+namespace {
+
+/// Minimal JSON string escaper (finding text is ASCII; control characters
+/// escape as \uXXXX so the output always parses).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (u < 0x20) {
+          out += "\\u00";
+          out += kHex[(u >> 4) & 0xF];
+          out += kHex[u & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string findings_to_json(const std::vector<Finding>& findings) {
+  std::string out;
+  out += "{\"schema\":1,\"kind\":\"mmog-lint\",\"findings\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const auto& f = findings[i];
+    if (i > 0) out += ",";
+    out += "{\"path\":\"" + json_escape(f.path) + "\"";
+    out += ",\"line\":" + std::to_string(f.line);
+    out += ",\"rule\":\"" + json_escape(f.rule) + "\"";
+    out += ",\"message\":\"" + json_escape(f.message) + "\"}";
+  }
+  out += "],\"count\":" + std::to_string(findings.size()) + "}\n";
+  return out;
+}
+
+std::string findings_to_sarif(const std::vector<Finding>& findings) {
+  std::string out;
+  out += "{\"$schema\":"
+         "\"https://json.schemastore.org/sarif-2.1.0.json\","
+         "\"version\":\"2.1.0\",\"runs\":[{";
+  out += "\"tool\":{\"driver\":{\"name\":\"mmog_lint\","
+         "\"informationUri\":"
+         "\"https://github.com/mmogdc/mmogdc\","
+         "\"version\":\"2.0.0\",\"rules\":[";
+  bool first = true;
+  for (const auto& rule : rule_catalog()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"id\":\"" + json_escape(rule.name) + "\"";
+    out += ",\"shortDescription\":{\"text\":\"" + json_escape(rule.summary) +
+           "\"}";
+    out += ",\"properties\":{\"scope\":\"" +
+           json_escape(scope_label(rule.scope)) + "\"}}";
+  }
+  out += ",{\"id\":\"io-error\",\"shortDescription\":{\"text\":\"file could "
+         "not be read while linting\"}}";
+  out += "]}},\"results\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const auto& f = findings[i];
+    if (i > 0) out += ",";
+    out += "{\"ruleId\":\"" + json_escape(f.rule) + "\"";
+    out += ",\"level\":\"error\"";
+    out += ",\"message\":{\"text\":\"" + json_escape(f.message) + "\"}";
+    out += ",\"locations\":[{\"physicalLocation\":{"
+           "\"artifactLocation\":{\"uri\":\"" +
+           json_escape(f.path) + "\"},\"region\":{\"startLine\":" +
+           std::to_string(f.line == 0 ? 1 : f.line) + "}}}]}";
+  }
+  out += "]}]}\n";
+  return out;
 }
 
 }  // namespace mmog::util::lint

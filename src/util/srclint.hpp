@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -17,43 +19,84 @@ struct Finding {
   friend bool operator==(const Finding&, const Finding&) = default;
 };
 
+/// Where a rule is enforced (see the catalog below; `mmog_lint --list-rules`
+/// prints the same table).
+enum class RuleScope {
+  kProduction,     ///< src/, tools/, bench/, examples/ — never tests/
+  kDeterministic,  ///< core/dc/predict/nn/emu paths under src/
+  kHotRegion,      ///< inside `mmog-lint: hot-begin(<name>)` … `hot-end`
+  kHeaders,        ///< every scanned .hpp/.h, including tests/
+  kArchitecture,   ///< module-level include-graph analysis (lint_architecture)
+};
+
 /// One entry of the rule catalog (for --list-rules and docs).
 struct RuleInfo {
   std::string_view name;
-  bool deterministic_only;  ///< enforced only under core/ dc/ predict/ nn/ emu/
+  RuleScope scope;
   std::string_view summary;
 };
 
-/// The determinism-lint catalog, in reporting order:
+/// The full rule catalog, in reporting order.
+///
+/// Determinism family (production scope):
 ///   rand                 ban rand()/srand(): libc PRNG with hidden global
 ///                        state — use util::Rng with a plumbed seed
 ///   random-device        ban std::random_device: per-run entropy breaks
 ///                        bit-reproducibility
 ///   wall-clock           ban std::chrono::system_clock, time(), gettimeofday,
-///                        localtime/gmtime/ctime/asctime: wall-clock reads
-///                        make runs time-of-day dependent (steady_clock for
+///                        localtime/gmtime/ctime/asctime (steady_clock for
 ///                        measured durations is fine — values only)
-///   seed-literal         ban constructing an RNG engine (util::Rng,
-///                        std::mt19937[_64], std::default_random_engine,
-///                        std::minstd_rand) or calling .seed() with a bare
-///                        integer literal: seeds must be plumbed from
-///                        configuration, not invented at the call site
+///   seed-literal         ban seeding an RNG engine with a bare integer
+///                        literal: seeds must be plumbed from configuration
 ///   unordered-container  [deterministic paths only] ban std::unordered_map /
-///                        std::unordered_set (and multi variants): their
-///                        iteration order is implementation-defined, which
-///                        leaks nondeterminism into any loop over them — use
-///                        std::map / sorted vectors in simulation code
+///                        std::unordered_set (and multi variants)
+///
+/// Lock/IO discipline (production scope):
+///   naked-mutex          ban std::mutex / std::lock_guard / std::unique_lock
+///                        / std::condition_variable outside util/mutex.hpp —
+///                        the TSA-annotated util::Mutex wrappers are the only
+///                        way locking stays visible to the compile-time race
+///                        proofs
+///   raw-ofstream         ban std::ofstream outside util/atomic_file.* —
+///                        artifacts must go through util::AtomicFileWriter so
+///                        a crash never publishes a torn file
+///
+/// Hot-path allocation family (only inside
+/// `// mmog-lint: hot-begin(<name>)` … `// mmog-lint: hot-end` regions —
+/// the phase implementations that must stay free of per-step heap traffic):
+///   hot-new              new / make_unique / make_shared
+///   hot-function         std::function construction (type-erased heap state)
+///   hot-string           std::string / to_string / stringstream temporaries
+///   hot-container        declaring an allocating container (vector, map,
+///                        set, deque, list, …) inside the region
+///   hot-push-back        push_back/emplace_back on a receiver that is never
+///                        .reserve()d anywhere in the file
+///
+/// Architecture family (lint_architecture over the module include graph):
+///   pragma-once          header missing `#pragma once`
+///   include-cycle        modules under src/ include each other in a cycle
+///   layer-violation      an include edge contradicts the layer DAG derived
+///                        from the CMake target link graph
 const std::vector<RuleInfo>& rule_catalog();
 
 /// True when `path` has a directory component that places it in a
 /// bit-deterministic simulation layer (core, dc, predict, nn, emu).
 bool is_deterministic_path(std::string_view path);
 
+/// True when `path` has a "tests" directory component (line rules other than
+/// pragma-once are relaxed there: tests legitimately seed literals, use
+/// wall-clock helpers, and write scratch files).
+bool is_test_path(std::string_view path);
+
+/// The comment/string stripper, exposed for tests: comment bodies and
+/// string/char literal contents become spaces, newlines survive, so line
+/// numbers and columns line up with the input.
+std::string strip_code(std::string_view content);
+
 /// Lints one file's contents. Comments and string/char literals are stripped
 /// before matching, so prose and log text never trip a rule. A comment
 /// `// mmog-lint: allow(rule[,rule...])` suppresses those rules on its own
 /// line — or, when the comment stands alone, on the following line.
-/// Deterministic-only rules run when is_deterministic_path(path) holds.
 std::vector<Finding> lint_source(std::string_view path,
                                  std::string_view content);
 
@@ -61,5 +104,71 @@ std::vector<Finding> lint_source(std::string_view path,
 /// is linted directly). Paths that cannot be read produce a finding with
 /// rule "io-error". Results are sorted by path then line.
 std::vector<Finding> lint_tree(const std::string& root);
+
+// ---------------------------------------------------------------------------
+// Architecture analysis: module include graph vs. the CMake layer DAG.
+
+/// One observed module-level include site: `file:line` includes a header of
+/// module `to` from module `from` (repo-relative paths).
+struct IncludeSite {
+  std::string from_module;
+  std::string to_module;
+  std::string file;
+  std::size_t line = 0;
+
+  friend bool operator==(const IncludeSite&, const IncludeSite&) = default;
+};
+
+/// The module graph of a repository tree: source modules under src/ (one per
+/// directory, matching the mmog_<name> CMake targets), the consumer roots
+/// (tools, bench, tests, examples), the allowed dependency closure derived
+/// from `target_link_libraries`, and every observed cross-module include.
+struct ArchitectureGraph {
+  std::vector<std::string> src_modules;  ///< sorted module names under src/
+  /// Direct deps parsed from src/<m>/CMakeLists.txt target_link_libraries.
+  std::map<std::string, std::set<std::string>> link_deps;
+  /// Transitive closure of link_deps plus self — the set of modules whose
+  /// headers module `m` may include.
+  std::map<std::string, std::set<std::string>> allowed;
+  /// Every cross-module include site, sorted by (from, to, file, line).
+  std::vector<IncludeSite> sites;
+  /// Files that could not be read while scanning (surfaced as io-error).
+  std::vector<Finding> io_errors;
+};
+
+/// Scans `repo_root`/{src,tools,bench,tests,examples} for `#include "…"`
+/// edges (comments stripped first) and parses each src/<m>/CMakeLists.txt
+/// for the target link graph. Paths in the result are repo-relative.
+ArchitectureGraph build_architecture_graph(const std::string& repo_root);
+
+/// Architecture rules over a built graph: include-cycle (strongly connected
+/// src modules), layer-violation (include edge absent from the link-graph
+/// closure; consumer roots may include any module). Sorted by path/line.
+std::vector<Finding> lint_architecture(const ArchitectureGraph& graph);
+
+/// Graphviz dot rendering of the module graph: one node per module, one
+/// edge per observed cross-module dependency labelled with its include
+/// count; edges that violate the layer DAG are drawn red and bold.
+std::string to_dot(const ArchitectureGraph& graph);
+
+// ---------------------------------------------------------------------------
+// Whole-repository entry point and output formats.
+
+struct RepoLintResult {
+  std::vector<Finding> findings;  ///< line rules + architecture, sorted
+  ArchitectureGraph graph;
+};
+
+/// Full-suite run over a repository checkout: line rules over src/, tools/,
+/// bench/ and examples/, pragma-once over tests/ as well, plus the
+/// architecture analysis. Finding paths are repo-relative.
+RepoLintResult lint_repo(const std::string& repo_root);
+
+/// Stable-schema JSON: {"schema":1,"kind":"mmog-lint","findings":[…]}.
+std::string findings_to_json(const std::vector<Finding>& findings);
+
+/// SARIF 2.1.0 (static analysis results interchange format), one run with
+/// the full rule catalog, suitable for GitHub code-scanning upload.
+std::string findings_to_sarif(const std::vector<Finding>& findings);
 
 }  // namespace mmog::util::lint

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -147,9 +148,233 @@ TEST(SrcLintTest, AllowListAcceptsMultipleRules) {
 TEST(SrcLintTest, RuleCatalogMatchesImplementedRules) {
   std::vector<std::string> names;
   for (const auto& rule : rule_catalog()) names.emplace_back(rule.name);
-  EXPECT_EQ(names, (std::vector<std::string>{"rand", "random-device",
-                                             "wall-clock", "seed-literal",
-                                             "unordered-container"}));
+  EXPECT_EQ(names,
+            (std::vector<std::string>{
+                "rand", "random-device", "wall-clock", "seed-literal",
+                "unordered-container", "naked-mutex", "raw-ofstream",
+                "pragma-once", "hot-new", "hot-function", "hot-string",
+                "hot-container", "hot-push-back", "include-cycle",
+                "layer-violation"}));
+}
+
+TEST(SrcLintTest, TestPathsAreExemptFromLineRules) {
+  // Tests legitimately seed literals, read clocks, and write scratch files;
+  // only pragma-once (and the architecture rules) apply to tests/.
+  EXPECT_TRUE(lint_source("tests/util/x_test.cpp",
+                          "util::Rng rng(42);\n"
+                          "std::mt19937 gen{12345};\n"
+                          "std::ofstream out(\"scratch.txt\");\n"
+                          "std::mutex m;\n")
+                  .empty());
+}
+
+// --- comment/string stripper edge cases -----------------------------------
+
+TEST(SrcLintStripperTest, EscapedQuoteInCharLiteral) {
+  // '\'' must not end the literal early and leak `rand()` into the code.
+  const auto code = strip_code("char q = '\\''; // rand()\nint x = 1;\n");
+  EXPECT_EQ(code.find("rand"), std::string::npos);
+  EXPECT_TRUE(lint_source("src/util/x.cpp",
+                          "char q = '\\''; char r = 'x'; // ok\n"
+                          "const char* s = \"rand() \\\" srand()\";\n")
+                  .empty());
+}
+
+TEST(SrcLintStripperTest, DigitSeparatorIsNotACharLiteral) {
+  // 1'000'000 must not open a char literal that swallows the next line.
+  const auto findings = lint_source("src/util/x.cpp",
+                                    "int big = 1'000'000;\n"
+                                    "int r = rand();\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_EQ(findings[0].rule, "rand");
+}
+
+TEST(SrcLintStripperTest, RawStringPrefixes) {
+  // All five raw-string prefixes open raw literals whose contents vanish.
+  for (const char* prefix : {"R", "LR", "uR", "UR", "u8R"}) {
+    const std::string src =
+        std::string("auto s = ") + prefix + "\"(rand() inside)\";\n";
+    EXPECT_EQ(strip_code(src).find("rand"), std::string::npos)
+        << "prefix " << prefix;
+  }
+}
+
+TEST(SrcLintStripperTest, IdentifierTailEndingInRIsNotARawString) {
+  // `WER"x"` is an identifier followed by an ordinary string — the old
+  // stripper treated any `R` before a quote as a raw-string opener and
+  // swallowed the rest of the file.
+  const auto findings = lint_source("src/util/x.cpp",
+                                    "auto v = WER\"x\";\n"
+                                    "int r = rand();\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(SrcLintStripperTest, RawStringDelimiterAndAlignment) {
+  // Delimited raw string: contents and delimiters are blanked, and every
+  // byte position (and newline) is preserved so line/column math holds.
+  const std::string src = "auto s = R\"xy(rand()\nsrand())xy\";\nint a;\n";
+  const auto code = strip_code(src);
+  EXPECT_EQ(code.size(), src.size());
+  EXPECT_EQ(std::count(code.begin(), code.end(), '\n'),
+            std::count(src.begin(), src.end(), '\n'));
+  EXPECT_EQ(code.find("rand"), std::string::npos);
+  EXPECT_NE(code.find("int a;"), std::string::npos);
+}
+
+TEST(SrcLintStripperTest, FakeRawTerminatorWithWrongDelimiter) {
+  // `)zz"` must not close a `R"xy(` literal.
+  const auto code =
+      strip_code("auto s = R\"xy(rand() )zz\" still inside)xy\"; int ok;\n");
+  EXPECT_EQ(code.find("rand"), std::string::npos);
+  EXPECT_EQ(code.find("still"), std::string::npos);
+  EXPECT_NE(code.find("int ok;"), std::string::npos);
+}
+
+TEST(SrcLintStripperTest, UnterminatedRawStringAtEof) {
+  // Unterminated raw string: everything to EOF is blanked, newlines kept,
+  // and nothing crashes or misindexes.
+  const std::string src = "auto s = R\"(rand()\nsrand()\n";
+  const auto code = strip_code(src);
+  EXPECT_EQ(code.size(), src.size());
+  EXPECT_EQ(std::count(code.begin(), code.end(), '\n'), 2);
+  EXPECT_EQ(code.find("rand"), std::string::npos);
+  EXPECT_TRUE(lint_source("src/util/x.cpp", src).empty());
+}
+
+TEST(SrcLintStripperTest, UnterminatedRawDelimiterAtEof) {
+  const std::string src = "auto s = R\"abcdefg";  // EOF inside delimiter
+  const auto code = strip_code(src);
+  EXPECT_EQ(code.size(), src.size());
+}
+
+TEST(SrcLintStripperTest, LineCommentDirectiveMustLeadTheComment) {
+  // Prose that merely mentions the directive syntax must not activate it.
+  const auto findings = lint_source(
+      "src/util/x.cpp",
+      "// the `// mmog-lint: hot-begin(x)` marker is documented here\n"
+      "int r = rand();  // a `mmog-lint: allow(rand)` example in prose\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "rand");
+}
+
+// --- lock/IO discipline rules ---------------------------------------------
+
+TEST(SrcLintTest, NakedMutexRuleFires) {
+  const auto findings = lint_source("src/obs/x.cpp",
+                                    "std::mutex m_;\n"
+                                    "std::lock_guard<std::mutex> l(m_);\n"
+                                    "std::condition_variable cv_;\n");
+  EXPECT_EQ(rules_of(findings),
+            (std::vector<std::string>{"naked-mutex", "naked-mutex",
+                                      "naked-mutex"}));
+  // The annotated wrappers themselves are exempt by path.
+  EXPECT_TRUE(lint_source("src/util/mutex.hpp",
+                          "#pragma once\nstd::mutex raw_;\n")
+                  .empty());
+  // And using the wrappers is clean.
+  EXPECT_TRUE(lint_source("src/obs/x.cpp",
+                          "util::Mutex mutex_;\nutil::MutexLock lock(mutex_);\n")
+                  .empty());
+}
+
+TEST(SrcLintTest, RawOfstreamRuleFires) {
+  const auto findings =
+      lint_source("src/obs/x.cpp", "std::ofstream out(path);\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "raw-ofstream");
+  // Reads are fine; the atomic writer implementation is exempt by path.
+  EXPECT_TRUE(lint_source("src/obs/x.cpp", "std::ifstream in(path);\n")
+                  .empty());
+  EXPECT_TRUE(lint_source("src/util/atomic_file.cpp",
+                          "std::ofstream out(tmp);\n")
+                  .empty());
+}
+
+TEST(SrcLintTest, PragmaOnceRequiredInHeaders) {
+  const auto findings = lint_source("src/util/x.hpp", "int f();\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "pragma-once");
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_TRUE(lint_source("src/util/x.hpp", "#pragma once\nint f();\n")
+                  .empty());
+  // Applies to test headers too, but never to .cpp files.
+  EXPECT_FALSE(lint_source("tests/util/x.hpp", "int f();\n").empty());
+  EXPECT_TRUE(lint_source("src/util/x.cpp", "int f();\n").empty());
+}
+
+// --- hot-path allocation rules --------------------------------------------
+
+TEST(SrcLintHotTest, RulesFireOnlyInsideRegions) {
+  const std::string src =
+      "#include <vector>\n"
+      "void f() {\n"
+      "  std::vector<int> before;\n"          // outside: fine
+      "  // mmog-lint: hot-begin(demo)\n"
+      "  std::vector<int> v;\n"               // hot-container
+      "  auto* p = new int(3);\n"             // hot-new
+      "  auto u = std::make_unique<int>();\n" // hot-new
+      "  std::function<void()> fn;\n"         // hot-function
+      "  auto s = std::to_string(4);\n"       // hot-string
+      "  // mmog-lint: hot-end\n"
+      "  std::vector<int> after;\n"           // outside again: fine
+      "}\n";
+  const auto findings = lint_source("src/core/x.cpp", src);
+  EXPECT_EQ(rules_of(findings),
+            (std::vector<std::string>{"hot-container", "hot-new", "hot-new",
+                                      "hot-function", "hot-string"}));
+  for (const auto& f : findings) {
+    EXPECT_NE(f.message.find("demo"), std::string::npos) << f.message;
+  }
+}
+
+TEST(SrcLintHotTest, StringViewDoesNotTripHotString) {
+  EXPECT_TRUE(lint_source("src/core/x.cpp",
+                          "// mmog-lint: hot-begin(demo)\n"
+                          "std::string_view name = tag;\n"
+                          "// mmog-lint: hot-end\n")
+                  .empty());
+}
+
+TEST(SrcLintHotTest, PushBackFlaggedOnlyWithoutReserve) {
+  const std::string unreserved =
+      "// mmog-lint: hot-begin(demo)\n"
+      "void f(Batch& batch) { batch.push_back(1); }\n"
+      "// mmog-lint: hot-end\n";
+  const auto findings = lint_source("src/core/x.cpp", unreserved);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "hot-push-back");
+
+  // A reserve() on the same receiver anywhere in the file clears it —
+  // growth past the reservation is amortized, not per-step.
+  const std::string reserved =
+      "void setup(Batch& batch) { batch.reserve(64); }\n"
+      "// mmog-lint: hot-begin(demo)\n"
+      "void f(Batch& batch) { batch.push_back(1); }\n"
+      "void g(Batch* batch) { batch->emplace_back(2); }\n"
+      "// mmog-lint: hot-end\n";
+  EXPECT_TRUE(lint_source("src/core/x.cpp", reserved).empty());
+}
+
+TEST(SrcLintHotTest, AllowEscapesHotRules) {
+  EXPECT_TRUE(lint_source(
+                  "src/core/x.cpp",
+                  "// mmog-lint: hot-begin(demo)\n"
+                  "auto s = std::to_string(4);  // mmog-lint: allow(hot-string)\n"
+                  "// mmog-lint: hot-end\n")
+                  .empty());
+}
+
+TEST(SrcLintHotTest, HotRegionsApplyEvenInTestsScope) {
+  // The hot rules are region-scoped, not path-scoped: a marked region in
+  // any file is checked (tests simply never mark one).
+  const auto findings = lint_source("tests/util/x_test.cpp",
+                                    "// mmog-lint: hot-begin(x)\n"
+                                    "auto* p = new int;\n"
+                                    "// mmog-lint: hot-end\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "hot-new");
 }
 
 }  // namespace

@@ -58,6 +58,7 @@
 #include "trace/io.hpp"
 #include "trace/runescape_model.hpp"
 #include "util/args.hpp"
+#include "util/atomic_file.hpp"
 #include "util/table.hpp"
 
 using namespace mmog;
@@ -413,14 +414,9 @@ int main(int argc, char** argv) {
       }
     }
     if (!report_out.empty()) {
-      std::ofstream out(report_out);
-      if (!out) {
-        throw std::runtime_error("cannot write " + report_out);
-      }
-      out << obs::reports_to_json(reports) << '\n';
-      if (!out) {
-        throw std::runtime_error("error writing " + report_out);
-      }
+      util::AtomicFileWriter writer(report_out);
+      writer.stream() << obs::reports_to_json(reports) << '\n';
+      writer.commit();
       std::fprintf(stderr, "mmog_chaos: wrote %zu run report(s) to %s\n",
                    reports.size(), report_out.c_str());
     }

@@ -1,16 +1,23 @@
-// mmog_lint — determinism and project-invariant lint over the C++ sources.
+// mmog_lint — project-wide static analysis over the C++ sources.
 //
 // The paper's 5-10x efficiency claim is only reproducible when a fixed seed
-// gives a bit-identical run, so the source itself is scanned for the ways
-// nondeterminism leaks in: libc rand(), std::random_device, wall-clock
-// reads, invented seed literals, and unordered-container iteration inside
-// the deterministic simulation layers. See util/srclint.hpp for the rule
-// catalog and the `// mmog-lint: allow(<rule>)` escape hatch.
+// gives a bit-identical run and the hot phases stay fast enough to track
+// live load, so the source itself is scanned for the ways those invariants
+// decay: nondeterminism leaks (libc rand(), std::random_device, wall-clock
+// reads, invented seed literals, unordered-container iteration), heap
+// traffic inside marked hot-phase regions, lock/IO discipline breaks
+// (std::mutex outside the TSA wrappers, std::ofstream outside
+// AtomicFileWriter), and module-layering violations against the CMake link
+// graph. See util/srclint.hpp for the rule catalog and the
+// `// mmog-lint: allow(<rule>)` escape hatch.
 //
 // Usage:
-//   mmog_lint [--markdown] [--list-rules] <path>...
+//   mmog_lint [--markdown|--json|--sarif] [--graph=dot] [--list-rules]
+//             [--repo <root> | <path>...]
 //
-// Each <path> is a file or a directory scanned recursively for
+// `--repo <root>` runs the full suite (line rules + architecture analysis)
+// over a repository checkout with repo-relative paths; bare <path> args run
+// the line rules only, over files or directories scanned recursively for
 // .hpp/.cpp/.h/.cc. Exits 1 when any unsuppressed finding remains (so the
 // ctest/CI wiring fails the build), 0 on a clean tree.
 
@@ -23,17 +30,35 @@
 
 namespace {
 
+using mmog::util::lint::Finding;
+using mmog::util::lint::RuleScope;
+
+std::string_view scope_text(RuleScope scope) {
+  switch (scope) {
+    case RuleScope::kProduction:
+      return "production (src/tools/bench/examples)";
+    case RuleScope::kDeterministic:
+      return "deterministic paths (core/dc/predict/nn/emu)";
+    case RuleScope::kHotRegion:
+      return "hot regions (hot-begin..hot-end)";
+    case RuleScope::kHeaders:
+      return "all headers";
+    case RuleScope::kArchitecture:
+      return "module include graph";
+  }
+  return "";
+}
+
 void print_rules() {
   std::printf("rule catalog:\n");
   for (const auto& rule : mmog::util::lint::rule_catalog()) {
-    std::printf("  %-20s %s%s\n", std::string(rule.name).c_str(),
-                rule.deterministic_only ? "[core/dc/predict/nn/emu only] "
-                                        : "",
+    std::printf("  %-20s [%s]\n      %s\n", std::string(rule.name).c_str(),
+                std::string(scope_text(rule.scope)).c_str(),
                 std::string(rule.summary).c_str());
   }
 }
 
-void print_markdown(const std::vector<mmog::util::lint::Finding>& findings) {
+void print_markdown(const std::vector<Finding>& findings) {
   std::printf("### mmog_lint findings\n\n");
   if (findings.empty()) {
     std::printf("No findings — tree is clean.\n");
@@ -46,10 +71,27 @@ void print_markdown(const std::vector<mmog::util::lint::Finding>& findings) {
   }
 }
 
+void print_text(const std::vector<Finding>& findings) {
+  for (const auto& f : findings) {
+    std::fprintf(stderr, "%s:%zu: error: [%s] %s\n", f.path.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+  std::fprintf(stderr, "mmog_lint: %zu finding(s)\n", findings.size());
+}
+
+void print_usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: mmog_lint [--markdown|--json|--sarif] [--graph=dot]\n"
+               "                 [--list-rules] [--repo <root> | <path>...]\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool markdown = false;
+  enum class Format { kText, kMarkdown, kJson, kSarif };
+  Format format = Format::kText;
+  bool graph_dot = false;
+  std::string repo_root;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -58,9 +100,21 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (arg == "--markdown") {
-      markdown = true;
+      format = Format::kMarkdown;
+    } else if (arg == "--json") {
+      format = Format::kJson;
+    } else if (arg == "--sarif") {
+      format = Format::kSarif;
+    } else if (arg == "--graph=dot") {
+      graph_dot = true;
+    } else if (arg == "--repo") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mmog_lint: --repo needs a path\n");
+        return 2;
+      }
+      repo_root = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: mmog_lint [--markdown] [--list-rules] <path>...\n");
+      print_usage(stdout);
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "mmog_lint: unknown flag '%s'\n", argv[i]);
@@ -69,26 +123,49 @@ int main(int argc, char** argv) {
       paths.emplace_back(arg);
     }
   }
-  if (paths.empty()) {
-    std::fprintf(stderr, "usage: mmog_lint [--markdown] [--list-rules] "
-                         "<path>...\n");
+  if (repo_root.empty() && paths.empty()) {
+    print_usage(stderr);
+    return 2;
+  }
+  if (!repo_root.empty() && !paths.empty()) {
+    std::fprintf(stderr,
+                 "mmog_lint: --repo and bare paths are mutually exclusive\n");
+    return 2;
+  }
+  if (graph_dot && repo_root.empty()) {
+    std::fprintf(stderr, "mmog_lint: --graph=dot requires --repo <root>\n");
     return 2;
   }
 
-  std::vector<mmog::util::lint::Finding> findings;
-  for (const auto& path : paths) {
-    auto part = mmog::util::lint::lint_tree(path);
-    findings.insert(findings.end(), part.begin(), part.end());
+  std::vector<Finding> findings;
+  if (!repo_root.empty()) {
+    auto result = mmog::util::lint::lint_repo(repo_root);
+    if (graph_dot) {
+      std::fputs(mmog::util::lint::to_dot(result.graph).c_str(), stdout);
+      return 0;
+    }
+    findings = std::move(result.findings);
+  } else {
+    for (const auto& path : paths) {
+      auto part = mmog::util::lint::lint_tree(path);
+      findings.insert(findings.end(), part.begin(), part.end());
+    }
   }
 
-  if (markdown) {
-    print_markdown(findings);
-  } else {
-    for (const auto& f : findings) {
-      std::fprintf(stderr, "%s:%zu: error: [%s] %s\n", f.path.c_str(), f.line,
-                   f.rule.c_str(), f.message.c_str());
-    }
-    std::fprintf(stderr, "mmog_lint: %zu finding(s)\n", findings.size());
+  switch (format) {
+    case Format::kMarkdown:
+      print_markdown(findings);
+      break;
+    case Format::kJson:
+      std::fputs(mmog::util::lint::findings_to_json(findings).c_str(), stdout);
+      break;
+    case Format::kSarif:
+      std::fputs(mmog::util::lint::findings_to_sarif(findings).c_str(),
+                 stdout);
+      break;
+    case Format::kText:
+      print_text(findings);
+      break;
   }
   return findings.empty() ? 0 : 1;
 }

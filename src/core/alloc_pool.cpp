@@ -1,0 +1,32 @@
+#include "core/alloc_pool.hpp"
+
+namespace mmog::core {
+
+void AllocPool::reserve(std::size_t n) {
+  while (capacity() < n) {
+    slabs_.push_back(std::make_unique<Slab>());
+  }
+}
+
+AllocPool::Index AllocPool::carve_slot() {
+  // Growth path: rare (the simulate() setup sizes the pool for the
+  // workload's warm state) and amortized, like vector growth was.
+  if (carved_ == capacity()) {
+    slabs_.push_back(std::make_unique<Slab>());
+  }
+  return static_cast<Index>(carved_++);
+}
+
+std::vector<dc::Allocation> AllocPool::to_vector(const List& list) const {
+  std::vector<dc::Allocation> out;
+  out.reserve(list.size);
+  for (Index i = list.head; i != kNil; i = next(i)) out.push_back(get(i));
+  return out;
+}
+
+void AllocPool::assign(List& list, const std::vector<dc::Allocation>& records) {
+  while (list.head != kNil) erase(list, list.head);
+  for (const auto& a : records) acquire(list, a);
+}
+
+}  // namespace mmog::core

@@ -1,0 +1,200 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dc/datacenter.hpp"
+#include "util/units.hpp"
+
+namespace mmog::core {
+
+/// Arena-backed struct-of-arrays pool of live dc::Allocation records
+/// (the lockstep/sim_region arena idiom): instead of one std::vector per
+/// demand unit — whose middle erase() shifts every later record and whose
+/// growth reallocates mid-step — every allocation in the run lives in a
+/// slot of a fixed-capacity slab, and each unit owns a doubly linked list
+/// of slot indices. Acquire appends at the tail, erase unlinks in O(1) and
+/// pushes the slot onto a free list for recycling, so the steady state of
+/// the match/replace hot path performs zero heap allocations. Slabs are
+/// never moved or freed while the pool lives, so slot indices stay stable
+/// across growth (growth adds a slab; it is rare and amortized).
+///
+/// List order is insertion order, exactly like the vector it replaces:
+/// to_vector() reproduces the historical per-unit vector byte for byte,
+/// which is what keeps checkpoints and audit walks identical.
+class AllocPool {
+ public:
+  using Index = std::uint32_t;
+  static constexpr Index kNil = 0xFFFFFFFFu;
+  static constexpr std::size_t kSlabSlots = 1024;
+
+  /// One unit's allocation list: indices into the shared pool, in
+  /// insertion order. Value-semantic and trivially checkpointable — the
+  /// records themselves live in the pool.
+  struct List {
+    Index head = kNil;
+    Index tail = kNil;
+    std::uint32_t size = 0;
+    bool empty() const noexcept { return size == 0; }
+  };
+
+  AllocPool() = default;
+  /// Pre-carves enough slabs for `capacity_hint` live slots.
+  explicit AllocPool(std::size_t capacity_hint) { reserve(capacity_hint); }
+
+  AllocPool(const AllocPool&) = delete;
+  AllocPool& operator=(const AllocPool&) = delete;
+
+  /// Ensures at least `n` slots exist (live + free) without growing later.
+  void reserve(std::size_t n);
+
+  // mmog-lint: hot-begin(alloc-pool)
+
+  /// Appends a record at the tail of `list`, returning its slot.
+  Index acquire(List& list, const dc::Allocation& a) {
+    const Index i = free_head_ != kNil ? pop_free() : carve_slot();
+    Slab& s = *slabs_[i >> kSlabShift];
+    const std::size_t o = i & kSlabMask;
+    s.id[o] = a.id;
+    s.dc_index[o] = static_cast<std::uint32_t>(a.dc_index);
+    s.game_id[o] = static_cast<std::uint32_t>(a.game_id);
+    s.group_id[o] = a.group_id;
+    s.region_id[o] = a.region_id;
+    s.amount[o] = a.amount;
+    s.start_step[o] = a.start_step;
+    s.usable_step[o] = a.usable_step;
+    s.release_step[o] = a.earliest_release_step;
+    s.next[o] = kNil;
+    s.prev[o] = list.tail;
+    if (list.tail != kNil) {
+      slab_of(list.tail).next[list.tail & kSlabMask] = i;
+    } else {
+      list.head = i;
+    }
+    list.tail = i;
+    ++list.size;
+    ++live_;
+    return i;
+  }
+
+  /// Unlinks slot `i` from `list` and recycles it.
+  void erase(List& list, Index i) {
+    assert(list.size > 0);
+    Slab& s = slab_of(i);
+    const std::size_t o = i & kSlabMask;
+    const Index p = s.prev[o];
+    const Index n = s.next[o];
+    if (p != kNil) {
+      slab_of(p).next[p & kSlabMask] = n;
+    } else {
+      list.head = n;
+    }
+    if (n != kNil) {
+      slab_of(n).prev[n & kSlabMask] = p;
+    } else {
+      list.tail = p;
+    }
+    --list.size;
+    --live_;
+    push_free(i);
+  }
+
+  std::size_t id(Index i) const { return field(i).id[i & kSlabMask]; }
+  std::size_t dc_index(Index i) const {
+    return field(i).dc_index[i & kSlabMask];
+  }
+  std::size_t game_id(Index i) const { return field(i).game_id[i & kSlabMask]; }
+  const util::ResourceVector& amount(Index i) const {
+    return field(i).amount[i & kSlabMask];
+  }
+  bool releasable_at(Index i, std::size_t step) const {
+    return step >= field(i).release_step[i & kSlabMask];
+  }
+  bool usable_at(Index i, std::size_t step) const {
+    return step >= field(i).usable_step[i & kSlabMask];
+  }
+  Index next(Index i) const { return field(i).next[i & kSlabMask]; }
+  Index prev(Index i) const { return field(i).prev[i & kSlabMask]; }
+
+  /// Canonical conservation sum: the amounts of `list` added in insertion
+  /// order — the exact value `unit.allocated` must equal at all times.
+  util::ResourceVector sum_amounts(const List& list) const {
+    util::ResourceVector sum{};
+    for (Index i = list.head; i != kNil; i = next(i)) sum += amount(i);
+    return sum;
+  }
+
+  // mmog-lint: hot-end
+
+  /// Materializes slot `i` back into the plain record (cold paths only).
+  dc::Allocation get(Index i) const {
+    const Slab& s = field(i);
+    const std::size_t o = i & kSlabMask;
+    dc::Allocation a;
+    a.id = s.id[o];
+    a.dc_index = s.dc_index[o];
+    a.game_id = s.game_id[o];
+    a.group_id = s.group_id[o];
+    a.region_id = s.region_id[o];
+    a.amount = s.amount[o];
+    a.start_step = s.start_step[o];
+    a.usable_step = s.usable_step[o];
+    a.earliest_release_step = s.release_step[o];
+    return a;
+  }
+
+  /// The list as the historical per-unit vector (checkpoint capture).
+  std::vector<dc::Allocation> to_vector(const List& list) const;
+
+  /// Replaces `list`'s contents with `records` (checkpoint restore).
+  void assign(List& list, const std::vector<dc::Allocation>& records);
+
+  /// Live slots across all lists.
+  std::size_t live() const noexcept { return live_; }
+  /// Total slots carved so far (live + recycled).
+  std::size_t capacity() const noexcept { return slabs_.size() * kSlabSlots; }
+  std::size_t slab_count() const noexcept { return slabs_.size(); }
+
+ private:
+  static constexpr std::size_t kSlabShift = 10;
+  static constexpr std::size_t kSlabMask = kSlabSlots - 1;
+  static_assert((std::size_t{1} << kSlabShift) == kSlabSlots);
+
+  struct Slab {
+    std::uint64_t id[kSlabSlots];
+    std::uint64_t group_id[kSlabSlots];
+    std::uint64_t region_id[kSlabSlots];
+    std::uint64_t start_step[kSlabSlots];
+    std::uint64_t usable_step[kSlabSlots];
+    std::uint64_t release_step[kSlabSlots];
+    util::ResourceVector amount[kSlabSlots];
+    std::uint32_t dc_index[kSlabSlots];
+    std::uint32_t game_id[kSlabSlots];
+    Index next[kSlabSlots];
+    Index prev[kSlabSlots];
+  };
+
+  Slab& slab_of(Index i) { return *slabs_[i >> kSlabShift]; }
+  const Slab& field(Index i) const { return *slabs_[i >> kSlabShift]; }
+
+  Index pop_free() {
+    const Index i = free_head_;
+    free_head_ = slab_of(i).next[i & kSlabMask];
+    return i;
+  }
+  void push_free(Index i) {
+    slab_of(i).next[i & kSlabMask] = free_head_;
+    free_head_ = i;
+  }
+  Index carve_slot();
+
+  std::vector<std::unique_ptr<Slab>> slabs_;
+  Index free_head_ = kNil;
+  std::size_t carved_ = 0;  ///< slots handed out at least once
+  std::size_t live_ = 0;
+};
+
+}  // namespace mmog::core

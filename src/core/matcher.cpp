@@ -16,14 +16,14 @@ std::vector<std::size_t> Matcher::candidates(
     const dc::GeoPoint& origin, dc::DistanceClass tolerance) const {
   struct Entry {
     std::size_t index;
-    double grain;
+    dc::GranularityKey grain;
     double distance;
   };
   std::vector<Entry> eligible;
   for (std::size_t i = 0; i < specs_.size(); ++i) {
     const double d = distance_km(origin, i);
     if (!dc::within_tolerance(d, tolerance)) continue;
-    eligible.push_back({i, specs_[i].policy.granularity_score(), d});
+    eligible.push_back({i, specs_[i].policy.granularity_key(), d});
   }
   std::sort(eligible.begin(), eligible.end(), [](const Entry& a, const Entry& b) {
     if (a.grain != b.grain) return a.grain < b.grain;

@@ -1,9 +1,7 @@
 #include "core/predict_phase.hpp"
 
 #include <algorithm>
-#include <future>
 #include <thread>
-#include <vector>
 
 namespace mmog::core {
 
@@ -13,10 +11,17 @@ ParallelPredictor::ParallelPredictor(std::size_t threads) {
   }
   threads_ = threads;
   if (threads_ > 1) {
-    pool_ = std::make_unique<util::ThreadPool>(threads_);
-    futures_.reserve(threads_);
+    team_ = std::make_unique<util::ShardTeam>(threads_);
   }
 }
+
+/// Everything one dispatch needs, stack-owned by run(): the team passes a
+/// raw pointer to it, so the per-step fan-out allocates nothing.
+struct ParallelPredictor::RunContext {
+  ParallelPredictor* self;
+  std::span<const PredictSlot> slots;
+  obs::Recorder* rec;
+};
 
 // mmog-lint: hot-begin(predict)
 void ParallelPredictor::run_range(std::span<const PredictSlot> slots,
@@ -32,10 +37,29 @@ void ParallelPredictor::run_range(std::span<const PredictSlot> slots,
   }
 }
 
+void ParallelPredictor::shard_entry(void* ctx, std::size_t shard,
+                                    std::size_t shards) {
+  auto& run = *static_cast<RunContext*>(ctx);
+  // Identical partition arithmetic to the historical ThreadPool path: at
+  // most one contiguous chunk per worker, trailing workers idle when there
+  // are fewer slots than shards.
+  const std::size_t used = std::min(run.slots.size(), shards);
+  const std::size_t chunk = (run.slots.size() + used - 1) / used;
+  const std::size_t begin = shard * chunk;
+  const std::size_t end = std::min(run.slots.size(), begin + chunk);
+  if (begin >= end) return;
+  const obs::Stopwatch watch;
+  run_range(run.slots.subspan(begin, end - begin), run.rec);
+  const double us = watch.elapsed_us();
+  if (run.rec) run.rec->observe_us("phase.predict_shard_us", us);
+  util::MutexLock lock(run.self->mutex_);
+  run.self->worst_shard_us_ = std::max(run.self->worst_shard_us_, us);
+}
+
 void ParallelPredictor::run(std::span<const PredictSlot> slots,
                             obs::Recorder* rec) {
-  if (!pool_ || slots.size() <= 1) {
-    // threads == 1: the historical serial code path, untouched by any pool.
+  if (!team_ || slots.size() <= 1) {
+    // threads == 1: the historical serial code path, untouched by any team.
     run_range(slots, rec);
     return;
   }
@@ -43,31 +67,11 @@ void ParallelPredictor::run(std::span<const PredictSlot> slots,
     util::MutexLock lock(mutex_);
     worst_shard_us_ = 0.0;
   }
-  const std::size_t shards = std::min(slots.size(), pool_->thread_count());
-  const std::size_t chunk = (slots.size() + shards - 1) / shards;
-  futures_.clear();
-  for (std::size_t s = 0; s < shards; ++s) {
-    const std::size_t begin = s * chunk;
-    const std::size_t end = std::min(slots.size(), begin + chunk);
-    if (begin >= end) break;
-    // The pool's packaged task still owns its own shared state; what the
-    // scratch vector saves is the per-step buffer regrowth.
-    // mmog-lint: allow(hot-new)
-    futures_.push_back(pool_->submit([this, shard = slots.subspan(
-                                                begin, end - begin),
-                                      rec] {
-      const obs::Stopwatch watch;
-      run_range(shard, rec);
-      const double us = watch.elapsed_us();
-      if (rec) rec->observe_us("phase.predict_shard_us", us);
-      util::MutexLock lock(mutex_);
-      worst_shard_us_ = std::max(worst_shard_us_, us);
-    }));
-  }
-  // The join is the determinism barrier: every slot is written before the
-  // caller reads any prediction. get() rethrows a worker's exception.
-  for (auto& f : futures_) f.get();
-  futures_.clear();
+  RunContext ctx{this, slots, rec};
+  // The join inside run() is the determinism barrier: every slot is written
+  // before the caller reads any prediction; a worker's exception is
+  // rethrown here.
+  team_->run(&ParallelPredictor::shard_entry, &ctx);
 }
 // mmog-lint: hot-end
 

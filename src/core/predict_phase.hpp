@@ -1,16 +1,14 @@
 #pragma once
 
 #include <cstddef>
-#include <future>
 #include <memory>
 #include <span>
-#include <vector>
 
 #include "obs/recorder.hpp"
 #include "predict/predictor.hpp"
 #include "util/mutex.hpp"
+#include "util/shard_team.hpp"
 #include "util/thread_annotations.hpp"
-#include "util/thread_pool.hpp"
 
 namespace mmog::core {
 
@@ -32,7 +30,12 @@ struct PredictSlot {
 /// trained models are immutable, and IEEE arithmetic inside one predictor
 /// does not depend on which thread executes it.
 ///
-/// threads == 1 keeps everything on the calling thread with no pool at all
+/// The workers are a persistent util::ShardTeam, so the per-step dispatch
+/// performs zero heap allocations (the old ThreadPool::submit path paid a
+/// packaged task per shard per step). The same team is shared with the
+/// other sharded phases via team().
+///
+/// threads == 1 keeps everything on the calling thread with no team at all
 /// (exactly the historical serial code path); threads == 0 resolves to the
 /// hardware concurrency.
 class ParallelPredictor {
@@ -41,6 +44,11 @@ class ParallelPredictor {
 
   /// The resolved worker count (>= 1).
   std::size_t threads() const noexcept { return threads_; }
+
+  /// The shared worker team (nullptr when threads() == 1): other per-step
+  /// phases shard their pure computation on the same threads instead of
+  /// spawning their own.
+  util::ShardTeam* team() noexcept { return team_.get(); }
 
   /// Predicts every slot. With a recorder, each prediction is timed into
   /// the "predictor.inference_us" histogram and each shard's wall time into
@@ -53,15 +61,13 @@ class ParallelPredictor {
   double last_worst_shard_us() const;
 
  private:
-  void run_range(std::span<const PredictSlot> slots, obs::Recorder* rec);
+  struct RunContext;
+  static void shard_entry(void* ctx, std::size_t shard, std::size_t shards);
+  static void run_range(std::span<const PredictSlot> slots,
+                        obs::Recorder* rec);
 
   std::size_t threads_ = 1;
-  std::unique_ptr<util::ThreadPool> pool_;
-  /// Scratch for the per-run shard futures, reserved once in the
-  /// constructor: run() is called every simulation step, and the predict
-  /// phase must not allocate per step. run() is externally synchronized
-  /// (one simulation thread), so unguarded reuse is safe.
-  std::vector<std::future<void>> futures_;
+  std::unique_ptr<util::ShardTeam> team_;
   mutable util::Mutex mutex_;
   double worst_shard_us_ GUARDED_BY(mutex_) = 0.0;
 };

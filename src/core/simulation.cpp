@@ -1,13 +1,17 @@
 #include "core/simulation.hpp"
 
+#include "core/alloc_pool.hpp"
 #include "core/predict_phase.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <climits>
 #include <cmath>
 #include <limits>
 #include <memory>
 #include <stdexcept>
+
+#include "util/shard_team.hpp"
 
 namespace mmog::core {
 namespace {
@@ -31,7 +35,13 @@ struct DemandUnit {
   std::size_t game_id = 0;
   std::string region_name;
   std::vector<GroupStream> groups;
-  std::vector<dc::Allocation> allocations;
+  /// Live allocations, as an insertion-ordered list of AllocPool slots
+  /// (the data-oriented replacement for the historical per-unit
+  /// std::vector<dc::Allocation>).
+  AllocPool::List allocs;
+  /// Invariant: always the exact in-insertion-order sum of the live
+  /// allocations' amounts (see AllocPool::sum_amounts) — the conservation
+  /// property the release paths re-establish after every removal.
   util::ResourceVector allocated{};
   std::vector<std::size_t> candidates;  ///< matcher-ordered DC indices
   /// Healthy distance class per data center (kNotACandidate when the
@@ -43,6 +53,90 @@ struct DemandUnit {
   fault::BackoffTracker backoff;
   int priority = 0;
 };
+
+/// Candidate-filter statuses precomputed for the match phase. Only the
+/// outage and latency-degradation verdicts live here: both are pure
+/// functions of (data center, step) through the immutable fault schedule,
+/// so workers can evaluate them in parallel with no ordering effects.
+/// Backoff is deliberately absent — shedding mutates *other* units'
+/// trackers mid-phase, so that check stays in the serial commit.
+constexpr std::uint8_t kCandViable = 0;
+constexpr std::uint8_t kCandOutage = 1;
+constexpr std::uint8_t kCandLatency = 2;
+
+struct CandidateFilterCtx {
+  const std::vector<DemandUnit>* units;
+  const fault::FaultSchedule* schedule;
+  const std::vector<std::size_t>* offsets;  ///< per-unit start into statuses
+  std::vector<std::uint8_t>* statuses;
+  std::size_t step;
+};
+
+// mmog-lint: hot-begin(match-filter)
+void candidate_filter_shard(void* opaque, std::size_t shard,
+                            std::size_t shards) {
+  auto& ctx = *static_cast<CandidateFilterCtx*>(opaque);
+  const auto& units = *ctx.units;
+  const std::size_t chunk = (units.size() + shards - 1) / shards;
+  const std::size_t begin = std::min(units.size(), shard * chunk);
+  const std::size_t end = std::min(units.size(), begin + chunk);
+  for (std::size_t u = begin; u < end; ++u) {
+    const DemandUnit& unit = units[u];
+    std::uint8_t* status = ctx.statuses->data() + (*ctx.offsets)[u];
+    for (std::size_t ci = 0; ci < unit.candidates.size(); ++ci) {
+      const std::size_t d = unit.candidates[ci];
+      std::uint8_t s = kCandViable;
+      if (ctx.schedule->outage_at(d, ctx.step)) {
+        s = kCandOutage;
+      } else {
+        const std::size_t penalty =
+            ctx.schedule->latency_penalty_at(d, ctx.step);
+        if (penalty != 0) {
+          const std::uint8_t base = unit.base_class_by_dc[d];
+          if (base == kNotACandidate ||
+              base + penalty > static_cast<std::size_t>(unit.tolerance)) {
+            s = kCandLatency;
+          }
+        }
+      }
+      status[ci] = s;
+    }
+  }
+}
+
+/// One server group's slice of the pad phase: inputs (prediction stream,
+/// load model) are fixed at setup; the per-step parallel pass rewrites only
+/// the output fields of its own shard's slots, and the serial reduction
+/// reads them back in fixed group order — the same add sequence as the
+/// historical serial loop, hence bit-identical at any thread count.
+struct PadSlot {
+  const GroupStream* stream = nullptr;
+  const LoadModel* load = nullptr;
+  util::ResourceVector demand{};  ///< load demand of the padded prediction
+  util::ResourceVector raw{};     ///< load demand of the raw prediction
+};
+
+struct PadCtx {
+  PadSlot* slots;
+  std::size_t count;
+  double safety_factor;
+  bool want_raw;  ///< raw demand is only consumed by the audit margin
+};
+
+void pad_shard(void* opaque, std::size_t shard, std::size_t shards) {
+  auto& ctx = *static_cast<PadCtx*>(opaque);
+  const std::size_t chunk = (ctx.count + shards - 1) / shards;
+  const std::size_t begin = std::min(ctx.count, shard * chunk);
+  const std::size_t end = std::min(ctx.count, begin + chunk);
+  for (std::size_t i = begin; i < end; ++i) {
+    PadSlot& slot = ctx.slots[i];
+    const double padded = slot.stream->last_prediction +
+                          ctx.safety_factor * slot.stream->abs_error_ewma;
+    slot.demand = slot.load->demand(padded);
+    if (ctx.want_raw) slot.raw = slot.load->demand(slot.stream->last_prediction);
+  }
+}
+// mmog-lint: hot-end
 
 /// Up-front configuration validation: every inconsistency fails loudly
 /// here instead of silently no-opting deep in the run.
@@ -138,9 +232,6 @@ SimulationResult simulate(const SimulationConfig& config) {
       }
       unit.backoff = fault::BackoffTracker(res_policy.base_backoff_steps,
                                            res_policy.max_backoff_steps);
-      // Warm-start the holdings vector so the allocate hot path almost
-      // never regrows it mid-step (growth past this stays amortized).
-      unit.allocations.reserve(unit.candidates.size() * 4);
       if (rec) {
         // Matching criterion 2 (§II-C, geographic proximity): centers
         // outside the game's latency tolerance are rejected up front, once
@@ -184,6 +275,25 @@ SimulationResult simulate(const SimulationConfig& config) {
                                      steps, std::move(fixed_events));
   const bool have_faults = !schedule.empty();
 
+  // The shared allocation arena, sized so every unit's warm state fits
+  // without slab growth (the same 4-allocations-per-candidate warm start
+  // the per-unit vectors used to reserve).
+  std::size_t pool_hint = 0;
+  for (const auto& unit : units) pool_hint += unit.candidates.size() * 4;
+  AllocPool alloc_pool(pool_hint);
+
+  // Flat per-(unit, candidate-position) viability statuses for the match
+  // phase, written by the parallel candidate filter and read by the serial
+  // commit. Only needed when faults can reject candidates at all.
+  std::vector<std::size_t> cand_offset(units.size() + 1, 0);
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    cand_offset[u + 1] = cand_offset[u] + units[u].candidates.size();
+  }
+  std::vector<std::uint8_t> cand_status;
+  if (have_faults && config.mode == AllocationMode::kDynamic) {
+    cand_status.resize(cand_offset.back(), kCandViable);
+  }
+
   if (rec) {
     rec->gauge("sim.steps", static_cast<double>(steps));
     rec->gauge("sim.units", static_cast<double>(units.size()));
@@ -226,6 +336,26 @@ SimulationResult simulate(const SimulationConfig& config) {
       }
     }
   }
+  // Pad-phase scheduler: the same flat service-ordered view, one slot per
+  // group stream. Workers fill only the output fields of their own shard's
+  // slots; the serial per-unit reduction below reads them in fixed group
+  // order, so padding too is bit-identical at any thread count.
+  std::vector<PadSlot> pad_slots;
+  if (config.mode == AllocationMode::kDynamic) {
+    pad_slots.reserve(total_groups);
+    for (const std::size_t idx : order) {
+      const auto& load = config.games[units[idx].game_id].load;
+      for (auto& stream : units[idx].groups) {
+        PadSlot slot;
+        slot.stream = &stream;
+        slot.load = &load;
+        pad_slots.push_back(slot);
+      }
+    }
+  }
+  // One persistent worker team serves every sharded phase (predict, pad,
+  // match filter); nullptr means threads == 1 and the shards run inline.
+  util::ShardTeam* const team = predict_runner.team();
   if (rec) {
     rec->gauge("sim.predict_threads",
                static_cast<double>(predict_runner.threads()));
@@ -280,16 +410,37 @@ SimulationResult simulate(const SimulationConfig& config) {
   if (audit) audit_batch.reserve(units.size() * 2);
 
   // `ar` collects one AuditOffer per visited candidate (nullptr = audit
-  // off: the walk pays one pointer test per branch).
+  // off: the walk pays one pointer test per branch). `filter`, when given,
+  // is the unit's precomputed outage/latency statuses (one per candidate
+  // position, from candidate_filter_shard); nullptr re-evaluates them
+  // inline — both paths compute the same pure predicates.
   // mmog-lint: hot-begin(allocate)
   auto try_allocate = [&](DemandUnit& unit, const util::ResourceVector& need_in,
                           std::size_t step, std::size_t hold_steps,
-                          obs::AuditRecord* ar) {
+                          obs::AuditRecord* ar, const std::uint8_t* filter) {
     util::ResourceVector need = need_in.clamped_non_negative();
     if (ar) ar->offers.reserve(unit.candidates.size());
-    for (std::size_t cand : unit.candidates) {
+    for (std::size_t ci = 0; ci < unit.candidates.size(); ++ci) {
+      const std::size_t cand = unit.candidates[ci];
+      // Satisfied: stop the walk before touching another candidate. This
+      // check used to sit *after* the rejection branches, so a request
+      // whose need was already met kept visiting the remaining candidates
+      // and inflated the offer.rejected.* counters and audit offer walks
+      // with phantom rejections.
+      double outstanding = 0.0;
+      for (double v : need.v) outstanding += v;
+      if (outstanding <= 1e-9) break;
       const auto dc32 = static_cast<std::uint32_t>(cand);
-      if (have_faults && schedule.outage_at(cand, step)) {
+      bool outage;
+      bool latency;
+      if (filter != nullptr) {
+        outage = filter[ci] == kCandOutage;
+        latency = filter[ci] == kCandLatency;
+      } else {
+        outage = have_faults && schedule.outage_at(cand, step);
+        latency = !outage && have_faults && latency_violated(unit, cand, step);
+      }
+      if (outage) {
         if (rec) rec->count("offer.rejected.outage");
         if (ar) {
           ar->offers.push_back(
@@ -297,7 +448,7 @@ SimulationResult simulate(const SimulationConfig& config) {
         }
         continue;
       }
-      if (have_faults && latency_violated(unit, cand, step)) {
+      if (latency) {
         // Matching criterion 2 re-evaluated under degradation: the center
         // is temporarily too far for this game.
         if (rec) rec->count("offer.rejected.latency_degraded");
@@ -315,9 +466,6 @@ SimulationResult simulate(const SimulationConfig& config) {
         }
         continue;
       }
-      double outstanding = 0.0;
-      for (double v : need.v) outstanding += v;
-      if (outstanding <= 1e-9) break;
       auto& ledger = ledgers[cand];
       const auto& policy = ledger.spec().policy;
       const auto amount = offer_amount(need, ledger.free(), policy);
@@ -376,7 +524,9 @@ SimulationResult simulate(const SimulationConfig& config) {
               ? hold_steps
               : step + std::max<std::size_t>(hold_steps,
                                              policy.time_bulk_steps());
-      unit.allocations.push_back(alloc);
+      alloc_pool.acquire(unit.allocs, alloc);
+      // Appending at the tail extends the in-order conservation sum by one
+      // term, so += keeps `allocated` exactly Σ amounts.
       unit.allocated += amount;
       need = (need - amount).clamped_non_negative();
       if (resilient) unit.backoff.record_success(cand);
@@ -391,11 +541,15 @@ SimulationResult simulate(const SimulationConfig& config) {
       if (rec) {
         rec->count("offer.matched");
         rec->count("alloc.granted");
-        rec->instant("alloc.granted", "alloc", step,
-                     {{"dc", ledger.spec().name},
-                      {"region", unit.region_name},
-                      {"cpu", std::to_string(amount.cpu())},   // mmog-lint: allow(hot-string)
-                      {"id", std::to_string(alloc.id)}});      // mmog-lint: allow(hot-string)
+        // Guarded so the arg strings are only built when a tracer consumes
+        // them; instant() would drop them unseen below kSteps level.
+        if (rec->tracing()) {
+          rec->instant("alloc.granted", "alloc", step,
+                       {{"dc", ledger.spec().name},
+                        {"region", unit.region_name},
+                        {"cpu", std::to_string(amount.cpu())},   // mmog-lint: allow(hot-string)
+                        {"id", std::to_string(alloc.id)}});      // mmog-lint: allow(hot-string)
+        }
       }
     }
     return need;  // unmet demand
@@ -403,11 +557,13 @@ SimulationResult simulate(const SimulationConfig& config) {
 
   // Force-releases one allocation (fault eviction or shedding), returning
   // its resources to the ledger and recording why.
-  auto force_release = [&](std::size_t unit_index, std::size_t alloc_index,
+  auto force_release = [&](std::size_t unit_index, AllocPool::Index slot,
                            std::size_t step, const char* reason) {
     DemandUnit& unit = units[unit_index];
-    const auto alloc = unit.allocations[alloc_index];
-    ledgers[alloc.dc_index].release(alloc.amount);
+    const auto amount = alloc_pool.amount(slot);
+    const std::size_t alloc_dc = alloc_pool.dc_index(slot);
+    const std::size_t alloc_id = alloc_pool.id(slot);
+    ledgers[alloc_dc].release(amount);
     if (audit) {
       obs::AuditRecord ar;
       ar.step = step;
@@ -415,25 +571,28 @@ SimulationResult simulate(const SimulationConfig& config) {
       ar.game = static_cast<std::uint32_t>(unit.game_id);
       ar.region = unit.region_name;
       ar.held_cpu = unit.allocated.cpu();
-      ar.released_cpu = alloc.amount.cpu();
-      ar.dc = static_cast<std::int32_t>(alloc.dc_index);
+      ar.released_cpu = amount.cpu();
+      ar.dc = static_cast<std::int32_t>(alloc_dc);
       ar.cause = reason;
-      ar.alloc_id = alloc.id;
+      ar.alloc_id = alloc_id;
       audit_batch.push_back(std::move(ar));
     }
     if (rec) {
       rec->count("alloc.force_released");
-      rec->instant("alloc.force_released", "alloc", step,
-                   {{"dc", ledgers[alloc.dc_index].spec().name},
-                    {"cpu", std::to_string(alloc.amount.cpu())},  // mmog-lint: allow(hot-string)
-                    {"id", std::to_string(alloc.id)},             // mmog-lint: allow(hot-string)
-                    {"reason", reason}});
+      if (rec->tracing()) {
+        rec->instant("alloc.force_released", "alloc", step,
+                     {{"dc", ledgers[alloc_dc].spec().name},
+                      {"cpu", std::to_string(amount.cpu())},  // mmog-lint: allow(hot-string)
+                      {"id", std::to_string(alloc_id)},       // mmog-lint: allow(hot-string)
+                      {"reason", reason}});
+      }
     }
-    unit.allocated -= alloc.amount;
-    unit.allocated = unit.allocated.clamped_non_negative();
-    unit.allocations.erase(unit.allocations.begin() +
-                           static_cast<std::ptrdiff_t>(alloc_index));
-    if (resilient) unit.backoff.record_failure(alloc.dc_index, step);
+    alloc_pool.erase(unit.allocs, slot);
+    // Conservation fix: recompute the exact in-order sum instead of the
+    // historical subtract-and-clamp, whose silent negative-component drops
+    // let `allocated` drift away from Σ amounts.
+    unit.allocated = alloc_pool.sum_amounts(unit.allocs);
+    if (resilient) unit.backoff.record_failure(alloc_dc, step);
   };
 
   // Graceful degradation: make room for `needy` by force-releasing
@@ -446,35 +605,35 @@ SimulationResult simulate(const SimulationConfig& config) {
     bool freed = false;
     while (need_cpu > 1e-9) {
       std::size_t victim_unit = units.size();
-      std::size_t victim_alloc = 0;
+      AllocPool::Index victim_slot = AllocPool::kNil;
       int victim_priority = INT_MAX;
       std::size_t victim_id = 0;
       for (std::size_t u = 0; u < units.size(); ++u) {
         const DemandUnit& unit = units[u];
         if (&unit == &needy || unit.priority >= needy.priority) continue;
-        for (std::size_t a = 0; a < unit.allocations.size(); ++a) {
-          const auto& alloc = unit.allocations[a];
-          const std::size_t d = alloc.dc_index;
+        for (auto a = unit.allocs.head; a != AllocPool::kNil;
+             a = alloc_pool.next(a)) {
+          const std::size_t d = alloc_pool.dc_index(a);
           // Freeing capacity only helps where needy can actually rent.
           if (needy.base_class_by_dc[d] == kNotACandidate) continue;
           if (schedule.grants_blocked_at(d, step)) continue;
           if (latency_violated(needy, d, step)) continue;
           if (resilient && needy.backoff.excluded(d, step)) continue;
+          const std::size_t id = alloc_pool.id(a);
           if (unit.priority < victim_priority ||
-              (unit.priority == victim_priority && alloc.id > victim_id)) {
+              (unit.priority == victim_priority && id > victim_id)) {
             victim_unit = u;
-            victim_alloc = a;
+            victim_slot = a;
             victim_priority = unit.priority;
-            victim_id = alloc.id;
+            victim_id = id;
           }
         }
       }
       if (victim_unit >= units.size()) break;
-      const double freed_cpu =
-          units[victim_unit].allocations[victim_alloc].amount.cpu();
+      const double freed_cpu = alloc_pool.amount(victim_slot).cpu();
       game_shed[units[victim_unit].game_id] = 1;
       if (rec) rec->count("resilience.shed");
-      force_release(victim_unit, victim_alloc, step, "shed");
+      force_release(victim_unit, victim_slot, step, "shed");
       need_cpu -= freed_cpu;
       freed = true;
     }
@@ -522,7 +681,7 @@ SimulationResult simulate(const SimulationConfig& config) {
     for (std::size_t u = 0; u < units.size(); ++u) {
       DemandUnit& unit = units[u];
       const auto& uc = st.units[u];
-      unit.allocations = uc.allocations;
+      alloc_pool.assign(unit.allocs, uc.allocations);
       unit.allocated = uc.allocated;
       unit.backoff.restore_entries(uc.backoff);
       for (std::size_t s = 0; s < unit.groups.size(); ++s) {
@@ -606,7 +765,7 @@ SimulationResult simulate(const SimulationConfig& config) {
       const auto unmet =
           try_allocate(unit, full_servers, 0,
                        std::numeric_limits<std::size_t>::max(),
-                       audit ? &ar : nullptr);
+                       audit ? &ar : nullptr, nullptr);
       result.unplaced_cpu_unit_steps +=
           unmet.cpu() * static_cast<double>(steps);
       if (audit) {
@@ -666,7 +825,7 @@ SimulationResult simulate(const SimulationConfig& config) {
       uc.game_id = unit.game_id;
       uc.region = unit.region_name;
       uc.allocated = unit.allocated;
-      uc.allocations = unit.allocations;
+      uc.allocations = alloc_pool.to_vector(unit.allocs);
       uc.backoff = unit.backoff.entries();
       uc.groups.reserve(unit.groups.size());
       for (const auto& stream : unit.groups) {
@@ -703,6 +862,15 @@ SimulationResult simulate(const SimulationConfig& config) {
   std::vector<util::ResourceVector> demands(units.size());
   std::vector<char> lost_capacity(units.size(), 0);
   std::vector<StepMetrics> per_game(config.games.size());
+  // Release-pass scratch: the releasable allocations of one unit, sorted
+  // CPU-descending (ties by list position) for the single-pass release.
+  struct ReleaseCand {
+    double cpu;
+    std::uint32_t ordinal;
+    AllocPool::Index slot;
+  };
+  std::vector<ReleaseCand> release_order;
+  release_order.reserve(64);
 
   std::size_t completed = steps;
   for (std::size_t t = start_step; t < steps; ++t) {
@@ -757,15 +925,26 @@ SimulationResult simulate(const SimulationConfig& config) {
         // predictor's own recent error (the §V-C over-allocation mechanism).
         // mmog-lint: hot-begin(pad)
         const obs::PhaseScope scope(rec, "pad", t);
+        // Sharded demand computation: each worker evaluates the load model
+        // for its own slots (the expensive part); the reduction below adds
+        // them back per unit in fixed group order — the exact add sequence
+        // of the historical serial loop.
+        PadCtx pad_ctx{pad_slots.data(), pad_slots.size(),
+                       config.safety_factor, audit != nullptr};
+        if (team != nullptr) {
+          team->run(pad_shard, &pad_ctx);
+        } else {
+          pad_shard(&pad_ctx, 0, 1);
+        }
+        std::size_t slot_cursor = 0;
         for (std::size_t idx : order) {
           DemandUnit& unit = units[idx];
           const auto& load = config.games[unit.game_id].load;
           util::ResourceVector demand{};
-          for (const auto& stream : unit.groups) {
-            const double padded =
-                stream.last_prediction +
-                config.safety_factor * stream.abs_error_ewma;
-            demand += load.demand(padded);
+          const PadSlot* const unit_slots = pad_slots.data() + slot_cursor;
+          slot_cursor += unit.groups.size();
+          for (std::size_t g = 0; g < unit.groups.size(); ++g) {
+            demand += unit_slots[g].demand;
           }
           if (resilient && res_policy.standby_reserve_servers > 0.0) {
             // N+k standby reserve: hold spare full servers so losing up to
@@ -780,18 +959,20 @@ SimulationResult simulate(const SimulationConfig& config) {
             // N+k standby reserve when enabled.
             double predicted = 0.0;
             util::ResourceVector raw{};
-            for (const auto& stream : unit.groups) {
-              predicted += stream.last_prediction;
-              raw += load.demand(stream.last_prediction);
+            for (std::size_t g = 0; g < unit.groups.size(); ++g) {
+              predicted += unit.groups[g].last_prediction;
+              raw += unit_slots[g].raw;
             }
             audit_predicted[idx] = predicted;
             audit_margin[idx] = demand.cpu() - raw.cpu();
           }
           if (rec) {
             rec->count("request.padded");
-            rec->detail_instant("request.padded", "demand", t,
-                                {{"region", unit.region_name},
-                                 {"cpu", std::to_string(demand.cpu())}});  // mmog-lint: allow(hot-string)
+            if (rec->detail()) {
+              rec->detail_instant("request.padded", "demand", t,
+                                  {{"region", unit.region_name},
+                                   {"cpu", std::to_string(demand.cpu())}});  // mmog-lint: allow(hot-string)
+            }
           }
         }
         // mmog-lint: hot-end
@@ -800,11 +981,32 @@ SimulationResult simulate(const SimulationConfig& config) {
       {
         // Phase 3 — matching: release what the prediction no longer needs,
         // then acquire the missing difference (§II-C request-offer matching).
+        // The phase splits in two: a sharded candidate filter (pure
+        // per-(unit, center) fault verdicts, parallel across the team) and
+        // the serial fixed-order commit below it, timed separately as
+        // "match_commit" so the profiler shows how much of the phase is
+        // inherently serial.
         // mmog-lint: hot-begin(match)
         const obs::PhaseScope scope(rec, "match", t);
+        if (!cand_status.empty()) {
+          CandidateFilterCtx filter_ctx{&units, &schedule, &cand_offset,
+                                        &cand_status, t};
+          if (team != nullptr) {
+            team->run(candidate_filter_shard, &filter_ctx);
+          } else {
+            candidate_filter_shard(&filter_ctx, 0, 1);
+          }
+        }
+        const obs::PhaseScope commit_scope(rec, "match_commit", t);
         for (std::size_t idx : order) {
           DemandUnit& unit = units[idx];
           const auto& demand = demands[idx];
+          const std::uint8_t* const filter =
+              cand_status.empty() ? nullptr
+                                  : cand_status.data() + cand_offset[idx];
+          // The conservation invariant must have survived every mutation
+          // since the last commit (grants, evictions, shedding).
+          assert(unit.allocated == alloc_pool.sum_amounts(unit.allocs));
           obs::AuditRecord ar;
           if (audit) {
             ar.step = t;
@@ -817,44 +1019,55 @@ SimulationResult simulate(const SimulationConfig& config) {
             ar.held_cpu = unit.allocated.cpu();
           }
 
-          // Release expired allocations no longer needed (largest first so
-          // coarse chunks go back to the pool as soon as possible).
-          bool released = true;
-          while (released) {
-            released = false;
-            std::size_t best = unit.allocations.size();
-            double best_cpu = 0.0;
-            for (std::size_t a = 0; a < unit.allocations.size(); ++a) {
-              const auto& alloc = unit.allocations[a];
-              if (!alloc.releasable_at(t)) continue;
-              const auto rest = unit.allocated - alloc.amount;
-              if (!rest.clamped_non_negative().covers(demand)) continue;
-              if (rest.cpu() + 1e-9 < demand.cpu()) continue;
-              if (alloc.amount.cpu() > best_cpu) {
-                best_cpu = alloc.amount.cpu();
-                best = a;
-              }
-            }
-            if (best < unit.allocations.size()) {
-              const auto amount = unit.allocations[best].amount;
-              ledgers[unit.allocations[best].dc_index].release(amount);
-              if (rec) {
-                rec->count("alloc.released");
+          // Release expired allocations no longer needed, largest first so
+          // coarse chunks go back to the pool as soon as possible. The
+          // historical loop rescanned every allocation after each release
+          // (O(A²)); since releasing only shrinks `allocated`, a candidate
+          // whose removal stops covering demand once can never become
+          // feasible again — so one pass over a CPU-descending order (ties
+          // by list position, like the old first-index-wins scan) picks the
+          // same releases in the same order.
+          release_order.clear();
+          std::uint32_t ordinal = 0;
+          for (auto a = unit.allocs.head; a != AllocPool::kNil;
+               a = alloc_pool.next(a), ++ordinal) {
+            if (!alloc_pool.releasable_at(a, t)) continue;
+            const double cpu = alloc_pool.amount(a).cpu();
+            // The historical scan never picked zero-CPU allocations (its
+            // best-so-far started at 0 with a strict comparison).
+            if (cpu <= 0.0) continue;
+            release_order.push_back({cpu, ordinal, a});
+          }
+          std::sort(release_order.begin(), release_order.end(),
+                    [](const ReleaseCand& a, const ReleaseCand& b) {
+                      if (a.cpu != b.cpu) return a.cpu > b.cpu;
+                      return a.ordinal < b.ordinal;
+                    });
+          for (const ReleaseCand& cand : release_order) {
+            const auto amount = alloc_pool.amount(cand.slot);
+            // No clamp before covers(): `allocated` is the exact in-order
+            // sum of non-negative amounts, so subtracting one member can
+            // never produce a negative component. The old code clamped
+            // first, which masked drifted negatives and (with the
+            // subtract-and-clamp below) let `allocated` diverge from
+            // Σ amounts.
+            const auto rest = unit.allocated - amount;
+            if (!rest.covers(demand)) continue;
+            const std::size_t alloc_dc = alloc_pool.dc_index(cand.slot);
+            ledgers[alloc_dc].release(amount);
+            if (rec) {
+              rec->count("alloc.released");
+              if (rec->tracing()) {
                 rec->instant(
                     "alloc.released", "alloc", t,
-                    {{"dc", ledgers[unit.allocations[best].dc_index]
-                                .spec()
-                                .name},
+                    {{"dc", ledgers[alloc_dc].spec().name},
                      {"cpu", std::to_string(amount.cpu())},  // mmog-lint: allow(hot-string)
-                     {"id", std::to_string(unit.allocations[best].id)}});  // mmog-lint: allow(hot-string)
+                     {"id", std::to_string(alloc_pool.id(cand.slot))}});  // mmog-lint: allow(hot-string)
               }
-              unit.allocated -= amount;
-              unit.allocated = unit.allocated.clamped_non_negative();
-              unit.allocations.erase(unit.allocations.begin() +
-                                     static_cast<std::ptrdiff_t>(best));
-              released = true;
-              if (audit) ar.released_cpu += amount.cpu();
             }
+            alloc_pool.erase(unit.allocs, cand.slot);
+            unit.allocated = alloc_pool.sum_amounts(unit.allocs);
+            if (audit) ar.released_cpu += amount.cpu();
           }
 
           // Acquire what the prediction says is missing.
@@ -863,14 +1076,15 @@ SimulationResult simulate(const SimulationConfig& config) {
             if (audit) {
               ar.requested_cpu = need.clamped_non_negative().cpu();
             }
-            auto unmet = try_allocate(unit, need, t, 1, audit ? &ar : nullptr);
+            auto unmet =
+                try_allocate(unit, need, t, 1, audit ? &ar : nullptr, filter);
             if (unmet.cpu() > 1e-9 && resilient &&
                 res_policy.shed_low_priority) {
               // Total supply cannot cover demand: degrade lower-priority
               // games to keep this one whole.
               if (shed_for(unit, unmet, t)) {
                 unmet = try_allocate(unit, unmet, t, 1,
-                                     audit ? &ar : nullptr);
+                                     audit ? &ar : nullptr, filter);
               }
             }
             if (audit) ar.unmet_cpu = unmet.cpu();
@@ -896,17 +1110,22 @@ SimulationResult simulate(const SimulationConfig& config) {
     if (have_faults) {
       for (std::size_t u = 0; u < units.size(); ++u) {
         DemandUnit& unit = units[u];
-        for (std::size_t a = unit.allocations.size(); a-- > 0;) {
-          const std::size_t d = unit.allocations[a].dc_index;
+        // Newest-first, exactly like the reverse index walk over the old
+        // vector: grab prev before the erase unlinks the slot.
+        for (auto a = unit.allocs.tail; a != AllocPool::kNil;) {
+          const auto before = alloc_pool.prev(a);
+          const std::size_t d = alloc_pool.dc_index(a);
           const char* reason = nullptr;
           if (schedule.outage_at(d, t)) {
             reason = "outage";
           } else if (latency_violated(unit, d, t)) {
             reason = "latency";
           }
-          if (!reason) continue;
-          force_release(u, a, t, reason);
-          lost_capacity[u] = 1;
+          if (reason != nullptr) {
+            force_release(u, a, t, reason);
+            lost_capacity[u] = 1;
+          }
+          a = before;
         }
       }
       // Partial capacity loss: evict newest-first until the survivors fit
@@ -915,21 +1134,21 @@ SimulationResult simulate(const SimulationConfig& config) {
       for (std::size_t d = 0; d < ledgers.size(); ++d) {
         while (ledgers[d].over_capacity()) {
           std::size_t victim_unit = units.size();
-          std::size_t victim_alloc = 0;
+          AllocPool::Index victim_slot = AllocPool::kNil;
           std::size_t victim_id = 0;
           for (std::size_t u = 0; u < units.size(); ++u) {
-            const auto& allocations = units[u].allocations;
-            for (std::size_t a = 0; a < allocations.size(); ++a) {
-              if (allocations[a].dc_index != d) continue;
-              if (allocations[a].id >= victim_id) {
+            for (auto a = units[u].allocs.head; a != AllocPool::kNil;
+                 a = alloc_pool.next(a)) {
+              if (alloc_pool.dc_index(a) != d) continue;
+              if (alloc_pool.id(a) >= victim_id) {
                 victim_unit = u;
-                victim_alloc = a;
-                victim_id = allocations[a].id;
+                victim_slot = a;
+                victim_id = alloc_pool.id(a);
               }
             }
           }
           if (victim_unit >= units.size()) break;
-          force_release(victim_unit, victim_alloc, t, "capacity");
+          force_release(victim_unit, victim_slot, t, "capacity");
           lost_capacity[victim_unit] = 1;
         }
       }
@@ -964,11 +1183,17 @@ SimulationResult simulate(const SimulationConfig& config) {
             ar.requested_cpu =
                 (demand - unit.allocated).clamped_non_negative().cpu();
           }
+          // The step's filter statuses stay valid here: they are pure in
+          // (center, step) and the fault walk does not touch the schedule.
+          const std::uint8_t* const filter =
+              cand_status.empty() ? nullptr
+                                  : cand_status.data() + cand_offset[idx];
           auto unmet = try_allocate(unit, demand - unit.allocated, t, 1,
-                                    audit ? &ar : nullptr);
+                                    audit ? &ar : nullptr, filter);
           if (unmet.cpu() > 1e-9 && res_policy.shed_low_priority) {
             if (shed_for(unit, unmet, t)) {
-              unmet = try_allocate(unit, unmet, t, 1, audit ? &ar : nullptr);
+              unmet = try_allocate(unit, unmet, t, 1, audit ? &ar : nullptr,
+                                   filter);
             }
           }
           if (unmet.cpu() <= 1e-9) {
@@ -1013,8 +1238,9 @@ SimulationResult simulate(const SimulationConfig& config) {
       util::ResourceVector usable = unit.allocated;
       if (config.provisioning_delay_steps > 0) {
         usable = {};
-        for (const auto& alloc : unit.allocations) {
-          if (alloc.usable_at(t)) usable += alloc.amount;
+        for (auto a = unit.allocs.head; a != AllocPool::kNil;
+             a = alloc_pool.next(a)) {
+          if (alloc_pool.usable_at(a, t)) usable += alloc_pool.amount(a);
         }
       }
       if (audit) {
@@ -1039,11 +1265,14 @@ SimulationResult simulate(const SimulationConfig& config) {
     if (rec &&
         step_metrics.significant_under_allocation(config.event_threshold_pct)) {
       rec->count("event.under_allocation");
-      rec->instant(
-          "event.under_allocation", "event", t,
-          {{"under_pct",
-            std::to_string(  // mmog-lint: allow(hot-string)
-                step_metrics.under_allocation_pct(util::ResourceKind::kCpu))}});
+      if (rec->tracing()) {
+        rec->instant(
+            "event.under_allocation", "event", t,
+            {{"under_pct",
+              std::to_string(  // mmog-lint: allow(hot-string)
+                  step_metrics.under_allocation_pct(
+                      util::ResourceKind::kCpu))}});
+      }
     }
     result.metrics.add(step_metrics);
     if (result.games.empty()) {
@@ -1106,8 +1335,10 @@ SimulationResult simulate(const SimulationConfig& config) {
                            (util::kSampleStepSeconds / 3600.0);
     }
     for (const auto& unit : units) {
-      for (const auto& alloc : unit.allocations) {
-        dc_origin_sum[alloc.dc_index][unit.region_name] += alloc.amount.cpu();
+      for (auto a = unit.allocs.head; a != AllocPool::kNil;
+           a = alloc_pool.next(a)) {
+        dc_origin_sum[alloc_pool.dc_index(a)][unit.region_name] +=
+            alloc_pool.amount(a).cpu();
       }
     }
     if (audit) {

@@ -72,13 +72,12 @@ std::size_t HostingPolicy::time_bulk_steps() const noexcept {
   return static_cast<std::size_t>(std::ceil(steps - 1e-9));
 }
 
-double HostingPolicy::granularity_score() const noexcept {
-  // CPU grain dominates (it is the binding resource); the other bulks and
-  // the time bulk break ties.
-  double score = bulk.cpu() * 1e6;
-  score += time_bulk_minutes;
-  score += bulk.memory() + bulk.net_in() + bulk.net_out();
-  return score;
+GranularityKey HostingPolicy::granularity_key() const noexcept {
+  // CPU grain dominates (it is the binding resource); the time bulk and
+  // then the other bulks break ties, each compared in its own field so no
+  // amount of minutes or bandwidth bulk can outweigh a finer CPU grain.
+  return {bulk.cpu(), time_bulk_minutes,
+          bulk.memory() + bulk.net_in() + bulk.net_out()};
 }
 
 HostingPolicy HostingPolicy::preset(int index) {

@@ -7,6 +7,30 @@
 
 namespace mmog::dc {
 
+/// The matching mechanism's "finer grained" criterion (§II-C) as a
+/// lexicographic key: CPU bulk first (the binding resource), then the time
+/// bulk, then the summed non-CPU bulks. Smaller = finer = preferred. The
+/// fields are compared one by one — unlike the old scalar score, which
+/// folded them into a single double (cpu*1e6 + minutes + other bulks) and
+/// could rank a coarser-CPU policy ahead of a finer one whenever the
+/// minutes/bulk terms bridged the gap, or collide two distinct policies so
+/// ordering silently fell through to distance.
+struct GranularityKey {
+  double cpu_bulk = 0.0;
+  double time_bulk_minutes = 0.0;
+  double other_bulk = 0.0;  ///< memory + net_in + net_out bulks
+
+  friend bool operator==(const GranularityKey&,
+                         const GranularityKey&) = default;
+  friend bool operator<(const GranularityKey& a, const GranularityKey& b) {
+    if (a.cpu_bulk != b.cpu_bulk) return a.cpu_bulk < b.cpu_bulk;
+    if (a.time_bulk_minutes != b.time_bulk_minutes) {
+      return a.time_bulk_minutes < b.time_bulk_minutes;
+    }
+    return a.other_bulk < b.other_bulk;
+  }
+};
+
 /// A hoster's space-time policy (§II-B): the *resource bulk* — the minimum
 /// allocatable quantity of each resource type, as a multiple of the abstract
 /// resource unit — and the *time bulk* — the minimum duration of an
@@ -49,10 +73,9 @@ struct HostingPolicy {
   /// Time bulk expressed in 2-minute simulation steps (rounded up).
   std::size_t time_bulk_steps() const noexcept;
 
-  /// The matching mechanism's "finer grained" criterion (§II-C): policies
-  /// with a smaller CPU bulk are finer; ties break on total bulk volume.
-  /// Smaller score = finer grain = preferred.
-  double granularity_score() const noexcept;
+  /// The policy's grain for the §II-C "finer grained" preference, compared
+  /// lexicographically (see GranularityKey).
+  GranularityKey granularity_key() const noexcept;
 
   /// Table IV policy HP-`index` (1-based, 1..11).
   /// Throws std::out_of_range for other indices.

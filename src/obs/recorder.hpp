@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -270,18 +271,22 @@ class PhaseScope {
   ~PhaseScope() {
     if (!recorder_) return;
     const double us = watch_.elapsed_us();
+    // Histogram keys are composed on the stack: a nested scope's teardown
+    // runs inside the enclosing scope's allocation window, so heap-built
+    // key strings here would be charged to the parent phase's
+    // "phase.<parent>_allocs" profile.
+    char buf[64];
     if (profiled_) {
-      // Delta first, record after: the recording strings/locks allocate
-      // too, and those allocations belong to the enclosing scope (the
-      // outer "step" span), not to this phase.
+      // Delta first, record after: anything the recording itself allocates
+      // belongs to the enclosing scope, not to this phase.
       const auto delta = util::alloccount::totals() - alloc_start_;
       Registry& registry = recorder_->registry();
-      registry.observe_count("phase." + name_ + "_allocs",
+      registry.observe_count(key(buf, "_allocs"),
                              static_cast<double>(delta.allocs));
-      registry.observe_count("phase." + name_ + "_alloc_bytes",
+      registry.observe_count(key(buf, "_alloc_bytes"),
                              static_cast<double>(delta.bytes));
     }
-    recorder_->observe_us("phase." + name_ + "_us", us);
+    recorder_->observe_us(key(buf, "_us"), us);
     if (recorder_->tracing()) {
       recorder_->tracer().complete_span(name_, category_, step_,
                                         span_start_us_, us);
@@ -292,9 +297,30 @@ class PhaseScope {
   PhaseScope& operator=(const PhaseScope&) = delete;
 
  private:
+  /// "phase.<name><suffix>" without touching the heap; falls back to an
+  /// owned string only for names too long for the buffer.
+  std::string_view key(char (&buf)[64], std::string_view suffix) {
+    constexpr std::string_view prefix = "phase.";
+    if (prefix.size() + name_.size() + suffix.size() > sizeof buf) {
+      overflow_key_.assign(prefix);
+      overflow_key_ += name_;
+      overflow_key_ += suffix;
+      return overflow_key_;
+    }
+    char* p = buf;
+    std::memcpy(p, prefix.data(), prefix.size());
+    p += prefix.size();
+    std::memcpy(p, name_.data(), name_.size());
+    p += name_.size();
+    std::memcpy(p, suffix.data(), suffix.size());
+    p += suffix.size();
+    return {buf, static_cast<std::size_t>(p - buf)};
+  }
+
   Recorder* recorder_;
   std::string name_;
   std::string category_;
+  std::string overflow_key_;
   std::uint64_t step_ = 0;
   double span_start_us_ = 0.0;
   bool profiled_ = false;

@@ -1,0 +1,81 @@
+#include "util/shard_team.hpp"
+
+#include <algorithm>
+
+namespace mmog::util {
+
+ShardTeam::ShardTeam(std::size_t threads)
+    : threads_(std::max<std::size_t>(1, threads)) {
+  workers_.reserve(threads_ - 1);
+  for (std::size_t s = 1; s < threads_; ++s) {
+    workers_.emplace_back([this, s] { worker_loop(s); });
+  }
+}
+
+ShardTeam::~ShardTeam() {
+  {
+    MutexLock lock(mutex_);
+    stopping_ = true;
+    work_ready_.notify_all();
+  }
+  for (auto& worker : workers_) worker.join();
+}
+
+void ShardTeam::run(Task task, void* ctx) {
+  if (threads_ == 1) {
+    task(ctx, 0, 1);
+    return;
+  }
+  {
+    MutexLock lock(mutex_);
+    task_ = task;
+    ctx_ = ctx;
+    remaining_ = threads_ - 1;
+    ++epoch_;
+    work_ready_.notify_all();
+  }
+  // The caller is shard 0: it works instead of blocking, so a team of N
+  // uses exactly N threads.
+  try {
+    task(ctx, 0, threads_);
+  } catch (...) {
+    MutexLock lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  std::exception_ptr error;
+  {
+    MutexLock lock(mutex_);
+    while (remaining_ > 0) work_done_.wait(mutex_);
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ShardTeam::worker_loop(std::size_t shard) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Task task = nullptr;
+    void* ctx = nullptr;
+    {
+      MutexLock lock(mutex_);
+      while (!stopping_ && epoch_ == seen_epoch) work_ready_.wait(mutex_);
+      if (stopping_) return;
+      seen_epoch = epoch_;
+      task = task_;
+      ctx = ctx_;
+    }
+    try {
+      task(ctx, shard, threads_);
+    } catch (...) {
+      MutexLock lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      MutexLock lock(mutex_);
+      if (--remaining_ == 0) work_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace mmog::util

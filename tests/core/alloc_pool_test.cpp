@@ -1,0 +1,195 @@
+#include "core/alloc_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mmog::core {
+namespace {
+
+dc::Allocation make_alloc(std::size_t id, double cpu, double net_in = 0.0) {
+  dc::Allocation a;
+  a.id = id;
+  a.dc_index = id % 3;
+  a.game_id = id % 2;
+  a.group_id = 10 + id;
+  a.region_id = 20 + id;
+  a.amount = util::ResourceVector::of(cpu, 0.5 * cpu, net_in, 0.33);
+  a.start_step = 100 + id;
+  a.usable_step = 101 + id;
+  a.earliest_release_step = 200 + id;
+  return a;
+}
+
+TEST(AllocPoolTest, ToVectorReproducesInsertionOrderByteForByte) {
+  AllocPool pool;
+  AllocPool::List list;
+  std::vector<dc::Allocation> reference;
+  for (std::size_t i = 0; i < 7; ++i) {
+    const auto a = make_alloc(i, 0.25 * static_cast<double>(i + 1), 6.0);
+    reference.push_back(a);
+    pool.acquire(list, a);
+  }
+  EXPECT_EQ(list.size, 7u);
+  EXPECT_EQ(pool.live(), 7u);
+  const auto out = pool.to_vector(list);
+  ASSERT_EQ(out.size(), reference.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].id, reference[i].id);
+    EXPECT_EQ(out[i].dc_index, reference[i].dc_index);
+    EXPECT_EQ(out[i].game_id, reference[i].game_id);
+    EXPECT_EQ(out[i].group_id, reference[i].group_id);
+    EXPECT_EQ(out[i].region_id, reference[i].region_id);
+    EXPECT_EQ(out[i].amount, reference[i].amount);
+    EXPECT_EQ(out[i].start_step, reference[i].start_step);
+    EXPECT_EQ(out[i].usable_step, reference[i].usable_step);
+    EXPECT_EQ(out[i].earliest_release_step,
+              reference[i].earliest_release_step);
+  }
+}
+
+TEST(AllocPoolTest, EraseMiddleHeadAndTailKeepOrder) {
+  AllocPool pool;
+  AllocPool::List list;
+  std::vector<AllocPool::Index> slots;
+  for (std::size_t i = 0; i < 5; ++i) {
+    slots.push_back(pool.acquire(list, make_alloc(i, 1.0)));
+  }
+  pool.erase(list, slots[2]);  // middle
+  pool.erase(list, slots[0]);  // head
+  pool.erase(list, slots[4]);  // tail
+  const auto out = pool.to_vector(list);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 1u);
+  EXPECT_EQ(out[1].id, 3u);
+  EXPECT_EQ(list.size, 2u);
+  EXPECT_EQ(pool.live(), 2u);
+  // The list stays walkable both ways after the unlinks.
+  EXPECT_EQ(pool.next(list.head), list.tail);
+  EXPECT_EQ(pool.prev(list.tail), list.head);
+  EXPECT_EQ(pool.prev(list.head), AllocPool::kNil);
+  EXPECT_EQ(pool.next(list.tail), AllocPool::kNil);
+}
+
+TEST(AllocPoolTest, FreeListRecyclesSlotsWithoutGrowth) {
+  AllocPool pool;
+  AllocPool::List list;
+  std::vector<AllocPool::Index> slots;
+  for (std::size_t i = 0; i < 10; ++i) {
+    slots.push_back(pool.acquire(list, make_alloc(i, 1.0)));
+  }
+  const std::size_t carved = pool.capacity();
+  for (const auto s : slots) pool.erase(list, s);
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(pool.live(), 0u);
+  // Ten erase/acquire churn rounds: every slot comes from the free list,
+  // the arena never grows.
+  for (std::size_t round = 0; round < 10; ++round) {
+    std::vector<AllocPool::Index> next_slots;
+    for (std::size_t i = 0; i < 10; ++i) {
+      next_slots.push_back(pool.acquire(list, make_alloc(100 + i, 2.0)));
+    }
+    for (const auto s : next_slots) pool.erase(list, s);
+  }
+  EXPECT_EQ(pool.capacity(), carved);
+  EXPECT_EQ(pool.slab_count(), 1u);
+}
+
+TEST(AllocPoolTest, ManyListsShareOneArena) {
+  AllocPool pool;
+  AllocPool::List a, b;
+  pool.acquire(a, make_alloc(1, 1.0));
+  pool.acquire(b, make_alloc(2, 2.0));
+  pool.acquire(a, make_alloc(3, 3.0));
+  EXPECT_EQ(pool.live(), 3u);
+  const auto va = pool.to_vector(a);
+  const auto vb = pool.to_vector(b);
+  ASSERT_EQ(va.size(), 2u);
+  ASSERT_EQ(vb.size(), 1u);
+  EXPECT_EQ(va[0].id, 1u);
+  EXPECT_EQ(va[1].id, 3u);
+  EXPECT_EQ(vb[0].id, 2u);
+}
+
+TEST(AllocPoolTest, GrowthBeyondOneSlabKeepsIndicesStable) {
+  AllocPool pool;
+  AllocPool::List list;
+  const auto first = pool.acquire(list, make_alloc(0, 0.25));
+  for (std::size_t i = 1; i <= AllocPool::kSlabSlots + 5; ++i) {
+    pool.acquire(list, make_alloc(i, 0.25));
+  }
+  EXPECT_GE(pool.slab_count(), 2u);
+  // Slabs are pinned: the slot handed out before growth still resolves.
+  EXPECT_EQ(pool.id(first), 0u);
+  EXPECT_EQ(pool.get(first).group_id, 10u);
+  EXPECT_EQ(list.size, AllocPool::kSlabSlots + 6);
+}
+
+TEST(AllocPoolTest, ReservePreCarvesWithoutLiveSlots) {
+  AllocPool pool(3000);
+  EXPECT_GE(pool.capacity(), 3000u);
+  EXPECT_EQ(pool.slab_count(), 3u);
+  EXPECT_EQ(pool.live(), 0u);
+  // reserve() never shrinks.
+  pool.reserve(100);
+  EXPECT_EQ(pool.slab_count(), 3u);
+}
+
+TEST(AllocPoolTest, AssignRoundTripsACheckpointVector) {
+  AllocPool pool;
+  AllocPool::List list;
+  for (std::size_t i = 0; i < 4; ++i) {
+    pool.acquire(list, make_alloc(i, 1.0));
+  }
+  std::vector<dc::Allocation> restored;
+  for (std::size_t i = 50; i < 53; ++i) {
+    restored.push_back(make_alloc(i, 0.5, 12.0));
+  }
+  pool.assign(list, restored);
+  EXPECT_EQ(list.size, 3u);
+  EXPECT_EQ(pool.live(), 3u);  // the four old slots went back to the free list
+  const auto out = pool.to_vector(list);
+  ASSERT_EQ(out.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(out[i].id, restored[i].id);
+    EXPECT_EQ(out[i].amount, restored[i].amount);
+  }
+}
+
+TEST(AllocPoolTest, SumAmountsIsTheInsertionOrderSum) {
+  AllocPool pool;
+  AllocPool::List list;
+  // Values with non-trivial floating-point tails: the pool sum must equal
+  // the left-to-right sum bit for bit, because that is the exact value the
+  // simulator's incremental `allocated += amount` accumulates.
+  const double cpus[] = {0.1, 0.2, 0.3, 1e-9, 7.77};
+  util::ResourceVector expect{};
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto a = make_alloc(i, cpus[i], 6.0);
+    expect += a.amount;
+    pool.acquire(list, a);
+  }
+  const auto sum = pool.sum_amounts(list);
+  EXPECT_EQ(sum.cpu(), expect.cpu());
+  EXPECT_EQ(sum.memory(), expect.memory());
+  EXPECT_EQ(sum.net_in(), expect.net_in());
+  EXPECT_EQ(sum.net_out(), expect.net_out());
+}
+
+TEST(AllocPoolTest, FieldAccessorsMatchMaterializedRecord) {
+  AllocPool pool;
+  AllocPool::List list;
+  const auto a = make_alloc(42, 1.25, 6.0);
+  const auto slot = pool.acquire(list, a);
+  EXPECT_EQ(pool.id(slot), a.id);
+  EXPECT_EQ(pool.dc_index(slot), a.dc_index);
+  EXPECT_EQ(pool.game_id(slot), a.game_id);
+  EXPECT_EQ(pool.amount(slot), a.amount);
+  EXPECT_FALSE(pool.releasable_at(slot, a.earliest_release_step - 1));
+  EXPECT_TRUE(pool.releasable_at(slot, a.earliest_release_step));
+  EXPECT_FALSE(pool.usable_at(slot, a.usable_step - 1));
+  EXPECT_TRUE(pool.usable_at(slot, a.usable_step));
+}
+
+}  // namespace
+}  // namespace mmog::core

@@ -178,5 +178,54 @@ TEST(AuditIntegrationTest, OutageShowsUpAsEvictionsAndRejectedOffers) {
   EXPECT_TRUE(saw_rejected_offer);
 }
 
+TEST(AuditIntegrationTest, SatisfiedWalksStopBeforePhantomRejections) {
+  // Regression for the satisfied-check placement bug: the "need already
+  // met" early-out used to sit after the outage/latency/backoff rejection
+  // branches, so a walk that had just been fully granted kept visiting the
+  // remaining candidates and booked a rejection for every faulted one —
+  // inflating offer.rejected.* and padding audit walks with offers the
+  // matcher never needed. Layout here: the closest and farthest centers
+  // are down, the middle one grants. Once the middle center satisfies the
+  // need, the walk must stop — the farthest center's outage may never be
+  // counted.
+  auto cfg = base_config(2, 240);
+  dc::DataCenterSpec near = cfg.datacenters[0];
+  near.name = "Near";
+  near.location = {48.86, 2.35};  // Paris
+  dc::DataCenterSpec far = cfg.datacenters[0];
+  far.name = "Far";
+  far.location = {40.41, -3.70};  // Madrid
+  cfg.datacenters.push_back(near);
+  cfg.datacenters.push_back(far);
+  cfg.faults = {fault::parse_fault_spec("outage:dc=0,from=100,to=130"),
+                fault::parse_fault_spec("outage:dc=2,from=100,to=130")};
+  obs::Recorder rec(obs::TraceLevel::kOff);
+  rec.enable_audit();
+  cfg.recorder = &rec;
+  simulate(cfg);
+
+  // Structural form of the fix: a fully satisfied walk ends on its grant.
+  std::size_t granted_walks = 0;
+  for (const auto& r : rec.audit()->records()) {
+    if (r.kind != obs::AuditKind::kMatch) continue;
+    if (r.requested_cpu <= 0.0 || r.unmet_cpu > 0.0) continue;
+    ASSERT_FALSE(r.offers.empty());
+    EXPECT_EQ(r.offers.back().outcome, obs::OfferOutcome::kGranted)
+        << "step " << r.step << ": offers were recorded after the walk "
+        << "was already satisfied";
+    ++granted_walks;
+  }
+  EXPECT_GT(granted_walks, 0u);
+
+  // Golden counter: with the early-out hoisted above the rejection
+  // branches this scenario books exactly 30 outage rejections — each one a
+  // walk that still needed resources when it hit the downed nearest
+  // center. Every one of those walks was then satisfied by the middle
+  // center, so the pre-fix code went on to visit the downed farthest
+  // center too and reported 60: half the old count was phantoms.
+  const auto snap = rec.snapshot();
+  EXPECT_EQ(snap.counters.at("offer.rejected.outage"), 30.0);
+}
+
 }  // namespace
 }  // namespace mmog::core

@@ -84,6 +84,28 @@ TEST(MatcherTest, ShorterTimeBulkBreaksTies) {
   EXPECT_EQ(matcher.spec(order[0]).name, "Near");
 }
 
+TEST(MatcherTest, ScalarScoreCollisionsNoLongerFallThroughToDistance) {
+  // Regression for the granularity_score() folding bug: these two custom
+  // policies scored identically under the old cpu*1e6 + minutes + bulks
+  // sum (250100 both), so the matcher ranked them by distance and the
+  // farther-but-finer-committed hoster lost. The lexicographic key ranks
+  // the shorter time bulk first regardless of distance.
+  auto world = line_world();
+  world[0].policy.bulk = util::ResourceVector::of(0.25, 0.0, 0.0, 0.0);
+  world[0].policy.time_bulk_minutes = 100.0;  // local: longer commitment
+  world[1].policy.bulk = util::ResourceVector::of(0.25, 0.0, 20.0, 20.0);
+  world[1].policy.time_bulk_minutes = 60.0;   // near: shorter commitment
+  const Matcher matcher(world);
+  const dc::GeoPoint amsterdam{52.37, 4.90};
+  const auto order =
+      matcher.candidates(amsterdam, dc::DistanceClass::kVeryClose);
+  ASSERT_EQ(order.size(), 2u);
+  // Old behavior: "Local" first (equal scores, closest wins). Fixed: the
+  // 60-minute time bulk beats the 100-minute one.
+  EXPECT_EQ(matcher.spec(order[0]).name, "Near");
+  EXPECT_EQ(matcher.spec(order[1]).name, "Local");
+}
+
 TEST(MatcherTest, NoCandidatesOutsideTolerance) {
   const auto world = line_world();
   const Matcher matcher(world);

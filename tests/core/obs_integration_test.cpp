@@ -69,9 +69,11 @@ TEST(ObsIntegrationTest, DynamicRunEmitsGoldenSpanSequencePerStep) {
   simulate(cfg);
 
   // Golden content check: span names only, never timings. Each step emits
-  // exactly the four phase spans followed by the enclosing step span.
-  const std::vector<std::string> golden = {"predict", "pad", "match",
-                                           "account", "step"};
+  // exactly the phase spans followed by the enclosing step span; the
+  // match_commit span (the serial commit inside the match phase) closes
+  // before its parent match span does.
+  const std::vector<std::string> golden = {"predict", "pad", "match_commit",
+                                           "match", "account", "step"};
   std::map<std::uint64_t, std::vector<std::string>> spans_by_step;
   for (const auto& e : rec.tracer().events()) {
     if (e.kind == obs::TraceKind::kSpan) {
@@ -108,8 +110,8 @@ TEST(ObsIntegrationTest, CountersMatchWorkloadShape) {
   // Phase histograms carry one sample per step; inference timing one per
   // prediction.
   for (const char* phase : {"phase.predict_us", "phase.pad_us",
-                            "phase.match_us", "phase.account_us",
-                            "phase.step_us"}) {
+                            "phase.match_us", "phase.match_commit_us",
+                            "phase.account_us", "phase.step_us"}) {
     EXPECT_EQ(snap.histograms.at(phase).count, kSteps) << phase;
   }
   EXPECT_EQ(snap.histograms.at("predictor.inference_us").count,

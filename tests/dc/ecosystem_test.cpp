@@ -88,10 +88,10 @@ TEST(EcosystemTest, NorthAmericaWorldPolicyGradient) {
   ASSERT_EQ(dcs.size(), 8u);
   const auto grain = [&](const std::string& name) {
     for (const auto& d : dcs) {
-      if (d.name == name) return d.policy.granularity_score();
+      if (d.name == name) return d.policy.granularity_key();
     }
     ADD_FAILURE() << "missing " << name;
-    return 0.0;
+    return GranularityKey{};
   };
   EXPECT_LT(grain("US West (1)"), grain("US Cent. (1)"));
   EXPECT_LT(grain("US Cent. (1)"), grain("US East (1)"));

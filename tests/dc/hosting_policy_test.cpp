@@ -102,10 +102,39 @@ TEST(HostingPolicyTest, BundlesFittingCoversOnlyConstrainedResources) {
 TEST(HostingPolicyTest, GranularityOrdersPoliciesByCpuBulkThenTime) {
   // HP-3 (0.22) is finer than HP-7 (1.11); HP-5 (180 min) finer than the
   // same-bulk HP-9 (720 min).
-  EXPECT_LT(HostingPolicy::preset(3).granularity_score(),
-            HostingPolicy::preset(7).granularity_score());
-  EXPECT_LT(HostingPolicy::preset(5).granularity_score(),
-            HostingPolicy::preset(9).granularity_score());
+  EXPECT_LT(HostingPolicy::preset(3).granularity_key(),
+            HostingPolicy::preset(7).granularity_key());
+  EXPECT_LT(HostingPolicy::preset(5).granularity_key(),
+            HostingPolicy::preset(9).granularity_key());
+}
+
+TEST(HostingPolicyTest, GranularityKeyIsLexicographicNotASum) {
+  // Regression for the scalar-score collision bug: the old score folded
+  // cpu*1e6 + minutes + other bulks into one double, so a policy with a
+  // finer CPU grain could tie — or even rank behind — a coarser one when
+  // the minutes/bulk terms bridged the gap. These two policies collided
+  // exactly under the old score (both 250100): A trades more minutes for
+  // no bulk, B the reverse.
+  HostingPolicy a;
+  a.bulk = util::ResourceVector::of(0.25, 0.0, 0.0, 0.0);
+  a.time_bulk_minutes = 100.0;
+  HostingPolicy b;
+  b.bulk = util::ResourceVector::of(0.25, 0.0, 20.0, 20.0);
+  b.time_bulk_minutes = 60.0;
+  // Old: granularity_score(a) == granularity_score(b) == 250100 and the
+  // matcher's ordering silently fell through to distance. Now the shorter
+  // time bulk wins outright.
+  EXPECT_LT(b.granularity_key(), a.granularity_key());
+  EXPECT_NE(a.granularity_key(), b.granularity_key());
+
+  // A finer CPU grain always wins, whatever the other fields say.
+  HostingPolicy fine;
+  fine.bulk = util::ResourceVector::of(0.25, 99.0, 99.0, 99.0);
+  fine.time_bulk_minutes = 2880.0;
+  HostingPolicy coarse;
+  coarse.bulk = util::ResourceVector::of(0.26, 0.0, 0.0, 0.0);
+  coarse.time_bulk_minutes = 1.0;
+  EXPECT_LT(fine.granularity_key(), coarse.granularity_key());
 }
 
 }  // namespace

@@ -1,0 +1,282 @@
+// Allocation-conservation properties of core::simulate: at every step, for
+// every demand unit, `allocated` must equal the left-to-right sum of the
+// live allocation amounts — bit for bit, in every resource dimension. The
+// old release loop clamped `allocated` both before the covers() check and
+// after the subtraction, so a float tail in either place let the ledger
+// drift away from the actual holdings; the clamp also hid releases that
+// would have driven a non-CPU dimension negative. These tests observe the
+// ledger through per-step checkpoints, which capture the exact internal
+// state (UnitCheckpoint::allocated next to the materialized allocations).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <numbers>
+#include <set>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/simulation.hpp"
+#include "obs/recorder.hpp"
+#include "predict/simple.hpp"
+
+namespace mmog::core {
+namespace {
+
+trace::WorldTrace sine_workload(std::size_t groups, std::size_t steps,
+                                double base = 500.0, double swing = 450.0) {
+  trace::WorldTrace world;
+  trace::RegionalTrace region;
+  region.name = "Europe";
+  for (std::size_t g = 0; g < groups; ++g) {
+    trace::ServerGroupTrace group;
+    group.name = "G";
+    group.name += std::to_string(g);
+    group.players = util::TimeSeries(util::kSampleStepSeconds);
+    for (std::size_t t = 0; t < steps; ++t) {
+      const double phase =
+          2.0 * std::numbers::pi * static_cast<double>(t + 29 * g) / 240.0;
+      group.players.push_back(base + swing * (1.0 - std::cos(phase)));
+    }
+    region.groups.push_back(std::move(group));
+  }
+  world.regions.push_back(std::move(region));
+  return world;
+}
+
+/// A staircase ramp, then a collapse to a trickle. Each stair adds a
+/// top-up allocation on top of the earlier ones (so units end up holding
+/// several separately releasable records), and the collapse strands all of
+/// them above demand — the release loop has to give most of them back as
+/// their time bulks expire.
+trace::WorldTrace staircase_cliff_workload(std::size_t groups,
+                                           std::size_t steps) {
+  trace::WorldTrace world;
+  trace::RegionalTrace region;
+  region.name = "Europe";
+  for (std::size_t g = 0; g < groups; ++g) {
+    trace::ServerGroupTrace group;
+    group.name = "G";
+    group.name += std::to_string(g);
+    group.players = util::TimeSeries(util::kSampleStepSeconds);
+    for (std::size_t t = 0; t < steps; ++t) {
+      double players = 60.0;
+      if (t < steps / 2) {
+        const std::size_t stair = 1 + t / (steps / 8);  // 1..4
+        players = 400.0 + 500.0 * static_cast<double>(stair);
+      }
+      group.players.push_back(players);
+    }
+    region.groups.push_back(std::move(group));
+  }
+  world.regions.push_back(std::move(region));
+  return world;
+}
+
+SimulationConfig checkpointing_config(trace::WorldTrace workload,
+                                      std::vector<CheckpointState>* sink) {
+  SimulationConfig cfg;
+  dc::DataCenterSpec a;
+  a.name = "Primary";
+  a.location = {52.37, 4.90};
+  a.machines = 12;
+  a.policy = dc::HostingPolicy::preset(1);  // CPU + both network bulks
+  dc::DataCenterSpec b;
+  b.name = "Backup";
+  b.location = {51.51, -0.13};
+  b.machines = 12;
+  b.policy = dc::HostingPolicy::preset(2);
+  cfg.datacenters = {a, b};
+  GameSpec game;
+  game.name = "TestGame";
+  game.load = LoadModel{UpdateModel::kQuadratic, 2000.0};
+  game.latency_tolerance = dc::DistanceClass::kVeryFar;
+  game.workload = std::move(workload);
+  cfg.games.push_back(std::move(game));
+  cfg.predictor = [] {
+    return std::make_unique<predict::LastValuePredictor>();
+  };
+  cfg.checkpoint_every_steps = 1;
+  cfg.checkpoint_sink = [sink](const CheckpointState& state) {
+    sink->push_back(state);
+  };
+  return cfg;
+}
+
+/// The invariant, verbatim: every component of every unit's ledger equals
+/// the in-insertion-order sum of its live allocations, exactly.
+void expect_conserved(const std::vector<CheckpointState>& states) {
+  ASSERT_FALSE(states.empty());
+  for (const auto& state : states) {
+    for (std::size_t u = 0; u < state.units.size(); ++u) {
+      const auto& unit = state.units[u];
+      util::ResourceVector sum{};
+      for (const auto& a : unit.allocations) sum += a.amount;
+      for (std::size_t k = 0; k < util::kResourceKinds; ++k) {
+        EXPECT_EQ(unit.allocated.v[k], sum.v[k])
+            << "step " << state.steps << " unit " << u << " kind " << k;
+        // The in-order sum of non-negative grants is non-negative; a
+        // negative component means a release oversubtracted (the bug the
+        // old clamp used to paper over).
+        EXPECT_GE(unit.allocated.v[k], 0.0)
+            << "step " << state.steps << " unit " << u << " kind " << k;
+      }
+    }
+  }
+}
+
+TEST(ConservationPropertiesTest, CleanDynamicRunConservesEveryStep) {
+  std::vector<CheckpointState> states;
+  auto cfg = checkpointing_config(sine_workload(4, 240), &states);
+  const auto result = simulate(cfg);
+  ASSERT_EQ(result.steps, 240u);
+  EXPECT_EQ(states.size(), 240u);
+  expect_conserved(states);
+}
+
+TEST(ConservationPropertiesTest, ReleaseStormAfterDemandCliffConserves) {
+  std::vector<CheckpointState> states;
+  auto cfg =
+      checkpointing_config(staircase_cliff_workload(4, 480), &states);
+  obs::Recorder rec(obs::TraceLevel::kOff);
+  cfg.recorder = &rec;
+  const auto result = simulate(cfg);
+  ASSERT_EQ(result.steps, 480u);
+  expect_conserved(states);
+  // The cliff actually exercised the release loop: records were given back
+  // and the held CPU shrank well below the plateau's holdings.
+  EXPECT_GT(rec.snapshot().counters.at("alloc.released"), 0.0);
+  const auto held_cpu = [](const CheckpointState& s) {
+    double cpu = 0.0;
+    for (const auto& u : s.units) cpu += u.allocated.cpu();
+    return cpu;
+  };
+  EXPECT_LT(held_cpu(states.back()), 0.5 * held_cpu(states[states.size() / 2]));
+}
+
+TEST(ConservationPropertiesTest, FaultedMultiResourceRunConserves) {
+  // Outage eviction, degraded-capacity eviction, stochastic flapping and
+  // same-step re-placement all mutate the ledger mid-step; none of them may
+  // break the sum, in any dimension.
+  std::vector<CheckpointState> states;
+  auto cfg = checkpointing_config(sine_workload(4, 300), &states);
+  fault::FaultSpec outage;
+  outage.kind = fault::FaultKind::kOutage;
+  outage.dc_index = 0;
+  outage.window_from = 80;
+  outage.window_to = 120;
+  fault::FaultSpec degrade;
+  degrade.kind = fault::FaultKind::kCapacityLoss;
+  degrade.dc_index = 1;
+  degrade.window_from = 150;
+  degrade.window_to = 250;
+  degrade.severity = 0.5;
+  fault::FaultSpec flap;
+  flap.dc_index = 0;
+  flap.mtbf_steps = 90.0;
+  flap.mttr_steps = 12.0;
+  flap.seed = 7;
+  cfg.faults = {outage, degrade, flap};
+  cfg.resilience.enabled = true;
+  const auto result = simulate(cfg);
+  ASSERT_FALSE(result.fault_events.empty());
+  expect_conserved(states);
+}
+
+TEST(ConservationPropertiesTest, ShedUnderPressureConserves) {
+  // Priority shedding force-releases a *different* unit's allocations in
+  // the middle of another unit's grant walk — the nastiest ledger path.
+  std::vector<CheckpointState> states;
+  SimulationConfig cfg;
+  dc::DataCenterSpec only;
+  only.name = "Only";
+  only.location = {52.37, 4.90};
+  only.machines = 4;
+  only.policy = dc::HostingPolicy::preset(3);
+  cfg.datacenters = {only};
+  GameSpec low;
+  low.name = "Low";
+  low.priority = 0;
+  low.load = LoadModel{UpdateModel::kQuadratic, 2000.0};
+  low.workload = sine_workload(2, 120, 1500.0, 200.0);
+  GameSpec high;
+  high.name = "High";
+  high.priority = 5;
+  high.load = LoadModel{UpdateModel::kQuadratic, 2000.0};
+  high.workload = sine_workload(2, 120, 1500.0, 200.0);
+  cfg.games = {low, high};
+  cfg.predictor = [] {
+    return std::make_unique<predict::LastValuePredictor>();
+  };
+  fault::FaultSpec degrade;
+  degrade.kind = fault::FaultKind::kCapacityLoss;
+  degrade.dc_index = 0;
+  degrade.window_from = 40;
+  degrade.window_to = 120;
+  degrade.severity = 0.5;
+  cfg.faults = {degrade};
+  cfg.resilience.enabled = true;
+  cfg.resilience.shed_low_priority = true;
+  cfg.checkpoint_every_steps = 1;
+  cfg.checkpoint_sink = [&states](const CheckpointState& state) {
+    states.push_back(state);
+  };
+  const auto shed = simulate(cfg);
+  ASSERT_EQ(shed.games.size(), 2u);
+  EXPECT_GT(shed.games[0].sla.shed_steps, 0u);
+  expect_conserved(states);
+}
+
+TEST(ConservationPropertiesTest, ZeroCpuAllocationsAreNeverAutoReleased) {
+  // Under a quadratic load model, CPU demand falls with the square of the
+  // player count while network demand falls only linearly — so low-demand
+  // units hold bandwidth-only top-up allocations (amount.cpu() == 0). The
+  // release loop ranks candidates by CPU recovered and deliberately skips
+  // zero-CPU records (releasing them frees no CPU and just sheds paid-for
+  // headroom early); only fault eviction may remove them. A fault-free run
+  // must therefore leave every zero-CPU allocation in place once granted.
+  std::vector<CheckpointState> states;
+  auto cfg =
+      checkpointing_config(sine_workload(2, 240, 400.0, 600.0), &states);
+  const auto result = simulate(cfg);
+  ASSERT_EQ(result.steps, 240u);
+  std::size_t zero_cpu_seen = 0;
+  std::set<std::size_t> prev_zero_ids;
+  for (const auto& state : states) {
+    std::set<std::size_t> zero_ids;
+    for (const auto& unit : state.units) {
+      for (const auto& a : unit.allocations) {
+        if (a.amount.cpu() == 0.0) zero_ids.insert(a.id);
+      }
+    }
+    zero_cpu_seen += zero_ids.size();
+    for (const auto id : prev_zero_ids) {
+      EXPECT_TRUE(zero_ids.count(id))
+          << "zero-CPU allocation " << id << " vanished by step "
+          << state.steps;
+    }
+    prev_zero_ids = std::move(zero_ids);
+  }
+  // The property must not hold vacuously.
+  ASSERT_GT(zero_cpu_seen, 0u);
+}
+
+TEST(ConservationPropertiesTest, PerStepAllocatedNeverGoesNegative) {
+  // The outward-facing mirror of the internal invariant: the global metrics
+  // accumulator's per-step allocated vector is a sum over unit ledgers, so
+  // conservation implies componentwise non-negativity there too.
+  std::vector<CheckpointState> states;
+  auto cfg =
+      checkpointing_config(staircase_cliff_workload(4, 480), &states);
+  const auto result = simulate(cfg);
+  for (const auto& step : result.metrics.step_metrics()) {
+    for (std::size_t k = 0; k < util::kResourceKinds; ++k) {
+      EXPECT_GE(step.allocated.v[k], 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mmog::core

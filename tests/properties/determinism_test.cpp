@@ -336,6 +336,50 @@ TEST(ParallelDeterminismTest, RunReportOutcomeIsThreadAgnostic) {
   EXPECT_EQ(report_parallel.threads, 4u);
 }
 
+TEST(ParallelDeterminismTest, FaultedResilientRunIsThreadAgnostic) {
+  // The match/replace phases shard their candidate filter (outage + latency
+  // status per unit x center) across the worker team. Statuses are pure in
+  // (center, step), workers write disjoint slots, and the commit loop stays
+  // serial — so a faulted, resilient run must serialize identically at any
+  // thread count, audit trail included.
+  auto faulted = [](std::size_t threads) {
+    auto cfg = parallel_config(threads);
+    fault::FaultSpec outage;
+    outage.kind = fault::FaultKind::kOutage;
+    outage.dc_index = 0;
+    outage.window_from = 60;
+    outage.window_to = 90;
+    fault::FaultSpec flap;
+    flap.dc_index = 0;
+    flap.mtbf_steps = 80.0;
+    flap.mttr_steps = 10.0;
+    flap.seed = 11;
+    cfg.faults = {outage, flap};
+    cfg.resilience.enabled = true;
+    return cfg;
+  };
+  auto serial_cfg = faulted(1);
+  obs::Recorder rec_serial(obs::TraceLevel::kOff);
+  rec_serial.enable_audit();
+  serial_cfg.recorder = &rec_serial;
+  const auto serial = simulate(serial_cfg);
+  ASSERT_FALSE(serial.fault_events.empty());
+  const auto baseline = serialize(serial);
+
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    auto cfg = faulted(threads);
+    obs::Recorder rec(obs::TraceLevel::kOff);
+    rec.enable_audit();
+    cfg.recorder = &rec;
+    const auto parallel = simulate(cfg);
+    EXPECT_EQ(serialize(parallel), baseline) << "threads=" << threads;
+    EXPECT_EQ(parallel.fault_events, serial.fault_events)
+        << "threads=" << threads;
+    EXPECT_EQ(rec.audit()->to_jsonl(), rec_serial.audit()->to_jsonl())
+        << "threads=" << threads;
+  }
+}
+
 TEST(ParallelDeterminismTest, RepeatedParallelRunsAreByteIdentical) {
   auto cfg = parallel_config(4);
   const auto first = simulate(cfg);

@@ -48,9 +48,9 @@ TEST_P(MatcherProperties, OrderedFinerGrainFirst) {
   const Matcher matcher(dcs);
   const auto order = matcher.candidates(origin(), tolerance());
   for (std::size_t i = 1; i < order.size(); ++i) {
-    const double prev = dcs[order[i - 1]].policy.granularity_score();
-    const double cur = dcs[order[i]].policy.granularity_score();
-    EXPECT_LE(prev, cur + 1e-9);
+    const auto prev = dcs[order[i - 1]].policy.granularity_key();
+    const auto cur = dcs[order[i]].policy.granularity_key();
+    EXPECT_FALSE(cur < prev);
     if (prev == cur) {
       // Equal grain: closest first.
       EXPECT_LE(matcher.distance_km(origin(), order[i - 1]),

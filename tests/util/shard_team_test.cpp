@@ -1,0 +1,99 @@
+#include "util/shard_team.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace mmog::util {
+namespace {
+
+struct CountCtx {
+  std::vector<std::atomic<int>> hits;
+  std::atomic<std::size_t> observed_shards{0};
+  explicit CountCtx(std::size_t n) : hits(n) {}
+};
+
+void count_task(void* ctx, std::size_t shard, std::size_t shards) {
+  auto* c = static_cast<CountCtx*>(ctx);
+  c->hits[shard].fetch_add(1, std::memory_order_relaxed);
+  c->observed_shards.store(shards, std::memory_order_relaxed);
+}
+
+TEST(ShardTeamTest, SingleThreadRunsInline) {
+  ShardTeam team(1);
+  EXPECT_EQ(team.threads(), 1u);
+  CountCtx ctx(1);
+  team.run(&count_task, &ctx);
+  EXPECT_EQ(ctx.hits[0].load(), 1);
+  EXPECT_EQ(ctx.observed_shards.load(), 1u);
+}
+
+TEST(ShardTeamTest, ZeroThreadsClampsToOne) {
+  ShardTeam team(0);
+  EXPECT_EQ(team.threads(), 1u);
+}
+
+TEST(ShardTeamTest, EveryShardRunsExactlyOncePerDispatch) {
+  ShardTeam team(4);
+  ASSERT_EQ(team.threads(), 4u);
+  CountCtx ctx(4);
+  team.run(&count_task, &ctx);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(ctx.hits[s].load(), 1) << "shard " << s;
+  }
+  EXPECT_EQ(ctx.observed_shards.load(), 4u);
+}
+
+struct SumCtx {
+  std::vector<long long> partial;  // disjoint slots, one per shard
+  explicit SumCtx(std::size_t n) : partial(n, 0) {}
+};
+
+void sum_task(void* ctx, std::size_t shard, std::size_t shards) {
+  auto* c = static_cast<SumCtx*>(ctx);
+  // Shard-strided sum over [0, 10000): disjoint writes, join is the barrier.
+  long long sum = 0;
+  for (std::size_t i = shard; i < 10000; i += shards) {
+    sum += static_cast<long long>(i);
+  }
+  c->partial[shard] = sum;
+}
+
+TEST(ShardTeamTest, ReusableAcrossManyDispatchesWithVisibleWrites) {
+  ShardTeam team(4);
+  for (int round = 0; round < 200; ++round) {
+    SumCtx ctx(team.threads());
+    team.run(&sum_task, &ctx);
+    const long long total =
+        std::accumulate(ctx.partial.begin(), ctx.partial.end(), 0LL);
+    ASSERT_EQ(total, 10000LL * 9999LL / 2) << "round " << round;
+  }
+}
+
+void throwing_task(void* ctx, std::size_t shard, std::size_t shards) {
+  count_task(ctx, shard, shards);
+  if (shard == 2) throw std::runtime_error("shard 2 failed");
+}
+
+TEST(ShardTeamTest, ShardExceptionRethrownOnCallerAndTeamStaysUsable) {
+  ShardTeam team(4);
+  CountCtx ctx(4);
+  EXPECT_THROW(team.run(&throwing_task, &ctx), std::runtime_error);
+  // The failing dispatch still ran every shard to completion …
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(ctx.hits[s].load(), 1) << "shard " << s;
+  }
+  // … and the team accepts the next dispatch as if nothing happened.
+  CountCtx again(4);
+  team.run(&count_task, &again);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(again.hits[s].load(), 1) << "shard " << s;
+  }
+}
+
+}  // namespace
+}  // namespace mmog::util
